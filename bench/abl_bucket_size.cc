@@ -1,0 +1,38 @@
+// Ablation A2: bucket size N.
+//
+// N trades migration speed against placement precision: N=1 sorts items
+// strictly by recency-of-hit (many swaps, fine-grained), huge N approximates
+// a single bucket (no inward migration at all).
+
+#include <cstdio>
+
+#include "policy_sim.h"
+
+int main() {
+  using namespace nblb::bench;
+  std::printf("=== nblb ablation: bucket size N ===\n\n");
+
+  constexpr uint64_t kItems = 100000;
+  constexpr size_t kLookups = 100000;
+  constexpr double kAlpha = 0.99;
+
+  std::printf("%-10s %-14s %-14s\n", "N", "swap_hit", "shrink_hit");
+  for (size_t n : {1ul, 2ul, 4ul, 8ul, 16ul, 32ul, 64ul, 256ul}) {
+    PolicySimOptions opts;
+    opts.capacity = kItems / 4;
+    opts.bucket_slots = n;
+    const double steady =
+        RunPolicyWorkload(opts, kItems, kAlpha, kLookups, false, 5);
+    const double shrink =
+        RunPolicyWorkload(opts, kItems, kAlpha, kLookups, true, 5);
+    std::printf("%-10zu %-14.4f %-14.4f\n", n, steady, shrink);
+  }
+  std::printf(
+      "\nreading: steady-state hit rate is insensitive to N (it is set by\n"
+      "capacity and skew). Under shrinking, larger buckets help: each hit\n"
+      "jumps an item up to N ranks inward, so hot items out-run the\n"
+      "advancing edge faster. The cost of large N is coarser ordering near\n"
+      "the stable point (eviction picks randomly within a big peripheral\n"
+      "bucket) and a wider swap write radius on a real page.\n");
+  return 0;
+}

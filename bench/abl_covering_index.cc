@@ -1,0 +1,107 @@
+// Ablation A5: index cache vs covering index (§2.1).
+//
+// "As an alternative ... one could imagine using covering indexes (i.e.,
+//  adding all of the fields used in any query to the index key), which can
+//  also avoid accessing the heap ... However, covering indices still store
+//  cold data, waste space and bloat the index size."
+//
+// Both designs answer the query class from the index. The difference is
+// bytes: the covering index carries the extra fields for EVERY tuple; the
+// index cache carries them only for hot tuples, inside space that already
+// existed. We build both over the same data and report index size and the
+// memory needed to serve a skewed lookup trace.
+
+#include <cstdio>
+
+#include "common/bytes.h"
+#include "common/zipf.h"
+#include "exec/table.h"
+#include "index/btree.h"
+#include "test_support.h"
+
+namespace {
+
+using namespace nblb;
+
+std::string K8(uint64_t v) {
+  std::string s(8, '\0');
+  EncodeBigEndian64(s.data(), v);
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  using nblb::bench::TempDb;
+  std::printf("=== nblb ablation: index cache vs covering index ===\n\n");
+
+  constexpr uint64_t kN = 200000;
+  constexpr size_t kExtraFieldBytes = 17;  // the 4 cached fields of §2.1.4
+  constexpr size_t kPageSize = 4096;
+
+  // Design A: base index (8B key -> RID) + in-page cache of 25B items.
+  TempDb a("ablcov_a", kPageSize, 16384);
+  BTreeOptions base_opts;
+  base_opts.key_size = 8;
+  base_opts.cache_item_size = 8 + kExtraFieldBytes;
+  auto base_r = BTree::Create(a.bp.get(), base_opts);
+  if (!base_r.ok()) return 1;
+  auto base = std::move(*base_r);
+
+  // Design B: covering index — the extra fields ride in the key, widening
+  // every entry from 8 to 8+17 bytes.
+  TempDb b("ablcov_b", kPageSize, 16384);
+  BTreeOptions cover_opts;
+  cover_opts.key_size = 8 + kExtraFieldBytes;
+  cover_opts.cache_item_size = 0;
+  auto cover_r = BTree::Create(b.bp.get(), cover_opts);
+  if (!cover_r.ok()) return 1;
+  auto cover = std::move(*cover_r);
+
+  std::vector<std::pair<std::string, uint64_t>> base_sorted, cover_sorted;
+  for (uint64_t i = 0; i < kN; ++i) {
+    base_sorted.emplace_back(K8(i), i);
+    std::string wide = K8(i) + std::string(kExtraFieldBytes, 'f');
+    cover_sorted.emplace_back(std::move(wide), i);
+  }
+  if (!base->BulkLoad(base_sorted, 0.68).ok()) return 1;
+  if (!cover->BulkLoad(cover_sorted, 0.68).ok()) return 1;
+
+  auto base_st = base->ComputeStats();
+  auto cover_st = cover->ComputeStats();
+  if (!base_st.ok() || !cover_st.ok()) return 1;
+
+  const double base_mb =
+      (base_st->leaf_pages + base_st->internal_pages) * kPageSize / 1e6;
+  const double cover_mb =
+      (cover_st->leaf_pages + cover_st->internal_pages) * kPageSize / 1e6;
+  const uint64_t cache_slots =
+      base_st->leaf_free_bytes / base_opts.cache_item_size;
+
+  // How many items must be servable index-only? With zipf(0.99) skew, the
+  // hot set covering 90% of accesses:
+  ZipfianGenerator zipf(kN, 0.99, 3);
+  const uint64_t hot_90 = zipf.RanksCoveringMass(0.9);
+
+  std::printf("%-28s %-16s %-16s\n", "", "index+cache", "covering index");
+  std::printf("%-28s %-16.2f %-16.2f\n", "index size (MB)", base_mb, cover_mb);
+  std::printf("%-28s %-16llu %-16s\n", "extra-field copies held",
+              static_cast<unsigned long long>(cache_slots), "all 200000");
+  std::printf("%-28s %-16llu %-16llu\n",
+              "items needed for 90% hits",
+              static_cast<unsigned long long>(hot_90),
+              static_cast<unsigned long long>(hot_90));
+  std::printf("%-28s %-16s %-16s\n", "fits hot set?",
+              cache_slots >= hot_90 ? "yes (in free space)" : "no",
+              "yes (by paying for all)");
+  std::printf("%-28s %-16.1f %-16.1f\n", "bytes per servable-hot-item",
+              base_mb * 1e6 / static_cast<double>(hot_90),
+              cover_mb * 1e6 / static_cast<double>(hot_90));
+  std::printf(
+      "\nreading: the covering index answers the same queries but is %.1fx\n"
+      "larger — it replicates cold tuples' fields too, increasing RAM\n"
+      "pressure (the paper's argument). The index cache serves the hot set\n"
+      "from bytes that were already allocated.\n",
+      cover_mb / base_mb);
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Ablation A4: B+Tree fill factor vs cache capacity vs insert cost.
+//
+// §5: "it may be time to revisit canonical designs (e.g., B+Trees with a 68%
+// fill factor) in favor of more efficient ones". The index cache flips the
+// trade-off: free space is no longer dead weight. This bench bulk-loads the
+// same data at different fill factors and reports (a) leaf pages, (b) cache
+// slots recycled out of the free space, (c) splits caused by a subsequent
+// insert burst — the three corners of the trade-off.
+
+#include <cstdio>
+
+#include "common/bytes.h"
+#include "exec/database.h"
+#include "index/btree.h"
+#include "test_support.h"
+
+namespace {
+
+using namespace nblb;
+
+std::string K(uint64_t v) {
+  std::string s(8, '\0');
+  EncodeBigEndian64(s.data(), v);
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== nblb ablation: fill factor vs cache capacity ===\n\n");
+
+  constexpr uint64_t kN = 100000;
+  constexpr uint16_t kItemSize = 25;
+  std::vector<std::pair<std::string, uint64_t>> sorted;
+  sorted.reserve(kN);
+  for (uint64_t i = 0; i < kN; ++i) sorted.emplace_back(K(i * 2), i);
+
+  std::printf("%-8s %-12s %-14s %-14s %-14s\n", "fill", "leaf_pages",
+              "cache_slots", "slots/entry", "splits_after_10k_inserts");
+  for (double fill : {0.50, 0.68, 0.80, 0.90, 1.00}) {
+    bench::TempDb tdb("ablfill");
+    BTreeOptions opts;
+    opts.key_size = 8;
+    opts.cache_item_size = kItemSize;
+    auto tr = BTree::Create(tdb.bp.get(), opts);
+    if (!tr.ok()) return 1;
+    auto tree = std::move(*tr);
+    if (!tree->BulkLoad(sorted, fill).ok()) return 1;
+
+    auto st1 = tree->ComputeStats();
+    if (!st1.ok()) return 1;
+    const uint64_t slots = st1->leaf_free_bytes / kItemSize;
+    const uint64_t leaves_before = st1->leaf_pages;
+
+    // Insert burst into random gaps (odd keys): splits = new leaves.
+    Rng rng(9);
+    for (int i = 0; i < 10000; ++i) {
+      const uint64_t k = rng.Uniform(kN) * 2 + 1;
+      Status s = tree->Insert(Slice(K(k)), k);
+      if (!s.ok() && !s.IsAlreadyExists()) return 1;
+    }
+    auto st2 = tree->ComputeStats();
+    if (!st2.ok()) return 1;
+
+    std::printf("%-8.2f %-12llu %-14llu %-14.3f %-14llu\n", fill,
+                static_cast<unsigned long long>(leaves_before),
+                static_cast<unsigned long long>(slots),
+                static_cast<double>(slots) / static_cast<double>(kN),
+                static_cast<unsigned long long>(st2->leaf_pages -
+                                                leaves_before));
+  }
+  std::printf(
+      "\nreading: packing to 100%% minimizes pages but leaves zero cache\n"
+      "space AND maximizes splits under inserts; the canonical 68%% keeps\n"
+      "roughly one cache slot per three entries for free — the waste the\n"
+      "paper turns into a cache.\n");
+  return 0;
+}

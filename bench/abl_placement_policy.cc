@@ -1,0 +1,56 @@
+// Ablation A1: cache placement/swap policy under a shrinking cache.
+//
+// The paper's policy is random-free placement + swap-one-bucket-toward-S on
+// hit. This ablation compares it against no-swap and innermost-first
+// placement under the Shrink workload — quantifying how much of Fig 2(a)'s
+// "Shrink only reduces the hit rate by 5%" is due to the swap policy.
+
+#include <cstdio>
+
+#include "policy_sim.h"
+
+int main() {
+  using namespace nblb;
+  using namespace nblb::bench;
+  std::printf("=== nblb ablation: cache placement/swap policy ===\n\n");
+
+  constexpr uint64_t kItems = 100000;
+  constexpr size_t kLookups = 100000;
+  constexpr double kAlpha = 0.99;
+
+  struct Config {
+    const char* name;
+    bool swap;
+    CachePlacementPolicy placement;
+  };
+  const Config configs[] = {
+      {"random+swap (paper)", true, CachePlacementPolicy::kRandomFree},
+      {"random, no swap", false, CachePlacementPolicy::kRandomFree},
+      {"innermost+swap", true, CachePlacementPolicy::kInnermostFree},
+      {"innermost, no swap", false, CachePlacementPolicy::kInnermostFree},
+  };
+
+  std::printf("%-22s %-14s %-14s %-12s\n", "policy", "swap_hit",
+              "shrink_hit", "delta");
+  for (const Config& c : configs) {
+    PolicySimOptions opts;
+    opts.capacity = kItems / 4;  // the paper's 25% point
+    opts.swap_on_hit = c.swap;
+    opts.placement = c.placement;
+    const double steady =
+        RunPolicyWorkload(opts, kItems, kAlpha, kLookups, false, 3);
+    const double shrink =
+        RunPolicyWorkload(opts, kItems, kAlpha, kLookups, true, 3);
+    std::printf("%-22s %-14.4f %-14.4f %-+12.4f\n", c.name, steady, shrink,
+                shrink - steady);
+  }
+  std::printf(
+      "\nreading: steady-state (Swap) hit rate is identical across policies\n"
+      "— placement only matters when the cache shrinks. Without swapping,\n"
+      "hot items stay wherever they landed and shrinking mows them down;\n"
+      "the paper's random+swap recovers a large part of that loss by\n"
+      "migrating hit items toward the stable point. Innermost-first\n"
+      "placement is even more shrink-resistant, but needs the full rank\n"
+      "order on every insert; random placement is a single RNG draw.\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Ablation A3: predicate-log threshold.
+//
+// §2.1.2: precise per-page predicate invalidation vs wholesale CSN bumps.
+// A tiny log overflows constantly (every overflow nukes every page cache);
+// an unbounded log makes every page read replay a long predicate list. This
+// bench sweeps the threshold under a mixed lookup/update workload and
+// reports cache hit rate, full invalidations, and page cleanings.
+
+#include <cstdio>
+
+#include "exec/table.h"
+#include "test_support.h"
+#include "workload/trace.h"
+
+int main() {
+  using namespace nblb;
+  using nblb::bench::TempDb;
+  std::printf("=== nblb ablation: predicate log threshold ===\n\n");
+
+  Schema schema({{"id", TypeId::kInt64, 0},
+                 {"v", TypeId::kInt64, 0},
+                 {"pad", TypeId::kChar, 48}});
+
+  constexpr int64_t kRows = 20000;
+  constexpr size_t kOps = 100000;
+
+  TraceOptions topt;
+  topt.num_items = kRows;
+  topt.num_ops = kOps;
+  topt.distribution = TraceDistribution::kZipfian;
+  topt.zipf_alpha = 0.99;
+  topt.mix = {0.95, 0.0, 0.05, 0.0};  // 5% updates
+  const std::vector<Op> trace = BuildTrace(topt);
+
+  std::printf("%-12s %-12s %-18s %-16s %-14s\n", "threshold", "hit_rate",
+              "full_invalidations", "page_cleanings", "log_peak");
+  for (size_t threshold : {8ul, 64ul, 512ul, 4096ul, 32768ul}) {
+    TempDb tdb("ablpred");
+    TableOptions opts;
+    opts.key_columns = {0};
+    opts.cached_columns = {1};
+    opts.cache_options.predicate_log_limit = threshold;
+    auto tr = Table::Create(tdb.bp.get(), schema, opts);
+    if (!tr.ok()) return 1;
+    auto table = std::move(*tr);
+    std::vector<int64_t> truth(kRows, 0);
+    for (int64_t i = 0; i < kRows; ++i) {
+      if (!table->Insert({Value::Int64(i), Value::Int64(0), Value::Char("x")})
+               .ok()) {
+        return 1;
+      }
+    }
+    size_t log_peak = 0;
+    for (const Op& op : trace) {
+      const int64_t id = static_cast<int64_t>(op.item);
+      if (op.kind == OpKind::kUpdate) {
+        truth[id]++;
+        if (!table
+                 ->UpdateByKey({Value::Int64(id)},
+                               {Value::Int64(id), Value::Int64(truth[id]),
+                                Value::Char("x")})
+                 .ok()) {
+          return 1;
+        }
+      } else {
+        auto r = table->LookupProjected({Value::Int64(id)}, {1});
+        if (!r.ok() || (*r)[0].AsInt() != truth[id]) {
+          std::fprintf(stderr, "STALE READ at threshold %zu\n", threshold);
+          return 1;
+        }
+      }
+      log_peak = std::max(log_peak, table->cache()->predicate_log().size());
+    }
+    const IndexCacheStats& cs = table->cache()->stats();
+    std::printf("%-12zu %-12.4f %-18llu %-16llu %-14zu\n", threshold,
+                cs.HitRate(),
+                static_cast<unsigned long long>(cs.full_invalidations),
+                static_cast<unsigned long long>(cs.page_cleanings), log_peak);
+  }
+  std::printf(
+      "\nreading: small thresholds trade precision for memory — every\n"
+      "overflow wipes all page caches and the hit rate drops; past a few\n"
+      "thousand entries the curve flattens. Correctness holds at every\n"
+      "setting (the loop verifies each read against ground truth).\n");
+  return 0;
+}

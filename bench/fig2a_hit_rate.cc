@@ -1,0 +1,49 @@
+// Figure 2(a): "Hit rate as cache size varies, zipfian distribution
+// (alpha = .5)" — Swap (read-only) vs Shrink (half the cache overwritten at
+// a constant rate during the run). 100k lookups per point, x-axis = cache
+// size as % of the number of items.
+//
+// We print the curve for the paper's stated alpha = 0.5 under the Gray/YCSB
+// zipfian sampler, and additionally for theta = 0.99 (the empirical
+// Wikipedia skew, rank-frequency exponent ~1), which is the curve that
+// reproduces the paper's ">90% hit rate at 25% cache size". See
+// EXPERIMENTS.md for the parameterization discussion.
+
+#include <cstdio>
+
+#include "policy_sim.h"
+
+namespace nblb::bench {
+namespace {
+
+void RunCurve(double alpha) {
+  constexpr uint64_t kItems = 50000;
+  constexpr size_t kLookups = 100000;  // "average hit rate after 100k lookups"
+  std::printf("# Figure 2(a): hit rate vs cache size, zipf alpha=%.2f\n",
+              alpha);
+  std::printf("%-18s %-12s %-12s\n", "cache_size_pct", "swap", "shrink");
+  for (int pct : {1, 2, 5, 10, 15, 20, 25, 30, 40, 50, 60, 75, 100}) {
+    PolicySimOptions opts;
+    opts.capacity = static_cast<size_t>(kItems) * pct / 100;
+    const double swap =
+        RunPolicyWorkload(opts, kItems, alpha, kLookups, /*shrink=*/false, 7);
+    const double shrink =
+        RunPolicyWorkload(opts, kItems, alpha, kLookups, /*shrink=*/true, 7);
+    std::printf("%-18d %-12.4f %-12.4f\n", pct, swap, shrink);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace nblb::bench
+
+int main() {
+  std::printf("=== nblb bench: Figure 2(a) — index cache hit rate ===\n\n");
+  nblb::bench::RunCurve(0.5);   // the paper's stated parameter
+  nblb::bench::RunCurve(0.99);  // empirical Wikipedia-like skew (exponent ~1)
+  std::printf(
+      "paper reference: Swap exceeds 90%% hit rate at 25%% cache size;\n"
+      "Shrink tracks Swap within ~5 points (swapping moves hot items toward\n"
+      "the stable point, where shrinking overwrites them last).\n");
+  return 0;
+}

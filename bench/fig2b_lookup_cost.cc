@@ -1,0 +1,81 @@
+// Figure 2(b): "Query performance as index cache and buffer pool hit rates
+// vary." Cost per lookup (ms, log scale in the paper) against the index
+// cache hit rate (x-axis) for buffer-pool hit rates {0, 60, 90, 96, 100}%.
+//
+// Methodology is the paper's own (§2.1.4): index and buffer pool are large
+// in-memory arrays; an index-cache miss costs a random buffer-pool page
+// access; a buffer-pool miss costs a disk page read. Our disk is a
+// deterministic latency model on a virtual clock (DESIGN.md §4): 5 ms seek +
+// 10 ns/byte transfer, a 2011-era SATA disk.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "sim/micro_sim.h"
+
+namespace {
+
+constexpr size_t kLookupsPerPoint = 40000;
+
+void PrintFigure() {
+  using nblb::MicroSim;
+  using nblb::MicroSimOptions;
+  using nblb::MicroSimResult;
+
+  const int bp_rates[] = {0, 60, 90, 96, 100};
+  std::printf("=== nblb bench: Figure 2(b) — cost/lookup (ms) ===\n\n");
+  std::printf("%-16s", "cache_hit_pct");
+  for (int bp : bp_rates) std::printf(" bp=%-3d%%    ", bp);
+  std::printf("\n");
+  for (int chr = 0; chr <= 100; chr += 10) {
+    std::printf("%-16d", chr);
+    for (int bp : bp_rates) {
+      MicroSimOptions o;
+      o.index_cache_hit_rate = chr / 100.0;
+      o.bp_hit_rate = bp / 100.0;
+      o.seed = 42 + chr + bp;
+      MicroSim sim(o);
+      MicroSimResult r = sim.Run(kLookupsPerPoint);
+      benchmark::DoNotOptimize(sim.checksum());
+      std::printf(" %-10.6f", r.AvgCostMs());
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\npaper reference: monotone drop in cost as either hit rate rises;\n"
+      "at bp=100%% the gap between cache-hit 0%% and 100%% is ~2.7x.\n\n");
+}
+
+// Micro-benchmarks of the three cost regimes, for google-benchmark output.
+void BM_LookupCacheHit(benchmark::State& state) {
+  nblb::MicroSimOptions o;
+  o.index_cache_hit_rate = 1.0;
+  nblb::MicroSim sim(o);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.Run(1000).TotalNs());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_LookupCacheHit);
+
+void BM_LookupBufferPoolHit(benchmark::State& state) {
+  nblb::MicroSimOptions o;
+  o.index_cache_hit_rate = 0.0;
+  o.bp_hit_rate = 1.0;
+  nblb::MicroSim sim(o);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.Run(1000).TotalNs());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_LookupBufferPoolHit);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintFigure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Figure 2(c): "Index cache performance with buffer pool hit rate = 100%" —
+// cache vs nocache cost per lookup (microseconds) as the cache hit rate
+// varies. The paper reports ~0.3us overhead at 0% hit rate (the slot scan
+// plus the insert-back), break-even around 35%, and a 2.7x win at 100%.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "sim/micro_sim.h"
+
+namespace {
+
+constexpr size_t kLookupsPerPoint = 200000;
+
+void PrintFigure() {
+  using nblb::MicroSim;
+  using nblb::MicroSimOptions;
+  using nblb::MicroSimResult;
+
+  std::printf(
+      "=== nblb bench: Figure 2(c) — cache vs nocache, bp hit = 100%% ===\n\n");
+  std::printf("%-16s %-14s %-14s\n", "cache_hit_pct", "cache_us", "nocache_us");
+
+  MicroSimOptions base;
+  base.bp_hit_rate = 1.0;
+
+  // nocache is flat in the cache hit rate; measure it once.
+  MicroSimOptions no = base;
+  no.cache_enabled = false;
+  MicroSim nosim(no);
+  const double nocache_us = nosim.Run(kLookupsPerPoint).AvgCostUs();
+  benchmark::DoNotOptimize(nosim.checksum());
+
+  double cache_at_0 = 0, cache_at_100 = 0;
+  int breakeven = -1;
+  for (int chr = 0; chr <= 100; chr += 5) {
+    MicroSimOptions o = base;
+    o.index_cache_hit_rate = chr / 100.0;
+    o.seed = 7 + chr;
+    MicroSim sim(o);
+    const double us = sim.Run(kLookupsPerPoint).AvgCostUs();
+    benchmark::DoNotOptimize(sim.checksum());
+    std::printf("%-16d %-14.4f %-14.4f\n", chr, us, nocache_us);
+    if (chr == 0) cache_at_0 = us;
+    if (chr == 100) cache_at_100 = us;
+    if (breakeven < 0 && us <= nocache_us) breakeven = chr;
+  }
+  std::printf("\nsummary:\n");
+  std::printf("  overhead at 0%% hit rate : %+.4f us (paper: ~0.3 us)\n",
+              cache_at_0 - nocache_us);
+  std::printf("  break-even hit rate     : ~%d%% (paper: ~35%%)\n", breakeven);
+  std::printf("  speedup at 100%% hit rate: %.2fx (paper: 2.7x)\n",
+              nocache_us / cache_at_100);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintFigure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

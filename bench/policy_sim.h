@@ -1,0 +1,205 @@
+// PolicySim: the cache-management simulation behind Figure 2(a) and the
+// placement ablations.
+//
+// The paper: "We ran a simulation to study how the hit rate varies with the
+// cache size using a zipfian distribution similar to Wikipedia (alpha = .5)
+// ... Swap, which simulates a read-only workload that does not overwrite the
+// index cache (constant cache size), and Shrink, which simulates a
+// read/insert workload that overwrites half of the index cache at a constant
+// rate over the duration of the experiment."
+//
+// This models one logical cache whose slots are ranked by stability (rank 0
+// = the stable point S; higher ranks are overwritten sooner). It exercises
+// exactly the policy implemented in cache::IndexCache: random-free-slot
+// placement, peripheral-bucket eviction, and hit-swap one bucket toward S.
+// Shrinking truncates the highest ranks, as index growth does on real pages.
+
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/index_cache.h"
+#include "common/rng.h"
+#include "common/zipf.h"
+
+namespace nblb::bench {
+
+struct PolicySimOptions {
+  size_t capacity = 1000;     // cache slots
+  size_t bucket_slots = 8;    // N
+  bool swap_on_hit = true;
+  CachePlacementPolicy placement = CachePlacementPolicy::kRandomFree;
+  uint64_t seed = 1;
+};
+
+class PolicySim {
+ public:
+  explicit PolicySim(PolicySimOptions options)
+      : options_(options),
+        slots_(options.capacity, 0),
+        live_limit_(options.capacity),
+        rng_(options.seed) {
+    free_ranks_.reserve(options.capacity);
+    for (size_t r = 0; r < options.capacity; ++r) {
+      free_ranks_.push_back(r);
+      free_pos_[r] = r;
+      min_free_.push(r);
+    }
+  }
+
+  /// One lookup of `item`; returns true on hit. Misses insert the item.
+  bool Lookup(uint64_t item) {
+    auto it = where_.find(item);
+    if (it != where_.end()) {
+      if (options_.swap_on_hit) SwapInward(it->second);
+      return true;
+    }
+    Insert(item);
+    return false;
+  }
+
+  /// Truncates the cache to `new_limit` live slots (index growth). Stale
+  /// free ranks are filtered lazily on allocation.
+  void ShrinkTo(size_t new_limit) {
+    while (live_limit_ > new_limit) {
+      --live_limit_;
+      const uint64_t occupant = slots_[live_limit_];
+      if (occupant != 0) {
+        where_.erase(occupant - 1);
+        slots_[live_limit_] = 0;
+        AddFree(live_limit_);  // unusable now, filtered lazily
+      }
+    }
+  }
+
+  size_t live_limit() const { return live_limit_; }
+
+ private:
+  size_t BucketOf(size_t rank) const { return rank / options_.bucket_slots; }
+
+  void AddFree(size_t rank) {
+    free_pos_[rank] = free_ranks_.size();
+    free_ranks_.push_back(rank);
+    min_free_.push(rank);
+  }
+
+  void RemoveFree(size_t rank) {
+    auto it = free_pos_.find(rank);
+    const size_t pos = it->second;
+    const size_t last = free_ranks_.back();
+    free_ranks_[pos] = last;
+    free_pos_[last] = pos;
+    free_ranks_.pop_back();
+    free_pos_.erase(it);
+    // min_free_ is cleaned lazily.
+  }
+
+  // Pops a usable free rank per the placement policy; SIZE_MAX when none.
+  size_t PopFreeRank() {
+    if (options_.placement == CachePlacementPolicy::kRandomFree) {
+      while (!free_ranks_.empty()) {
+        const size_t pick = rng_.Uniform(free_ranks_.size());
+        const size_t rank = free_ranks_[pick];
+        RemoveFree(rank);
+        if (rank < live_limit_ && slots_[rank] == 0) return rank;
+      }
+      return SIZE_MAX;
+    }
+    // Innermost-free placement: lazy min-heap.
+    while (!min_free_.empty()) {
+      const size_t rank = min_free_.top();
+      min_free_.pop();
+      if (rank < live_limit_ && slots_[rank] == 0 && free_pos_.count(rank)) {
+        RemoveFree(rank);
+        return rank;
+      }
+    }
+    return SIZE_MAX;
+  }
+
+  void MoveItem(size_t from, size_t to) {
+    const uint64_t a = slots_[from];
+    const uint64_t b = slots_[to];
+    slots_[to] = a;
+    slots_[from] = b;
+    if (a != 0) where_[a - 1] = to;
+    if (b != 0) where_[b - 1] = from;
+  }
+
+  void SwapInward(size_t rank) {
+    const size_t bucket = BucketOf(rank);
+    if (bucket == 0) return;
+    const size_t base = (bucket - 1) * options_.bucket_slots;
+    const size_t target = base + rng_.Uniform(options_.bucket_slots);
+    const bool target_free = slots_[target] == 0;
+    MoveItem(rank, target);
+    if (target_free) {
+      // The hole moved from `target` to `rank`.
+      RemoveFree(target);
+      AddFree(rank);
+    }
+  }
+
+  void Insert(uint64_t item) {
+    size_t rank = PopFreeRank();
+    if (rank == SIZE_MAX) {
+      if (live_limit_ == 0) return;
+      // Evict a random item from the peripheral (outermost occupied) bucket.
+      size_t r = live_limit_ - 1;
+      while (slots_[r] == 0 && r > 0) --r;
+      if (slots_[r] == 0) return;  // live range empty
+      const size_t bucket = BucketOf(r);
+      const size_t lo = bucket * options_.bucket_slots;
+      const size_t hi = std::min(live_limit_, lo + options_.bucket_slots);
+      std::vector<size_t> occupied;
+      for (size_t i = lo; i < hi; ++i) {
+        if (slots_[i] != 0) occupied.push_back(i);
+      }
+      rank = occupied[rng_.Uniform(occupied.size())];
+      where_.erase(slots_[rank] - 1);
+    }
+    slots_[rank] = item + 1;
+    where_[item] = rank;
+  }
+
+  PolicySimOptions options_;
+  std::vector<uint64_t> slots_;  // rank -> item+1 (0 = empty)
+  std::unordered_map<uint64_t, size_t> where_;
+  std::vector<size_t> free_ranks_;
+  std::unordered_map<size_t, size_t> free_pos_;  // rank -> index in free_ranks_
+  std::priority_queue<size_t, std::vector<size_t>, std::greater<size_t>>
+      min_free_;
+  size_t live_limit_;
+  Rng rng_;
+};
+
+/// \brief Runs a warm-up phase then `lookups` measured zipf-distributed
+/// lookups ("the average hit rate after 100k lookups"); Shrink mode
+/// truncates the cache linearly down to half its size over the measured
+/// phase. Returns the measured hit rate.
+inline double RunPolicyWorkload(PolicySimOptions options, uint64_t num_items,
+                                double alpha, size_t lookups, bool shrink,
+                                uint64_t seed, size_t warmup = 200000) {
+  PolicySim sim(options);
+  ZipfianGenerator zipf(num_items, alpha, seed);
+  for (size_t i = 0; i < warmup; ++i) {
+    (void)sim.Lookup(zipf.Next());
+  }
+  size_t hits = 0;
+  const size_t full = options.capacity;
+  for (size_t i = 0; i < lookups; ++i) {
+    if (shrink) {
+      // Linearly overwrite half of the cache over the run (§2.1.4).
+      const size_t target =
+          full - (full / 2) * i / (lookups > 1 ? lookups - 1 : 1);
+      if (target < sim.live_limit()) sim.ShrinkTo(target);
+    }
+    if (sim.Lookup(zipf.Next())) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(lookups);
+}
+
+}  // namespace nblb::bench

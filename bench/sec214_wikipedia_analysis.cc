@@ -1,0 +1,152 @@
+// §2.1.4 analysis: how much of Wikipedia's page table fits in the name_title
+// index cache, and what hit rate the real workload achieves.
+//
+// Paper numbers: the name_title index holds 360 MB of key data at a 68% fill
+// factor; with 25-byte cache items the free space stores ~7.9M items — over
+// 70% of the page table — and the measured cache hit rate on the trace
+// exceeds 90%, answering ~40% of all queries from the index alone.
+//
+// Part 1 re-runs the capacity arithmetic at the paper's scale. Part 2 builds
+// a scaled synthetic page table with the real machinery (B+Tree bulk-loaded
+// at 68%, in-page cache, zipf trace) and measures everything end to end.
+
+#include <cstdio>
+
+#include "exec/database.h"
+#include "workload/wikipedia.h"
+
+namespace {
+
+using namespace nblb;
+
+void PaperScaleArithmetic() {
+  std::printf("--- part 1: capacity model at the paper's scale ---\n");
+  const double key_mb = 360.0;
+  const double fill = 0.68;
+  const double item_bytes = 25.0;
+  const double total_leaf_mb = key_mb / fill;
+  const double free_mb = total_leaf_mb * (1 - fill);
+  const double items_m = free_mb * 1e6 / item_bytes / 1e6;
+  std::printf("  key data: %.0f MB at %.0f%% fill -> %.0f MB of leaf space, "
+              "%.0f MB free\n",
+              key_mb, fill * 100, total_leaf_mb, free_mb);
+  std::printf("  cache capacity at %.0f B/item: %.1fM items "
+              "(paper: 7.9M items, >70%% of the page table)\n\n",
+              item_bytes, items_m);
+}
+
+int MeasuredScaledRun() {
+  std::printf("--- part 2: measured on the scaled synthetic page table ---\n");
+  WikipediaScale scale;
+  scale.num_pages = 20000;
+  scale.revisions_per_page = 2;
+  WikipediaSynthesizer synth(scale);
+
+  DatabaseOptions dbo;
+  dbo.path = "/tmp/nblb_sec214.db";
+  std::remove(dbo.path.c_str());
+  dbo.buffer_pool_frames = 16384;
+  auto dbr = Database::Open(dbo);
+  if (!dbr.ok()) return 1;
+  auto db = std::move(*dbr);
+
+  // Index-side schema with realistic stored widths: real B+Trees store
+  // title BYTES (~20 chars), not the varchar(255) capacity; our fixed-width
+  // KeyCodec pads to the declared length, so declare what Wikipedia titles
+  // actually occupy. Cached fields are narrowed the same way (bool, int32)
+  // giving a 29-byte cache item ~ the paper's 25-byte example.
+  Schema schema({{"page_namespace", TypeId::kInt32, 0},
+                 {"page_title", TypeId::kVarchar, 24},
+                 {"page_id", TypeId::kInt64, 0},
+                 {"page_latest", TypeId::kInt64, 0},
+                 {"page_is_redirect", TypeId::kBool, 0},
+                 {"page_len", TypeId::kInt32, 0},
+                 {"page_touched", TypeId::kChar, 14},
+                 {"page_counter", TypeId::kInt64, 0}});
+  TableOptions topts;
+  topts.key_columns = {0, 1};
+  topts.cached_columns = {2, 3, 4, 5};
+  auto tr = db->CreateTable("page", schema, topts);
+  if (!tr.ok()) return 1;
+  Table* page = *tr;
+  auto project = [](const Row& r) -> Row {
+    std::string title = r[2].AsString();
+    if (title.size() > 24) title.resize(24);
+    return {Value::Int32(static_cast<int32_t>(r[1].AsInt())),
+            Value::Varchar(title),
+            r[0],
+            r[9],
+            Value::Bool(r[5].AsInt() != 0),
+            Value::Int32(static_cast<int32_t>(r[10].AsInt())),
+            r[8],
+            r[4]};
+  };
+  for (const Row& row : synth.pages()) {
+    if (!page->Insert(project(row)).ok()) return 1;
+  }
+
+  auto str = page->index()->ComputeStats();
+  if (!str.ok()) return 1;
+  const BTreeStats st = *str;
+  const size_t item = page->index()->options().cache_item_size;
+  const uint64_t capacity_items = st.leaf_free_bytes / item;
+  std::printf("  index: %llu leaves, fill=%.3f, %llu free bytes, "
+              "%zu B/cache item\n",
+              static_cast<unsigned long long>(st.leaf_pages), st.avg_leaf_fill,
+              static_cast<unsigned long long>(st.leaf_free_bytes), item);
+  std::printf("  cache capacity: %llu items = %.1f%% of the %llu-row table "
+              "(paper: >70%%)\n",
+              static_cast<unsigned long long>(capacity_items),
+              100.0 * static_cast<double>(capacity_items) /
+                  static_cast<double>(st.entries),
+              static_cast<unsigned long long>(st.entries));
+
+  // Replay the zipf page-lookup trace twice: pass 1 warms, pass 2 measures.
+  const std::vector<size_t> proj = {2, 3, 4, 5};
+  const auto trace = synth.PageLookupTrace(100000);
+  auto key_of = [&](uint64_t pidx) -> std::vector<Value> {
+    const Row& p = synth.pages()[pidx];
+    std::string title = p[2].AsString();
+    if (title.size() > 24) title.resize(24);
+    return {Value::Int32(static_cast<int32_t>(p[1].AsInt())),
+            Value::Varchar(title)};
+  };
+  for (uint64_t pidx : trace) {
+    if (!page->LookupProjected(key_of(pidx), proj).ok()) return 1;
+  }
+  page->ResetStats();
+  page->cache()->ResetStats();
+  for (uint64_t pidx : trace) {
+    if (!page->LookupProjected(key_of(pidx), proj).ok()) return 1;
+  }
+  const TableStats& ts = page->stats();
+  std::printf("  measured cache hit rate on the trace: %.1f%% "
+              "(paper: >90%%)\n",
+              100.0 * static_cast<double>(ts.answered_from_cache) /
+                  static_cast<double>(ts.lookups));
+
+  // Query-coverage estimate: the paper found the most popular query class
+  // (~40% of all queries) projects only key + the 4 cached fields. We model
+  // the MediaWiki query mix: 40% page-lookup (covered), 60% other classes
+  // (uncovered: text fetch, revision scans, updates...).
+  const double covered_class_share = 0.40;
+  std::printf("  queries answerable from the index cache: %.0f%% of the "
+              "workload x %.1f%% hit rate = %.1f%% of ALL queries\n",
+              covered_class_share * 100,
+              100.0 * static_cast<double>(ts.answered_from_cache) /
+                  static_cast<double>(ts.lookups),
+              covered_class_share * 100.0 *
+                  static_cast<double>(ts.answered_from_cache) /
+                  static_cast<double>(ts.lookups));
+  std::remove(dbo.path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== nblb bench: §2.1.4 — Wikipedia name_title cache analysis "
+              "===\n\n");
+  PaperScaleArithmetic();
+  return MeasuredScaledRun();
+}

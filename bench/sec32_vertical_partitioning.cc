@@ -1,0 +1,156 @@
+// §3.2 vertical partitioning: "separating the cached fields from the
+// uncached fields can complement index caching by minimizing the amount of
+// redundant data read into memory when queries access fields not found in
+// the index ... Weighing the benefit of vertical partitioning against cost
+// of merging the partitions together makes this problem non-trivial."
+//
+// We split the revision table into a hot vertical partition (the fields the
+// dominant query class touches) and a cold partition (everything else), and
+// sweep the fraction of queries that need cold fields. Reported: heap bytes
+// read per query and ms/query under the simulated disk — the crossover the
+// paper calls "non-trivial and interesting" is directly visible.
+
+#include <cstdio>
+#include <string>
+
+#include "common/vclock.h"
+#include "exec/database.h"
+#include "workload/wikipedia.h"
+
+namespace {
+
+using namespace nblb;
+
+constexpr size_t kRows = 40000;
+constexpr size_t kQueries = 2000;
+constexpr size_t kFrames = 256;
+
+Schema FullSchema() {
+  return Schema({{"rev_id", TypeId::kInt64, 0},
+                 {"rev_page", TypeId::kInt64, 0},
+                 {"rev_len", TypeId::kInt64, 0},
+                 {"rev_comment", TypeId::kVarchar, 160},
+                 {"rev_user_text", TypeId::kVarchar, 160},
+                 {"rev_timestamp", TypeId::kChar, 14}});
+}
+
+Schema HotSchema() {
+  return Schema({{"rev_id", TypeId::kInt64, 0},
+                 {"rev_page", TypeId::kInt64, 0},
+                 {"rev_len", TypeId::kInt64, 0}});
+}
+
+Schema ColdSchema() {
+  return Schema({{"rev_id", TypeId::kInt64, 0},
+                 {"rev_comment", TypeId::kVarchar, 160},
+                 {"rev_user_text", TypeId::kVarchar, 160},
+                 {"rev_timestamp", TypeId::kChar, 14}});
+}
+
+Row FullRow(int64_t id, Rng* rng) {
+  return {Value::Int64(id),
+          Value::Int64(id % 5000),
+          Value::Int64(static_cast<int64_t>(rng->Uniform(9000))),
+          Value::Varchar(rng->NextString(100)),
+          Value::Varchar("user_" + std::to_string(rng->Uniform(1000))),
+          Value::Char("20110415093000")};
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "=== nblb bench: §3.2 — vertical partitioning vs full rows ===\n\n");
+
+  // Build both layouts inside one database file.
+  DatabaseOptions dbo;
+  dbo.path = "/tmp/nblb_sec32.db";
+  std::remove(dbo.path.c_str());
+  dbo.page_size = 4096;
+  dbo.buffer_pool_frames = kFrames;
+  dbo.enable_latency_model = true;
+  auto dbr = Database::Open(dbo);
+  if (!dbr.ok()) return 1;
+  auto db = std::move(*dbr);
+
+  TableOptions key_only;
+  key_only.key_columns = {0};
+  key_only.enable_index_cache = false;
+
+  auto full_r = db->CreateTable("rev_full", FullSchema(), key_only);
+  auto hot_r = db->CreateTable("rev_hot", HotSchema(), key_only);
+  auto cold_r = db->CreateTable("rev_cold", ColdSchema(), key_only);
+  if (!full_r.ok() || !hot_r.ok() || !cold_r.ok()) return 1;
+  Table* full = *full_r;
+  Table* hot = *hot_r;
+  Table* cold = *cold_r;
+
+  Rng rng(5);
+  for (size_t i = 1; i <= kRows; ++i) {
+    Row row = FullRow(static_cast<int64_t>(i), &rng);
+    if (!full->Insert(row).ok()) return 1;
+    if (!hot->Insert({row[0], row[1], row[2]}).ok()) return 1;
+    if (!cold->Insert({row[0], row[3], row[4], row[5]}).ok()) return 1;
+  }
+
+  std::printf("row widths: full=%zu B, hot=%zu B, cold=%zu B\n\n",
+              FullSchema().row_size(), HotSchema().row_size(),
+              ColdSchema().row_size());
+  std::printf("%-18s %-16s %-16s %-14s %-14s\n", "cold_query_pct",
+              "full_bytes/q", "vert_bytes/q", "full_ms/q", "vert_ms/q");
+
+  ZipfianGenerator zipf(kRows, 0.7, 99);
+  for (int cold_pct : {0, 5, 10, 25, 50, 75, 100}) {
+    Rng coin(1000 + cold_pct);
+    // Layout A: full rows.
+    (void)db->buffer_pool()->EvictAll();
+    db->clock()->Reset();
+    uint64_t full_bytes = 0;
+    CombinedTimer tf(db->clock());
+    ZipfianGenerator za(kRows, 0.7, 99);
+    Rng ca(1000 + cold_pct);
+    for (size_t q = 0; q < kQueries; ++q) {
+      const int64_t id = static_cast<int64_t>(za.Next() + 1);
+      const bool needs_cold = ca.Bernoulli(cold_pct / 100.0);
+      auto r = needs_cold
+                   ? full->LookupProjected({Value::Int64(id)}, {1, 2, 3})
+                   : full->LookupProjected({Value::Int64(id)}, {1, 2});
+      if (!r.ok()) return 1;
+      full_bytes += FullSchema().row_size();
+    }
+    const double full_ms = tf.ElapsedNs() / 1e6 / kQueries;
+
+    // Layout B: vertical partitions (hot always; cold only when needed).
+    (void)db->buffer_pool()->EvictAll();
+    db->clock()->Reset();
+    uint64_t vert_bytes = 0;
+    CombinedTimer tv(db->clock());
+    ZipfianGenerator zb(kRows, 0.7, 99);
+    Rng cb(1000 + cold_pct);
+    for (size_t q = 0; q < kQueries; ++q) {
+      const int64_t id = static_cast<int64_t>(zb.Next() + 1);
+      const bool needs_cold = cb.Bernoulli(cold_pct / 100.0);
+      auto r = hot->LookupProjected({Value::Int64(id)}, {1, 2});
+      if (!r.ok()) return 1;
+      vert_bytes += HotSchema().row_size();
+      if (needs_cold) {
+        auto r2 = cold->LookupProjected({Value::Int64(id)}, {1});
+        if (!r2.ok()) return 1;
+        vert_bytes += ColdSchema().row_size();
+      }
+    }
+    const double vert_ms = tv.ElapsedNs() / 1e6 / kQueries;
+
+    std::printf("%-18d %-16.1f %-16.1f %-14.3f %-14.3f\n", cold_pct,
+                static_cast<double>(full_bytes) / kQueries,
+                static_cast<double>(vert_bytes) / kQueries, full_ms, vert_ms);
+  }
+  std::printf(
+      "\nshape: vertical partitioning wins while few queries touch cold\n"
+      "fields (hot rows pack ~14x denser, so the working set fits the\n"
+      "buffer pool); as the cold fraction grows, the second lookup's merge\n"
+      "cost erodes and eventually reverses the win — the trade-off §3.2\n"
+      "calls non-trivial.\n");
+  std::remove(dbo.path.c_str());
+  return 0;
+}

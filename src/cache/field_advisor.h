@@ -1,0 +1,71 @@
+// CacheFieldAdvisor: workload-driven selection of the columns to cache.
+//
+// §2.1.4: "we hand picked the fields to cache ... First, the fields should
+// be stable (i.e., rarely updated) ... Second, the cached fields should be
+// chosen to fully answer a large class of queries. These heuristics are at
+// odds with each other, so the optimal choice of fields to cache is
+// dependent on the workload, and is an interesting direction for future
+// work."
+//
+// This implements that future-work item: given the query classes (projection
+// + frequency) and per-column update rates, greedily pick the column set
+// that maximizes covered query frequency net of an update-invalidation
+// penalty, under a cache-item byte budget.
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+
+namespace nblb {
+
+/// \brief One class of queries: what it projects and how often it runs
+/// (frequencies across classes should sum to ~1).
+struct QueryClass {
+  std::vector<size_t> projected_columns;
+  double frequency = 0;
+};
+
+/// \brief Advisor output.
+struct FieldSelection {
+  /// Recommended columns to cache, in schema order.
+  std::vector<size_t> cached_columns;
+  /// Total frequency of query classes fully answerable from key + cache.
+  double covered_frequency = 0;
+  /// Net score: covered frequency minus the update penalty of the chosen set.
+  double score = 0;
+  /// Resulting cache item size (8-byte tid + cached field bytes).
+  size_t item_size = 8;
+  /// Per-step explanation of the greedy choices.
+  std::vector<std::string> rationale;
+};
+
+/// \brief Workload/DDL inputs for the advisor.
+struct FieldAdvisorInput {
+  const Schema* schema = nullptr;
+  /// Columns already in the index key (always available to cover queries).
+  std::vector<size_t> key_columns;
+  /// The query classes of the workload.
+  std::vector<QueryClass> query_classes;
+  /// Per-column update rate (updates touching the column per lookup, or any
+  /// proportional measure). Size must equal schema->num_columns().
+  std::vector<double> update_rates;
+  /// Maximum cache item size in bytes (8-byte tid included).
+  size_t max_item_size = 256;
+  /// Weight of update churn against covered frequency. Each cached column
+  /// costs penalty = update_weight * update_rate(column).
+  double update_weight = 1.0;
+};
+
+/// \brief Greedy cache-field selection (§2.1.4's two heuristics, reconciled).
+class CacheFieldAdvisor {
+ public:
+  /// \brief Recommends the set of columns to replicate into the index cache.
+  /// Deterministic; O(columns^2 * classes).
+  static FieldSelection Recommend(const FieldAdvisorInput& input);
+};
+
+}  // namespace nblb

@@ -1,0 +1,230 @@
+#include "cache/index_cache.h"
+
+#include <cstring>
+
+#include "common/bytes.h"
+#include "common/latch.h"
+#include "common/logging.h"
+
+namespace nblb {
+
+namespace {
+
+// Slot tags store tid + 1 so that an all-zero slot (freshly zeroed free
+// space) reads as "empty" even for the tuple at RID (0,0).
+inline uint64_t TagOf(uint64_t tid) { return tid + 1; }
+
+}  // namespace
+
+IndexCache::IndexCache(BTree* tree, IndexCacheOptions options)
+    : tree_(tree),
+      options_(options),
+      csn_(tree),
+      rng_(options.rng_seed),
+      item_size_(tree->options().cache_item_size),
+      page_size_(tree->buffer_pool()->page_size()) {
+  NBLB_CHECK_MSG(item_size_ > 8, "cache_item_size must exceed the 8-byte tid");
+  NBLB_CHECK_MSG(item_size_ <= kMaxCacheItemSize, "cache item too large");
+  NBLB_CHECK(options_.bucket_slots >= 1);
+}
+
+bool IndexCache::KeyInRange(const BTreePageView& view, const Slice& key) {
+  const size_t n = view.num_entries();
+  if (n == 0) return false;
+  return view.KeyAt(0).Compare(key) <= 0 && key.Compare(view.KeyAt(n - 1)) <= 0;
+}
+
+bool IndexCache::SlotHasTid(const BTreePageView& view, const CacheGeometry& geo,
+                            uint64_t tid) const {
+  const uint64_t tag = TagOf(tid);
+  for (size_t s = geo.first_slot(); s < geo.first_slot() + geo.num_slots();
+       ++s) {
+    if (DecodeFixed64(view.raw() + geo.SlotOffset(s)) == tag) return true;
+  }
+  return false;
+}
+
+bool IndexCache::EnsureCleanLocked(BTreePageView* view) {
+  if (view->cache_item_size() == 0) return false;
+  // Invariant 2 (§2.1.2): valid only when CSNp == CSNidx. A stale page is
+  // repaired in place: zero the cache space and stamp it current.
+  if (!csn_.IsPageValid(*view)) {
+    view->ZeroFreeSpace();
+    csn_.MarkPageCurrent(view);
+    view->set_cache_seq(log_.current_seq());
+    return true;
+  }
+  // Replay predicates the page has not seen yet.
+  const uint64_t watermark = view->cache_seq();
+  if (log_.current_seq() > watermark) {
+    const CacheGeometry geo = CacheGeometry::FromLeaf(*view, options_.bucket_slots);
+    const bool match = log_.AnySince(watermark, [&](const Predicate& p) {
+      return KeyInRange(*view, Slice(p.key)) || SlotHasTid(*view, geo, p.tid);
+    });
+    if (match) {
+      view->ZeroFreeSpace();
+      ++stats_.page_cleanings;
+    }
+    view->set_cache_seq(log_.current_seq());
+  }
+  return true;
+}
+
+bool IndexCache::Probe(PageGuard* leaf, uint64_t tid, char* out) {
+  ++stats_.probes;
+  TryLatchGuard latch(*leaf->cache_latch());
+  if (!latch.acquired()) {
+    // §2.1.3: give up rather than block; a skipped cache read is just a miss.
+    ++stats_.latch_give_ups;
+    ++stats_.misses;
+    return false;
+  }
+  BTreePageView view(leaf->data(), page_size_);
+  if (!EnsureCleanLocked(&view)) {
+    ++stats_.misses;
+    return false;
+  }
+  const CacheGeometry geo = CacheGeometry::FromLeaf(view, options_.bucket_slots);
+  const uint64_t tag = TagOf(tid);
+  const size_t n = geo.num_slots();
+  for (size_t s = geo.first_slot(); s < geo.first_slot() + n; ++s) {
+    char* slot = view.raw() + geo.SlotOffset(s);
+    if (DecodeFixed64(slot) != tag) continue;
+    std::memcpy(out, slot + 8, payload_size());
+    // Swap one bucket toward the stable point so frequently read items
+    // migrate to where index growth overwrites them last.
+    if (options_.swap_on_hit) {
+      const size_t bucket = geo.BucketOfSlot(s);
+      if (bucket > 0) {
+        const size_t target_rank = (bucket - 1) * geo.bucket_slots() +
+                                   rng_.Uniform(geo.BucketSizeOf(bucket - 1));
+        const size_t t = geo.SlotOfRank(target_rank);
+        if (t != s) {
+          char tmp[kMaxCacheItemSize];
+          char* other = view.raw() + geo.SlotOffset(t);
+          std::memcpy(tmp, other, item_size_);
+          std::memcpy(other, slot, item_size_);
+          std::memcpy(slot, tmp, item_size_);
+          ++stats_.swaps;
+        }
+      }
+    }
+    ++stats_.hits;
+    return true;
+  }
+  ++stats_.misses;
+  return false;
+}
+
+void IndexCache::Populate(PageGuard* leaf, uint64_t tid, const Slice& payload) {
+  NBLB_CHECK(payload.size() == payload_size());
+  TryLatchGuard latch(*leaf->cache_latch());
+  if (!latch.acquired()) {
+    ++stats_.latch_give_ups;
+    ++stats_.populate_skips;
+    return;
+  }
+  BTreePageView view(leaf->data(), page_size_);
+  if (!EnsureCleanLocked(&view)) {
+    ++stats_.populate_skips;
+    return;
+  }
+  const CacheGeometry geo = CacheGeometry::FromLeaf(view, options_.bucket_slots);
+  const size_t n = geo.num_slots();
+  if (n == 0) {
+    ++stats_.populate_skips;
+    return;
+  }
+  const uint64_t tag = TagOf(tid);
+
+  // One pass: find an existing copy, pick a free slot (per placement
+  // policy), and track the outermost occupied bucket for eviction.
+  size_t existing = SIZE_MAX;
+  size_t free_pick = SIZE_MAX;
+  size_t free_seen = 0;
+  size_t innermost_free_rank = SIZE_MAX;
+  size_t max_bucket = 0;
+  size_t max_bucket_pick = SIZE_MAX;
+  size_t max_bucket_seen = 0;
+  for (size_t s = geo.first_slot(); s < geo.first_slot() + n; ++s) {
+    const uint64_t t = DecodeFixed64(view.raw() + geo.SlotOffset(s));
+    if (t == tag) {
+      existing = s;
+      break;
+    }
+    if (t == 0) {
+      ++free_seen;
+      // Reservoir-sample a uniformly random free slot.
+      if (rng_.Uniform(free_seen) == 0) free_pick = s;
+      const size_t r = geo.RankOf(s);
+      if (r < innermost_free_rank) innermost_free_rank = r;
+    } else {
+      const size_t b = geo.BucketOfSlot(s);
+      if (b > max_bucket) {
+        max_bucket = b;
+        max_bucket_pick = s;
+        max_bucket_seen = 1;
+      } else if (b == max_bucket) {
+        ++max_bucket_seen;
+        if (rng_.Uniform(max_bucket_seen) == 0) max_bucket_pick = s;
+      }
+    }
+  }
+
+  size_t target;
+  if (existing != SIZE_MAX) {
+    target = existing;  // refresh in place
+  } else if (free_seen > 0) {
+    target = options_.placement == CachePlacementPolicy::kRandomFree
+                 ? free_pick
+                 : geo.SlotOfRank(innermost_free_rank);
+  } else if (max_bucket_pick != SIZE_MAX) {
+    target = max_bucket_pick;  // evict from the peripheral bucket
+    ++stats_.evictions;
+  } else {
+    ++stats_.populate_skips;
+    return;
+  }
+
+  char* slot = view.raw() + geo.SlotOffset(target);
+  EncodeFixed64(slot, tag);
+  std::memcpy(slot + 8, payload.data(), payload.size());
+  // Deliberately no MarkDirty (§2.1.1): cache writes must not add disk I/O.
+  ++stats_.populates;
+}
+
+Status IndexCache::OnTupleModified(const Slice& key, uint64_t tid) {
+  log_.Append(key.ToString(), tid);
+  if (log_.size() > options_.predicate_log_limit) {
+    return InvalidateAll();
+  }
+  return Status::OK();
+}
+
+Status IndexCache::InvalidateAll() {
+  NBLB_RETURN_NOT_OK(csn_.InvalidateAll());
+  log_.Clear();
+  ++stats_.full_invalidations;
+  return Status::OK();
+}
+
+Result<uint64_t> IndexCache::CountCachedItems() {
+  uint64_t count = 0;
+  BufferPool* bp = tree_->buffer_pool();
+  for (PageId id = tree_->first_leaf_id(); id != kInvalidPageId;) {
+    NBLB_ASSIGN_OR_RETURN(PageGuard g, bp->FetchPage(id));
+    BTreePageView view(g.data(), page_size_);
+    if (csn_.IsPageValid(view)) {
+      const CacheGeometry geo =
+          CacheGeometry::FromLeaf(view, options_.bucket_slots);
+      for (size_t s = geo.first_slot(); s < geo.first_slot() + geo.num_slots();
+           ++s) {
+        if (DecodeFixed64(view.raw() + geo.SlotOffset(s)) != 0) ++count;
+      }
+    }
+    id = view.next();
+  }
+  return count;
+}
+
+}  // namespace nblb

@@ -1,0 +1,126 @@
+// IndexCache: the paper's core contribution (§2.1) — recycling B+Tree free
+// space as a tuple cache.
+//
+// Cache items live in the free interval between a leaf's entry region and
+// its directory. An item is [8-byte tid+1][cached field bytes]; an all-zero
+// tid marks an empty slot. Writes never dirty the page (no extra I/O), are
+// guarded by a per-frame try-latch that gives up instead of blocking
+// (§2.1.3), and survive until index growth overwrites the slot — hot items
+// are kept near the stable point S via the bucket-swap policy so they are
+// overwritten last (§2.1.1).
+
+#pragma once
+
+#include <cstdint>
+
+#include "cache/cache_geometry.h"
+#include "cache/csn_manager.h"
+#include "cache/predicate_log.h"
+#include "common/rng.h"
+#include "common/slice.h"
+#include "index/btree.h"
+
+namespace nblb {
+
+/// Hard cap on cache item size (tid + cached fields).
+inline constexpr size_t kMaxCacheItemSize = 512;
+
+/// \brief Where a newly inserted item is placed (ablation A1; the paper uses
+/// kRandomFree).
+enum class CachePlacementPolicy {
+  kRandomFree,     ///< random free slot (paper)
+  kInnermostFree,  ///< free slot closest to the stable point
+};
+
+/// \brief Tuning knobs for the index cache.
+struct IndexCacheOptions {
+  /// N: slots per bucket for the swap-toward-S policy.
+  size_t bucket_slots = 8;
+  /// Predicate log threshold; overflow triggers a full CSN invalidation.
+  size_t predicate_log_limit = 1024;
+  /// Swap a hit item one bucket toward S (paper behaviour; ablation A1).
+  bool swap_on_hit = true;
+  CachePlacementPolicy placement = CachePlacementPolicy::kRandomFree;
+  uint64_t rng_seed = 0x5eedcafe;
+};
+
+/// \brief Operation counters.
+struct IndexCacheStats {
+  uint64_t probes = 0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t populates = 0;
+  uint64_t populate_skips = 0;
+  uint64_t evictions = 0;
+  uint64_t swaps = 0;
+  uint64_t latch_give_ups = 0;
+  uint64_t page_cleanings = 0;      ///< predicate-triggered page zeroings
+  uint64_t full_invalidations = 0;  ///< CSNidx bumps
+
+  double HitRate() const {
+    return probes == 0 ? 0.0
+                       : static_cast<double>(hits) / static_cast<double>(probes);
+  }
+};
+
+/// \brief Manages the in-page caches of one B+Tree. Thread-compatible: all
+/// page-cache mutations go through the per-frame latch; the predicate log and
+/// stats are owned by the caller's serialization domain (one IndexCache per
+/// executor thread-group).
+class IndexCache {
+ public:
+  /// The tree must have been created with BTreeOptions::cache_item_size > 8.
+  IndexCache(BTree* tree, IndexCacheOptions options = {});
+
+  /// \brief Item width: 8-byte tid + cached field payload.
+  size_t item_size() const { return item_size_; }
+  /// \brief Cached payload width (item_size - 8).
+  size_t payload_size() const { return item_size_ - 8; }
+
+  /// \brief Looks for tuple `tid` in the leaf's cache. On a hit, copies
+  /// payload_size() bytes into `out` and applies the swap-toward-S policy.
+  /// Returns false on miss, invalid CSN, or latch give-up.
+  bool Probe(PageGuard* leaf, uint64_t tid, char* out);
+
+  /// \brief Inserts (tid -> payload) into the leaf's cache after a heap
+  /// fetch. Evicts from the peripheral bucket when no slot is free. Never
+  /// dirties the page; silently skips if the latch is unavailable.
+  void Populate(PageGuard* leaf, uint64_t tid, const Slice& payload);
+
+  /// \brief Records that the tuple identified by (index key, tid) was
+  /// modified; pages lazily zero their cache when they observe the
+  /// predicate. Overflowing the log falls back to a full invalidation.
+  Status OnTupleModified(const Slice& key, uint64_t tid);
+
+  /// \brief Bumps CSNidx — O(1) invalidation of every page cache.
+  Status InvalidateAll();
+
+  /// \brief Counts live cached items across all leaves (test/debug helper;
+  /// walks the whole leaf chain).
+  Result<uint64_t> CountCachedItems();
+
+  const IndexCacheStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = IndexCacheStats{}; }
+  const PredicateLog& predicate_log() const { return log_; }
+  BTree* tree() { return tree_; }
+  const IndexCacheOptions& options() const { return options_; }
+
+ private:
+  /// Validates/repairs the page cache under the latch; returns true if the
+  /// cache is usable afterwards.
+  bool EnsureCleanLocked(BTreePageView* view);
+  static bool KeyInRange(const BTreePageView& view, const Slice& key);
+  bool SlotHasTid(const BTreePageView& view, const CacheGeometry& geo,
+                  uint64_t tid) const;
+
+  BTree* tree_;
+  IndexCacheOptions options_;
+  CsnManager csn_;
+  PredicateLog log_;
+  Rng rng_;
+  size_t item_size_;
+  size_t page_size_;
+  IndexCacheStats stats_;
+};
+
+}  // namespace nblb

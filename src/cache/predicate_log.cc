@@ -1,0 +1,32 @@
+#include "cache/predicate_log.h"
+
+namespace nblb {
+
+uint64_t PredicateLog::Append(std::string key, uint64_t tid) {
+  Predicate p;
+  p.seq = next_seq_++;
+  p.key = std::move(key);
+  p.tid = tid;
+  entries_.push_back(std::move(p));
+  return entries_.back().seq;
+}
+
+void PredicateLog::ForEachSince(
+    uint64_t watermark, const std::function<void(const Predicate&)>& fn) const {
+  // Entries are appended in sequence order; scan from the back until the
+  // watermark is crossed, then replay forward. For small logs a linear scan
+  // is fine; the threshold policy keeps the log small.
+  for (const Predicate& p : entries_) {
+    if (p.seq > watermark) fn(p);
+  }
+}
+
+bool PredicateLog::AnySince(
+    uint64_t watermark, const std::function<bool(const Predicate&)>& pred) const {
+  for (const Predicate& p : entries_) {
+    if (p.seq > watermark && pred(p)) return true;
+  }
+  return false;
+}
+
+}  // namespace nblb

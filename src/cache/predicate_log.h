@@ -1,0 +1,61 @@
+// PredicateLog: the in-memory invalidation log of §2.1.2.
+//
+// "we create and store predicates that uniquely identify the updated tuples
+//  and append them to an in-memory log. When an index page is read during
+//  normal query execution, we zero the cache space if any predicates match
+//  keys in the page. If the list grows above a threshold, we can increment
+//  CSNidx and clear the list."
+//
+// Each entry records the updated tuple's index key AND its tuple id (RID);
+// the tid lets a page that no longer stores the key (e.g. after a delete)
+// still detect a matching cached item, which closes the RID-reuse hole.
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+namespace nblb {
+
+/// \brief One logged invalidation predicate.
+struct Predicate {
+  uint64_t seq = 0;    ///< position in the log (monotone)
+  std::string key;     ///< encoded index key of the updated tuple
+  uint64_t tid = 0;    ///< packed RID of the updated tuple
+};
+
+/// \brief Append-only in-memory predicate log with a sequence watermark.
+///
+/// Pages remember the sequence up to which they have been cleaned
+/// (`cache_seq` in the page header); on read they replay only entries newer
+/// than their watermark. Not thread safe; the owning IndexCache serializes.
+class PredicateLog {
+ public:
+  /// \brief Appends a predicate; returns its sequence number.
+  uint64_t Append(std::string key, uint64_t tid);
+
+  /// \brief Sequence of the newest entry (0 when empty since creation).
+  uint64_t current_seq() const { return next_seq_ - 1; }
+
+  /// \brief Calls fn for every entry with seq > watermark.
+  void ForEachSince(uint64_t watermark,
+                    const std::function<void(const Predicate&)>& fn) const;
+
+  /// \brief True if any entry newer than `watermark` satisfies `pred`.
+  bool AnySince(uint64_t watermark,
+                const std::function<bool(const Predicate&)>& pred) const;
+
+  size_t size() const { return entries_.size(); }
+
+  /// \brief Drops all entries (after a full CSN invalidation). Sequence
+  /// numbering continues monotonically.
+  void Clear() { entries_.clear(); }
+
+ private:
+  std::deque<Predicate> entries_;
+  uint64_t next_seq_ = 1;
+};
+
+}  // namespace nblb

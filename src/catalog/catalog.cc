@@ -1,0 +1,78 @@
+#include "catalog/catalog.h"
+
+namespace nblb {
+
+Result<TableId> Catalog::CreateTable(const std::string& name, Schema schema) {
+  for (const auto& [id, info] : tables_) {
+    if (info.name == name) {
+      return Status::AlreadyExists("table exists: " + name);
+    }
+  }
+  const TableId id = next_table_id_++;
+  TableInfo info;
+  info.id = id;
+  info.name = name;
+  info.schema = std::move(schema);
+  tables_.emplace(id, std::move(info));
+  return id;
+}
+
+Result<IndexId> Catalog::CreateIndex(const std::string& name, TableId table_id,
+                                     std::vector<size_t> key_columns,
+                                     std::vector<size_t> cached_columns) {
+  auto table = GetTable(table_id);
+  NBLB_RETURN_NOT_OK(table.status());
+  for (const auto& [id, info] : indexes_) {
+    if (info.name == name) {
+      return Status::AlreadyExists("index exists: " + name);
+    }
+  }
+  for (size_t c : key_columns) {
+    if (c >= (*table)->schema.num_columns()) {
+      return Status::InvalidArgument("key column out of range");
+    }
+  }
+  for (size_t c : cached_columns) {
+    if (c >= (*table)->schema.num_columns()) {
+      return Status::InvalidArgument("cached column out of range");
+    }
+  }
+  const IndexId id = next_index_id_++;
+  IndexInfo info;
+  info.id = id;
+  info.name = name;
+  info.table_id = table_id;
+  info.key_columns = std::move(key_columns);
+  info.cached_columns = std::move(cached_columns);
+  indexes_.emplace(id, std::move(info));
+  (*table)->indexes.push_back(id);
+  return id;
+}
+
+Result<TableInfo*> Catalog::GetTable(TableId id) {
+  auto it = tables_.find(id);
+  if (it == tables_.end()) return Status::NotFound("no such table id");
+  return &it->second;
+}
+
+Result<TableInfo*> Catalog::GetTableByName(const std::string& name) {
+  for (auto& [id, info] : tables_) {
+    if (info.name == name) return &info;
+  }
+  return Status::NotFound("no such table: " + name);
+}
+
+Result<IndexInfo*> Catalog::GetIndex(IndexId id) {
+  auto it = indexes_.find(id);
+  if (it == indexes_.end()) return Status::NotFound("no such index id");
+  return &it->second;
+}
+
+Result<IndexInfo*> Catalog::GetIndexByName(const std::string& name) {
+  for (auto& [id, info] : indexes_) {
+    if (info.name == name) return &info;
+  }
+  return Status::NotFound("no such index: " + name);
+}
+
+}  // namespace nblb

@@ -1,0 +1,65 @@
+// Catalog: in-memory registry of tables and indexes.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/result.h"
+
+namespace nblb {
+
+using TableId = uint32_t;
+using IndexId = uint32_t;
+
+/// \brief Metadata for a registered table.
+struct TableInfo {
+  TableId id = 0;
+  std::string name;
+  Schema schema;
+  std::vector<IndexId> indexes;
+};
+
+/// \brief Metadata for a registered index.
+struct IndexInfo {
+  IndexId id = 0;
+  std::string name;
+  TableId table_id = 0;
+  std::vector<size_t> key_columns;    ///< schema column indexes forming the key
+  std::vector<size_t> cached_columns; ///< columns replicated into the index cache
+};
+
+/// \brief Name/id registry for tables and indexes. Not thread safe; callers
+/// serialize DDL.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  /// \brief Registers a table; fails with AlreadyExists on duplicate name.
+  Result<TableId> CreateTable(const std::string& name, Schema schema);
+
+  /// \brief Registers an index on an existing table.
+  Result<IndexId> CreateIndex(const std::string& name, TableId table_id,
+                              std::vector<size_t> key_columns,
+                              std::vector<size_t> cached_columns);
+
+  Result<TableInfo*> GetTable(TableId id);
+  Result<TableInfo*> GetTableByName(const std::string& name);
+  Result<IndexInfo*> GetIndex(IndexId id);
+  Result<IndexInfo*> GetIndexByName(const std::string& name);
+
+  const std::map<TableId, TableInfo>& tables() const { return tables_; }
+  const std::map<IndexId, IndexInfo>& indexes() const { return indexes_; }
+
+ private:
+  std::map<TableId, TableInfo> tables_;
+  std::map<IndexId, IndexInfo> indexes_;
+  TableId next_table_id_ = 1;
+  IndexId next_index_id_ = 1;
+};
+
+}  // namespace nblb

@@ -1,0 +1,138 @@
+#include "catalog/row_codec.h"
+
+#include <cstring>
+
+#include "common/bytes.h"
+#include "common/logging.h"
+
+namespace nblb {
+
+Status RowCodec::EncodeColumn(const Value& v, size_t col, char* dst) const {
+  const Column& c = schema_->column(col);
+  char* p = dst + schema_->offset(col);
+  switch (c.type) {
+    case TypeId::kBool:
+    case TypeId::kInt8: {
+      if (!IsIntegerFamily(v.type()))
+        return Status::InvalidArgument("expected integer for " + c.name);
+      *p = static_cast<char>(v.AsInt());
+      return Status::OK();
+    }
+    case TypeId::kInt16: {
+      if (!IsIntegerFamily(v.type()))
+        return Status::InvalidArgument("expected integer for " + c.name);
+      EncodeFixed16(p, static_cast<uint16_t>(v.AsInt()));
+      return Status::OK();
+    }
+    case TypeId::kInt32: {
+      if (!IsIntegerFamily(v.type()))
+        return Status::InvalidArgument("expected integer for " + c.name);
+      EncodeFixed32(p, static_cast<uint32_t>(v.AsInt()));
+      return Status::OK();
+    }
+    case TypeId::kTimestamp: {
+      if (!IsIntegerFamily(v.type()))
+        return Status::InvalidArgument("expected integer for " + c.name);
+      EncodeFixed32(p, static_cast<uint32_t>(v.AsInt()));
+      return Status::OK();
+    }
+    case TypeId::kInt64: {
+      if (!IsIntegerFamily(v.type()))
+        return Status::InvalidArgument("expected integer for " + c.name);
+      EncodeFixed64(p, static_cast<uint64_t>(v.AsInt()));
+      return Status::OK();
+    }
+    case TypeId::kFloat64: {
+      if (v.type() != TypeId::kFloat64)
+        return Status::InvalidArgument("expected float64 for " + c.name);
+      double d = v.AsDouble();
+      std::memcpy(p, &d, 8);
+      return Status::OK();
+    }
+    case TypeId::kChar: {
+      if (!IsStringFamily(v.type()))
+        return Status::InvalidArgument("expected string for " + c.name);
+      const std::string& s = v.AsString();
+      if (s.size() > c.length)
+        return Status::InvalidArgument("string too long for " + c.name);
+      std::memcpy(p, s.data(), s.size());
+      std::memset(p + s.size(), ' ', c.length - s.size());
+      return Status::OK();
+    }
+    case TypeId::kVarchar: {
+      if (!IsStringFamily(v.type()))
+        return Status::InvalidArgument("expected string for " + c.name);
+      const std::string& s = v.AsString();
+      if (s.size() > c.length)
+        return Status::InvalidArgument("string too long for " + c.name);
+      EncodeFixed16(p, static_cast<uint16_t>(s.size()));
+      std::memcpy(p + 2, s.data(), s.size());
+      std::memset(p + 2 + s.size(), 0, c.length - s.size());
+      return Status::OK();
+    }
+  }
+  return Status::InvalidArgument("unknown type");
+}
+
+Status RowCodec::Encode(const Row& row, char* dst) const {
+  if (row.size() != schema_->num_columns()) {
+    return Status::InvalidArgument("row arity mismatch");
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    NBLB_RETURN_NOT_OK(EncodeColumn(row[i], i, dst));
+  }
+  return Status::OK();
+}
+
+Result<std::string> RowCodec::Encode(const Row& row) const {
+  std::string out(schema_->row_size(), '\0');
+  NBLB_RETURN_NOT_OK(Encode(row, out.data()));
+  return out;
+}
+
+Value RowCodec::DecodeColumn(const char* src, size_t col) const {
+  const Column& c = schema_->column(col);
+  const char* p = src + schema_->offset(col);
+  switch (c.type) {
+    case TypeId::kBool:
+      return Value::Bool(*p != 0);
+    case TypeId::kInt8:
+      return Value::Int8(static_cast<int8_t>(*p));
+    case TypeId::kInt16:
+      return Value::Int16(static_cast<int16_t>(DecodeFixed16(p)));
+    case TypeId::kInt32:
+      return Value::Int32(static_cast<int32_t>(DecodeFixed32(p)));
+    case TypeId::kTimestamp:
+      return Value::Timestamp(DecodeFixed32(p));
+    case TypeId::kInt64:
+      return Value::Int64(static_cast<int64_t>(DecodeFixed64(p)));
+    case TypeId::kFloat64: {
+      double d;
+      std::memcpy(&d, p, 8);
+      return Value::Float64(d);
+    }
+    case TypeId::kChar: {
+      size_t len = c.length;
+      while (len > 0 && p[len - 1] == ' ') --len;
+      return Value::Char(std::string(p, len));
+    }
+    case TypeId::kVarchar: {
+      const uint16_t len = DecodeFixed16(p);
+      NBLB_DCHECK(len <= c.length);
+      return Value::Varchar(std::string(p + 2, len));
+    }
+  }
+  NBLB_CHECK_MSG(false, "unknown type");
+  return Value();
+}
+
+Row RowCodec::Decode(const char* src) const {
+  Row row;
+  row.reserve(schema_->num_columns());
+  for (size_t i = 0; i < schema_->num_columns(); ++i) {
+    row.push_back(DecodeColumn(src, i));
+  }
+  return row;
+}
+
+}  // namespace nblb

@@ -1,0 +1,49 @@
+// RowCodec: fixed-width serialization of rows.
+//
+// Layout: columns back to back at their schema offsets. Integers little
+// endian; kChar space-padded to the declared length; kVarchar as a 2-byte
+// length followed by the capacity bytes (tail zeroed). The codec also
+// supports decoding a single column straight out of a raw buffer, which the
+// index cache uses to materialize cached fields without copying whole rows.
+
+#pragma once
+
+#include <string>
+
+#include "catalog/schema.h"
+#include "catalog/value.h"
+#include "common/result.h"
+#include "common/slice.h"
+
+namespace nblb {
+
+/// \brief Encodes/decodes rows against a fixed schema.
+class RowCodec {
+ public:
+  explicit RowCodec(const Schema* schema) : schema_(schema) {}
+
+  /// \brief Serializes `row` into exactly schema->row_size() bytes at `dst`.
+  /// Fails if the row arity or value families don't match, or a string
+  /// exceeds its declared capacity.
+  Status Encode(const Row& row, char* dst) const;
+
+  /// \brief Serializes into a fresh string.
+  Result<std::string> Encode(const Row& row) const;
+
+  /// \brief Deserializes a full row from `src` (must hold row_size() bytes).
+  Row Decode(const char* src) const;
+
+  /// \brief Deserializes only column `col` from a serialized row.
+  Value DecodeColumn(const char* src, size_t col) const;
+
+  /// \brief Serializes a single value at the column's offset within `dst`
+  /// (dst points at the start of the row buffer).
+  Status EncodeColumn(const Value& v, size_t col, char* dst) const;
+
+  const Schema* schema() const { return schema_; }
+
+ private:
+  const Schema* schema_;
+};
+
+}  // namespace nblb

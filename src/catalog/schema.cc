@@ -1,0 +1,56 @@
+#include "catalog/schema.h"
+
+#include "common/logging.h"
+
+namespace nblb {
+
+Schema::Schema(std::vector<Column> columns) : columns_(std::move(columns)) {
+  offsets_.reserve(columns_.size());
+  size_t off = 0;
+  for (const auto& c : columns_) {
+    offsets_.push_back(off);
+    off += c.ByteSize();
+  }
+  row_size_ = off;
+}
+
+std::optional<size_t> Schema::FindColumn(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+Schema Schema::Project(const std::vector<size_t>& column_indexes) const {
+  std::vector<Column> cols;
+  cols.reserve(column_indexes.size());
+  for (size_t i : column_indexes) {
+    NBLB_CHECK(i < columns_.size());
+    cols.push_back(columns_[i]);
+  }
+  return Schema(std::move(cols));
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i) out += ", ";
+    out += columns_[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+bool Schema::operator==(const Schema& other) const {
+  if (columns_.size() != other.columns_.size()) return false;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name != other.columns_[i].name ||
+        columns_[i].type != other.columns_[i].type ||
+        columns_[i].length != other.columns_[i].length) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace nblb

@@ -1,0 +1,63 @@
+// Schema: an ordered list of typed columns with precomputed fixed offsets.
+
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "catalog/type.h"
+
+namespace nblb {
+
+/// \brief A column declaration: name, declared type, and (for strings) the
+/// declared capacity in bytes.
+struct Column {
+  std::string name;
+  TypeId type;
+  size_t length = 0;  ///< capacity for kChar/kVarchar; ignored otherwise
+
+  /// \brief Physical width in bytes of this column in a serialized row.
+  size_t ByteSize() const { return TypeSize(type, length); }
+
+  /// \brief "name type" or "name type(length)".
+  std::string ToString() const {
+    return name + " " + TypeDeclToString(type, length);
+  }
+};
+
+/// \brief A fixed-width row schema; offsets of all columns are precomputed.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns);
+
+  size_t num_columns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// \brief Byte offset of column i within a serialized row.
+  size_t offset(size_t i) const { return offsets_[i]; }
+
+  /// \brief Total fixed row width in bytes.
+  size_t row_size() const { return row_size_; }
+
+  /// \brief Index of the column with the given name, if present.
+  std::optional<size_t> FindColumn(const std::string& name) const;
+
+  /// \brief New schema containing only the given columns (in that order).
+  Schema Project(const std::vector<size_t>& column_indexes) const;
+
+  /// \brief "(c1 t1, c2 t2, ...)".
+  std::string ToString() const;
+
+  bool operator==(const Schema& other) const;
+
+ private:
+  std::vector<Column> columns_;
+  std::vector<size_t> offsets_;
+  size_t row_size_ = 0;
+};
+
+}  // namespace nblb

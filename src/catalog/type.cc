@@ -1,0 +1,82 @@
+#include "catalog/type.h"
+
+#include "common/logging.h"
+
+namespace nblb {
+
+std::string_view TypeIdToString(TypeId t) {
+  switch (t) {
+    case TypeId::kBool:
+      return "bool";
+    case TypeId::kInt8:
+      return "int8";
+    case TypeId::kInt16:
+      return "int16";
+    case TypeId::kInt32:
+      return "int32";
+    case TypeId::kInt64:
+      return "int64";
+    case TypeId::kFloat64:
+      return "float64";
+    case TypeId::kTimestamp:
+      return "timestamp";
+    case TypeId::kChar:
+      return "char";
+    case TypeId::kVarchar:
+      return "varchar";
+  }
+  return "unknown";
+}
+
+size_t TypeSize(TypeId t, size_t length) {
+  switch (t) {
+    case TypeId::kBool:
+    case TypeId::kInt8:
+      return 1;
+    case TypeId::kInt16:
+      return 2;
+    case TypeId::kInt32:
+      return 4;
+    case TypeId::kInt64:
+    case TypeId::kFloat64:
+      return 8;
+    case TypeId::kTimestamp:
+      return 4;
+    case TypeId::kChar:
+      NBLB_CHECK(length > 0);
+      return length;
+    case TypeId::kVarchar:
+      NBLB_CHECK(length > 0);
+      return 2 + length;
+  }
+  NBLB_CHECK_MSG(false, "unreachable");
+  return 0;
+}
+
+bool IsIntegerFamily(TypeId t) {
+  switch (t) {
+    case TypeId::kBool:
+    case TypeId::kInt8:
+    case TypeId::kInt16:
+    case TypeId::kInt32:
+    case TypeId::kInt64:
+    case TypeId::kTimestamp:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsStringFamily(TypeId t) {
+  return t == TypeId::kChar || t == TypeId::kVarchar;
+}
+
+std::string TypeDeclToString(TypeId t, size_t length) {
+  std::string out(TypeIdToString(t));
+  if (IsStringFamily(t)) {
+    out += "(" + std::to_string(length) + ")";
+  }
+  return out;
+}
+
+}  // namespace nblb

@@ -1,0 +1,48 @@
+// Physical type system.
+//
+// The paper (§2.1.1) simplifies to fixed-length keys and tuples; every type
+// here has a fixed physical width, including VARCHAR which is stored as a
+// fixed-capacity field (2-byte length prefix + capacity bytes). The encoding
+// advisor (§4.1) treats these declared types as *hints* and infers narrower
+// physical types from the data.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace nblb {
+
+/// \brief Declared column type identifiers.
+enum class TypeId : uint8_t {
+  kBool = 0,      ///< 1 byte
+  kInt8 = 1,      ///< 1 byte signed
+  kInt16 = 2,     ///< 2 bytes signed
+  kInt32 = 3,     ///< 4 bytes signed
+  kInt64 = 4,     ///< 8 bytes signed
+  kFloat64 = 5,   ///< 8 bytes IEEE-754
+  kTimestamp = 6, ///< 4 bytes, seconds since Unix epoch (the paper's target
+                  ///< encoding for Wikipedia's 14-byte string timestamps)
+  kChar = 7,      ///< fixed `length` bytes, space padded
+  kVarchar = 8,   ///< 2-byte length + fixed `length` capacity bytes
+};
+
+/// \brief Stable lowercase name ("int32", "varchar", ...).
+std::string_view TypeIdToString(TypeId t);
+
+/// \brief Fixed physical width in bytes of a value of type `t` with the given
+/// declared length (length is only meaningful for kChar/kVarchar).
+size_t TypeSize(TypeId t, size_t length);
+
+/// \brief True for the integer family (bool/int8/16/32/64/timestamp).
+bool IsIntegerFamily(TypeId t);
+
+/// \brief True for kChar/kVarchar.
+bool IsStringFamily(TypeId t);
+
+/// \brief Human-readable declaration, e.g. "varchar(255)".
+std::string TypeDeclToString(TypeId t, size_t length);
+
+}  // namespace nblb

@@ -1,0 +1,54 @@
+#include "catalog/value.h"
+
+namespace nblb {
+
+int Value::Compare(const Value& other) const {
+  if (IsIntegerFamily(type_) && IsIntegerFamily(other.type_)) {
+    if (int_ < other.int_) return -1;
+    if (int_ > other.int_) return +1;
+    return 0;
+  }
+  if (type_ == TypeId::kFloat64 && other.type_ == TypeId::kFloat64) {
+    if (dbl_ < other.dbl_) return -1;
+    if (dbl_ > other.dbl_) return +1;
+    return 0;
+  }
+  if (IsStringFamily(type_) && IsStringFamily(other.type_)) {
+    return str_.compare(other.str_) < 0   ? -1
+           : str_.compare(other.str_) > 0 ? +1
+                                          : 0;
+  }
+  NBLB_CHECK_MSG(false, "comparing incompatible value families");
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (type_) {
+    case TypeId::kBool:
+      return int_ ? "true" : "false";
+    case TypeId::kInt8:
+    case TypeId::kInt16:
+    case TypeId::kInt32:
+    case TypeId::kInt64:
+    case TypeId::kTimestamp:
+      return std::to_string(int_);
+    case TypeId::kFloat64:
+      return std::to_string(dbl_);
+    case TypeId::kChar:
+    case TypeId::kVarchar:
+      return str_;
+  }
+  return "?";
+}
+
+std::string RowToString(const Row& row) {
+  std::string out = "[";
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i) out += ", ";
+    out += row[i].ToString();
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace nblb

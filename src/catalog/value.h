@@ -1,0 +1,91 @@
+// Value: a typed runtime value (one cell of a row).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "catalog/type.h"
+#include "common/logging.h"
+
+namespace nblb {
+
+/// \brief A dynamically typed cell value.
+///
+/// Integer-family values (bool, int8..64, timestamp) share an int64 payload;
+/// float64 and strings have their own payloads. Values compare within the
+/// same family only.
+class Value {
+ public:
+  /// Constructs an int64 value (also used for int8/16/32 after narrowing).
+  Value() : type_(TypeId::kInt64), int_(0) {}
+
+  static Value Bool(bool b) { return Value(TypeId::kBool, b ? 1 : 0); }
+  static Value Int8(int8_t v) { return Value(TypeId::kInt8, v); }
+  static Value Int16(int16_t v) { return Value(TypeId::kInt16, v); }
+  static Value Int32(int32_t v) { return Value(TypeId::kInt32, v); }
+  static Value Int64(int64_t v) { return Value(TypeId::kInt64, v); }
+  static Value Float64(double v) {
+    Value x(TypeId::kFloat64, 0);
+    x.dbl_ = v;
+    return x;
+  }
+  /// Seconds since Unix epoch.
+  static Value Timestamp(uint32_t secs) {
+    return Value(TypeId::kTimestamp, static_cast<int64_t>(secs));
+  }
+  static Value Char(std::string s) {
+    Value x(TypeId::kChar, 0);
+    x.str_ = std::move(s);
+    return x;
+  }
+  static Value Varchar(std::string s) {
+    Value x(TypeId::kVarchar, 0);
+    x.str_ = std::move(s);
+    return x;
+  }
+
+  TypeId type() const { return type_; }
+
+  /// \brief Integer payload; valid for the integer family.
+  int64_t AsInt() const {
+    NBLB_DCHECK(IsIntegerFamily(type_));
+    return int_;
+  }
+  bool AsBool() const { return AsInt() != 0; }
+  double AsDouble() const {
+    NBLB_DCHECK(type_ == TypeId::kFloat64);
+    return dbl_;
+  }
+  const std::string& AsString() const {
+    NBLB_DCHECK(IsStringFamily(type_));
+    return str_;
+  }
+
+  /// \brief Three-way comparison; requires compatible families.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator!=(const Value& other) const { return Compare(other) != 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+  /// \brief Display form ("true", "42", "3.5", "abc").
+  std::string ToString() const;
+
+ private:
+  Value(TypeId t, int64_t i) : type_(t), int_(i) {}
+
+  TypeId type_;
+  int64_t int_ = 0;
+  double dbl_ = 0;
+  std::string str_;
+};
+
+/// \brief A row is an ordered list of cell values matching a Schema.
+using Row = std::vector<Value>;
+
+/// \brief "[v1, v2, ...]" display form of a row.
+std::string RowToString(const Row& row);
+
+}  // namespace nblb

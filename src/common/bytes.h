@@ -1,0 +1,74 @@
+// Fixed-width integer encode/decode helpers.
+//
+// Little-endian codecs are used for in-page structures (headers, payloads);
+// big-endian "comparable" codecs are used by the key codec so that memcmp
+// order equals numeric order.
+
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+namespace nblb {
+
+inline void EncodeFixed16(char* dst, uint16_t v) { std::memcpy(dst, &v, 2); }
+inline void EncodeFixed32(char* dst, uint32_t v) { std::memcpy(dst, &v, 4); }
+inline void EncodeFixed64(char* dst, uint64_t v) { std::memcpy(dst, &v, 8); }
+
+inline uint16_t DecodeFixed16(const char* src) {
+  uint16_t v;
+  std::memcpy(&v, src, 2);
+  return v;
+}
+inline uint32_t DecodeFixed32(const char* src) {
+  uint32_t v;
+  std::memcpy(&v, src, 4);
+  return v;
+}
+inline uint64_t DecodeFixed64(const char* src) {
+  uint64_t v;
+  std::memcpy(&v, src, 8);
+  return v;
+}
+
+/// \brief Writes v big-endian so unsigned values sort correctly under memcmp.
+inline void EncodeBigEndian64(char* dst, uint64_t v) {
+  for (int i = 7; i >= 0; --i) {
+    dst[i] = static_cast<char>(v & 0xff);
+    v >>= 8;
+  }
+}
+
+inline uint64_t DecodeBigEndian64(const char* src) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v = (v << 8) | static_cast<unsigned char>(src[i]);
+  }
+  return v;
+}
+
+inline void EncodeBigEndian32(char* dst, uint32_t v) {
+  for (int i = 3; i >= 0; --i) {
+    dst[i] = static_cast<char>(v & 0xff);
+    v >>= 8;
+  }
+}
+
+inline uint32_t DecodeBigEndian32(const char* src) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v = (v << 8) | static_cast<unsigned char>(src[i]);
+  }
+  return v;
+}
+
+/// \brief Maps a signed 64-bit value to an unsigned one preserving order
+/// (flip the sign bit), for memcmp-comparable key encoding.
+inline uint64_t SignFlip64(int64_t v) {
+  return static_cast<uint64_t>(v) ^ (1ull << 63);
+}
+inline int64_t SignUnflip64(uint64_t v) {
+  return static_cast<int64_t>(v ^ (1ull << 63));
+}
+
+}  // namespace nblb

@@ -1,0 +1,14 @@
+// CRC-32 (IEEE polynomial) used for page checksums.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace nblb {
+
+/// \brief CRC-32 of `n` bytes at `data`, optionally chained from a previous
+/// crc (pass the prior return value to extend).
+uint32_t Crc32(const void* data, size_t n, uint32_t seed = 0);
+
+}  // namespace nblb

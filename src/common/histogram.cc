@@ -1,0 +1,58 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace nblb {
+
+uint64_t Histogram::sum() const {
+  return std::accumulate(samples_.begin(), samples_.end(), uint64_t{0});
+}
+
+double Histogram::Mean() const {
+  if (samples_.empty()) return 0;
+  return static_cast<double>(sum()) / static_cast<double>(samples_.size());
+}
+
+uint64_t Histogram::Min() const {
+  if (samples_.empty()) return 0;
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+uint64_t Histogram::Max() const {
+  if (samples_.empty()) return 0;
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+void Histogram::EnsureSorted() const {
+  if (sorted_valid_ && sorted_.size() == samples_.size()) return;
+  sorted_ = samples_;
+  std::sort(sorted_.begin(), sorted_.end());
+  sorted_valid_ = true;
+}
+
+uint64_t Histogram::Percentile(double p) const {
+  if (samples_.empty()) return 0;
+  NBLB_CHECK(p >= 0 && p <= 100);
+  EnsureSorted();
+  const size_t rank = static_cast<size_t>(
+      p / 100.0 * static_cast<double>(sorted_.size() - 1) + 0.5);
+  return sorted_[std::min(rank, sorted_.size() - 1)];
+}
+
+std::string Histogram::Summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "count=%zu mean=%.1f p50=%llu p90=%llu p99=%llu max=%llu",
+                count(), Mean(),
+                static_cast<unsigned long long>(Percentile(50)),
+                static_cast<unsigned long long>(Percentile(90)),
+                static_cast<unsigned long long>(Percentile(99)),
+                static_cast<unsigned long long>(Max()));
+  return buf;
+}
+
+}  // namespace nblb

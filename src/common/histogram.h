@@ -1,0 +1,42 @@
+// Latency histogram used by the benchmark harnesses.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nblb {
+
+/// \brief Records a stream of values (typically nanoseconds) and reports
+/// count/mean/percentiles. Stores raw samples; intended for benchmark-scale
+/// sample counts (<= tens of millions).
+class Histogram {
+ public:
+  Histogram() = default;
+
+  void Record(uint64_t value) { samples_.push_back(value); }
+
+  size_t count() const { return samples_.size(); }
+  uint64_t sum() const;
+  double Mean() const;
+  uint64_t Min() const;
+  uint64_t Max() const;
+
+  /// \brief Percentile in [0, 100]; nearest-rank on the sorted samples.
+  uint64_t Percentile(double p) const;
+
+  /// \brief "count=N mean=X p50=... p99=... max=..." summary line.
+  std::string Summary() const;
+
+  void Clear() { samples_.clear(); }
+
+ private:
+  void EnsureSorted() const;
+
+  std::vector<uint64_t> samples_;
+  mutable std::vector<uint64_t> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+}  // namespace nblb

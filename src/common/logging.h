@@ -1,0 +1,35 @@
+// Minimal assertion/logging macros (abort-on-violation, Google-CHECK style).
+
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Aborts with a message when `cond` is false. Used for programmer errors
+/// (invariant violations), never for data-dependent failures — those return
+/// Status.
+#define NBLB_CHECK(cond)                                                     \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "NBLB_CHECK failed at %s:%d: %s\n", __FILE__,     \
+                   __LINE__, #cond);                                         \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#define NBLB_CHECK_MSG(cond, msg)                                            \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "NBLB_CHECK failed at %s:%d: %s (%s)\n",          \
+                   __FILE__, __LINE__, #cond, msg);                          \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#ifndef NDEBUG
+#define NBLB_DCHECK(cond) NBLB_CHECK(cond)
+#else
+#define NBLB_DCHECK(cond) \
+  do {                    \
+  } while (0)
+#endif

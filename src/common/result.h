@@ -1,0 +1,73 @@
+// Result<T>: a value or a Status, in the style of arrow::Result.
+
+#pragma once
+
+#include <cassert>
+#include <utility>
+
+#include "common/status.h"
+
+namespace nblb {
+
+/// \brief Holds either a value of type T or a non-OK Status.
+///
+/// Usage:
+/// \code
+///   Result<int> ParsePort(std::string_view s);
+///   NBLB_ASSIGN_OR_RETURN(int port, ParsePort("8080"));
+/// \endcode
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit, mirrors arrow::Result).
+  Result(T value) : ok_(true), value_(std::move(value)) {}  // NOLINT
+
+  /// Constructs from a non-OK status. Constructing from an OK status is a
+  /// programming error and is converted to an InvalidArgument error.
+  Result(Status status) : ok_(false), status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      status_ = Status::InvalidArgument("Result constructed from OK status");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(const Result&) = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return ok_; }
+
+  /// \brief The error status; Status::OK() if a value is held.
+  const Status& status() const { return status_; }
+
+  /// \brief The held value. Must only be called when ok().
+  const T& ValueOrDie() const& {
+    assert(ok_);
+    return value_;
+  }
+  T& ValueOrDie() & {
+    assert(ok_);
+    return value_;
+  }
+  T&& ValueOrDie() && {
+    assert(ok_);
+    return std::move(value_);
+  }
+
+  /// \brief The held value or `fallback` if this holds an error.
+  T ValueOr(T fallback) const {
+    return ok_ ? value_ : std::move(fallback);
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  bool ok_;
+  T value_{};
+  Status status_;
+};
+
+}  // namespace nblb

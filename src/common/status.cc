@@ -1,0 +1,41 @@
+#include "common/status.h"
+
+namespace nblb {
+
+std::string_view StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kNotFound:
+      return "not found";
+    case StatusCode::kInvalidArgument:
+      return "invalid argument";
+    case StatusCode::kIOError:
+      return "io error";
+    case StatusCode::kCorruption:
+      return "corruption";
+    case StatusCode::kNotSupported:
+      return "not supported";
+    case StatusCode::kOutOfRange:
+      return "out of range";
+    case StatusCode::kBusy:
+      return "busy";
+    case StatusCode::kAborted:
+      return "aborted";
+    case StatusCode::kAlreadyExists:
+      return "already exists";
+    case StatusCode::kResourceExhausted:
+      return "resource exhausted";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "ok";
+  std::string out(StatusCodeToString(code()));
+  out += ": ";
+  out += message();
+  return out;
+}
+
+}  // namespace nblb

@@ -1,0 +1,142 @@
+// Status: lightweight error propagation without exceptions, in the style of
+// Arrow/RocksDB. A Status is either OK (the common, allocation-free case) or
+// carries a code plus a human-readable message.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace nblb {
+
+/// \brief Error category carried by a non-OK Status.
+enum class StatusCode : unsigned char {
+  kOk = 0,
+  kNotFound = 1,
+  kInvalidArgument = 2,
+  kIOError = 3,
+  kCorruption = 4,
+  kNotSupported = 5,
+  kOutOfRange = 6,
+  kBusy = 7,          ///< A try-latch or non-blocking resource was unavailable.
+  kAborted = 8,       ///< Operation gave up on purpose (e.g. cache write skipped).
+  kAlreadyExists = 9,
+  kResourceExhausted = 10,  ///< Out of pages/frames/slots.
+};
+
+/// \brief Returns a stable lowercase name for a status code ("ok", "not found", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// \brief Result of an operation: OK or an error code with a message.
+///
+/// The OK state is represented by a null internal pointer so that returning
+/// Status::OK() never allocates. Non-OK states allocate a small heap record.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() noexcept = default;
+
+  Status(StatusCode code, std::string msg)
+      : rep_(code == StatusCode::kOk ? nullptr : new Rep{code, std::move(msg)}) {}
+
+  Status(const Status& other)
+      : rep_(other.rep_ ? new Rep(*other.rep_) : nullptr) {}
+  Status& operator=(const Status& other) {
+    if (this != &other) rep_.reset(other.rep_ ? new Rep(*other.rep_) : nullptr);
+    return *this;
+  }
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  /// \brief The singleton-like OK status (allocation free).
+  static Status OK() { return Status(); }
+
+  static Status NotFound(std::string msg = "not found") {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Busy(std::string msg = "resource busy") {
+    return Status(StatusCode::kBusy, std::move(msg));
+  }
+  static Status Aborted(std::string msg = "aborted") {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg = "already exists") {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsIOError() const { return code() == StatusCode::kIOError; }
+  bool IsCorruption() const { return code() == StatusCode::kCorruption; }
+  bool IsNotSupported() const { return code() == StatusCode::kNotSupported; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsBusy() const { return code() == StatusCode::kBusy; }
+  bool IsAborted() const { return code() == StatusCode::kAborted; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
+
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+
+  /// \brief The error message; empty for OK.
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return rep_ ? rep_->msg : kEmpty;
+  }
+
+  /// \brief "ok" or "<code name>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string msg;
+  };
+  std::unique_ptr<Rep> rep_;
+};
+
+}  // namespace nblb
+
+/// Propagates a non-OK Status to the caller.
+#define NBLB_RETURN_NOT_OK(expr)                 \
+  do {                                           \
+    ::nblb::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+#define NBLB_CONCAT_IMPL(a, b) a##b
+#define NBLB_CONCAT(a, b) NBLB_CONCAT_IMPL(a, b)
+
+/// Evaluates an expression yielding Result<T>; on error returns the Status,
+/// otherwise assigns the value to `lhs` (which may include a declaration).
+#define NBLB_ASSIGN_OR_RETURN(lhs, rexpr)                       \
+  auto NBLB_CONCAT(_res_, __LINE__) = (rexpr);                  \
+  if (!NBLB_CONCAT(_res_, __LINE__).ok())                       \
+    return NBLB_CONCAT(_res_, __LINE__).status();               \
+  lhs = std::move(NBLB_CONCAT(_res_, __LINE__)).ValueOrDie()

@@ -1,0 +1,94 @@
+#include "common/zipf.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace nblb {
+
+namespace {
+
+double Zeta(uint64_t n, double alpha) {
+  double sum = 0;
+  for (uint64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(static_cast<double>(i), alpha);
+  return sum;
+}
+
+// FNV-1a based 64-bit mix used to scramble ranks into item ids.
+uint64_t Fnv1aMix(uint64_t v) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (int i = 0; i < 8; ++i) {
+    h ^= v & 0xff;
+    h *= 0x100000001b3ull;
+    v >>= 8;
+  }
+  return h;
+}
+
+}  // namespace
+
+ZipfianGenerator::ZipfianGenerator(uint64_t n, double alpha, uint64_t seed)
+    : n_(n), alpha_(alpha), theta_(alpha), rng_(seed) {
+  NBLB_CHECK(n > 0);
+  NBLB_CHECK(alpha > 0 && alpha < 1);
+  zetan_ = Zeta(n_, theta_);
+  zeta2_ = Zeta(2, theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+         (1.0 - zeta2_ / zetan_);
+}
+
+uint64_t ZipfianGenerator::Next() {
+  // Gray et al., "Quickly Generating Billion-Record Synthetic Databases".
+  const double u = rng_.NextDouble();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  const double x = static_cast<double>(n_) *
+                   std::pow(eta_ * u - eta_ + 1.0, 1.0 / (1.0 - theta_));
+  uint64_t rank = static_cast<uint64_t>(x);
+  if (rank >= n_) rank = n_ - 1;
+  return rank;
+}
+
+double ZipfianGenerator::ProbabilityOfRank(uint64_t i) const {
+  NBLB_DCHECK(i < n_);
+  return 1.0 / (std::pow(static_cast<double>(i + 1), alpha_) * zetan_);
+}
+
+uint64_t ZipfianGenerator::RanksCoveringMass(double mass) const {
+  double acc = 0;
+  for (uint64_t i = 0; i < n_; ++i) {
+    acc += ProbabilityOfRank(i);
+    if (acc >= mass) return i + 1;
+  }
+  return n_;
+}
+
+ScrambledZipfianGenerator::ScrambledZipfianGenerator(uint64_t n, double alpha,
+                                                     uint64_t seed)
+    : zipf_(n, alpha, seed) {}
+
+uint64_t ScrambledZipfianGenerator::Next() { return ItemForRank(zipf_.Next()); }
+
+uint64_t ScrambledZipfianGenerator::ItemForRank(uint64_t rank) const {
+  return Fnv1aMix(rank) % zipf_.n();
+}
+
+HotspotGenerator::HotspotGenerator(uint64_t n, double hot_fraction,
+                                   double hot_prob, uint64_t seed)
+    : n_(n), hot_prob_(hot_prob), rng_(seed) {
+  NBLB_CHECK(n > 0);
+  NBLB_CHECK(hot_fraction > 0 && hot_fraction <= 1);
+  NBLB_CHECK(hot_prob >= 0 && hot_prob <= 1);
+  hot_count_ = static_cast<uint64_t>(hot_fraction * static_cast<double>(n));
+  if (hot_count_ == 0) hot_count_ = 1;
+}
+
+uint64_t HotspotGenerator::Next() {
+  if (rng_.Bernoulli(hot_prob_) || hot_count_ == n_) {
+    return rng_.Uniform(hot_count_);
+  }
+  return hot_count_ + rng_.Uniform(n_ - hot_count_);
+}
+
+}  // namespace nblb

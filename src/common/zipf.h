@@ -1,0 +1,91 @@
+// Zipfian and related skewed distributions.
+//
+// Figure 2(a) of the paper uses "a zipfian distribution similar to Wikipedia
+// (alpha = .5)". We implement the Gray et al. / YCSB constant-time sampler,
+// which supports any alpha in (0, 1) after an O(n) zeta precomputation, plus a
+// scrambled variant (so that popular items are spread over the key space) and
+// a hotspot distribution used by partitioning experiments.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace nblb {
+
+/// \brief Samples ranks in [0, n) with P(rank i) proportional to 1/(i+1)^alpha.
+///
+/// Rank 0 is the most popular item. Deterministic given the Rng seed.
+class ZipfianGenerator {
+ public:
+  /// \param n     number of items (> 0)
+  /// \param alpha skew parameter in (0, 1); the paper uses 0.5
+  /// \param seed  RNG seed
+  ZipfianGenerator(uint64_t n, double alpha, uint64_t seed = 42);
+
+  /// \brief Next sampled rank in [0, n).
+  uint64_t Next();
+
+  uint64_t n() const { return n_; }
+  double alpha() const { return alpha_; }
+
+  /// \brief Exact probability of rank i under this distribution.
+  double ProbabilityOfRank(uint64_t i) const;
+
+  /// \brief Smallest k such that ranks [0, k) cover `mass` of the probability.
+  uint64_t RanksCoveringMass(double mass) const;
+
+ private:
+  uint64_t n_;
+  double alpha_;
+  double zetan_;    // zeta(n, alpha)
+  double eta_;
+  double theta_;
+  double zeta2_;    // zeta(2, alpha)
+  Rng rng_;
+};
+
+/// \brief ZipfianGenerator composed with a stateless hash so hot items are
+/// scattered uniformly over [0, n) — models hot tuples "distributed
+/// throughout the table" (§3.1).
+class ScrambledZipfianGenerator {
+ public:
+  ScrambledZipfianGenerator(uint64_t n, double alpha, uint64_t seed = 42);
+
+  /// \brief Next sampled item id in [0, n).
+  uint64_t Next();
+
+  /// \brief The item id a given popularity rank maps to.
+  uint64_t ItemForRank(uint64_t rank) const;
+
+  uint64_t n() const { return zipf_.n(); }
+
+ private:
+  ZipfianGenerator zipf_;
+};
+
+/// \brief With probability `hot_prob` draws uniformly from the hot set
+/// (fraction `hot_fraction` of items), otherwise uniformly from the rest.
+///
+/// Models the paper's revision-table access pattern: "99.9% of page requests
+/// access the 5% of the tuples that represent the most recent revisions".
+class HotspotGenerator {
+ public:
+  HotspotGenerator(uint64_t n, double hot_fraction, double hot_prob,
+                   uint64_t seed = 42);
+
+  uint64_t Next();
+
+  uint64_t hot_count() const { return hot_count_; }
+  uint64_t n() const { return n_; }
+
+ private:
+  uint64_t n_;
+  uint64_t hot_count_;
+  double hot_prob_;
+  Rng rng_;
+};
+
+}  // namespace nblb

@@ -1,0 +1,276 @@
+#include "encoding/advisor.h"
+
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "encoding/column_stats.h"
+#include "encoding/timestamp.h"
+#include "encoding/type_inference.h"
+
+namespace nblb {
+
+namespace {
+
+// A numeric string round-trips through int64 only if it is canonical:
+// no leading '+', no leading zeros (except "0" itself), "-0" excluded.
+bool IsCanonicalNumericString(const std::string& s) {
+  if (!IsNumericString(s)) return false;
+  if (s[0] == '+') return false;
+  const size_t digits_start = s[0] == '-' ? 1 : 0;
+  if (s.size() - digits_start > 1 && s[digits_start] == '0') return false;
+  if (s == "-0") return false;
+  return true;
+}
+
+Value MakeStringValue(TypeId declared, std::string s) {
+  return declared == TypeId::kChar ? Value::Char(std::move(s))
+                                   : Value::Varchar(std::move(s));
+}
+
+}  // namespace
+
+TableWasteReport SchemaAdvisor::Analyze(const std::string& table_name,
+                                        const Schema& schema,
+                                        const std::vector<Row>& rows) {
+  TableWasteReport report;
+  report.table_name = table_name;
+  report.rows = rows.size();
+  std::vector<ColumnStats> stats(schema.num_columns());
+  for (const Row& row : rows) {
+    NBLB_CHECK(row.size() == schema.num_columns());
+    for (size_t c = 0; c < row.size(); ++c) {
+      stats[c].Observe(row[c]);
+    }
+  }
+  for (size_t c = 0; c < schema.num_columns(); ++c) {
+    const Column& col = schema.column(c);
+    ColumnWaste w;
+    w.column_name = col.name;
+    w.declared_type = TypeDeclToString(col.type, col.length);
+    w.inferred = InferColumnType(col, stats[c]);
+    w.rows = rows.size();
+    report.columns.push_back(std::move(w));
+  }
+  return report;
+}
+
+Result<std::unique_ptr<OptimizedTable>> OptimizedTable::Materialize(
+    const Schema& schema, const std::vector<Row>& rows) {
+  std::unique_ptr<OptimizedTable> t(new OptimizedTable());
+  t->schema_copy_ = schema;
+  t->schema_ = &t->schema_copy_;
+  t->num_rows_ = rows.size();
+  t->columns_.resize(schema.num_columns());
+
+  TableWasteReport report = SchemaAdvisor::Analyze("", schema, rows);
+
+  for (size_t c = 0; c < schema.num_columns(); ++c) {
+    const Column& col = schema.column(c);
+    ColumnStorage& cs = t->columns_[c];
+    cs.declared_type = col.type;
+    cs.declared_length = col.length;
+    PhysicalEncoding enc = report.columns[c].inferred.encoding;
+    cs.base = report.columns[c].inferred.base;
+
+    // Numeric strings only convert when every value is canonical.
+    if (enc == PhysicalEncoding::kNumericString) {
+      for (const Row& row : rows) {
+        if (!IsCanonicalNumericString(row[c].AsString())) {
+          enc = PhysicalEncoding::kPlain;
+          break;
+        }
+      }
+    }
+    cs.encoding = enc;
+
+    switch (enc) {
+      case PhysicalEncoding::kDropConstant: {
+        if (!rows.empty()) cs.constant = rows[0][c];
+        break;
+      }
+      case PhysicalEncoding::kBoolBit:
+      case PhysicalEncoding::kNarrowInt:
+      case PhysicalEncoding::kBitPacked: {
+        // Width from the observed range (values stored as v - base).
+        uint64_t range = 0;
+        for (const Row& row : rows) {
+          const uint64_t d = static_cast<uint64_t>(row[c].AsInt() - cs.base);
+          range = std::max(range, d);
+        }
+        cs.packed.reset(
+            new BitPackedVector(BitPackedVector::BitsForRange(range)));
+        for (const Row& row : rows) {
+          cs.packed->Append(static_cast<uint64_t>(row[c].AsInt() - cs.base));
+        }
+        break;
+      }
+      case PhysicalEncoding::kTimestampBinary: {
+        cs.packed.reset(new BitPackedVector(32));
+        for (const Row& row : rows) {
+          auto parsed = ParseTimestamp14(row[c].AsString());
+          NBLB_RETURN_NOT_OK(parsed.status());
+          cs.packed->Append(*parsed);
+        }
+        break;
+      }
+      case PhysicalEncoding::kNumericString: {
+        int64_t lo = 0, hi = 0;
+        bool first = true;
+        std::vector<int64_t> parsed;
+        parsed.reserve(rows.size());
+        for (const Row& row : rows) {
+          const int64_t v = std::strtoll(row[c].AsString().c_str(), nullptr, 10);
+          parsed.push_back(v);
+          if (first || v < lo) lo = v;
+          if (first || v > hi) hi = v;
+          first = false;
+        }
+        cs.base = lo;
+        cs.packed.reset(new BitPackedVector(BitPackedVector::BitsForRange(
+            static_cast<uint64_t>(hi - lo))));
+        for (int64_t v : parsed) {
+          cs.packed->Append(static_cast<uint64_t>(v - lo));
+        }
+        break;
+      }
+      case PhysicalEncoding::kDictionary: {
+        std::vector<std::string> vals;
+        vals.reserve(rows.size());
+        for (const Row& row : rows) vals.push_back(row[c].AsString());
+        cs.dict.reset(new DictionaryColumn(DictionaryColumn::Build(vals)));
+        break;
+      }
+      case PhysicalEncoding::kShrunkString: {
+        cs.shrunk_capacity = 0;
+        for (const Row& row : rows) {
+          cs.shrunk_capacity = std::max(cs.shrunk_capacity,
+                                        row[c].AsString().size());
+        }
+        cs.strings.reserve(rows.size());
+        for (const Row& row : rows) cs.strings.push_back(row[c].AsString());
+        break;
+      }
+      case PhysicalEncoding::kPlain: {
+        if (IsIntegerFamily(col.type)) {
+          cs.ints.reserve(rows.size());
+          for (const Row& row : rows) cs.ints.push_back(row[c].AsInt());
+        } else if (col.type == TypeId::kFloat64) {
+          cs.doubles.reserve(rows.size());
+          for (const Row& row : rows) cs.doubles.push_back(row[c].AsDouble());
+        } else {
+          cs.strings.reserve(rows.size());
+          for (const Row& row : rows) cs.strings.push_back(row[c].AsString());
+        }
+        break;
+      }
+    }
+  }
+  return t;
+}
+
+Value OptimizedTable::Get(size_t row, size_t col) const {
+  NBLB_CHECK(row < num_rows_ && col < columns_.size());
+  const ColumnStorage& cs = columns_[col];
+  switch (cs.encoding) {
+    case PhysicalEncoding::kDropConstant:
+      return cs.constant;
+    case PhysicalEncoding::kBoolBit:
+    case PhysicalEncoding::kNarrowInt:
+    case PhysicalEncoding::kBitPacked: {
+      const int64_t v = cs.base + static_cast<int64_t>(cs.packed->Get(row));
+      switch (cs.declared_type) {
+        case TypeId::kBool:
+          return Value::Bool(v != 0);
+        case TypeId::kInt8:
+          return Value::Int8(static_cast<int8_t>(v));
+        case TypeId::kInt16:
+          return Value::Int16(static_cast<int16_t>(v));
+        case TypeId::kInt32:
+          return Value::Int32(static_cast<int32_t>(v));
+        case TypeId::kTimestamp:
+          return Value::Timestamp(static_cast<uint32_t>(v));
+        default:
+          return Value::Int64(v);
+      }
+    }
+    case PhysicalEncoding::kTimestampBinary:
+      return MakeStringValue(
+          cs.declared_type,
+          FormatTimestamp14(static_cast<uint32_t>(cs.packed->Get(row))));
+    case PhysicalEncoding::kNumericString:
+      return MakeStringValue(
+          cs.declared_type,
+          std::to_string(cs.base + static_cast<int64_t>(cs.packed->Get(row))));
+    case PhysicalEncoding::kDictionary:
+      return MakeStringValue(cs.declared_type, std::string(cs.dict->Get(row)));
+    case PhysicalEncoding::kShrunkString:
+      return MakeStringValue(cs.declared_type, cs.strings[row]);
+    case PhysicalEncoding::kPlain: {
+      if (IsIntegerFamily(cs.declared_type)) {
+        const int64_t v = cs.ints[row];
+        switch (cs.declared_type) {
+          case TypeId::kBool:
+            return Value::Bool(v != 0);
+          case TypeId::kInt8:
+            return Value::Int8(static_cast<int8_t>(v));
+          case TypeId::kInt16:
+            return Value::Int16(static_cast<int16_t>(v));
+          case TypeId::kInt32:
+            return Value::Int32(static_cast<int32_t>(v));
+          case TypeId::kTimestamp:
+            return Value::Timestamp(static_cast<uint32_t>(v));
+          default:
+            return Value::Int64(v);
+        }
+      }
+      if (cs.declared_type == TypeId::kFloat64) {
+        return Value::Float64(cs.doubles[row]);
+      }
+      return MakeStringValue(cs.declared_type, cs.strings[row]);
+    }
+  }
+  NBLB_CHECK_MSG(false, "unreachable");
+  return Value();
+}
+
+size_t OptimizedTable::PayloadBytes() const {
+  size_t total = 0;
+  for (const ColumnStorage& cs : columns_) {
+    switch (cs.encoding) {
+      case PhysicalEncoding::kDropConstant:
+        total += TypeSize(cs.declared_type,
+                          cs.declared_length ? cs.declared_length : 1);
+        break;
+      case PhysicalEncoding::kBoolBit:
+      case PhysicalEncoding::kNarrowInt:
+      case PhysicalEncoding::kBitPacked:
+      case PhysicalEncoding::kTimestampBinary:
+      case PhysicalEncoding::kNumericString:
+        total += cs.packed->PayloadBytes();
+        break;
+      case PhysicalEncoding::kDictionary:
+        total += cs.dict->PayloadBytes();
+        break;
+      case PhysicalEncoding::kShrunkString:
+        total += num_rows_ * (cs.shrunk_capacity + 2);
+        break;
+      case PhysicalEncoding::kPlain:
+        if (cs.declared_type == TypeId::kVarchar) {
+          // Varchars are stored variable-length (2-byte length + bytes).
+          for (const std::string& s : cs.strings) total += 2 + s.size();
+        } else {
+          total += num_rows_ * TypeSize(cs.declared_type,
+                                        cs.declared_length ? cs.declared_length
+                                                           : 1);
+        }
+        break;
+    }
+  }
+  return total;
+}
+
+size_t OptimizedTable::OriginalBytes() const {
+  return num_rows_ * schema_->row_size();
+}
+
+}  // namespace nblb

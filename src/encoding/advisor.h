@@ -1,0 +1,85 @@
+// SchemaAdvisor: the automated waste-detection tool of §4.1, plus a
+// materializer that applies the recommended encodings and proves them
+// loss-free.
+//
+// Analyze() = the paper's analysis pass ("We analyzed several of the largest
+// tables in the Cartel and Wikipedia databases and found that they can all
+// reduce their physical encoding waste by 16% to 83%").
+// Materialize() = the follow-through: encode every column with its inferred
+// physical type; Get() decodes logical values back so tests can verify
+// value-equivalence, and PayloadBytes() measures the real savings.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "catalog/value.h"
+#include "common/result.h"
+#include "encoding/bitpack.h"
+#include "encoding/dict.h"
+#include "encoding/waste_report.h"
+
+namespace nblb {
+
+/// \brief Static analysis entry points.
+class SchemaAdvisor {
+ public:
+  /// \brief Scans `rows` and reports per-column inferred types and waste.
+  static TableWasteReport Analyze(const std::string& table_name,
+                                  const Schema& schema,
+                                  const std::vector<Row>& rows);
+};
+
+/// \brief Column-oriented storage using the advisor's recommended encodings.
+class OptimizedTable {
+ public:
+  /// \brief Encodes all rows. Falls back to plain storage for any column
+  /// whose recommended encoding would not round-trip exactly (e.g. numeric
+  /// strings with leading zeros).
+  static Result<std::unique_ptr<OptimizedTable>> Materialize(
+      const Schema& schema, const std::vector<Row>& rows);
+
+  /// \brief Decodes the logical value at (row, col); bit-identical to the
+  /// original input rows.
+  Value Get(size_t row, size_t col) const;
+
+  size_t num_rows() const { return num_rows_; }
+
+  /// \brief Measured bytes of the optimized representation.
+  size_t PayloadBytes() const;
+
+  /// \brief Bytes of the original fixed-width representation.
+  size_t OriginalBytes() const;
+
+  /// \brief The encoding actually used for a column (after fallbacks).
+  PhysicalEncoding ColumnEncoding(size_t col) const {
+    return columns_[col].encoding;
+  }
+
+ private:
+  struct ColumnStorage {
+    PhysicalEncoding encoding = PhysicalEncoding::kPlain;
+    TypeId declared_type = TypeId::kInt64;
+    size_t declared_length = 0;
+    int64_t base = 0;
+    std::unique_ptr<BitPackedVector> packed;   // integer-like encodings
+    std::unique_ptr<DictionaryColumn> dict;    // dictionary strings
+    std::vector<std::string> strings;          // plain/shrunk strings
+    std::vector<double> doubles;               // plain float64
+    std::vector<int64_t> ints;                 // plain integers
+    Value constant;                            // kDropConstant
+    size_t shrunk_capacity = 0;                // kShrunkString
+  };
+
+  OptimizedTable() = default;
+
+  const Schema* schema_ = nullptr;
+  Schema schema_copy_;
+  size_t num_rows_ = 0;
+  std::vector<ColumnStorage> columns_;
+};
+
+}  // namespace nblb

@@ -1,0 +1,39 @@
+#include "encoding/bitpack.h"
+
+namespace nblb {
+
+unsigned BitPackedVector::BitsForRange(uint64_t range) {
+  unsigned bits = 1;
+  while (bits < 64 && (range >> bits) != 0) ++bits;
+  return bits;
+}
+
+void BitPackedVector::Append(uint64_t v) {
+  NBLB_DCHECK(width_ == 64 || (v >> width_) == 0);
+  const size_t bit_pos = size_ * width_;
+  const size_t word = bit_pos / 64;
+  const unsigned off = bit_pos % 64;
+  if (words_.size() < word + 2) words_.resize(word + 2, 0);
+  words_[word] |= v << off;
+  if (off + width_ > 64) {
+    words_[word + 1] |= v >> (64 - off);
+  }
+  ++size_;
+}
+
+uint64_t BitPackedVector::Get(size_t i) const {
+  NBLB_DCHECK(i < size_);
+  const size_t bit_pos = i * width_;
+  const size_t word = bit_pos / 64;
+  const unsigned off = bit_pos % 64;
+  uint64_t v = words_[word] >> off;
+  if (off + width_ > 64) {
+    v |= words_[word + 1] << (64 - off);
+  }
+  if (width_ < 64) {
+    v &= (1ull << width_) - 1;
+  }
+  return v;
+}
+
+}  // namespace nblb

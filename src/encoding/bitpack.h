@@ -1,0 +1,45 @@
+// BitPackedVector: fixed-width bit packing of unsigned integers.
+//
+// §4.1: "we found a large number of int fields that store small value ranges
+// which can easily be encoded in 8, or even 4 bits." This codec makes those
+// suggestions executable (and measurable).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace nblb {
+
+/// \brief Append-only vector of w-bit unsigned values with random access.
+class BitPackedVector {
+ public:
+  /// \param bit_width  1..64 bits per value
+  explicit BitPackedVector(unsigned bit_width) : width_(bit_width) {
+    NBLB_CHECK(bit_width >= 1 && bit_width <= 64);
+  }
+
+  /// \brief Appends a value (must fit in bit_width bits).
+  void Append(uint64_t v);
+
+  /// \brief Value at index i.
+  uint64_t Get(size_t i) const;
+
+  size_t size() const { return size_; }
+  unsigned bit_width() const { return width_; }
+
+  /// \brief Packed payload bytes (excludes object overhead).
+  size_t PayloadBytes() const { return words_.size() * sizeof(uint64_t); }
+
+  /// \brief Minimal bits to represent values in [0, range] (>= 1).
+  static unsigned BitsForRange(uint64_t range);
+
+ private:
+  unsigned width_;
+  size_t size_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace nblb

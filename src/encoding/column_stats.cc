@@ -1,0 +1,69 @@
+#include "encoding/column_stats.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace nblb {
+
+bool IsNumericString(const std::string& s) {
+  if (s.empty()) return false;
+  size_t i = (s[0] == '-' || s[0] == '+') ? 1 : 0;
+  if (i == s.size() || s.size() - i > 18) return false;  // conservative int64
+  for (; i < s.size(); ++i) {
+    if (s[i] < '0' || s[i] > '9') return false;
+  }
+  return true;
+}
+
+bool IsTimestamp14(const std::string& s) {
+  if (s.size() != 14) return false;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+  }
+  const int year = (s[0] - '0') * 1000 + (s[1] - '0') * 100 +
+                   (s[2] - '0') * 10 + (s[3] - '0');
+  const int month = (s[4] - '0') * 10 + (s[5] - '0');
+  const int day = (s[6] - '0') * 10 + (s[7] - '0');
+  const int hh = (s[8] - '0') * 10 + (s[9] - '0');
+  const int mm = (s[10] - '0') * 10 + (s[11] - '0');
+  const int ss = (s[12] - '0') * 10 + (s[13] - '0');
+  return year >= 1970 && year <= 2105 && month >= 1 && month <= 12 &&
+         day >= 1 && day <= 31 && hh <= 23 && mm <= 59 && ss <= 59;
+}
+
+void ColumnStats::ObserveDistinct(const std::string& repr) {
+  if (distinct_overflowed_) return;
+  distinct_.insert(repr);
+  if (distinct_.size() > distinct_limit_) {
+    distinct_overflowed_ = true;
+    distinct_.clear();
+  }
+}
+
+void ColumnStats::Observe(const Value& v) {
+  ++count_;
+  if (IsIntegerFamily(v.type())) {
+    saw_int_ = true;
+    const int64_t x = v.AsInt();
+    int_min_ = std::min(int_min_, x);
+    int_max_ = std::max(int_max_, x);
+    ObserveDistinct(std::to_string(x));
+    return;
+  }
+  if (v.type() == TypeId::kFloat64) {
+    saw_double_ = true;
+    ObserveDistinct(std::to_string(v.AsDouble()));
+    return;
+  }
+  // String family.
+  saw_string_ = true;
+  const std::string& s = v.AsString();
+  max_len_ = std::max(max_len_, s.size());
+  min_len_ = std::min(min_len_, s.size());
+  total_string_bytes_ += s.size();
+  if (!IsNumericString(s)) all_numeric_ = false;
+  if (!IsTimestamp14(s)) all_ts14_ = false;
+  ObserveDistinct(s);
+}
+
+}  // namespace nblb

@@ -1,0 +1,87 @@
+// ColumnStats: per-column value statistics feeding type inference (§4.1).
+//
+// "Column values can be analyzed to understand the typical value range or
+//  the content properties (e.g., only numerical strings) and compare them
+//  against the declared types in the schema."
+
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <unordered_set>
+
+#include "catalog/value.h"
+
+namespace nblb {
+
+/// \brief Streaming statistics over one column's values.
+class ColumnStats {
+ public:
+  /// \param distinct_limit  stop tracking exact distinct values past this
+  ///                        many (distinct_overflowed() turns true).
+  explicit ColumnStats(size_t distinct_limit = 1 << 16)
+      : distinct_limit_(distinct_limit) {}
+
+  /// \brief Folds one value into the statistics.
+  void Observe(const Value& v);
+
+  uint64_t count() const { return count_; }
+
+  // Integer-family facts.
+  int64_t int_min() const { return int_min_; }
+  int64_t int_max() const { return int_max_; }
+
+  // String-family facts.
+  size_t max_string_len() const { return max_len_; }
+  size_t min_string_len() const { return min_len_; }
+  uint64_t total_string_bytes() const { return total_string_bytes_; }
+  /// Every observed string parses as a decimal integer.
+  bool all_numeric_strings() const { return count_ > 0 && all_numeric_; }
+  /// Every observed string is a 14-char YYYYMMDDHHMMSS timestamp (the
+  /// MediaWiki rev_timestamp format the paper calls out).
+  bool all_timestamp14_strings() const { return count_ > 0 && all_ts14_; }
+
+  /// Exact distinct count while <= limit.
+  size_t distinct() const { return distinct_.size(); }
+  bool distinct_overflowed() const { return distinct_overflowed_; }
+
+  /// All integer values are 0/1 (bool candidates).
+  bool bool_like() const {
+    return count_ > 0 && saw_int_ && int_min_ >= 0 && int_max_ <= 1;
+  }
+
+  bool saw_int() const { return saw_int_; }
+  bool saw_string() const { return saw_string_; }
+  bool saw_double() const { return saw_double_; }
+
+ private:
+  void ObserveDistinct(const std::string& repr);
+
+  size_t distinct_limit_;
+  uint64_t count_ = 0;
+
+  bool saw_int_ = false;
+  int64_t int_min_ = std::numeric_limits<int64_t>::max();
+  int64_t int_max_ = std::numeric_limits<int64_t>::min();
+
+  bool saw_double_ = false;
+
+  bool saw_string_ = false;
+  size_t max_len_ = 0;
+  size_t min_len_ = std::numeric_limits<size_t>::max();
+  uint64_t total_string_bytes_ = 0;
+  bool all_numeric_ = true;
+  bool all_ts14_ = true;
+
+  std::unordered_set<std::string> distinct_;
+  bool distinct_overflowed_ = false;
+};
+
+/// \brief True if `s` is a plausible YYYYMMDDHHMMSS timestamp.
+bool IsTimestamp14(const std::string& s);
+
+/// \brief True if `s` is a (possibly signed) decimal integer that fits int64.
+bool IsNumericString(const std::string& s);
+
+}  // namespace nblb

@@ -1,0 +1,39 @@
+#include "encoding/dict.h"
+
+namespace nblb {
+
+DictionaryColumn DictionaryColumn::Build(
+    const std::vector<std::string>& values) {
+  DictionaryColumn col;
+  // First pass: assign codes in first-use order.
+  for (const auto& v : values) {
+    if (!col.lookup_.count(v)) {
+      col.lookup_.emplace(v, col.dict_.size());
+      col.dict_.push_back(v);
+    }
+  }
+  const unsigned width = BitPackedVector::BitsForRange(
+      col.dict_.empty() ? 0 : col.dict_.size() - 1);
+  col.codes_.reset(new BitPackedVector(width));
+  for (const auto& v : values) {
+    col.codes_->Append(col.lookup_.at(v));
+  }
+  return col;
+}
+
+std::string_view DictionaryColumn::Get(size_t i) const {
+  return dict_[static_cast<size_t>(codes_->Get(i))];
+}
+
+size_t DictionaryColumn::CodeOf(const std::string& probe) const {
+  auto it = lookup_.find(probe);
+  return it == lookup_.end() ? SIZE_MAX : it->second;
+}
+
+size_t DictionaryColumn::PayloadBytes() const {
+  size_t dict_bytes = 0;
+  for (const auto& s : dict_) dict_bytes += s.size() + sizeof(uint32_t);
+  return dict_bytes + (codes_ ? codes_->PayloadBytes() : 0);
+}
+
+}  // namespace nblb

@@ -1,0 +1,48 @@
+// DictionaryColumn: dictionary compression for low-cardinality strings.
+//
+// §4.1: "large fields that are either never accessed or only projected or
+// accessed through equality predicates are good candidates for compression."
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "encoding/bitpack.h"
+
+namespace nblb {
+
+/// \brief Encodes strings as bit-packed codes into a sorted-on-first-use
+/// dictionary. Equality predicates evaluate on codes without materializing.
+class DictionaryColumn {
+ public:
+  DictionaryColumn() = default;
+
+  /// \brief Builds from a full column. Code width = bits for (#distinct - 1).
+  static DictionaryColumn Build(const std::vector<std::string>& values);
+
+  /// \brief Value at row i.
+  std::string_view Get(size_t i) const;
+
+  /// \brief Code for a probe value, or SIZE_MAX if absent (equality pushdown).
+  size_t CodeOf(const std::string& probe) const;
+
+  /// \brief Code of row i (for code-space comparisons).
+  uint64_t RawCode(size_t i) const { return codes_->Get(i); }
+
+  size_t size() const { return codes_ ? codes_->size() : 0; }
+  size_t dict_size() const { return dict_.size(); }
+
+  /// \brief Compressed footprint: packed codes + dictionary bytes.
+  size_t PayloadBytes() const;
+
+ private:
+  std::vector<std::string> dict_;
+  std::unordered_map<std::string, size_t> lookup_;
+  std::unique_ptr<BitPackedVector> codes_;
+};
+
+}  // namespace nblb

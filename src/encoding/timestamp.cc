@@ -1,0 +1,65 @@
+#include "encoding/timestamp.h"
+
+#include <cstdio>
+
+#include "encoding/column_stats.h"
+
+namespace nblb {
+
+int64_t DaysFromCivil(int y, unsigned m, unsigned d) {
+  y -= m <= 2;
+  const int era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);            // [0, 399]
+  const unsigned doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;  // [0, 365]
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;           // [0, 146096]
+  return era * 146097LL + static_cast<int64_t>(doe) - 719468;
+}
+
+void CivilFromDays(int64_t z, int* y, unsigned* m, unsigned* d) {
+  z += 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);  // [0, 146096]
+  const unsigned yoe =
+      (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;  // [0, 399]
+  const int64_t yy = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);  // [0, 365]
+  const unsigned mp = (5 * doy + 2) / 153;                       // [0, 11]
+  *d = doy - (153 * mp + 2) / 5 + 1;                             // [1, 31]
+  *m = mp + (mp < 10 ? 3 : -9);                                  // [1, 12]
+  *y = static_cast<int>(yy + (*m <= 2));
+}
+
+Result<uint32_t> ParseTimestamp14(const std::string& s) {
+  if (!IsTimestamp14(s)) {
+    return Status::InvalidArgument("not a YYYYMMDDHHMMSS timestamp: " + s);
+  }
+  const int year = (s[0] - '0') * 1000 + (s[1] - '0') * 100 +
+                   (s[2] - '0') * 10 + (s[3] - '0');
+  const unsigned month = (s[4] - '0') * 10u + (s[5] - '0');
+  const unsigned day = (s[6] - '0') * 10u + (s[7] - '0');
+  const unsigned hh = (s[8] - '0') * 10u + (s[9] - '0');
+  const unsigned mm = (s[10] - '0') * 10u + (s[11] - '0');
+  const unsigned ss = (s[12] - '0') * 10u + (s[13] - '0');
+  const int64_t secs =
+      DaysFromCivil(year, month, day) * 86400LL + hh * 3600LL + mm * 60LL + ss;
+  if (secs < 0 || secs > UINT32_MAX) {
+    return Status::OutOfRange("timestamp outside u32 epoch range: " + s);
+  }
+  return static_cast<uint32_t>(secs);
+}
+
+std::string FormatTimestamp14(uint32_t epoch_seconds) {
+  const int64_t days = epoch_seconds / 86400;
+  const int64_t rem = epoch_seconds % 86400;
+  int y;
+  unsigned m, d;
+  CivilFromDays(days, &y, &m, &d);
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d%02u%02u%02lld%02lld%02lld", y, m, d,
+                static_cast<long long>(rem / 3600),
+                static_cast<long long>((rem / 60) % 60),
+                static_cast<long long>(rem % 60));
+  return buf;
+}
+
+}  // namespace nblb

@@ -1,0 +1,29 @@
+// Timestamp codec: 14-byte "YYYYMMDDHHMMSS" strings <-> 4-byte epoch seconds.
+//
+// §4.1: "Wikipedia's revision table uses a 14 byte string to represent a
+// timestamp that can easily be encoded into a 4 byte timestamp." This codec
+// is that transformation, implemented with Howard Hinnant's civil-date
+// arithmetic (no libc timezone dependencies, UTC only).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+
+namespace nblb {
+
+/// \brief Parses "YYYYMMDDHHMMSS" (UTC) into seconds since the Unix epoch.
+Result<uint32_t> ParseTimestamp14(const std::string& s);
+
+/// \brief Formats epoch seconds back to "YYYYMMDDHHMMSS" (UTC).
+std::string FormatTimestamp14(uint32_t epoch_seconds);
+
+/// \brief Days since 1970-01-01 for a civil date (proleptic Gregorian).
+int64_t DaysFromCivil(int y, unsigned m, unsigned d);
+
+/// \brief Inverse of DaysFromCivil.
+void CivilFromDays(int64_t z, int* y, unsigned* m, unsigned* d);
+
+}  // namespace nblb

@@ -1,0 +1,61 @@
+// Type inference: treating declared schema types as hints (§4.1).
+//
+// "We argue that schema type definitions should be treated as hints rather
+//  than hard constraints. ... automated tools can infer true field types and
+//  value distributions to modify internal field definitions and minimize
+//  encoding waste, or suggest these optimizations to the user."
+
+#pragma once
+
+#include <string>
+
+#include "catalog/schema.h"
+#include "encoding/column_stats.h"
+
+namespace nblb {
+
+/// \brief Physical representation the advisor recommends for a column.
+enum class PhysicalEncoding {
+  kPlain,            ///< keep declared representation
+  kNarrowInt,        ///< integer narrowed to minimal whole bytes
+  kBitPacked,        ///< integer packed to minimal bits
+  kBoolBit,          ///< single bit
+  kTimestampBinary,  ///< 14-char string -> 4-byte epoch seconds
+  kNumericString,    ///< numeric string -> integer (then bit-packed)
+  kDictionary,       ///< low-cardinality string -> code + dictionary
+  kShrunkString,     ///< capacity shrunk to observed max length
+  kDropConstant,     ///< single distinct value: store once in the catalog
+};
+
+std::string_view PhysicalEncodingToString(PhysicalEncoding e);
+
+/// \brief Result of inferring a column's true physical type.
+struct InferredType {
+  PhysicalEncoding encoding = PhysicalEncoding::kPlain;
+  /// Minimal bits per value under `encoding` (bit-level accounting; the
+  /// paper counts "8, or even 4 bits" wins).
+  double bits_per_value = 0;
+  /// Declared bits per value from the schema hint.
+  double declared_bits_per_value = 0;
+  /// For integer encodings: the subtracted base (values stored as v - base).
+  int64_t base = 0;
+  /// Human-readable rationale.
+  std::string rationale;
+
+  /// Fraction of declared bits that are waste.
+  double WasteFraction() const {
+    return declared_bits_per_value <= 0
+               ? 0.0
+               : 1.0 - bits_per_value / declared_bits_per_value;
+  }
+};
+
+/// \brief Infers the minimal physical type of a column from its statistics.
+///
+/// \param column          declared column (the "hint")
+/// \param stats           observed statistics
+/// \param dict_threshold  max distinct strings to consider a dictionary
+InferredType InferColumnType(const Column& column, const ColumnStats& stats,
+                             size_t dict_threshold = 4096);
+
+}  // namespace nblb

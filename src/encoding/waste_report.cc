@@ -1,0 +1,75 @@
+#include "encoding/waste_report.h"
+
+#include <cstdio>
+
+namespace nblb {
+
+double TableWasteReport::declared_bytes() const {
+  double total = 0;
+  for (const auto& c : columns) total += c.declared_bytes();
+  return total;
+}
+
+double TableWasteReport::optimal_bytes() const {
+  double total = 0;
+  for (const auto& c : columns) total += c.optimal_bytes();
+  return total;
+}
+
+std::string TableWasteReport::ToString() const {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "table %s (%llu rows)\n",
+                table_name.c_str(), static_cast<unsigned long long>(rows));
+  out += line;
+  std::snprintf(line, sizeof(line), "  %-22s %-14s %-20s %10s %10s %7s\n",
+                "column", "declared", "inferred", "decl B/row", "opt B/row",
+                "waste%");
+  out += line;
+  for (const auto& c : columns) {
+    std::snprintf(line, sizeof(line),
+                  "  %-22s %-14s %-20s %10.2f %10.2f %6.1f%%\n",
+                  c.column_name.c_str(), c.declared_type.c_str(),
+                  std::string(PhysicalEncodingToString(c.inferred.encoding))
+                      .c_str(),
+                  c.inferred.declared_bits_per_value / 8.0,
+                  c.inferred.bits_per_value / 8.0,
+                  100.0 * c.inferred.WasteFraction());
+    out += line;
+  }
+  std::snprintf(line, sizeof(line),
+                "  total: declared=%.0f B optimal=%.0f B waste=%.1f%%\n",
+                declared_bytes(), optimal_bytes(), 100.0 * WasteFraction());
+  out += line;
+  return out;
+}
+
+double DatabaseWasteReport::declared_bytes() const {
+  double total = 0;
+  for (const auto& t : tables) total += t.declared_bytes();
+  return total;
+}
+
+double DatabaseWasteReport::optimal_bytes() const {
+  double total = 0;
+  for (const auto& t : tables) total += t.optimal_bytes();
+  return total;
+}
+
+std::string DatabaseWasteReport::ToString() const {
+  std::string out;
+  for (const auto& t : tables) {
+    out += t.ToString();
+    out += "\n";
+  }
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "ALL TABLES: declared=%.0f B optimal=%.0f B waste=%.0f B "
+                "(%.1f%%)\n",
+                declared_bytes(), optimal_bytes(), waste_bytes(),
+                100.0 * WasteFraction());
+  out += line;
+  return out;
+}
+
+}  // namespace nblb

@@ -1,0 +1,64 @@
+// WasteReport: per-column and per-table encoding-waste accounting (§4.1).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "encoding/type_inference.h"
+
+namespace nblb {
+
+/// \brief One column's waste line item.
+struct ColumnWaste {
+  std::string column_name;
+  std::string declared_type;
+  InferredType inferred;
+  uint64_t rows = 0;
+
+  double declared_bytes() const {
+    return inferred.declared_bits_per_value / 8.0 * static_cast<double>(rows);
+  }
+  double optimal_bytes() const {
+    return inferred.bits_per_value / 8.0 * static_cast<double>(rows);
+  }
+  double waste_bytes() const { return declared_bytes() - optimal_bytes(); }
+};
+
+/// \brief Aggregated report for one table.
+struct TableWasteReport {
+  std::string table_name;
+  uint64_t rows = 0;
+  std::vector<ColumnWaste> columns;
+
+  double declared_bytes() const;
+  double optimal_bytes() const;
+  double waste_bytes() const { return declared_bytes() - optimal_bytes(); }
+  /// The §4.1 headline number: fraction of bytes that are waste (16%-83%
+  /// across the paper's tables).
+  double WasteFraction() const {
+    const double d = declared_bytes();
+    return d <= 0 ? 0 : waste_bytes() / d;
+  }
+
+  /// \brief Renders an aligned ASCII table (one row per column).
+  std::string ToString() const;
+};
+
+/// \brief Report over several tables (the paper's "23.5 GB (20%) of waste in
+/// the tables we inspected").
+struct DatabaseWasteReport {
+  std::vector<TableWasteReport> tables;
+
+  double declared_bytes() const;
+  double optimal_bytes() const;
+  double waste_bytes() const { return declared_bytes() - optimal_bytes(); }
+  double WasteFraction() const {
+    const double d = declared_bytes();
+    return d <= 0 ? 0 : waste_bytes() / d;
+  }
+  std::string ToString() const;
+};
+
+}  // namespace nblb

@@ -1,0 +1,71 @@
+// Database: the top-level facade — one backing file, one buffer pool, a
+// catalog of tables. This is the entry point used by the examples.
+
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "common/vclock.h"
+#include "exec/table.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "storage/latency_model.h"
+
+namespace nblb {
+
+/// \brief Database-wide configuration.
+struct DatabaseOptions {
+  /// Backing file path.
+  std::string path = "nblb.db";
+  /// Page size in bytes.
+  size_t page_size = kDefaultPageSize;
+  /// Buffer pool capacity in pages.
+  size_t buffer_pool_frames = 1024;
+  /// Simulated storage latency (disabled charges nothing; see DESIGN.md §4).
+  LatencyModelOptions latency;
+  bool enable_latency_model = false;
+};
+
+/// \brief Owns the storage stack and the table registry.
+class Database {
+ public:
+  /// \brief Opens (creating if needed) the backing file.
+  static Result<std::unique_ptr<Database>> Open(DatabaseOptions options);
+
+  ~Database();
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// \brief Creates a table; the name must be unused.
+  Result<Table*> CreateTable(const std::string& name, Schema schema,
+                             TableOptions options);
+
+  /// \brief Looks up a table by name.
+  Result<Table*> GetTable(const std::string& name);
+
+  BufferPool* buffer_pool() { return bp_.get(); }
+  DiskManager* disk() { return disk_.get(); }
+  VirtualClock* clock() { return &clock_; }
+  Catalog* catalog() { return &catalog_; }
+  const DatabaseOptions& options() const { return options_; }
+
+  /// \brief Flushes all dirty pages and syncs the file.
+  Status Checkpoint();
+
+ private:
+  explicit Database(DatabaseOptions options) : options_(std::move(options)) {}
+
+  DatabaseOptions options_;
+  VirtualClock clock_;
+  std::unique_ptr<LatencyModel> latency_;
+  std::unique_ptr<DiskManager> disk_;
+  std::unique_ptr<BufferPool> bp_;
+  Catalog catalog_;
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+};
+
+}  // namespace nblb

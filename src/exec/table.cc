@@ -1,0 +1,227 @@
+#include "exec/table.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "index/btree_page.h"
+
+namespace nblb {
+
+Table::Table(BufferPool* bp, Schema schema, TableOptions options)
+    : bp_(bp), schema_(std::move(schema)), options_(std::move(options)) {}
+
+Result<std::unique_ptr<Table>> Table::Create(BufferPool* bp, Schema schema,
+                                             TableOptions options) {
+  if (options.key_columns.empty()) {
+    return Status::InvalidArgument("table requires key columns");
+  }
+  for (size_t c : options.key_columns) {
+    if (c >= schema.num_columns()) {
+      return Status::InvalidArgument("key column out of range");
+    }
+  }
+  for (size_t c : options.cached_columns) {
+    if (c >= schema.num_columns()) {
+      return Status::InvalidArgument("cached column out of range");
+    }
+  }
+  std::unique_ptr<Table> t(new Table(bp, std::move(schema), options));
+  t->row_codec_.reset(new RowCodec(&t->schema_));
+  t->key_codec_.reset(new KeyCodec(&t->schema_, options.key_columns));
+  t->cache_schema_ = t->schema_.Project(options.cached_columns);
+  t->cache_codec_.reset(new RowCodec(&t->cache_schema_));
+
+  NBLB_ASSIGN_OR_RETURN(auto heap,
+                        HeapFile::Create(bp, t->schema_.row_size(),
+                                         HeapFileOptions{options.reuse_free_slots}));
+  t->heap_ = std::move(heap);
+
+  BTreeOptions bt;
+  bt.key_size = static_cast<uint16_t>(t->key_codec_->key_size());
+  bt.leaf_payload_size = 8;
+  const bool want_cache =
+      options.enable_index_cache && !options.cached_columns.empty();
+  if (want_cache) {
+    const size_t item = 8 + t->cache_schema_.row_size();
+    if (item > kMaxCacheItemSize) {
+      return Status::InvalidArgument("cached columns too wide for cache item");
+    }
+    bt.cache_item_size = static_cast<uint16_t>(item);
+  }
+  NBLB_ASSIGN_OR_RETURN(auto index, BTree::Create(bp, bt));
+  t->index_ = std::move(index);
+
+  if (want_cache) {
+    t->cache_.reset(new IndexCache(t->index_.get(), options.cache_options));
+  }
+  return t;
+}
+
+bool Table::ProjectionCoveredByIndex(
+    const std::vector<size_t>& project_columns) const {
+  for (size_t c : project_columns) {
+    const bool in_key =
+        std::find(options_.key_columns.begin(), options_.key_columns.end(),
+                  c) != options_.key_columns.end();
+    const bool in_cache =
+        std::find(options_.cached_columns.begin(),
+                  options_.cached_columns.end(), c) !=
+        options_.cached_columns.end();
+    if (!in_key && !in_cache) return false;
+  }
+  return true;
+}
+
+Result<std::string> Table::BuildCachePayload(const Row& row) const {
+  Row projected;
+  projected.reserve(options_.cached_columns.size());
+  for (size_t c : options_.cached_columns) projected.push_back(row[c]);
+  return cache_codec_->Encode(projected);
+}
+
+Row Table::AssembleFromIndex(const std::vector<Value>& key_values,
+                             const char* cache_payload,
+                             const std::vector<size_t>& project_columns) const {
+  Row out;
+  out.reserve(project_columns.size());
+  for (size_t c : project_columns) {
+    // Key column: take the caller-provided key value.
+    auto kit = std::find(options_.key_columns.begin(),
+                         options_.key_columns.end(), c);
+    if (kit != options_.key_columns.end()) {
+      out.push_back(
+          key_values[static_cast<size_t>(kit - options_.key_columns.begin())]);
+      continue;
+    }
+    // Cached column: decode from the cache payload.
+    auto cit = std::find(options_.cached_columns.begin(),
+                         options_.cached_columns.end(), c);
+    NBLB_CHECK(cit != options_.cached_columns.end());
+    const size_t idx =
+        static_cast<size_t>(cit - options_.cached_columns.begin());
+    out.push_back(cache_codec_->DecodeColumn(cache_payload, idx));
+  }
+  return out;
+}
+
+Status Table::Insert(const Row& row) {
+  NBLB_ASSIGN_OR_RETURN(std::string key, key_codec_->EncodeFromRow(row));
+  NBLB_ASSIGN_OR_RETURN(std::string bytes, row_codec_->Encode(row));
+  NBLB_ASSIGN_OR_RETURN(Rid rid, heap_->Insert(Slice(bytes)));
+  Status st = index_->Insert(Slice(key), rid.ToU64());
+  if (!st.ok()) {
+    // Roll the heap insert back so the table stays consistent.
+    (void)heap_->Delete(rid);
+    return st;
+  }
+  ++stats_.inserts;
+  return Status::OK();
+}
+
+Result<Row> Table::GetByKey(const std::vector<Value>& key_values) {
+  ++stats_.lookups;
+  NBLB_ASSIGN_OR_RETURN(std::string key, key_codec_->EncodeValues(key_values));
+  NBLB_ASSIGN_OR_RETURN(uint64_t tid, index_->Get(Slice(key)));
+  std::string bytes;
+  NBLB_RETURN_NOT_OK(heap_->Get(Rid::FromU64(tid), &bytes));
+  ++stats_.heap_fetches;
+  return row_codec_->Decode(bytes.data());
+}
+
+Result<Row> Table::LookupProjected(const std::vector<Value>& key_values,
+                                   const std::vector<size_t>& project_columns) {
+  ++stats_.lookups;
+  NBLB_ASSIGN_OR_RETURN(std::string key, key_codec_->EncodeValues(key_values));
+
+  NBLB_ASSIGN_OR_RETURN(PageGuard leaf, index_->FindLeaf(Slice(key)));
+  BTreePageView view(leaf.data(), bp_->page_size());
+  size_t pos;
+  if (!view.FindExact(Slice(key), &pos)) {
+    return Status::NotFound("key not found");
+  }
+  const uint64_t tid = view.ValueAt(pos);
+
+  const bool covered =
+      cache_ != nullptr && ProjectionCoveredByIndex(project_columns);
+  char payload[kMaxCacheItemSize];
+  if (covered && cache_->Probe(&leaf, tid, payload)) {
+    // §2.1.1: "Queries that project a subset of the index key and the cached
+    // fields can be answered without retrieving the data pages."
+    ++stats_.answered_from_cache;
+    return AssembleFromIndex(key_values, payload, project_columns);
+  }
+
+  // Miss: fetch the heap tuple and piggy-back cache population.
+  std::string bytes;
+  NBLB_RETURN_NOT_OK(heap_->Get(Rid::FromU64(tid), &bytes));
+  ++stats_.heap_fetches;
+  Row full = row_codec_->Decode(bytes.data());
+  if (cache_ != nullptr) {
+    NBLB_ASSIGN_OR_RETURN(std::string cp, BuildCachePayload(full));
+    cache_->Populate(&leaf, tid, Slice(cp));
+  }
+  Row out;
+  out.reserve(project_columns.size());
+  for (size_t c : project_columns) out.push_back(full[c]);
+  return out;
+}
+
+Status Table::UpdateByKey(const std::vector<Value>& key_values,
+                          const Row& new_row) {
+  NBLB_ASSIGN_OR_RETURN(std::string key, key_codec_->EncodeValues(key_values));
+  NBLB_ASSIGN_OR_RETURN(std::string new_key,
+                        key_codec_->EncodeFromRow(new_row));
+  if (key != new_key) {
+    return Status::InvalidArgument("key columns cannot be updated in place");
+  }
+  NBLB_ASSIGN_OR_RETURN(uint64_t tid, index_->Get(Slice(key)));
+  // Invalidate BEFORE the heap write: a concurrent reader either sees the
+  // predicate (and drops the cache) or races ahead with the old-but-
+  // consistent version.
+  if (cache_ != nullptr) {
+    NBLB_RETURN_NOT_OK(cache_->OnTupleModified(Slice(key), tid));
+  }
+  NBLB_ASSIGN_OR_RETURN(std::string bytes, row_codec_->Encode(new_row));
+  NBLB_RETURN_NOT_OK(heap_->Update(Rid::FromU64(tid), Slice(bytes)));
+  ++stats_.updates;
+  return Status::OK();
+}
+
+Status Table::DeleteByKey(const std::vector<Value>& key_values) {
+  NBLB_ASSIGN_OR_RETURN(std::string key, key_codec_->EncodeValues(key_values));
+  NBLB_ASSIGN_OR_RETURN(uint64_t tid, index_->Get(Slice(key)));
+  if (cache_ != nullptr) {
+    NBLB_RETURN_NOT_OK(cache_->OnTupleModified(Slice(key), tid));
+  }
+  NBLB_RETURN_NOT_OK(index_->Delete(Slice(key)));
+  NBLB_RETURN_NOT_OK(heap_->Delete(Rid::FromU64(tid)));
+  ++stats_.deletes;
+  return Status::OK();
+}
+
+Result<Rid> Table::Relocate(const std::vector<Value>& key_values) {
+  NBLB_ASSIGN_OR_RETURN(std::string key, key_codec_->EncodeValues(key_values));
+  NBLB_ASSIGN_OR_RETURN(uint64_t tid, index_->Get(Slice(key)));
+  const Rid old_rid = Rid::FromU64(tid);
+  std::string bytes;
+  NBLB_RETURN_NOT_OK(heap_->Get(old_rid, &bytes));
+  // §3.1: "relocates hot tuples by deleting then appending them to the end
+  // of the table".
+  NBLB_RETURN_NOT_OK(heap_->Delete(old_rid));
+  NBLB_ASSIGN_OR_RETURN(Rid new_rid, heap_->Insert(Slice(bytes)));
+  NBLB_RETURN_NOT_OK(index_->SetValue(Slice(key), new_rid.ToU64()));
+  // The old tid may be recycled; make sure no cache serves it.
+  if (cache_ != nullptr) {
+    NBLB_RETURN_NOT_OK(cache_->OnTupleModified(Slice(key), tid));
+  }
+  return new_rid;
+}
+
+Status Table::ForEachRow(
+    const std::function<Status(const Rid&, const Row&)>& fn) {
+  return heap_->ForEach([&](const Rid& rid, const char* bytes) {
+    return fn(rid, row_codec_->Decode(bytes));
+  });
+}
+
+}  // namespace nblb

@@ -1,0 +1,138 @@
+// Table: heap file + primary B+Tree index + in-page index cache, glued by
+// the row/key codecs. This is the integration point where the paper's §2.1
+// read path lives:
+//
+//   lookup(key, projection):
+//     leaf = index.FindLeaf(key); tid = leaf[key]
+//     if projection ⊆ key ∪ cached fields and cache hit on tid:
+//         answer straight from the index page          <- no heap access
+//     else:
+//         row = heap[tid]; cache.Populate(leaf, tid, cached fields)
+//
+// Updates append invalidation predicates (§2.1.2) before touching the heap.
+
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cache/index_cache.h"
+#include "catalog/key_codec.h"
+#include "catalog/row_codec.h"
+#include "catalog/schema.h"
+#include "common/result.h"
+#include "index/btree.h"
+#include "storage/buffer_pool.h"
+#include "storage/heap_file.h"
+
+namespace nblb {
+
+/// \brief Per-table configuration.
+struct TableOptions {
+  /// Schema column indexes forming the primary key (significance order).
+  std::vector<size_t> key_columns;
+  /// Columns replicated into the index cache (must be disjoint from key
+  /// columns to be useful; stable, rarely updated fields per §2.1.4).
+  std::vector<size_t> cached_columns;
+  /// Enable the in-page index cache.
+  bool enable_index_cache = true;
+  /// Reuse heap holes left by deletes (default off: append-to-table).
+  bool reuse_free_slots = false;
+  /// Index cache tuning.
+  IndexCacheOptions cache_options;
+};
+
+/// \brief Read-path counters distinguishing the paper's three regimes.
+struct TableStats {
+  uint64_t lookups = 0;
+  uint64_t answered_from_cache = 0;  ///< no heap access at all
+  uint64_t heap_fetches = 0;
+  uint64_t inserts = 0;
+  uint64_t updates = 0;
+  uint64_t deletes = 0;
+};
+
+/// \brief A table with one primary index. Not thread safe for structural
+/// mutations; see BTree concurrency notes.
+class Table {
+ public:
+  /// \brief Creates the backing heap + index inside `bp`'s file.
+  static Result<std::unique_ptr<Table>> Create(BufferPool* bp, Schema schema,
+                                               TableOptions options);
+
+  // ---- Write path --------------------------------------------------------
+
+  /// \brief Inserts a full row; fails AlreadyExists on a duplicate key.
+  Status Insert(const Row& row);
+
+  /// \brief Replaces the non-key columns of the row with key `key_values`.
+  /// Logs an invalidation predicate so no cache serves the old version.
+  Status UpdateByKey(const std::vector<Value>& key_values, const Row& new_row);
+
+  /// \brief Deletes by key (index entry, heap tuple, cache predicate).
+  Status DeleteByKey(const std::vector<Value>& key_values);
+
+  // ---- Read path ---------------------------------------------------------
+
+  /// \brief Full-row point lookup through the index (heap access).
+  Result<Row> GetByKey(const std::vector<Value>& key_values);
+
+  /// \brief Projected point lookup; served from the index cache when the
+  /// projection is covered by key ∪ cached columns and the item is cached.
+  /// Returns values in `project_columns` order.
+  Result<Row> LookupProjected(const std::vector<Value>& key_values,
+                              const std::vector<size_t>& project_columns);
+
+  /// \brief Physically relocates a tuple to the end of the heap
+  /// (delete-then-append, §3.1) and repoints the index. Returns the new RID.
+  Result<Rid> Relocate(const std::vector<Value>& key_values);
+
+  /// \brief Scans all rows in heap order.
+  Status ForEachRow(const std::function<Status(const Rid&, const Row&)>& fn);
+
+  // ---- Introspection ------------------------------------------------------
+
+  const Schema& schema() const { return schema_; }
+  const TableOptions& options() const { return options_; }
+  const TableStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = TableStats{}; }
+
+  HeapFile* heap() { return heap_.get(); }
+  BTree* index() { return index_.get(); }
+  /// nullptr when the index cache is disabled.
+  IndexCache* cache() { return cache_.get(); }
+  const KeyCodec& key_codec() const { return *key_codec_; }
+  const RowCodec& row_codec() const { return *row_codec_; }
+  BufferPool* buffer_pool() { return bp_; }
+
+  /// \brief True if every column in `project_columns` is available from the
+  /// index alone (key column or cached column).
+  bool ProjectionCoveredByIndex(const std::vector<size_t>& project_columns) const;
+
+ private:
+  Table(BufferPool* bp, Schema schema, TableOptions options);
+
+  /// Builds the cache payload (cached columns, fixed width) from a full row.
+  Result<std::string> BuildCachePayload(const Row& row) const;
+
+  /// Assembles the projected result from key values + cached payload bytes.
+  Row AssembleFromIndex(const std::vector<Value>& key_values,
+                        const char* cache_payload,
+                        const std::vector<size_t>& project_columns) const;
+
+  BufferPool* bp_;
+  Schema schema_;
+  TableOptions options_;
+  Schema cache_schema_;  // projected schema of cached columns
+  std::unique_ptr<RowCodec> row_codec_;
+  std::unique_ptr<RowCodec> cache_codec_;
+  std::unique_ptr<KeyCodec> key_codec_;
+  std::unique_ptr<HeapFile> heap_;
+  std::unique_ptr<BTree> index_;
+  std::unique_ptr<IndexCache> cache_;
+  TableStats stats_;
+};
+
+}  // namespace nblb

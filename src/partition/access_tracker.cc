@@ -1,0 +1,73 @@
+#include "partition/access_tracker.h"
+
+#include <algorithm>
+
+namespace nblb {
+
+std::vector<uint64_t> ExactAccessTracker::HotSetByMass(double mass) const {
+  NBLB_CHECK(mass >= 0 && mass <= 1);
+  std::vector<std::pair<uint64_t, uint64_t>> by_count(counts_.begin(),
+                                                      counts_.end());
+  std::sort(by_count.begin(), by_count.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;  // deterministic tie-break
+  });
+  std::vector<uint64_t> hot;
+  uint64_t acc = 0;
+  const uint64_t target =
+      static_cast<uint64_t>(mass * static_cast<double>(total_));
+  for (const auto& [tid, count] : by_count) {
+    if (acc >= target) break;
+    hot.push_back(tid);
+    acc += count;
+  }
+  return hot;
+}
+
+std::vector<uint64_t> ExactAccessTracker::TopK(size_t k) const {
+  std::vector<std::pair<uint64_t, uint64_t>> by_count(counts_.begin(),
+                                                      counts_.end());
+  std::sort(by_count.begin(), by_count.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  std::vector<uint64_t> out;
+  out.reserve(std::min(k, by_count.size()));
+  for (size_t i = 0; i < by_count.size() && i < k; ++i) {
+    out.push_back(by_count[i].first);
+  }
+  return out;
+}
+
+SketchAccessTracker::SketchAccessTracker(size_t width, size_t depth)
+    : width_(width), depth_(depth), rows_(width * depth, 0) {
+  NBLB_CHECK(width > 0 && depth > 0);
+}
+
+size_t SketchAccessTracker::Index(uint64_t tid, size_t row) const {
+  // Distinct 64-bit mixers per row via splitmix-style finalization with a
+  // row-dependent offset.
+  uint64_t z = tid + (row + 1) * 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z = z ^ (z >> 31);
+  return row * width_ + static_cast<size_t>(z % width_);
+}
+
+void SketchAccessTracker::RecordAccess(uint64_t tid) {
+  for (size_t r = 0; r < depth_; ++r) {
+    uint32_t& c = rows_[Index(tid, r)];
+    if (c != UINT32_MAX) ++c;
+  }
+  ++total_;
+}
+
+uint64_t SketchAccessTracker::EstimateCount(uint64_t tid) const {
+  uint64_t best = UINT64_MAX;
+  for (size_t r = 0; r < depth_; ++r) {
+    best = std::min<uint64_t>(best, rows_[Index(tid, r)]);
+  }
+  return best == UINT64_MAX ? 0 : best;
+}
+
+}  // namespace nblb

@@ -1,0 +1,88 @@
+// AccessTracker: per-tuple access frequency tracking (§3.1).
+//
+// "Other applications may have different policies, or require automated
+//  tools to keep track of access patterns." — this is that tool. Two
+// implementations share an interface: an exact counter map (ground truth for
+// experiments) and a count-min sketch (bounded memory, what a production
+// system would deploy). The tracker answers the one question clustering
+// needs: which tuple ids are hot?
+
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace nblb {
+
+/// \brief Interface for access-frequency trackers keyed by tuple id.
+class AccessTracker {
+ public:
+  virtual ~AccessTracker() = default;
+
+  /// \brief Records one access to tuple `tid`.
+  virtual void RecordAccess(uint64_t tid) = 0;
+
+  /// \brief Estimated access count for `tid`.
+  virtual uint64_t EstimateCount(uint64_t tid) const = 0;
+
+  /// \brief Total recorded accesses.
+  virtual uint64_t total() const = 0;
+};
+
+/// \brief Exact per-tuple counters (unbounded memory).
+class ExactAccessTracker : public AccessTracker {
+ public:
+  void RecordAccess(uint64_t tid) override {
+    ++counts_[tid];
+    ++total_;
+  }
+
+  uint64_t EstimateCount(uint64_t tid) const override {
+    auto it = counts_.find(tid);
+    return it == counts_.end() ? 0 : it->second;
+  }
+
+  uint64_t total() const override { return total_; }
+
+  /// \brief Tuple ids covering at least `mass` of all accesses, hottest
+  /// first (the hot-set identification step of §3.1).
+  std::vector<uint64_t> HotSetByMass(double mass) const;
+
+  /// \brief The `k` most accessed tuple ids, hottest first.
+  std::vector<uint64_t> TopK(size_t k) const;
+
+  size_t distinct() const { return counts_.size(); }
+
+ private:
+  std::unordered_map<uint64_t, uint64_t> counts_;
+  uint64_t total_ = 0;
+};
+
+/// \brief Count-min sketch tracker: fixed memory, overestimates only.
+class SketchAccessTracker : public AccessTracker {
+ public:
+  /// \param width  counters per row (power of two recommended)
+  /// \param depth  number of hash rows
+  SketchAccessTracker(size_t width, size_t depth);
+
+  void RecordAccess(uint64_t tid) override;
+  uint64_t EstimateCount(uint64_t tid) const override;
+  uint64_t total() const override { return total_; }
+
+  size_t MemoryBytes() const {
+    return rows_.size() * sizeof(uint32_t);
+  }
+
+ private:
+  size_t Index(uint64_t tid, size_t row) const;
+
+  size_t width_;
+  size_t depth_;
+  std::vector<uint32_t> rows_;  // depth_ * width_
+  uint64_t total_ = 0;
+};
+
+}  // namespace nblb

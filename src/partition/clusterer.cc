@@ -1,0 +1,39 @@
+#include "partition/clusterer.h"
+
+#include "common/logging.h"
+
+namespace nblb {
+
+Result<ClusterReport> Clusterer::ClusterHotTuples(
+    Table* table, const std::vector<std::vector<Value>>& hot_keys,
+    double fraction, ForwardingTable* fwd) {
+  if (fraction < 0 || fraction > 1) {
+    return Status::InvalidArgument("fraction must be in [0,1]");
+  }
+  ClusterReport report;
+  report.candidates = hot_keys.size();
+  report.pages_before = table->heap()->pages().size();
+
+  const size_t to_move = static_cast<size_t>(
+      fraction * static_cast<double>(hot_keys.size()) + 0.5);
+  for (size_t i = 0; i < to_move && i < hot_keys.size(); ++i) {
+    // Remember the old location for forwarding before the move.
+    uint64_t old_tid = 0;
+    if (fwd != nullptr) {
+      auto keyres = table->key_codec().EncodeValues(hot_keys[i]);
+      NBLB_RETURN_NOT_OK(keyres.status());
+      auto tidres = table->index()->Get(Slice(*keyres));
+      NBLB_RETURN_NOT_OK(tidres.status());
+      old_tid = *tidres;
+    }
+    NBLB_ASSIGN_OR_RETURN(Rid new_rid, table->Relocate(hot_keys[i]));
+    if (fwd != nullptr) {
+      fwd->AddForwarding(old_tid, new_rid.ToU64());
+    }
+    ++report.relocated;
+  }
+  report.pages_after = table->heap()->pages().size();
+  return report;
+}
+
+}  // namespace nblb

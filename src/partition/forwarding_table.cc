@@ -1,0 +1,28 @@
+#include "partition/forwarding_table.h"
+
+#include <vector>
+
+namespace nblb {
+
+void ForwardingTable::AddForwarding(uint64_t from, uint64_t to) {
+  // Re-target every entry currently resolving to `from`.
+  auto range = reverse_.equal_range(from);
+  std::vector<uint64_t> stale;
+  for (auto it = range.first; it != range.second; ++it) {
+    stale.push_back(it->second);
+  }
+  reverse_.erase(from);
+  for (uint64_t f : stale) {
+    map_[f] = to;
+    reverse_.emplace(to, f);
+  }
+  map_[from] = to;
+  reverse_.emplace(to, from);
+}
+
+uint64_t ForwardingTable::Resolve(uint64_t tid) const {
+  auto it = map_.find(tid);
+  return it == map_.end() ? tid : it->second;
+}
+
+}  // namespace nblb

@@ -1,0 +1,45 @@
+// ForwardingTable: old-RID -> new-RID redirection (§3.1).
+//
+// "note that this does require updating foreign key pointers and/or using
+//  forwarding tables to redirect queries using old ids to the new tuples"
+//
+// Chains are collapsed on insert so Resolve is a single hop.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+
+namespace nblb {
+
+/// \brief Redirects stale tuple ids to their current location.
+class ForwardingTable {
+ public:
+  /// \brief Records that `from` moved to `to`. Existing entries pointing at
+  /// `from` are re-targeted to `to` (path compression on write).
+  void AddForwarding(uint64_t from, uint64_t to);
+
+  /// \brief Terminal location of `tid` (identity if never moved).
+  uint64_t Resolve(uint64_t tid) const;
+
+  /// \brief True if `tid` has a forwarding entry.
+  bool IsForwarded(uint64_t tid) const { return map_.count(tid) != 0; }
+
+  size_t size() const { return map_.size(); }
+
+  /// \brief Approximate RAM footprint — the §4.2 argument against per-tuple
+  /// routing tables is exactly this number growing with the table.
+  size_t MemoryBytes() const {
+    return map_.size() * (sizeof(uint64_t) * 2 + sizeof(void*));
+  }
+
+  void Clear() { map_.clear(); reverse_.clear(); }
+
+ private:
+  std::unordered_map<uint64_t, uint64_t> map_;
+  // to -> list head of froms, enabling O(1) amortized path compression.
+  std::unordered_multimap<uint64_t, uint64_t> reverse_;
+};
+
+}  // namespace nblb

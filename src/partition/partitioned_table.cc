@@ -1,0 +1,62 @@
+#include "partition/partitioned_table.h"
+
+#include "common/logging.h"
+
+namespace nblb {
+
+Result<std::unique_ptr<PartitionedTable>> PartitionedTable::BuildFromTable(
+    BufferPool* bp, Table* source,
+    const std::unordered_set<std::string>& hot_encoded_keys) {
+  std::unique_ptr<PartitionedTable> pt(new PartitionedTable());
+  NBLB_ASSIGN_OR_RETURN(
+      auto hot, Table::Create(bp, source->schema(), source->options()));
+  NBLB_ASSIGN_OR_RETURN(
+      auto cold, Table::Create(bp, source->schema(), source->options()));
+  pt->hot_ = std::move(hot);
+  pt->cold_ = std::move(cold);
+
+  NBLB_RETURN_NOT_OK(source->ForEachRow([&](const Rid&, const Row& row) {
+    auto keyres = source->key_codec().EncodeFromRow(row);
+    NBLB_RETURN_NOT_OK(keyres.status());
+    if (hot_encoded_keys.count(*keyres)) {
+      return pt->hot_->Insert(row);
+    }
+    return pt->cold_->Insert(row);
+  }));
+  return pt;
+}
+
+Result<Row> PartitionedTable::LookupProjected(
+    const std::vector<Value>& key_values,
+    const std::vector<size_t>& project_columns) {
+  ++stats_.lookups;
+  auto hot_result = hot_->LookupProjected(key_values, project_columns);
+  if (hot_result.ok()) {
+    ++stats_.hot_hits;
+    return hot_result;
+  }
+  if (!hot_result.status().IsNotFound()) {
+    return hot_result;  // real error
+  }
+  auto cold_result = cold_->LookupProjected(key_values, project_columns);
+  if (cold_result.ok()) {
+    ++stats_.cold_hits;
+  } else if (cold_result.status().IsNotFound()) {
+    ++stats_.misses;
+  }
+  return cold_result;
+}
+
+Status PartitionedTable::InsertHot(const Row& row,
+                                   const std::vector<Value>* displaced_key) {
+  NBLB_RETURN_NOT_OK(hot_->Insert(row));
+  if (displaced_key != nullptr) {
+    // Demote: move the displaced row from hot to cold.
+    NBLB_ASSIGN_OR_RETURN(Row displaced, hot_->GetByKey(*displaced_key));
+    NBLB_RETURN_NOT_OK(hot_->DeleteByKey(*displaced_key));
+    NBLB_RETURN_NOT_OK(cold_->Insert(displaced));
+  }
+  return Status::OK();
+}
+
+}  // namespace nblb

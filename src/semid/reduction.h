@@ -1,0 +1,30 @@
+// ID-field reduction (§4.2).
+//
+// "Fields can be reduced if proxies exist whose values exhibit the same
+//  properties that the application expects. ... More generally, if there is
+//  a functional dependency X -> Y and the semantic properties of Y can be
+//  directly inferred from X, then Y can be dropped."
+//
+// HasFunctionalDependency verifies X -> Y over a dataset; the Rid packed
+// into 48 bits (storage/rid.h) is the physical-address proxy the paper
+// suggests for auto-increment keys.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "catalog/value.h"
+
+namespace nblb {
+
+/// \brief True if the values of `x_cols` functionally determine `y_col`
+/// across all `rows` (exact check).
+bool HasFunctionalDependency(const Schema& schema, const std::vector<Row>& rows,
+                             const std::vector<size_t>& x_cols, size_t y_col);
+
+/// \brief Bytes saved per row by dropping column `y_col` from the schema.
+size_t DroppedColumnBytesPerRow(const Schema& schema, size_t y_col);
+
+}  // namespace nblb

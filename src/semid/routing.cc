@@ -1,0 +1,30 @@
+#include "semid/routing.h"
+
+#include <unordered_map>
+
+#include "semid/reduction.h"
+
+namespace nblb {
+
+bool HasFunctionalDependency(const Schema& schema, const std::vector<Row>& rows,
+                             const std::vector<size_t>& x_cols, size_t y_col) {
+  std::unordered_map<std::string, std::string> seen;
+  for (const Row& row : rows) {
+    std::string x_repr;
+    for (size_t c : x_cols) {
+      x_repr += row[c].ToString();
+      x_repr.push_back('\x1f');  // unit separator avoids concat ambiguity
+    }
+    const std::string y_repr = row[y_col].ToString();
+    auto [it, inserted] = seen.emplace(x_repr, y_repr);
+    if (!inserted && it->second != y_repr) return false;
+  }
+  (void)schema;
+  return true;
+}
+
+size_t DroppedColumnBytesPerRow(const Schema& schema, size_t y_col) {
+  return schema.column(y_col).ByteSize();
+}
+
+}  // namespace nblb

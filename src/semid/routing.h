@@ -1,0 +1,72 @@
+// Routers: per-tuple routing table vs. embedded-ID routing (§4.2).
+//
+// "Such tables can easily become a resource and performance bottleneck and
+//  limit the scalability of the routing infrastructure."
+// The two Router implementations let the benchmark quantify exactly that:
+// RAM footprint and lookup cost of a per-tuple map vs. a shift+mask.
+
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/result.h"
+#include "semid/semantic_id.h"
+
+namespace nblb {
+
+/// \brief Maps a tuple ID to the partition hosting it.
+class Router {
+ public:
+  virtual ~Router() = default;
+
+  /// \brief Partition of `id`; NotFound if the router cannot place it.
+  virtual Result<uint32_t> Route(uint64_t id) const = 0;
+
+  /// \brief Approximate RAM the routing state occupies.
+  virtual size_t MemoryBytes() const = 0;
+};
+
+/// \brief Baseline: explicit per-tuple routing table ("a large routing table
+/// that maps tuple IDs to their physical location").
+class TableRouter : public Router {
+ public:
+  void Add(uint64_t id, uint32_t partition) { map_[id] = partition; }
+
+  Result<uint32_t> Route(uint64_t id) const override {
+    auto it = map_.find(id);
+    if (it == map_.end()) return Status::NotFound("id not in routing table");
+    return it->second;
+  }
+
+  size_t MemoryBytes() const override {
+    // Node-based map: key + value + bucket pointer + node overhead.
+    return map_.size() * (sizeof(uint64_t) + sizeof(uint32_t) +
+                          2 * sizeof(void*)) +
+           map_.bucket_count() * sizeof(void*);
+  }
+
+  size_t size() const { return map_.size(); }
+
+ private:
+  std::unordered_map<uint64_t, uint32_t> map_;
+};
+
+/// \brief §4.2 proposal: the partition is embedded in the ID itself.
+class EmbeddedRouter : public Router {
+ public:
+  explicit EmbeddedRouter(SemanticIdCodec codec) : codec_(codec) {}
+
+  Result<uint32_t> Route(uint64_t id) const override {
+    return codec_.PartitionOf(id);
+  }
+
+  size_t MemoryBytes() const override { return sizeof(codec_); }
+
+  const SemanticIdCodec& codec() const { return codec_; }
+
+ private:
+  SemanticIdCodec codec_;
+};
+
+}  // namespace nblb

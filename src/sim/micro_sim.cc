@@ -1,0 +1,134 @@
+#include "sim/micro_sim.h"
+
+#include <chrono>
+#include <cstring>
+
+#include "common/bytes.h"
+#include "common/logging.h"
+
+namespace nblb {
+
+MicroSim::MicroSim(MicroSimOptions options)
+    : options_(options), rng_(options.seed) {
+  NBLB_CHECK(options_.page_size >= 64);
+  index_arena_.resize(options_.index_pages * options_.page_size);
+  bp_arena_.resize(options_.bp_pages * options_.page_size);
+  disk_source_.resize(options_.page_size);
+  // Fill with deterministic non-zero bytes so copies are honest.
+  Rng fill(options.seed + 1);
+  for (size_t i = 0; i < index_arena_.size(); i += 8) {
+    EncodeFixed64(&index_arena_[i], fill.NextU64());
+  }
+  for (size_t i = 0; i < bp_arena_.size(); i += 8) {
+    EncodeFixed64(&bp_arena_[i], fill.NextU64());
+  }
+  for (size_t i = 0; i < disk_source_.size(); i += 8) {
+    EncodeFixed64(&disk_source_[i], fill.NextU64());
+  }
+  // Buffer-pool bookkeeping structures (page table + LRU stamps), sized and
+  // populated like a real pool's would be.
+  page_table_.reserve(options_.bp_pages * 2);
+  lru_ticks_.resize(options_.bp_pages, 0);
+  pin_counts_.resize(options_.bp_pages, 0);
+  for (size_t p = 0; p < options_.bp_pages; ++p) {
+    page_table_.emplace(p, p);
+  }
+}
+
+void MicroSim::TouchIndexPage(size_t page) {
+  // Emulate a binary search over the page directory: ~log2(entries) probes
+  // at data-dependent offsets.
+  const char* base = index_arena_.data() + page * options_.page_size;
+  uint64_t h = checksum_ ^ (page * 0x9e3779b97f4a7c15ull);
+  size_t lo = 0, hi = options_.page_size / 16;
+  while (lo + 1 < hi) {
+    const size_t mid = (lo + hi) / 2;
+    const uint64_t probe = DecodeFixed64(base + mid * 16);
+    h ^= probe;
+    if (probe & 1) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  checksum_ = h;
+}
+
+void MicroSim::ScanCacheSlots(size_t page, size_t slots) {
+  const char* base = index_arena_.data() + page * options_.page_size;
+  const size_t stride = options_.cache_item_size;
+  uint64_t h = checksum_;
+  size_t off = 64;  // skip the "header"
+  for (size_t s = 0; s < slots && off + 8 <= options_.page_size; ++s) {
+    h ^= DecodeFixed64(base + off);
+    off += stride;
+  }
+  checksum_ = h;
+}
+
+void MicroSim::TouchBufferPoolPage(size_t page) {
+  // Page-table lookup (hash probe over a multi-MB table: real misses).
+  const size_t frame = page_table_.find(page)->second;
+  // Pin, LRU touch, and (below, after the copy) unpin — the bookkeeping a
+  // real pool performs on every access.
+  ++pin_counts_[frame];
+  lru_ticks_[frame] = ++tick_;
+  // Tuple copy out of the frame.
+  const char* base = bp_arena_.data() + frame * options_.page_size;
+  const size_t max_off = options_.page_size - options_.tuple_size;
+  const size_t off = static_cast<size_t>(rng_.Uniform(max_off));
+  char tuple[4096];
+  NBLB_CHECK(options_.tuple_size <= sizeof(tuple));
+  std::memcpy(tuple, base + off, options_.tuple_size);
+  checksum_ ^= DecodeFixed64(tuple);
+  --pin_counts_[frame];
+}
+
+void MicroSim::DiskReadIntoPage(size_t page) {
+  // Virtual seek + transfer, then a real copy into the frame (the memcpy a
+  // real buffer pool would do after the read syscall).
+  vclock_.Advance(options_.disk_seek_ns +
+                  options_.disk_transfer_ns_per_byte * options_.page_size);
+  char* base = bp_arena_.data() + page * options_.page_size;
+  std::memcpy(base, disk_source_.data(), options_.page_size);
+}
+
+MicroSimResult MicroSim::Run(size_t lookups) {
+  MicroSimResult result;
+  result.lookups = lookups;
+  vclock_.Reset();
+  const auto start = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < lookups; ++i) {
+    const size_t index_page =
+        static_cast<size_t>(rng_.Uniform(options_.index_pages));
+    TouchIndexPage(index_page);
+    if (options_.cache_enabled) {
+      const bool cache_hit = rng_.Bernoulli(options_.index_cache_hit_rate);
+      if (cache_hit) {
+        // On average half the slots are scanned before the item is found.
+        ScanCacheSlots(index_page, options_.cache_slots_per_page / 2);
+        ++result.cache_hits;
+        continue;  // answered from the index page: no buffer pool access
+      }
+      // Miss: full scan, then fall through to the buffer pool. The insert-
+      // back also costs a slot write.
+      ScanCacheSlots(index_page, options_.cache_slots_per_page);
+    }
+    const size_t bp_page = static_cast<size_t>(rng_.Uniform(options_.bp_pages));
+    if (rng_.Bernoulli(options_.bp_hit_rate)) {
+      ++result.bp_hits;
+    } else {
+      DiskReadIntoPage(bp_page);
+      ++result.disk_reads;
+    }
+    TouchBufferPoolPage(bp_page);
+  }
+  const auto end = std::chrono::steady_clock::now();
+  result.real_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
+          .count());
+  result.virtual_ns = vclock_.NowNs();
+  return result;
+}
+
+}  // namespace nblb

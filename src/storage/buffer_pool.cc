@@ -1,0 +1,182 @@
+#include "storage/buffer_pool.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace nblb {
+
+PageGuard& PageGuard::operator=(PageGuard&& other) noexcept {
+  if (this != &other) {
+    Release();
+    bp_ = other.bp_;
+    id_ = other.id_;
+    data_ = other.data_;
+    latch_ = other.latch_;
+    dirty_ = other.dirty_;
+    other.bp_ = nullptr;
+    other.data_ = nullptr;
+    other.latch_ = nullptr;
+    other.dirty_ = false;
+  }
+  return *this;
+}
+
+void PageGuard::Release() {
+  if (bp_ != nullptr) {
+    bp_->Unpin(id_, dirty_);
+    bp_ = nullptr;
+    data_ = nullptr;
+    latch_ = nullptr;
+    dirty_ = false;
+  }
+}
+
+BufferPool::BufferPool(DiskManager* disk, size_t num_frames)
+    : disk_(disk), num_frames_(num_frames) {
+  NBLB_CHECK(num_frames > 0);
+  arena_.reset(new char[num_frames * disk_->page_size()]);
+  frames_.reset(new Frame[num_frames]);
+  free_frames_.reserve(num_frames);
+  for (size_t i = 0; i < num_frames; ++i) {
+    frames_[i].data = arena_.get() + i * disk_->page_size();
+    free_frames_.push_back(num_frames - 1 - i);
+  }
+}
+
+BufferPool::~BufferPool() {
+  // Best effort write-back of dirty pages.
+  (void)FlushAll();
+}
+
+Result<size_t> BufferPool::GetVictimFrame() {
+  if (!free_frames_.empty()) {
+    size_t idx = free_frames_.back();
+    free_frames_.pop_back();
+    return idx;
+  }
+  if (lru_.empty()) {
+    return Status::ResourceExhausted("all buffer pool frames are pinned");
+  }
+  // Least recently used unpinned frame.
+  size_t idx = lru_.back();
+  NBLB_RETURN_NOT_OK(EvictFrame(idx));
+  return idx;
+}
+
+Status BufferPool::EvictFrame(size_t frame_idx) {
+  Frame& f = frames_[frame_idx];
+  NBLB_CHECK(f.pin_count == 0);
+  if (f.dirty) {
+    NBLB_RETURN_NOT_OK(disk_->WritePage(f.id, f.data));
+    ++stats_.dirty_writebacks;
+    f.dirty = false;
+  }
+  if (f.in_lru) {
+    lru_.erase(f.lru_it);
+    f.in_lru = false;
+  }
+  page_table_.erase(f.id);
+  f.id = kInvalidPageId;
+  ++stats_.evictions;
+  return Status::OK();
+}
+
+Result<PageGuard> BufferPool::FetchPage(PageId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = page_table_.find(id);
+  if (it != page_table_.end()) {
+    Frame& f = frames_[it->second];
+    if (f.in_lru) {
+      lru_.erase(f.lru_it);
+      f.in_lru = false;
+    }
+    ++f.pin_count;
+    ++stats_.hits;
+    return PageGuard(this, id, f.data, &f.cache_latch);
+  }
+  ++stats_.misses;
+  NBLB_ASSIGN_OR_RETURN(size_t idx, GetVictimFrame());
+  Frame& f = frames_[idx];
+  Status st = disk_->ReadPage(id, f.data);
+  if (!st.ok()) {
+    free_frames_.push_back(idx);
+    return st;
+  }
+  f.id = id;
+  f.pin_count = 1;
+  f.dirty = false;
+  page_table_[id] = idx;
+  return PageGuard(this, id, f.data, &f.cache_latch);
+}
+
+Result<PageGuard> BufferPool::NewPage() {
+  std::lock_guard<std::mutex> lock(mu_);
+  NBLB_ASSIGN_OR_RETURN(PageId id, disk_->AllocatePage());
+  NBLB_ASSIGN_OR_RETURN(size_t idx, GetVictimFrame());
+  Frame& f = frames_[idx];
+  std::memset(f.data, 0, disk_->page_size());
+  f.id = id;
+  f.pin_count = 1;
+  f.dirty = true;  // a fresh page must reach disk even if never re-touched
+  page_table_[id] = idx;
+  return PageGuard(this, id, f.data, &f.cache_latch);
+}
+
+void BufferPool::Unpin(PageId id, bool dirty) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = page_table_.find(id);
+  NBLB_CHECK_MSG(it != page_table_.end(), "unpin of unknown page");
+  Frame& f = frames_[it->second];
+  NBLB_CHECK_MSG(f.pin_count > 0, "unpin of unpinned page");
+  if (dirty) f.dirty = true;
+  if (--f.pin_count == 0) {
+    lru_.push_front(it->second);
+    f.lru_it = lru_.begin();
+    f.in_lru = true;
+  }
+}
+
+Status BufferPool::FlushPage(PageId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = page_table_.find(id);
+  if (it == page_table_.end()) return Status::OK();
+  Frame& f = frames_[it->second];
+  if (f.dirty) {
+    NBLB_RETURN_NOT_OK(disk_->WritePage(f.id, f.data));
+    f.dirty = false;
+  }
+  return Status::OK();
+}
+
+Status BufferPool::FlushAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < num_frames_; ++i) {
+    Frame& f = frames_[i];
+    if (f.id != kInvalidPageId && f.dirty) {
+      NBLB_RETURN_NOT_OK(disk_->WritePage(f.id, f.data));
+      f.dirty = false;
+    }
+  }
+  return Status::OK();
+}
+
+Status BufferPool::EvictAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < num_frames_; ++i) {
+    Frame& f = frames_[i];
+    if (f.id != kInvalidPageId && f.pin_count > 0) {
+      return Status::Busy("cannot evict: page " + std::to_string(f.id) +
+                          " is pinned");
+    }
+  }
+  for (size_t i = 0; i < num_frames_; ++i) {
+    Frame& f = frames_[i];
+    if (f.id == kInvalidPageId) continue;
+    NBLB_RETURN_NOT_OK(EvictFrame(i));
+    free_frames_.push_back(i);
+  }
+  return Status::OK();
+}
+
+}  // namespace nblb

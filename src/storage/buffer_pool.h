@@ -1,0 +1,141 @@
+// BufferPool: fixed-size page cache with exact LRU replacement.
+//
+// The buffer pool is the arbiter of the paper's cost regimes: an index-cache
+// hit avoids touching it entirely, a buffer-pool hit costs a memory access,
+// and a miss costs a (simulated) disk read. Stats expose hit rates so every
+// experiment can report where its time went.
+
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/latch.h"
+#include "common/result.h"
+#include "storage/disk_manager.h"
+#include "storage/page.h"
+
+namespace nblb {
+
+/// \brief Hit/miss/eviction counters.
+struct BufferPoolStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t dirty_writebacks = 0;
+
+  double HitRate() const {
+    const uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+class BufferPool;
+
+/// \brief RAII pin on a buffer-pool page. Move-only; unpins on destruction.
+///
+/// MarkDirty() schedules write-back on eviction/flush. Index-cache writes
+/// deliberately do NOT mark dirty (§2.1.1: "cache modifications do not dirty
+/// the page").
+class PageGuard {
+ public:
+  PageGuard() = default;
+  PageGuard(BufferPool* bp, PageId id, char* data, SpinLatch* latch)
+      : bp_(bp), id_(id), data_(data), latch_(latch) {}
+  PageGuard(PageGuard&& other) noexcept { *this = std::move(other); }
+  PageGuard& operator=(PageGuard&& other) noexcept;
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+  ~PageGuard() { Release(); }
+
+  bool valid() const { return bp_ != nullptr; }
+  PageId id() const { return id_; }
+  char* data() { return data_; }
+  const char* data() const { return data_; }
+
+  /// \brief Marks the page dirty (will be written back before eviction).
+  void MarkDirty() { dirty_ = true; }
+
+  /// \brief Per-frame latch guarding in-page cache bytes (§2.1.3).
+  SpinLatch* cache_latch() { return latch_; }
+
+  /// \brief Unpins now (otherwise the destructor does).
+  void Release();
+
+ private:
+  BufferPool* bp_ = nullptr;
+  PageId id_ = kInvalidPageId;
+  char* data_ = nullptr;
+  SpinLatch* latch_ = nullptr;
+  bool dirty_ = false;
+};
+
+/// \brief Fixed-capacity page cache over a DiskManager. Thread safe (one
+/// internal mutex; page content synchronization is the caller's concern).
+class BufferPool {
+ public:
+  /// \param disk        backing disk manager (not owned)
+  /// \param num_frames  capacity in pages
+  BufferPool(DiskManager* disk, size_t num_frames);
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// \brief Fetches (pinning) an existing page.
+  Result<PageGuard> FetchPage(PageId id);
+
+  /// \brief Allocates a new zeroed page and returns it pinned.
+  Result<PageGuard> NewPage();
+
+  /// \brief Unpins; if `dirty`, the page will be written back lazily.
+  void Unpin(PageId id, bool dirty);
+
+  /// \brief Writes a page back if dirty.
+  Status FlushPage(PageId id);
+
+  /// \brief Writes back all dirty pages.
+  Status FlushAll();
+
+  /// \brief Drops every unpinned page (clean or dirty-after-flush) from the
+  /// pool. Simulates a cold cache; fails if any page is pinned.
+  Status EvictAll();
+
+  size_t num_frames() const { return num_frames_; }
+  size_t page_size() const { return disk_->page_size(); }
+  DiskManager* disk() { return disk_; }
+
+  const BufferPoolStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = BufferPoolStats{}; }
+
+ private:
+  struct Frame {
+    PageId id = kInvalidPageId;
+    int pin_count = 0;
+    bool dirty = false;
+    char* data = nullptr;
+    SpinLatch cache_latch;
+    std::list<size_t>::iterator lru_it;  // valid only when pin_count == 0
+    bool in_lru = false;
+  };
+
+  // All private helpers assume mu_ is held.
+  Result<size_t> GetVictimFrame();
+  Status EvictFrame(size_t frame_idx);
+
+  DiskManager* disk_;
+  std::unique_ptr<Frame[]> frames_;  // SpinLatch members are not movable
+  size_t num_frames_ = 0;
+  std::unique_ptr<char[]> arena_;
+  std::unordered_map<PageId, size_t> page_table_;
+  std::list<size_t> lru_;           // front = most recently used
+  std::vector<size_t> free_frames_;
+  BufferPoolStats stats_;
+  std::mutex mu_;
+};
+
+}  // namespace nblb

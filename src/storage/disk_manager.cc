@@ -1,0 +1,107 @@
+#include "storage/disk_manager.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace nblb {
+
+DiskManager::DiskManager(std::string path, size_t page_size,
+                         LatencyModel* latency)
+    : path_(std::move(path)), page_size_(page_size), latency_(latency) {
+  NBLB_CHECK(page_size_ >= 512);
+}
+
+DiskManager::~DiskManager() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+Status DiskManager::Open() {
+  fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd_ < 0) {
+    return Status::IOError("open failed for " + path_ + ": " +
+                           std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd_, &st) != 0) {
+    return Status::IOError("fstat failed: " + std::string(std::strerror(errno)));
+  }
+  if (st.st_size % static_cast<off_t>(page_size_) != 0) {
+    return Status::Corruption("file size is not a multiple of page size");
+  }
+  num_pages_ = static_cast<PageId>(st.st_size / static_cast<off_t>(page_size_));
+  return Status::OK();
+}
+
+Status DiskManager::Close() {
+  if (fd_ >= 0) {
+    if (::close(fd_) != 0) {
+      fd_ = -1;
+      return Status::IOError("close failed");
+    }
+    fd_ = -1;
+  }
+  return Status::OK();
+}
+
+Status DiskManager::ReadPage(PageId id, char* out) {
+  if (fd_ < 0) return Status::IOError("disk manager not open");
+  if (id >= num_pages_) {
+    return Status::OutOfRange("read past end of file: page " +
+                              std::to_string(id));
+  }
+  const off_t off = static_cast<off_t>(id) * static_cast<off_t>(page_size_);
+  ssize_t n = ::pread(fd_, out, page_size_, off);
+  if (n != static_cast<ssize_t>(page_size_)) {
+    return Status::IOError("short read on page " + std::to_string(id));
+  }
+  ++stats_.reads;
+  if (latency_) latency_->ChargeRead(id, page_size_);
+  return Status::OK();
+}
+
+Status DiskManager::WritePage(PageId id, const char* data) {
+  if (fd_ < 0) return Status::IOError("disk manager not open");
+  if (id >= num_pages_) {
+    return Status::OutOfRange("write past end of file: page " +
+                              std::to_string(id));
+  }
+  const off_t off = static_cast<off_t>(id) * static_cast<off_t>(page_size_);
+  ssize_t n = ::pwrite(fd_, data, page_size_, off);
+  if (n != static_cast<ssize_t>(page_size_)) {
+    return Status::IOError("short write on page " + std::to_string(id));
+  }
+  ++stats_.writes;
+  if (latency_) latency_->ChargeWrite(id, page_size_);
+  return Status::OK();
+}
+
+Result<PageId> DiskManager::AllocatePage() {
+  if (fd_ < 0) return Status::IOError("disk manager not open");
+  const PageId id = num_pages_;
+  std::vector<char> zero(page_size_, 0);
+  const off_t off = static_cast<off_t>(id) * static_cast<off_t>(page_size_);
+  ssize_t n = ::pwrite(fd_, zero.data(), page_size_, off);
+  if (n != static_cast<ssize_t>(page_size_)) {
+    return Status::IOError("allocation write failed");
+  }
+  ++num_pages_;
+  ++stats_.allocations;
+  return id;
+}
+
+Status DiskManager::Sync() {
+  if (fd_ < 0) return Status::IOError("disk manager not open");
+  if (::fsync(fd_) != 0) return Status::IOError("fsync failed");
+  return Status::OK();
+}
+
+}  // namespace nblb

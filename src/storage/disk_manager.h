@@ -1,0 +1,71 @@
+// DiskManager: file-backed page store.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "storage/latency_model.h"
+#include "storage/page.h"
+
+namespace nblb {
+
+/// \brief I/O counters maintained by the DiskManager.
+struct DiskStats {
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t allocations = 0;
+};
+
+/// \brief Reads/writes/allocates fixed-size pages in a single file.
+///
+/// Optionally charges a LatencyModel per operation (used by benchmarks to
+/// model disk cost deterministically). Not thread safe; the BufferPool
+/// serializes access.
+class DiskManager {
+ public:
+  /// \param path       backing file path (created if missing on Open)
+  /// \param page_size  page size in bytes
+  /// \param latency    optional latency model (not owned); may be nullptr
+  DiskManager(std::string path, size_t page_size,
+              LatencyModel* latency = nullptr);
+  ~DiskManager();
+
+  DiskManager(const DiskManager&) = delete;
+  DiskManager& operator=(const DiskManager&) = delete;
+
+  /// \brief Opens (or creates) the backing file.
+  Status Open();
+
+  /// \brief Closes the file; further I/O fails.
+  Status Close();
+
+  /// \brief Reads page `id` into `out` (page_size bytes).
+  Status ReadPage(PageId id, char* out);
+
+  /// \brief Writes page `id` from `data` (page_size bytes).
+  Status WritePage(PageId id, const char* data);
+
+  /// \brief Extends the file by one zeroed page and returns its id.
+  Result<PageId> AllocatePage();
+
+  /// \brief fsync the backing file.
+  Status Sync();
+
+  size_t page_size() const { return page_size_; }
+  PageId num_pages() const { return num_pages_; }
+  const DiskStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = DiskStats{}; }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  size_t page_size_;
+  LatencyModel* latency_;
+  int fd_ = -1;
+  PageId num_pages_ = 0;
+  DiskStats stats_;
+};
+
+}  // namespace nblb

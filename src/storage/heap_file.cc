@@ -1,0 +1,263 @@
+#include "storage/heap_file.h"
+
+#include <cstring>
+
+#include "common/bytes.h"
+#include "common/logging.h"
+
+namespace nblb {
+
+namespace {
+
+// Heap page layout:
+//   [0]  u16 page_type (kPageTypeHeap)
+//   [2]  u16 capacity (slots per page)
+//   [4]  u16 used (live tuples)
+//   [6]  u16 tuple_size
+//   [8]  u32 next_page
+//   [12] u32 reserved
+//   [16] occupancy bitmap, ceil(capacity/8) bytes
+//   [16 + bitmap] tuples, capacity * tuple_size bytes
+constexpr size_t kHeapHeaderSize = 16;
+
+uint16_t LoadU16(const char* p) { return DecodeFixed16(p); }
+void StoreU16(char* p, uint16_t v) { EncodeFixed16(p, v); }
+uint32_t LoadU32(const char* p) { return DecodeFixed32(p); }
+void StoreU32(char* p, uint32_t v) { EncodeFixed32(p, v); }
+
+bool BitmapGet(const char* bitmap, size_t i) {
+  return (static_cast<unsigned char>(bitmap[i / 8]) >> (i % 8)) & 1;
+}
+
+void BitmapSet(char* bitmap, size_t i, bool v) {
+  unsigned char mask = static_cast<unsigned char>(1u << (i % 8));
+  if (v) {
+    bitmap[i / 8] = static_cast<char>(
+        static_cast<unsigned char>(bitmap[i / 8]) | mask);
+  } else {
+    bitmap[i / 8] = static_cast<char>(
+        static_cast<unsigned char>(bitmap[i / 8]) & ~mask);
+  }
+}
+
+}  // namespace
+
+HeapFile::HeapFile(BufferPool* bp, size_t tuple_size, HeapFileOptions options)
+    : bp_(bp), tuple_size_(tuple_size), options_(options) {
+  slots_per_page_ = ComputeSlotsPerPage(bp->page_size(), tuple_size);
+  bitmap_bytes_ = (slots_per_page_ + 7) / 8;
+}
+
+size_t HeapFile::ComputeSlotsPerPage(size_t page_size, size_t tuple_size) {
+  NBLB_CHECK(tuple_size > 0);
+  // capacity c must satisfy: kHeapHeaderSize + ceil(c/8) + c*tuple_size <= page_size.
+  size_t c = (page_size - kHeapHeaderSize) * 8 / (8 * tuple_size + 1);
+  while (c > 0 && kHeapHeaderSize + (c + 7) / 8 + c * tuple_size > page_size) {
+    --c;
+  }
+  NBLB_CHECK_MSG(c > 0, "tuple too large for page");
+  return c;
+}
+
+Result<std::unique_ptr<HeapFile>> HeapFile::Create(BufferPool* bp,
+                                                   size_t tuple_size,
+                                                   HeapFileOptions options) {
+  std::unique_ptr<HeapFile> hf(new HeapFile(bp, tuple_size, options));
+  NBLB_RETURN_NOT_OK(hf->AppendPage());
+  return hf;
+}
+
+Result<std::unique_ptr<HeapFile>> HeapFile::Attach(BufferPool* bp,
+                                                   size_t tuple_size,
+                                                   PageId first_page,
+                                                   HeapFileOptions options) {
+  std::unique_ptr<HeapFile> hf(new HeapFile(bp, tuple_size, options));
+  PageId id = first_page;
+  while (id != kInvalidPageId) {
+    NBLB_ASSIGN_OR_RETURN(PageGuard page, bp->FetchPage(id));
+    const char* d = page.data();
+    if (LoadU16(d) != kPageTypeHeap) {
+      return Status::Corruption("not a heap page: " + std::to_string(id));
+    }
+    if (LoadU16(d + 6) != tuple_size) {
+      return Status::Corruption("tuple size mismatch on page " +
+                                std::to_string(id));
+    }
+    const uint16_t used = LoadU16(d + 4);
+    hf->tuple_count_ += used;
+    if (used < hf->slots_per_page_) {
+      hf->pages_with_holes_.push_back(id);
+    }
+    hf->pages_.push_back(id);
+    id = LoadU32(d + 8);
+  }
+  if (hf->pages_.empty()) {
+    return Status::InvalidArgument("heap file has no pages");
+  }
+  return hf;
+}
+
+Status HeapFile::AppendPage() {
+  NBLB_ASSIGN_OR_RETURN(PageGuard page, bp_->NewPage());
+  char* d = page.data();
+  StoreU16(d + 0, kPageTypeHeap);
+  StoreU16(d + 2, static_cast<uint16_t>(slots_per_page_));
+  StoreU16(d + 4, 0);
+  StoreU16(d + 6, static_cast<uint16_t>(tuple_size_));
+  StoreU32(d + 8, kInvalidPageId);
+  page.MarkDirty();
+  const PageId new_id = page.id();
+  page.Release();
+
+  if (!pages_.empty()) {
+    NBLB_ASSIGN_OR_RETURN(PageGuard prev, bp_->FetchPage(pages_.back()));
+    StoreU32(prev.data() + 8, new_id);
+    prev.MarkDirty();
+  }
+  pages_.push_back(new_id);
+  return Status::OK();
+}
+
+Result<Rid> HeapFile::Insert(const Slice& tuple) {
+  if (tuple.size() != tuple_size_) {
+    return Status::InvalidArgument("tuple size mismatch");
+  }
+  // Optional hole reuse (off by default: the paper's append-to-table policy).
+  if (options_.reuse_free_slots) {
+    while (!pages_with_holes_.empty()) {
+      const PageId id = pages_with_holes_.back();
+      NBLB_ASSIGN_OR_RETURN(PageGuard page, bp_->FetchPage(id));
+      char* d = page.data();
+      const uint16_t used = LoadU16(d + 4);
+      if (used >= slots_per_page_) {
+        pages_with_holes_.pop_back();
+        continue;
+      }
+      char* bitmap = d + kHeapHeaderSize;
+      for (size_t s = 0; s < slots_per_page_; ++s) {
+        if (!BitmapGet(bitmap, s)) {
+          BitmapSet(bitmap, s, true);
+          std::memcpy(d + kHeapHeaderSize + bitmap_bytes_ + s * tuple_size_,
+                      tuple.data(), tuple_size_);
+          StoreU16(d + 4, used + 1);
+          page.MarkDirty();
+          ++tuple_count_;
+          return Rid(id, static_cast<uint16_t>(s));
+        }
+      }
+      // Bitmap full despite the counter; repair the counter and move on.
+      StoreU16(d + 4, static_cast<uint16_t>(slots_per_page_));
+      page.MarkDirty();
+      pages_with_holes_.pop_back();
+    }
+  }
+  // Append to the last page, extending the chain when full.
+  {
+    NBLB_ASSIGN_OR_RETURN(PageGuard page, bp_->FetchPage(pages_.back()));
+    char* d = page.data();
+    const uint16_t used = LoadU16(d + 4);
+    if (used < slots_per_page_) {
+      char* bitmap = d + kHeapHeaderSize;
+      // The last page only grows at the tail unless holes were punched; find
+      // the first free slot.
+      for (size_t s = 0; s < slots_per_page_; ++s) {
+        if (!BitmapGet(bitmap, s)) {
+          BitmapSet(bitmap, s, true);
+          std::memcpy(d + kHeapHeaderSize + bitmap_bytes_ + s * tuple_size_,
+                      tuple.data(), tuple_size_);
+          StoreU16(d + 4, used + 1);
+          page.MarkDirty();
+          ++tuple_count_;
+          return Rid(page.id(), static_cast<uint16_t>(s));
+        }
+      }
+      return Status::Corruption("heap page counter/bitmap mismatch");
+    }
+  }
+  NBLB_RETURN_NOT_OK(AppendPage());
+  return Insert(tuple);
+}
+
+Status HeapFile::Get(const Rid& rid, char* out) {
+  NBLB_ASSIGN_OR_RETURN(PageGuard page, bp_->FetchPage(rid.page));
+  const char* d = page.data();
+  if (LoadU16(d) != kPageTypeHeap) return Status::Corruption("not a heap page");
+  if (rid.slot >= slots_per_page_) return Status::OutOfRange("bad slot");
+  if (!BitmapGet(d + kHeapHeaderSize, rid.slot)) {
+    return Status::NotFound("no tuple at " + rid.ToString());
+  }
+  std::memcpy(out, d + kHeapHeaderSize + bitmap_bytes_ + rid.slot * tuple_size_,
+              tuple_size_);
+  return Status::OK();
+}
+
+Status HeapFile::Get(const Rid& rid, std::string* out) {
+  out->resize(tuple_size_);
+  return Get(rid, out->data());
+}
+
+Status HeapFile::Update(const Rid& rid, const Slice& tuple) {
+  if (tuple.size() != tuple_size_) {
+    return Status::InvalidArgument("tuple size mismatch");
+  }
+  NBLB_ASSIGN_OR_RETURN(PageGuard page, bp_->FetchPage(rid.page));
+  char* d = page.data();
+  if (LoadU16(d) != kPageTypeHeap) return Status::Corruption("not a heap page");
+  if (rid.slot >= slots_per_page_) return Status::OutOfRange("bad slot");
+  if (!BitmapGet(d + kHeapHeaderSize, rid.slot)) {
+    return Status::NotFound("no tuple at " + rid.ToString());
+  }
+  std::memcpy(d + kHeapHeaderSize + bitmap_bytes_ + rid.slot * tuple_size_,
+              tuple.data(), tuple_size_);
+  page.MarkDirty();
+  return Status::OK();
+}
+
+Status HeapFile::Delete(const Rid& rid) {
+  NBLB_ASSIGN_OR_RETURN(PageGuard page, bp_->FetchPage(rid.page));
+  char* d = page.data();
+  if (LoadU16(d) != kPageTypeHeap) return Status::Corruption("not a heap page");
+  if (rid.slot >= slots_per_page_) return Status::OutOfRange("bad slot");
+  char* bitmap = d + kHeapHeaderSize;
+  if (!BitmapGet(bitmap, rid.slot)) {
+    return Status::NotFound("no tuple at " + rid.ToString());
+  }
+  BitmapSet(bitmap, rid.slot, false);
+  StoreU16(d + 4, LoadU16(d + 4) - 1);
+  page.MarkDirty();
+  --tuple_count_;
+  if (options_.reuse_free_slots) {
+    pages_with_holes_.push_back(rid.page);
+  }
+  return Status::OK();
+}
+
+Status HeapFile::ForEach(
+    const std::function<Status(const Rid&, const char*)>& fn) {
+  for (PageId id : pages_) {
+    NBLB_ASSIGN_OR_RETURN(PageGuard page, bp_->FetchPage(id));
+    const char* d = page.data();
+    const char* bitmap = d + kHeapHeaderSize;
+    for (size_t s = 0; s < slots_per_page_; ++s) {
+      if (BitmapGet(bitmap, s)) {
+        NBLB_RETURN_NOT_OK(fn(Rid(id, static_cast<uint16_t>(s)),
+                              d + kHeapHeaderSize + bitmap_bytes_ +
+                                  s * tuple_size_));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<HeapFileStats> HeapFile::ComputeStats() {
+  HeapFileStats st;
+  st.pages = pages_.size();
+  st.capacity_slots = pages_.size() * slots_per_page_;
+  for (PageId id : pages_) {
+    NBLB_ASSIGN_OR_RETURN(PageGuard page, bp_->FetchPage(id));
+    st.used_slots += LoadU16(page.data() + 4);
+  }
+  return st;
+}
+
+}  // namespace nblb

@@ -1,0 +1,106 @@
+// HeapFile: fixed-width slotted tuple storage over chained pages.
+//
+// Tuples are fixed width (the paper's simplification, §2.1.1). Insertion is
+// append-to-last-page by default — exactly the "append to table" placement
+// the paper blames for locality waste (§3.1): deleting a tuple leaves a hole
+// that is NOT reused unless `reuse_free_slots` is set, so hot/cold clustering
+// by delete-then-append behaves like the paper describes.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/slice.h"
+#include "storage/buffer_pool.h"
+#include "storage/rid.h"
+
+namespace nblb {
+
+/// \brief Placement policy knobs for a heap file.
+struct HeapFileOptions {
+  /// When true, Insert fills holes left by Delete before extending the file.
+  bool reuse_free_slots = false;
+};
+
+/// \brief Occupancy summary across all pages of a heap file.
+struct HeapFileStats {
+  uint64_t pages = 0;
+  uint64_t capacity_slots = 0;
+  uint64_t used_slots = 0;
+
+  /// Fraction of allocated slots holding live tuples.
+  double Utilization() const {
+    return capacity_slots == 0
+               ? 0.0
+               : static_cast<double>(used_slots) /
+                     static_cast<double>(capacity_slots);
+  }
+};
+
+/// \brief Fixed-width tuple heap. Not thread safe; callers serialize.
+class HeapFile {
+ public:
+  /// \brief Creates a new heap file (allocates its first page).
+  static Result<std::unique_ptr<HeapFile>> Create(BufferPool* bp,
+                                                  size_t tuple_size,
+                                                  HeapFileOptions options = {});
+
+  /// \brief Re-attaches to an existing heap file by its first page id,
+  /// walking the page chain to rebuild the in-memory directory.
+  static Result<std::unique_ptr<HeapFile>> Attach(BufferPool* bp,
+                                                  size_t tuple_size,
+                                                  PageId first_page,
+                                                  HeapFileOptions options = {});
+
+  /// \brief Inserts a tuple (must be exactly tuple_size bytes).
+  Result<Rid> Insert(const Slice& tuple);
+
+  /// \brief Copies the tuple at `rid` into `out` (tuple_size bytes).
+  Status Get(const Rid& rid, char* out);
+  Status Get(const Rid& rid, std::string* out);
+
+  /// \brief Overwrites the tuple at `rid` in place.
+  Status Update(const Rid& rid, const Slice& tuple);
+
+  /// \brief Removes the tuple at `rid` (slot becomes a hole).
+  Status Delete(const Rid& rid);
+
+  /// \brief Calls fn(rid, bytes) for every live tuple in page-chain order.
+  /// Stops early and propagates if fn returns a non-OK status.
+  Status ForEach(
+      const std::function<Status(const Rid&, const char*)>& fn);
+
+  /// \brief Live-tuple count.
+  uint64_t tuple_count() const { return tuple_count_; }
+  size_t tuple_size() const { return tuple_size_; }
+  PageId first_page_id() const { return pages_.front(); }
+  const std::vector<PageId>& pages() const { return pages_; }
+
+  /// \brief Tuples a single page can hold at this tuple size.
+  size_t SlotsPerPage() const { return slots_per_page_; }
+
+  /// \brief Walks all pages and reports occupancy (the §3.1 "2% utilization"
+  /// measurement).
+  Result<HeapFileStats> ComputeStats();
+
+ private:
+  HeapFile(BufferPool* bp, size_t tuple_size, HeapFileOptions options);
+
+  Status AppendPage();
+  static size_t ComputeSlotsPerPage(size_t page_size, size_t tuple_size);
+
+  BufferPool* bp_;
+  size_t tuple_size_;
+  HeapFileOptions options_;
+  size_t slots_per_page_;
+  size_t bitmap_bytes_;
+  std::vector<PageId> pages_;
+  std::vector<PageId> pages_with_holes_;  // only used when reuse_free_slots
+  uint64_t tuple_count_ = 0;
+};
+
+}  // namespace nblb

@@ -1,0 +1,31 @@
+// Page identifiers, page-type tags, and shared page constants.
+//
+// All on-disk structures live in fixed-size pages. The page size is a runtime
+// property of the DiskManager (default 8 KiB) so experiments can shrink pages
+// to reproduce the paper's "as little as 2% of frequently queried data per
+// page" scenarios at laptop scale.
+
+#pragma once
+
+#include <cstdint>
+
+namespace nblb {
+
+using PageId = uint32_t;
+
+/// Sentinel for "no page".
+inline constexpr PageId kInvalidPageId = 0xffffffffu;
+
+/// Default page size in bytes.
+inline constexpr size_t kDefaultPageSize = 8192;
+
+/// First two bytes of every typed page.
+enum PageType : uint16_t {
+  kPageTypeFree = 0,
+  kPageTypeMeta = 1,
+  kPageTypeHeap = 2,
+  kPageTypeBTreeInternal = 3,
+  kPageTypeBTreeLeaf = 4,
+};
+
+}  // namespace nblb

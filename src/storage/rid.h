@@ -1,0 +1,60 @@
+// Rid: record identifier (page id + slot) for heap tuples.
+//
+// A Rid packs into a uint64 that also serves as the "tuple id" stored in
+// index-cache items, and as the physical-address proxy of §4.2 ("ID fields
+// representing uniqueness can be eliminated and the tuple's physical address
+// can be used as a proxy").
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "storage/page.h"
+
+namespace nblb {
+
+/// \brief Physical location of a heap tuple.
+struct Rid {
+  PageId page = kInvalidPageId;
+  uint16_t slot = 0;
+
+  Rid() = default;
+  Rid(PageId p, uint16_t s) : page(p), slot(s) {}
+
+  /// \brief Packs into 48 meaningful bits: page << 16 | slot.
+  uint64_t ToU64() const {
+    return (static_cast<uint64_t>(page) << 16) | slot;
+  }
+
+  static Rid FromU64(uint64_t v) {
+    return Rid(static_cast<PageId>(v >> 16), static_cast<uint16_t>(v & 0xffff));
+  }
+
+  bool IsValid() const { return page != kInvalidPageId; }
+
+  bool operator==(const Rid& o) const { return page == o.page && slot == o.slot; }
+  bool operator!=(const Rid& o) const { return !(*this == o); }
+  bool operator<(const Rid& o) const { return ToU64() < o.ToU64(); }
+
+  std::string ToString() const {
+    std::string out;
+    out.reserve(16);
+    out.push_back('(');
+    out += std::to_string(page);
+    out.push_back(',');
+    out += std::to_string(slot);
+    out.push_back(')');
+    return out;
+  }
+};
+
+}  // namespace nblb
+
+template <>
+struct std::hash<nblb::Rid> {
+  size_t operator()(const nblb::Rid& r) const noexcept {
+    return std::hash<uint64_t>()(r.ToU64());
+  }
+};

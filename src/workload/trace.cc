@@ -1,0 +1,73 @@
+#include "workload/trace.h"
+
+#include <memory>
+
+#include "common/logging.h"
+
+namespace nblb {
+
+std::vector<Op> BuildTrace(const TraceOptions& options) {
+  NBLB_CHECK(options.num_items > 0);
+  Rng rng(options.seed);
+  std::unique_ptr<ZipfianGenerator> zipf;
+  std::unique_ptr<ScrambledZipfianGenerator> scrambled;
+  std::unique_ptr<HotspotGenerator> hotspot;
+  switch (options.distribution) {
+    case TraceDistribution::kZipfian:
+      zipf.reset(new ZipfianGenerator(options.num_items, options.zipf_alpha,
+                                      options.seed + 1));
+      break;
+    case TraceDistribution::kScrambledZipfian:
+      scrambled.reset(new ScrambledZipfianGenerator(
+          options.num_items, options.zipf_alpha, options.seed + 1));
+      break;
+    case TraceDistribution::kHotspot:
+      hotspot.reset(new HotspotGenerator(options.num_items,
+                                         options.hot_fraction,
+                                         options.hot_probability,
+                                         options.seed + 1));
+      break;
+    case TraceDistribution::kUniform:
+      break;
+  }
+
+  auto next_item = [&]() -> uint64_t {
+    switch (options.distribution) {
+      case TraceDistribution::kZipfian:
+        return zipf->Next();
+      case TraceDistribution::kScrambledZipfian:
+        return scrambled->Next();
+      case TraceDistribution::kHotspot:
+        return hotspot->Next();
+      case TraceDistribution::kUniform:
+        return rng.Uniform(options.num_items);
+    }
+    return 0;
+  };
+
+  const double total_mix = options.mix.lookup + options.mix.insert +
+                           options.mix.update + options.mix.del;
+  NBLB_CHECK(total_mix > 0);
+
+  std::vector<Op> trace;
+  trace.reserve(options.num_ops);
+  for (size_t i = 0; i < options.num_ops; ++i) {
+    Op op;
+    const double r = rng.NextDouble() * total_mix;
+    if (r < options.mix.lookup) {
+      op.kind = OpKind::kLookup;
+    } else if (r < options.mix.lookup + options.mix.insert) {
+      op.kind = OpKind::kInsert;
+    } else if (r < options.mix.lookup + options.mix.insert +
+                       options.mix.update) {
+      op.kind = OpKind::kUpdate;
+    } else {
+      op.kind = OpKind::kDelete;
+    }
+    op.item = next_item();
+    trace.push_back(op);
+  }
+  return trace;
+}
+
+}  // namespace nblb

@@ -1,0 +1,58 @@
+// Operation traces for workload replay.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/zipf.h"
+
+namespace nblb {
+
+/// \brief Kinds of operations in a replayable trace.
+enum class OpKind : uint8_t {
+  kLookup = 0,
+  kInsert = 1,
+  kUpdate = 2,
+  kDelete = 3,
+};
+
+/// \brief One trace operation on a logical item.
+struct Op {
+  OpKind kind = OpKind::kLookup;
+  uint64_t item = 0;
+};
+
+/// \brief Operation mix (fractions should sum to ~1).
+struct TraceMix {
+  double lookup = 1.0;
+  double insert = 0.0;
+  double update = 0.0;
+  double del = 0.0;
+};
+
+/// \brief Item-popularity distribution for trace generation.
+enum class TraceDistribution {
+  kUniform,
+  kZipfian,           ///< rank-ordered (item 0 most popular)
+  kScrambledZipfian,  ///< zipfian popularity scattered over the id space
+  kHotspot,           ///< hot-set fraction gets most accesses (§3.1 style)
+};
+
+/// \brief Knobs for BuildTrace.
+struct TraceOptions {
+  uint64_t num_items = 1000;
+  size_t num_ops = 10000;
+  TraceDistribution distribution = TraceDistribution::kZipfian;
+  double zipf_alpha = 0.5;       ///< the paper's Wikipedia-like skew
+  double hot_fraction = 0.05;    ///< for kHotspot (5% of tuples)
+  double hot_probability = 0.999;///< for kHotspot (99.9% of accesses)
+  TraceMix mix;
+  uint64_t seed = 42;
+};
+
+/// \brief Materializes a trace.
+std::vector<Op> BuildTrace(const TraceOptions& options);
+
+}  // namespace nblb

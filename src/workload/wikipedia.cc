@@ -1,0 +1,242 @@
+#include "workload/wikipedia.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "encoding/timestamp.h"
+
+namespace nblb {
+
+namespace {
+
+// 2011-01-01 00:00:00 UTC, the era of the paper.
+constexpr uint32_t kEpochStart = 1293840000;
+
+}  // namespace
+
+WikipediaSynthesizer::WikipediaSynthesizer(WikipediaScale scale)
+    : scale_(scale), rng_(scale.seed) {
+  NBLB_CHECK(scale_.num_pages > 0);
+  NBLB_CHECK(scale_.revisions_per_page >= 1);
+}
+
+Schema WikipediaSynthesizer::PageSchema() {
+  return Schema({
+      {"page_id", TypeId::kInt64, 0},
+      {"page_namespace", TypeId::kInt64, 0},   // values 0..15: §4.1 waste
+      {"page_title", TypeId::kVarchar, 255},
+      {"page_restrictions", TypeId::kVarchar, 255},  // almost always empty
+      {"page_counter", TypeId::kInt64, 0},
+      {"page_is_redirect", TypeId::kInt64, 0},  // boolean stored as int64
+      {"page_is_new", TypeId::kInt64, 0},       // boolean stored as int64
+      {"page_random", TypeId::kFloat64, 0},
+      {"page_touched", TypeId::kChar, 14},      // string timestamp
+      {"page_latest", TypeId::kInt64, 0},
+      {"page_len", TypeId::kInt64, 0},
+  });
+}
+
+Schema WikipediaSynthesizer::RevisionSchema() {
+  return Schema({
+      {"rev_id", TypeId::kInt64, 0},
+      {"rev_page", TypeId::kInt64, 0},
+      {"rev_text_id", TypeId::kInt64, 0},
+      {"rev_comment", TypeId::kVarchar, 255},
+      {"rev_user", TypeId::kInt64, 0},
+      {"rev_user_text", TypeId::kVarchar, 255},
+      {"rev_timestamp", TypeId::kChar, 14},  // the paper's 14-byte string
+      {"rev_minor_edit", TypeId::kInt64, 0},
+      {"rev_deleted", TypeId::kInt64, 0},
+      {"rev_len", TypeId::kInt64, 0},
+      {"rev_parent_id", TypeId::kInt64, 0},
+  });
+}
+
+Schema WikipediaSynthesizer::CartelLocationSchema() {
+  return Schema({
+      {"id", TypeId::kInt64, 0},
+      {"vehicle_id", TypeId::kInt64, 0},  // small fleet: tiny range
+      {"lat", TypeId::kFloat64, 0},
+      {"lon", TypeId::kFloat64, 0},
+      {"speed", TypeId::kInt64, 0},    // 0..120: 7 bits
+      {"heading", TypeId::kInt64, 0},  // 0..359: 9 bits
+      {"ts", TypeId::kChar, 14},       // string timestamp again
+  });
+}
+
+Schema WikipediaSynthesizer::CartelObdSchema() {
+  return Schema({
+      {"id", TypeId::kInt64, 0},
+      {"vehicle_id", TypeId::kInt64, 0},
+      {"rpm", TypeId::kInt64, 0},           // 0..8000: 13 bits
+      {"throttle", TypeId::kInt64, 0},      // 0..100: 7 bits
+      {"engine_load", TypeId::kInt64, 0},   // 0..100
+      {"coolant_temp", TypeId::kInt64, 0},  // -40..215: 9 bits
+      {"ts", TypeId::kChar, 14},
+  });
+}
+
+void WikipediaSynthesizer::EnsureGenerated() {
+  if (generated_) return;
+  generated_ = true;
+  const uint64_t n = scale_.num_pages;
+
+  // Popularity rank -> page index scattering (popular pages are not
+  // physically adjacent).
+  ScrambledZipfianGenerator scatter(n, scale_.alpha, scale_.seed + 7);
+  page_rank_to_index_.resize(n);
+  std::vector<uint64_t> perm(n);
+  for (uint64_t i = 0; i < n; ++i) perm[i] = i;
+  rng_.Shuffle(&perm);
+  for (uint64_t r = 0; r < n; ++r) page_rank_to_index_[r] = perm[r];
+
+  // --- Revisions in edit-time order ----------------------------------------
+  // Each edit picks a page by zipf popularity; the page's newest revision is
+  // therefore scattered throughout the table (§3.1).
+  const uint64_t total_revs = static_cast<uint64_t>(
+      scale_.revisions_per_page * static_cast<double>(n));
+  ZipfianGenerator editor(n, scale_.alpha, scale_.seed + 13);
+  std::vector<int64_t> last_rev_of_page(n, 0);
+  std::vector<int64_t> page_len(n, 0);
+  revisions_.reserve(total_revs);
+  uint32_t now = kEpochStart;
+  for (uint64_t i = 0; i < total_revs; ++i) {
+    uint64_t page_index;
+    if (i < n) {
+      page_index = i;  // every page gets a first revision
+    } else {
+      page_index = page_rank_to_index_[editor.Next()];
+    }
+    const int64_t rev_id = static_cast<int64_t>(i + 1);
+    const int64_t parent = last_rev_of_page[page_index];
+    const int64_t len = 200 + static_cast<int64_t>(rng_.Uniform(8000));
+    now += static_cast<uint32_t>(1 + rng_.Uniform(120));  // seconds apart
+    Row rev;
+    rev.push_back(Value::Int64(rev_id));
+    rev.push_back(Value::Int64(static_cast<int64_t>(page_index + 1)));
+    rev.push_back(Value::Int64(rev_id));  // text_id tracks rev_id 1:1 (an FD)
+    rev.push_back(Value::Varchar(rng_.Bernoulli(0.3) ? rng_.NextString(12)
+                                                     : std::string()));
+    rev.push_back(Value::Int64(static_cast<int64_t>(rng_.Uniform(5000))));
+    rev.push_back(Value::Varchar("user_" + std::to_string(rng_.Uniform(5000))));
+    rev.push_back(Value::Char(FormatTimestamp14(now)));
+    rev.push_back(Value::Int64(rng_.Bernoulli(0.25) ? 1 : 0));
+    rev.push_back(Value::Int64(0));
+    rev.push_back(Value::Int64(len));
+    rev.push_back(Value::Int64(parent));
+    revisions_.push_back(std::move(rev));
+    last_rev_of_page[page_index] = rev_id;
+    page_len[page_index] = len;
+  }
+  latest_rev_ids_ = std::move(last_rev_of_page);
+
+  // --- Pages -----------------------------------------------------------------
+  pages_.reserve(n);
+  for (uint64_t p = 0; p < n; ++p) {
+    Row page;
+    page.push_back(Value::Int64(static_cast<int64_t>(p + 1)));
+    // Namespace: overwhelmingly main (0), occasionally talk/user (tiny range).
+    const int64_t ns = rng_.Bernoulli(0.8) ? 0
+                                           : static_cast<int64_t>(
+                                                 rng_.Uniform(16));
+    page.push_back(Value::Int64(ns));
+    page.push_back(Value::Varchar("Page_" + std::to_string(p + 1) + "_" +
+                                  rng_.NextString(8)));
+    page.push_back(Value::Varchar(rng_.Bernoulli(0.02) ? "sysop" : ""));
+    page.push_back(Value::Int64(static_cast<int64_t>(rng_.Uniform(1000000))));
+    page.push_back(Value::Int64(rng_.Bernoulli(0.07) ? 1 : 0));
+    page.push_back(Value::Int64(rng_.Bernoulli(0.05) ? 1 : 0));
+    page.push_back(Value::Float64(rng_.NextDouble()));
+    page.push_back(Value::Char(FormatTimestamp14(
+        kEpochStart + static_cast<uint32_t>(rng_.Uniform(86400 * 30)))));
+    page.push_back(Value::Int64(latest_rev_ids_[p]));
+    page.push_back(Value::Int64(page_len[p]));
+    pages_.push_back(std::move(page));
+  }
+}
+
+const std::vector<Row>& WikipediaSynthesizer::pages() {
+  EnsureGenerated();
+  return pages_;
+}
+
+const std::vector<Row>& WikipediaSynthesizer::revisions() {
+  EnsureGenerated();
+  return revisions_;
+}
+
+const std::vector<int64_t>& WikipediaSynthesizer::latest_revision_ids() {
+  EnsureGenerated();
+  return latest_rev_ids_;
+}
+
+std::vector<Row> WikipediaSynthesizer::GenerateCartelLocationRows(uint64_t n) {
+  std::vector<Row> rows;
+  rows.reserve(n);
+  uint32_t now = kEpochStart;
+  for (uint64_t i = 0; i < n; ++i) {
+    now += static_cast<uint32_t>(rng_.Uniform(10) + 1);
+    Row r;
+    r.push_back(Value::Int64(static_cast<int64_t>(i + 1)));
+    r.push_back(Value::Int64(static_cast<int64_t>(rng_.Uniform(30))));
+    r.push_back(Value::Float64(42.3 + rng_.NextDouble() * 0.2));   // Boston
+    r.push_back(Value::Float64(-71.1 + rng_.NextDouble() * 0.2));
+    r.push_back(Value::Int64(static_cast<int64_t>(rng_.Uniform(121))));
+    r.push_back(Value::Int64(static_cast<int64_t>(rng_.Uniform(360))));
+    r.push_back(Value::Char(FormatTimestamp14(now)));
+    rows.push_back(std::move(r));
+  }
+  return rows;
+}
+
+std::vector<Row> WikipediaSynthesizer::GenerateCartelObdRows(uint64_t n) {
+  std::vector<Row> rows;
+  rows.reserve(n);
+  uint32_t now = kEpochStart;
+  for (uint64_t i = 0; i < n; ++i) {
+    now += static_cast<uint32_t>(rng_.Uniform(10) + 1);
+    Row r;
+    r.push_back(Value::Int64(static_cast<int64_t>(i + 1)));
+    r.push_back(Value::Int64(static_cast<int64_t>(rng_.Uniform(30))));
+    r.push_back(Value::Int64(static_cast<int64_t>(600 + rng_.Uniform(7400))));
+    r.push_back(Value::Int64(static_cast<int64_t>(rng_.Uniform(101))));
+    r.push_back(Value::Int64(static_cast<int64_t>(rng_.Uniform(101))));
+    r.push_back(Value::Int64(-40 + static_cast<int64_t>(rng_.Uniform(256))));
+    r.push_back(Value::Char(FormatTimestamp14(now)));
+    rows.push_back(std::move(r));
+  }
+  return rows;
+}
+
+std::vector<uint64_t> WikipediaSynthesizer::PageLookupTrace(size_t n) {
+  EnsureGenerated();
+  ZipfianGenerator zipf(scale_.num_pages, scale_.alpha, scale_.seed + 29);
+  std::vector<uint64_t> trace;
+  trace.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    trace.push_back(page_rank_to_index_[zipf.Next()]);
+  }
+  return trace;
+}
+
+std::vector<int64_t> WikipediaSynthesizer::RevisionLookupTrace(
+    size_t n, double hot_probability) {
+  EnsureGenerated();
+  ZipfianGenerator zipf(scale_.num_pages, scale_.alpha, scale_.seed + 31);
+  Rng rng(scale_.seed + 37);
+  std::vector<int64_t> trace;
+  trace.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (rng.Bernoulli(hot_probability)) {
+      // A hot read: the latest revision of a zipf-popular page.
+      trace.push_back(latest_rev_ids_[page_rank_to_index_[zipf.Next()]]);
+    } else {
+      // A cold read: any historical revision.
+      trace.push_back(
+          static_cast<int64_t>(rng.Uniform(revisions_.size()) + 1));
+    }
+  }
+  return trace;
+}
+
+}  // namespace nblb

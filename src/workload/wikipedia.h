@@ -1,0 +1,104 @@
+// WikipediaSynthesizer: scaled-down synthetic MediaWiki dataset.
+//
+// The paper's experiments run against Wikipedia's `page` and `revision`
+// tables and a 2-hour Apache log. We do not have the dump or the logs
+// (DESIGN.md §4), so this module synthesizes data with the same structure:
+//
+//   - MediaWiki-era schemas, including the famous 14-byte CHAR(14)
+//     rev_timestamp and the int-typed boolean flags (§4.1 fodder)
+//   - revisions generated in edit-time order, so each page's LATEST revision
+//     is scattered through the table (§3.1's "as few as one hot tuple per
+//     data page")
+//   - traces with the measured skews: zipf(alpha=.5) page popularity and
+//     99.9% of revision reads hitting the 5% of latest revisions
+//
+// CarTel-like tables are included for the §4.1 analysis breadth.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "catalog/value.h"
+#include "common/rng.h"
+#include "common/zipf.h"
+
+namespace nblb {
+
+/// \brief Dataset scale knobs (defaults run in seconds on a laptop).
+struct WikipediaScale {
+  uint64_t num_pages = 10000;
+  /// Mean revisions per page; hot fraction = 1 / this.
+  double revisions_per_page = 20;
+  /// Zipf skew of page edit/read popularity (paper: alpha = .5).
+  double alpha = 0.5;
+  uint64_t seed = 2011;
+};
+
+/// \brief Generates schemas, rows and traces.
+class WikipediaSynthesizer {
+ public:
+  explicit WikipediaSynthesizer(WikipediaScale scale);
+
+  // ---- Schemas (MediaWiki 1.16-era layouts) -------------------------------
+
+  /// page(page_id, page_namespace, page_title, page_restrictions,
+  ///      page_counter, page_is_redirect, page_is_new, page_random,
+  ///      page_touched, page_latest, page_len)
+  static Schema PageSchema();
+
+  /// revision(rev_id, rev_page, rev_text_id, rev_comment, rev_user,
+  ///          rev_user_text, rev_timestamp, rev_minor_edit, rev_deleted,
+  ///          rev_len, rev_parent_id)
+  static Schema RevisionSchema();
+
+  /// cartel_locations(id, vehicle_id, lat, lon, speed, heading, ts)
+  static Schema CartelLocationSchema();
+
+  /// cartel_obd(id, vehicle_id, rpm, throttle, engine_load, coolant_temp, ts)
+  static Schema CartelObdSchema();
+
+  // ---- Data ----------------------------------------------------------------
+
+  /// \brief Page rows (generates revisions first if needed so page_latest is
+  /// consistent).
+  const std::vector<Row>& pages();
+
+  /// \brief Revision rows in edit-time order (append order == rev_id order).
+  const std::vector<Row>& revisions();
+
+  /// \brief rev_ids of each page's newest revision — the hot set of §3.1.
+  const std::vector<int64_t>& latest_revision_ids();
+
+  std::vector<Row> GenerateCartelLocationRows(uint64_t n);
+  std::vector<Row> GenerateCartelObdRows(uint64_t n);
+
+  // ---- Traces ---------------------------------------------------------------
+
+  /// \brief Page indexes [0, num_pages) drawn zipf(alpha), scrambled so hot
+  /// pages are spread over the key space.
+  std::vector<uint64_t> PageLookupTrace(size_t n);
+
+  /// \brief rev_ids where `hot_probability` of reads hit latest revisions
+  /// (zipf-weighted by page popularity) and the rest are uniform over all
+  /// revisions.
+  std::vector<int64_t> RevisionLookupTrace(size_t n,
+                                           double hot_probability = 0.999);
+
+  const WikipediaScale& scale() const { return scale_; }
+
+ private:
+  void EnsureGenerated();
+
+  WikipediaScale scale_;
+  Rng rng_;
+  bool generated_ = false;
+  std::vector<Row> pages_;
+  std::vector<Row> revisions_;
+  std::vector<int64_t> latest_rev_ids_;       // by page index
+  std::vector<uint64_t> page_rank_to_index_;  // popularity rank -> page index
+};
+
+}  // namespace nblb

@@ -1,0 +1,147 @@
+// Iterator edge cases: empty trees, empty leaves after deletion, bulk-loaded
+// trees at extreme fills, seeks at and past the boundaries.
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "index/btree.h"
+#include "test_util.h"
+
+namespace nblb {
+namespace {
+
+using nblb::testing::MakeStack;
+using nblb::testing::Stack;
+
+std::string K(uint64_t v) {
+  std::string s(8, '\0');
+  EncodeBigEndian64(s.data(), v);
+  return s;
+}
+
+BTreeOptions Opts() {
+  BTreeOptions o;
+  o.key_size = 8;
+  return o;
+}
+
+TEST(BTreeIteratorTest, EmptyTreeIteratesNothing) {
+  Stack s = MakeStack("it_empty");
+  ASSERT_OK_AND_ASSIGN(auto tree, BTree::Create(s.bp.get(), Opts()));
+  ASSERT_OK_AND_ASSIGN(BTreeIterator it, tree->SeekToFirst());
+  EXPECT_FALSE(it.Valid());
+  ASSERT_OK_AND_ASSIGN(BTreeIterator it2, tree->Seek(Slice(K(5))));
+  EXPECT_FALSE(it2.Valid());
+}
+
+TEST(BTreeIteratorTest, SeekAtExactFirstAndLastKeys) {
+  Stack s = MakeStack("it_bounds");
+  ASSERT_OK_AND_ASSIGN(auto tree, BTree::Create(s.bp.get(), Opts()));
+  for (uint64_t k = 10; k <= 90; k += 10) {
+    ASSERT_OK(tree->Insert(Slice(K(k)), k));
+  }
+  ASSERT_OK_AND_ASSIGN(BTreeIterator front, tree->Seek(Slice(K(10))));
+  ASSERT_TRUE(front.Valid());
+  EXPECT_EQ(front.value(), 10u);
+  ASSERT_OK_AND_ASSIGN(BTreeIterator back, tree->Seek(Slice(K(90))));
+  ASSERT_TRUE(back.Valid());
+  EXPECT_EQ(back.value(), 90u);
+  ASSERT_OK(back.Next());
+  EXPECT_FALSE(back.Valid());
+  ASSERT_OK_AND_ASSIGN(BTreeIterator below, tree->Seek(Slice(K(1))));
+  ASSERT_TRUE(below.Valid());
+  EXPECT_EQ(below.value(), 10u);
+}
+
+TEST(BTreeIteratorTest, SkipsLeavesEmptiedByDeletes) {
+  Stack s = MakeStack("it_holes", 1024, 2048);  // small pages: many leaves
+  ASSERT_OK_AND_ASSIGN(auto tree, BTree::Create(s.bp.get(), Opts()));
+  constexpr uint64_t kN = 2000;
+  for (uint64_t k = 0; k < kN; ++k) {
+    ASSERT_OK(tree->Insert(Slice(K(k)), k));
+  }
+  ASSERT_OK_AND_ASSIGN(BTreeStats st, tree->ComputeStats());
+  ASSERT_GT(st.leaf_pages, 10u);
+  // Empty out a contiguous key band (whole leaves become empty).
+  for (uint64_t k = 500; k < 1500; ++k) {
+    ASSERT_OK(tree->Delete(Slice(K(k))));
+  }
+  // Full scan must silently skip the empty leaves.
+  uint64_t expect = 0;
+  ASSERT_OK_AND_ASSIGN(BTreeIterator it, tree->SeekToFirst());
+  while (it.Valid()) {
+    if (expect == 500) expect = 1500;
+    ASSERT_EQ(it.value(), expect);
+    ++expect;
+    ASSERT_OK(it.Next());
+  }
+  EXPECT_EQ(expect, kN);
+  // Seeking into the emptied band lands on the first surviving key.
+  ASSERT_OK_AND_ASSIGN(BTreeIterator mid, tree->Seek(Slice(K(700))));
+  ASSERT_TRUE(mid.Valid());
+  EXPECT_EQ(mid.value(), 1500u);
+}
+
+TEST(BTreeIteratorTest, ScanBulkLoadedAt100PercentFill) {
+  Stack s = MakeStack("it_bulk100", 4096, 4096);
+  ASSERT_OK_AND_ASSIGN(auto tree, BTree::Create(s.bp.get(), Opts()));
+  std::vector<std::pair<std::string, uint64_t>> sorted;
+  for (uint64_t k = 0; k < 5000; ++k) sorted.emplace_back(K(k * 3), k);
+  ASSERT_OK(tree->BulkLoad(sorted, 1.0));
+  uint64_t count = 0;
+  ASSERT_OK_AND_ASSIGN(BTreeIterator it, tree->SeekToFirst());
+  while (it.Valid()) {
+    ASSERT_EQ(it.key().ToString(), K(count * 3));
+    ++count;
+    ASSERT_OK(it.Next());
+  }
+  EXPECT_EQ(count, 5000u);
+}
+
+TEST(BTreeIteratorTest, RangeCountBetweenBounds) {
+  Stack s = MakeStack("it_range");
+  ASSERT_OK_AND_ASSIGN(auto tree, BTree::Create(s.bp.get(), Opts()));
+  for (uint64_t k = 0; k < 1000; ++k) {
+    ASSERT_OK(tree->Insert(Slice(K(k)), k));
+  }
+  // Count keys in [100, 200).
+  size_t count = 0;
+  ASSERT_OK_AND_ASSIGN(BTreeIterator it, tree->Seek(Slice(K(100))));
+  while (it.Valid() && it.key().Compare(Slice(K(200))) < 0) {
+    ++count;
+    ASSERT_OK(it.Next());
+  }
+  EXPECT_EQ(count, 100u);
+}
+
+TEST(BTreeIteratorTest, SingleEntryTree) {
+  Stack s = MakeStack("it_single");
+  ASSERT_OK_AND_ASSIGN(auto tree, BTree::Create(s.bp.get(), Opts()));
+  ASSERT_OK(tree->Insert(Slice(K(7)), 77));
+  ASSERT_OK_AND_ASSIGN(BTreeIterator it, tree->SeekToFirst());
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.value(), 77u);
+  ASSERT_OK(it.Next());
+  EXPECT_FALSE(it.Valid());
+}
+
+TEST(BTreeIteratorTest, DeleteEverythingThenScan) {
+  Stack s = MakeStack("it_alldeleted", 1024, 2048);
+  ASSERT_OK_AND_ASSIGN(auto tree, BTree::Create(s.bp.get(), Opts()));
+  for (uint64_t k = 0; k < 500; ++k) {
+    ASSERT_OK(tree->Insert(Slice(K(k)), k));
+  }
+  for (uint64_t k = 0; k < 500; ++k) {
+    ASSERT_OK(tree->Delete(Slice(K(k))));
+  }
+  ASSERT_OK_AND_ASSIGN(BTreeIterator it, tree->SeekToFirst());
+  EXPECT_FALSE(it.Valid());
+  // The tree remains usable.
+  ASSERT_OK(tree->Insert(Slice(K(42)), 42));
+  ASSERT_OK_AND_ASSIGN(BTreeIterator it2, tree->SeekToFirst());
+  ASSERT_TRUE(it2.Valid());
+  EXPECT_EQ(it2.value(), 42u);
+}
+
+}  // namespace
+}  // namespace nblb

@@ -1,0 +1,160 @@
+#include "cache/cache_geometry.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/bytes.h"
+#include "test_util.h"
+
+namespace nblb {
+namespace {
+
+constexpr size_t kPageSize = 4096;
+
+struct LeafFixture {
+  std::vector<char> buf;
+  BTreePageView view;
+
+  explicit LeafFixture(uint16_t cache_item = 25)
+      : buf(kPageSize, 0), view(buf.data(), kPageSize) {
+    BTreePageView::Init(buf.data(), kPageSize, kPageTypeBTreeLeaf, 8, 8,
+                        cache_item);
+  }
+
+  void Fill(size_t n) {
+    for (size_t i = view.num_entries(); i < n; ++i) {
+      std::string k(8, '\0'), p(8, '\0');
+      EncodeBigEndian64(k.data(), i);
+      EncodeFixed64(p.data(), i);
+      ASSERT_OK(view.InsertEntry(Slice(k), Slice(p)));
+    }
+  }
+};
+
+TEST(CacheGeometryTest, EmptyLeafHasMaximalSlots) {
+  LeafFixture f;
+  CacheGeometry g = CacheGeometry::FromLeaf(f.view, 8);
+  EXPECT_GT(g.num_slots(), 100u);
+  // All slots fit fully inside the free interval.
+  EXPECT_GE(g.SlotOffset(g.first_slot()), f.view.FreeBegin());
+  EXPECT_LE(g.SlotOffset(g.first_slot() + g.num_slots() - 1) + 25,
+            f.view.FreeEnd());
+}
+
+TEST(CacheGeometryTest, DisabledCacheHasNoSlots) {
+  LeafFixture f(0);
+  CacheGeometry g = CacheGeometry::FromLeaf(f.view, 8);
+  EXPECT_EQ(g.num_slots(), 0u);
+}
+
+TEST(CacheGeometryTest, SlotsShrinkAsIndexGrows) {
+  LeafFixture f;
+  CacheGeometry before = CacheGeometry::FromLeaf(f.view, 8);
+  f.Fill(50);
+  CacheGeometry after = CacheGeometry::FromLeaf(f.view, 8);
+  EXPECT_LT(after.num_slots(), before.num_slots());
+  // The interior slots keep their absolute positions: surviving slot indexes
+  // are a subset of the previous ones.
+  EXPECT_GE(after.first_slot(), before.first_slot());
+}
+
+TEST(CacheGeometryTest, FullPageHasNoSlots) {
+  LeafFixture f;
+  f.Fill(f.view.Capacity());
+  CacheGeometry g = CacheGeometry::FromLeaf(f.view, 8);
+  EXPECT_EQ(g.num_slots(), 0u);
+}
+
+TEST(CacheGeometryTest, RankSlotBijection) {
+  LeafFixture f;
+  for (size_t filled : {0u, 10u, 40u, 100u}) {
+    f.Fill(filled);
+    CacheGeometry g = CacheGeometry::FromLeaf(f.view, 8);
+    std::set<size_t> seen_slots;
+    for (size_t r = 0; r < g.num_slots(); ++r) {
+      const size_t slot = g.SlotOfRank(r);
+      EXPECT_TRUE(seen_slots.insert(slot).second) << "duplicate slot " << slot;
+      EXPECT_EQ(g.RankOf(slot), r) << "rank " << r;
+      EXPECT_GE(slot, g.first_slot());
+      EXPECT_LT(slot, g.first_slot() + g.num_slots());
+    }
+    EXPECT_EQ(seen_slots.size(), g.num_slots());
+  }
+}
+
+TEST(CacheGeometryTest, RankOrderIsDistanceOrderFromStablePoint) {
+  LeafFixture f;
+  CacheGeometry g = CacheGeometry::FromLeaf(f.view, 8);
+  // Distance from the stable slot must be non-decreasing in rank (ties
+  // allowed between the two sides).
+  auto dist = [&](size_t slot) {
+    return slot > g.stable_slot() ? slot - g.stable_slot()
+                                  : g.stable_slot() - slot;
+  };
+  for (size_t r = 1; r < g.num_slots(); ++r) {
+    EXPECT_GE(dist(g.SlotOfRank(r)) + 1, dist(g.SlotOfRank(r - 1)))
+        << "rank " << r;
+  }
+  EXPECT_EQ(g.SlotOfRank(0), g.stable_slot());
+}
+
+TEST(CacheGeometryTest, StableSlotSurvivesLongest) {
+  // Fill the page incrementally; the stable slot must be among the last
+  // usable slots to disappear.
+  LeafFixture f;
+  CacheGeometry g0 = CacheGeometry::FromLeaf(f.view, 8);
+  const size_t stable = g0.stable_slot();
+  size_t filled = 0;
+  while (true) {
+    CacheGeometry g = CacheGeometry::FromLeaf(f.view, 8);
+    if (g.num_slots() <= 1) break;
+    // The stable slot of the empty page must still be usable whenever at
+    // least ~2 slots remain on the larger side.
+    if (g.num_slots() > 2) {
+      EXPECT_GE(stable, g.first_slot());
+      EXPECT_LT(stable, g.first_slot() + g.num_slots());
+    }
+    filled += 8;
+    if (filled > f.view.Capacity()) break;
+    f.Fill(filled);
+  }
+}
+
+TEST(CacheGeometryTest, BucketSizes) {
+  LeafFixture f;
+  CacheGeometry g = CacheGeometry::FromLeaf(f.view, 8);
+  size_t total = 0;
+  for (size_t b = 0; b < g.num_buckets(); ++b) {
+    const size_t sz = g.BucketSizeOf(b);
+    EXPECT_LE(sz, 8u);
+    EXPECT_GE(sz, 1u);
+    total += sz;
+  }
+  EXPECT_EQ(total, g.num_slots());
+  // Bucket of the stable slot is 0.
+  EXPECT_EQ(g.BucketOfSlot(g.stable_slot()), 0u);
+}
+
+TEST(CacheGeometryTest, BucketOfSlotMonotoneInRank) {
+  LeafFixture f;
+  CacheGeometry g = CacheGeometry::FromLeaf(f.view, 4);
+  for (size_t r = 1; r < g.num_slots(); ++r) {
+    EXPECT_GE(g.BucketOfSlot(g.SlotOfRank(r)),
+              g.BucketOfSlot(g.SlotOfRank(r - 1)));
+  }
+}
+
+TEST(CacheGeometryTest, TinyFreeSpaceYieldsZeroOrFewSlots) {
+  LeafFixture f;
+  const size_t cap = f.view.Capacity();
+  f.Fill(cap - 1);
+  CacheGeometry g = CacheGeometry::FromLeaf(f.view, 8);
+  // One free entry's worth of bytes (16+2) < 25-byte slot, so at most one
+  // slot can exist depending on alignment.
+  EXPECT_LE(g.num_slots(), 1u);
+}
+
+}  // namespace
+}  // namespace nblb

@@ -1,0 +1,279 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "common/bytes.h"
+#include "common/crc32.h"
+#include "common/histogram.h"
+#include "common/latch.h"
+#include "common/rng.h"
+#include "common/slice.h"
+#include "common/vclock.h"
+
+namespace nblb {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Slice
+// ---------------------------------------------------------------------------
+
+TEST(SliceTest, BasicAccessors) {
+  Slice s("hello");
+  EXPECT_EQ(s.size(), 5u);
+  EXPECT_FALSE(s.empty());
+  EXPECT_EQ(s[1], 'e');
+  EXPECT_EQ(s.ToString(), "hello");
+}
+
+TEST(SliceTest, CompareIsLexicographic) {
+  EXPECT_LT(Slice("abc").Compare(Slice("abd")), 0);
+  EXPECT_GT(Slice("abd").Compare(Slice("abc")), 0);
+  EXPECT_EQ(Slice("abc").Compare(Slice("abc")), 0);
+  // Prefix sorts first.
+  EXPECT_LT(Slice("ab").Compare(Slice("abc")), 0);
+}
+
+TEST(SliceTest, EmbeddedNulBytesCompareCorrectly) {
+  const char a[] = {'a', '\0', 'b'};
+  const char b[] = {'a', '\0', 'c'};
+  EXPECT_LT(Slice(a, 3).Compare(Slice(b, 3)), 0);
+  EXPECT_EQ(Slice(a, 3), Slice(a, 3));
+}
+
+TEST(SliceTest, RemovePrefixAndStartsWith) {
+  Slice s("wikipedia");
+  EXPECT_TRUE(s.StartsWith(Slice("wiki")));
+  s.RemovePrefix(4);
+  EXPECT_EQ(s.ToString(), "pedia");
+}
+
+// ---------------------------------------------------------------------------
+// Byte codecs
+// ---------------------------------------------------------------------------
+
+TEST(BytesTest, FixedRoundTrip) {
+  char buf[8];
+  EncodeFixed16(buf, 0xbeef);
+  EXPECT_EQ(DecodeFixed16(buf), 0xbeef);
+  EncodeFixed32(buf, 0xdeadbeefu);
+  EXPECT_EQ(DecodeFixed32(buf), 0xdeadbeefu);
+  EncodeFixed64(buf, 0x0123456789abcdefull);
+  EXPECT_EQ(DecodeFixed64(buf), 0x0123456789abcdefull);
+}
+
+TEST(BytesTest, BigEndianPreservesUnsignedOrder) {
+  char a[8], b[8];
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t x = rng.NextU64();
+    const uint64_t y = rng.NextU64();
+    EncodeBigEndian64(a, x);
+    EncodeBigEndian64(b, y);
+    EXPECT_EQ(x < y, Slice(a, 8).Compare(Slice(b, 8)) < 0);
+    EXPECT_EQ(DecodeBigEndian64(a), x);
+  }
+}
+
+TEST(BytesTest, SignFlipPreservesSignedOrder) {
+  char a[8], b[8];
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t x = static_cast<int64_t>(rng.NextU64());
+    const int64_t y = static_cast<int64_t>(rng.NextU64());
+    EncodeBigEndian64(a, SignFlip64(x));
+    EncodeBigEndian64(b, SignFlip64(y));
+    EXPECT_EQ(x < y, Slice(a, 8).Compare(Slice(b, 8)) < 0);
+    EXPECT_EQ(SignUnflip64(SignFlip64(x)), x);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rng
+// ---------------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformStaysInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformIsRoughlyUniform) {
+  Rng rng(5);
+  constexpr int kBuckets = 10;
+  constexpr int kSamples = 100000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kSamples; ++i) {
+    counts[rng.Uniform(kBuckets)]++;
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, kSamples / kBuckets, kSamples / kBuckets * 0.1);
+  }
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(9);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+}
+
+TEST(RngTest, ShufflePermutes) {
+  Rng rng(3);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.Shuffle(&v);
+  auto shuffled_sorted = v;
+  std::sort(shuffled_sorted.begin(), shuffled_sorted.end());
+  EXPECT_EQ(shuffled_sorted, sorted);
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng(17);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformRange(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values reachable
+}
+
+// ---------------------------------------------------------------------------
+// CRC32
+// ---------------------------------------------------------------------------
+
+TEST(Crc32Test, KnownVector) {
+  // CRC-32/IEEE of "123456789" is 0xCBF43926.
+  EXPECT_EQ(Crc32("123456789", 9), 0xcbf43926u);
+}
+
+TEST(Crc32Test, EmptyInputIsZero) { EXPECT_EQ(Crc32("", 0), 0u); }
+
+TEST(Crc32Test, SensitiveToEveryByte) {
+  std::string data(64, 'x');
+  const uint32_t base = Crc32(data.data(), data.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    std::string mutated = data;
+    mutated[i] = 'y';
+    EXPECT_NE(Crc32(mutated.data(), mutated.size()), base) << "byte " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+TEST(HistogramTest, BasicStats) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 100; ++v) h.Record(v);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 50.5);
+  EXPECT_EQ(h.Min(), 1u);
+  EXPECT_EQ(h.Max(), 100u);
+  EXPECT_NEAR(h.Percentile(50), 50, 1);
+  EXPECT_NEAR(h.Percentile(99), 99, 1);
+  EXPECT_EQ(h.Percentile(100), 100u);
+}
+
+TEST(HistogramTest, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Percentile(50), 0u);
+  EXPECT_EQ(h.Mean(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Latches
+// ---------------------------------------------------------------------------
+
+TEST(LatchTest, TryLockFailsWhenHeld) {
+  SpinLatch latch;
+  EXPECT_TRUE(latch.TryLock());
+  EXPECT_FALSE(latch.TryLock());
+  latch.Unlock();
+  EXPECT_TRUE(latch.TryLock());
+  latch.Unlock();
+}
+
+TEST(LatchTest, TryLatchGuardGivesUp) {
+  SpinLatch latch;
+  LatchGuard hold(latch);
+  TryLatchGuard attempt(latch);
+  EXPECT_FALSE(attempt.acquired());
+}
+
+TEST(LatchTest, TryLatchGuardReleasesOnDestruction) {
+  SpinLatch latch;
+  {
+    TryLatchGuard g(latch);
+    EXPECT_TRUE(g.acquired());
+  }
+  EXPECT_TRUE(latch.TryLock());
+  latch.Unlock();
+}
+
+TEST(LatchTest, MutualExclusionUnderContention) {
+  SpinLatch latch;
+  int counter = 0;
+  constexpr int kThreads = 4;
+  constexpr int kIters = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        LatchGuard g(latch);
+        ++counter;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter, kThreads * kIters);
+}
+
+// ---------------------------------------------------------------------------
+// Virtual clock
+// ---------------------------------------------------------------------------
+
+TEST(VClockTest, AdvanceAccumulates) {
+  VirtualClock c;
+  EXPECT_EQ(c.NowNs(), 0u);
+  c.Advance(100);
+  c.Advance(250);
+  EXPECT_EQ(c.NowNs(), 350u);
+  c.Reset();
+  EXPECT_EQ(c.NowNs(), 0u);
+}
+
+TEST(VClockTest, CombinedTimerAddsVirtualTime) {
+  VirtualClock c;
+  CombinedTimer t(&c);
+  c.Advance(5'000'000);
+  EXPECT_GE(t.ElapsedNs(), 5'000'000u);
+  EXPECT_EQ(t.ElapsedVirtualNs(), 5'000'000u);
+}
+
+}  // namespace
+}  // namespace nblb

@@ -1,0 +1,121 @@
+#include "storage/disk_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "test_util.h"
+
+namespace nblb {
+namespace {
+
+using nblb::testing::TempFile;
+
+TEST(DiskManagerTest, AllocateReadWrite) {
+  TempFile f("disk");
+  DiskManager disk(f.path(), 4096);
+  ASSERT_OK(disk.Open());
+  EXPECT_EQ(disk.num_pages(), 0u);
+
+  ASSERT_OK_AND_ASSIGN(PageId p0, disk.AllocatePage());
+  ASSERT_OK_AND_ASSIGN(PageId p1, disk.AllocatePage());
+  EXPECT_EQ(p0, 0u);
+  EXPECT_EQ(p1, 1u);
+  EXPECT_EQ(disk.num_pages(), 2u);
+
+  std::vector<char> w(4096, 'A'), r(4096, 0);
+  ASSERT_OK(disk.WritePage(p1, w.data()));
+  ASSERT_OK(disk.ReadPage(p1, r.data()));
+  EXPECT_EQ(std::memcmp(w.data(), r.data(), 4096), 0);
+
+  // Fresh page reads back zeroed.
+  ASSERT_OK(disk.ReadPage(p0, r.data()));
+  for (char c : r) ASSERT_EQ(c, 0);
+}
+
+TEST(DiskManagerTest, OutOfRangeAccessFails) {
+  TempFile f("disk_oor");
+  DiskManager disk(f.path(), 4096);
+  ASSERT_OK(disk.Open());
+  std::vector<char> buf(4096);
+  EXPECT_TRUE(disk.ReadPage(5, buf.data()).IsOutOfRange());
+  EXPECT_TRUE(disk.WritePage(5, buf.data()).IsOutOfRange());
+}
+
+TEST(DiskManagerTest, PersistsAcrossReopen) {
+  TempFile f("disk_reopen");
+  {
+    DiskManager disk(f.path(), 4096);
+    ASSERT_OK(disk.Open());
+    ASSERT_OK_AND_ASSIGN(PageId p, disk.AllocatePage());
+    std::vector<char> w(4096, 'Z');
+    ASSERT_OK(disk.WritePage(p, w.data()));
+    ASSERT_OK(disk.Sync());
+    ASSERT_OK(disk.Close());
+  }
+  DiskManager disk(f.path(), 4096);
+  ASSERT_OK(disk.Open());
+  EXPECT_EQ(disk.num_pages(), 1u);
+  std::vector<char> r(4096);
+  ASSERT_OK(disk.ReadPage(0, r.data()));
+  for (char c : r) ASSERT_EQ(c, 'Z');
+}
+
+TEST(DiskManagerTest, StatsCountOperations) {
+  TempFile f("disk_stats");
+  DiskManager disk(f.path(), 4096);
+  ASSERT_OK(disk.Open());
+  ASSERT_OK_AND_ASSIGN(PageId p, disk.AllocatePage());
+  std::vector<char> buf(4096);
+  ASSERT_OK(disk.WritePage(p, buf.data()));
+  ASSERT_OK(disk.ReadPage(p, buf.data()));
+  ASSERT_OK(disk.ReadPage(p, buf.data()));
+  EXPECT_EQ(disk.stats().allocations, 1u);
+  EXPECT_EQ(disk.stats().writes, 1u);
+  EXPECT_EQ(disk.stats().reads, 2u);
+  disk.ResetStats();
+  EXPECT_EQ(disk.stats().reads, 0u);
+}
+
+TEST(DiskManagerTest, LatencyModelChargesVirtualClock) {
+  TempFile f("disk_latency");
+  VirtualClock clock;
+  LatencyModelOptions lopts;
+  lopts.seek_ns = 1'000'000;
+  lopts.transfer_ns_per_byte = 1;
+  LatencyModel model(lopts, &clock);
+  DiskManager disk(f.path(), 4096, &model);
+  ASSERT_OK(disk.Open());
+  ASSERT_OK_AND_ASSIGN(PageId p0, disk.AllocatePage());
+  ASSERT_OK_AND_ASSIGN(PageId p1, disk.AllocatePage());
+  std::vector<char> buf(4096);
+
+  clock.Reset();
+  ASSERT_OK(disk.ReadPage(p0, buf.data()));
+  // Random read: seek + transfer.
+  EXPECT_EQ(clock.NowNs(), 1'000'000u + 4096u);
+  // Sequential read (p0 -> p1): transfer only.
+  ASSERT_OK(disk.ReadPage(p1, buf.data()));
+  EXPECT_EQ(clock.NowNs(), 1'000'000u + 2 * 4096u);
+  // Backward jump: seek again.
+  ASSERT_OK(disk.ReadPage(p0, buf.data()));
+  EXPECT_EQ(clock.NowNs(), 2'000'000u + 3 * 4096u);
+}
+
+TEST(DiskManagerTest, DisabledLatencyModelChargesNothing) {
+  TempFile f("disk_nolat");
+  VirtualClock clock;
+  LatencyModelOptions lopts;
+  lopts.enabled = false;
+  LatencyModel model(lopts, &clock);
+  DiskManager disk(f.path(), 4096, &model);
+  ASSERT_OK(disk.Open());
+  ASSERT_OK_AND_ASSIGN(PageId p, disk.AllocatePage());
+  std::vector<char> buf(4096);
+  ASSERT_OK(disk.ReadPage(p, buf.data()));
+  EXPECT_EQ(clock.NowNs(), 0u);
+}
+
+}  // namespace
+}  // namespace nblb

@@ -1,0 +1,280 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "encoding/bitpack.h"
+#include "encoding/column_stats.h"
+#include "encoding/dict.h"
+#include "encoding/timestamp.h"
+#include "encoding/type_inference.h"
+#include "test_util.h"
+
+namespace nblb {
+namespace {
+
+// ---------------------------------------------------------------------------
+// BitPackedVector
+// ---------------------------------------------------------------------------
+
+TEST(BitPackTest, BitsForRange) {
+  EXPECT_EQ(BitPackedVector::BitsForRange(0), 1u);
+  EXPECT_EQ(BitPackedVector::BitsForRange(1), 1u);
+  EXPECT_EQ(BitPackedVector::BitsForRange(2), 2u);
+  EXPECT_EQ(BitPackedVector::BitsForRange(15), 4u);
+  EXPECT_EQ(BitPackedVector::BitsForRange(16), 5u);
+  EXPECT_EQ(BitPackedVector::BitsForRange(255), 8u);
+  EXPECT_EQ(BitPackedVector::BitsForRange(~0ull), 64u);
+}
+
+TEST(BitPackTest, RoundTripAcrossWidths) {
+  Rng rng(1);
+  for (unsigned width : {1u, 3u, 4u, 7u, 8u, 13u, 32u, 63u, 64u}) {
+    BitPackedVector v(width);
+    std::vector<uint64_t> expected;
+    const uint64_t mask = width == 64 ? ~0ull : (1ull << width) - 1;
+    for (int i = 0; i < 1000; ++i) {
+      const uint64_t x = rng.NextU64() & mask;
+      expected.push_back(x);
+      v.Append(x);
+    }
+    for (size_t i = 0; i < expected.size(); ++i) {
+      ASSERT_EQ(v.Get(i), expected[i]) << "width " << width << " index " << i;
+    }
+  }
+}
+
+TEST(BitPackTest, PayloadBytesMatchWidth) {
+  BitPackedVector v(4);
+  for (int i = 0; i < 1600; ++i) v.Append(i % 16);
+  // 1600 values * 4 bits = 800 bytes (+ one spare word of slack).
+  EXPECT_LE(v.PayloadBytes(), 800u + 16);
+  EXPECT_GE(v.PayloadBytes(), 800u);
+}
+
+// ---------------------------------------------------------------------------
+// DictionaryColumn
+// ---------------------------------------------------------------------------
+
+TEST(DictTest, RoundTripAndCodes) {
+  std::vector<std::string> values = {"red", "green", "red", "blue", "green",
+                                     "red"};
+  DictionaryColumn col = DictionaryColumn::Build(values);
+  EXPECT_EQ(col.size(), values.size());
+  EXPECT_EQ(col.dict_size(), 3u);
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(col.Get(i), values[i]);
+  }
+  EXPECT_EQ(col.CodeOf("red"), 0u);
+  EXPECT_EQ(col.CodeOf("purple"), SIZE_MAX);
+  // Equal strings share the code (equality pushdown).
+  EXPECT_EQ(col.RawCode(0), col.RawCode(2));
+  EXPECT_NE(col.RawCode(0), col.RawCode(3));
+}
+
+TEST(DictTest, CompressionWinsOnLowCardinality) {
+  std::vector<std::string> values;
+  Rng rng(2);
+  const std::vector<std::string> tags = {"article", "talk", "user", "project"};
+  for (int i = 0; i < 10000; ++i) {
+    values.push_back(tags[rng.Uniform(tags.size())]);
+  }
+  DictionaryColumn col = DictionaryColumn::Build(values);
+  size_t raw_bytes = 0;
+  for (const auto& v : values) raw_bytes += v.size();
+  EXPECT_LT(col.PayloadBytes(), raw_bytes / 4)
+      << "2-bit codes should crush 4-7 byte strings";
+}
+
+// ---------------------------------------------------------------------------
+// Timestamp codec
+// ---------------------------------------------------------------------------
+
+TEST(TimestampTest, KnownValues) {
+  // 1970-01-01 00:00:00.
+  ASSERT_OK_AND_ASSIGN(uint32_t epoch, ParseTimestamp14("19700101000000"));
+  EXPECT_EQ(epoch, 0u);
+  // 2011-01-01 00:00:00 == 1293840000 (the paper's era).
+  ASSERT_OK_AND_ASSIGN(uint32_t wiki, ParseTimestamp14("20110101000000"));
+  EXPECT_EQ(wiki, 1293840000u);
+  EXPECT_EQ(FormatTimestamp14(1293840000u), "20110101000000");
+}
+
+TEST(TimestampTest, RejectsMalformedStrings) {
+  EXPECT_FALSE(ParseTimestamp14("2011").ok());
+  EXPECT_FALSE(ParseTimestamp14("20111301000000").ok());  // month 13
+  EXPECT_FALSE(ParseTimestamp14("2011010100000x").ok());
+  EXPECT_FALSE(ParseTimestamp14("19690101000000").ok());  // pre-epoch
+}
+
+TEST(TimestampTest, RoundTripProperty) {
+  Rng rng(3);
+  // Stay below 2100-01-01: the parser validates years up to 2105, while u32
+  // seconds extend a few weeks into 2106.
+  constexpr uint64_t kMaxSecs = 4102444800ull;
+  for (int i = 0; i < 5000; ++i) {
+    const uint32_t secs = static_cast<uint32_t>(rng.NextU64() % kMaxSecs);
+    const std::string s = FormatTimestamp14(secs);
+    ASSERT_OK_AND_ASSIGN(uint32_t back, ParseTimestamp14(s));
+    ASSERT_EQ(back, secs) << s;
+  }
+}
+
+TEST(TimestampTest, CivilDateRoundTrip) {
+  Rng rng(4);
+  for (int i = 0; i < 5000; ++i) {
+    const int64_t days = static_cast<int64_t>(rng.Uniform(60000));  // ~164 yrs
+    int y;
+    unsigned m, d;
+    CivilFromDays(days, &y, &m, &d);
+    ASSERT_EQ(DaysFromCivil(y, m, d), days);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ColumnStats + type inference
+// ---------------------------------------------------------------------------
+
+TEST(ColumnStatsTest, TracksIntRangeAndDistinct) {
+  ColumnStats st;
+  for (int64_t v : {5, -3, 10, 5, 7}) st.Observe(Value::Int64(v));
+  EXPECT_EQ(st.count(), 5u);
+  EXPECT_EQ(st.int_min(), -3);
+  EXPECT_EQ(st.int_max(), 10);
+  EXPECT_EQ(st.distinct(), 4u);
+  EXPECT_FALSE(st.bool_like());
+}
+
+TEST(ColumnStatsTest, DetectsBoolLike) {
+  ColumnStats st;
+  for (int64_t v : {0, 1, 1, 0, 0}) st.Observe(Value::Int64(v));
+  EXPECT_TRUE(st.bool_like());
+}
+
+TEST(ColumnStatsTest, DetectsStringShapes) {
+  ColumnStats numeric, ts, mixed;
+  numeric.Observe(Value::Varchar("12345"));
+  numeric.Observe(Value::Varchar("-7"));
+  EXPECT_TRUE(numeric.all_numeric_strings());
+  EXPECT_FALSE(numeric.all_timestamp14_strings());
+
+  ts.Observe(Value::Char("20110101000000"));
+  ts.Observe(Value::Char("20110415093000"));
+  EXPECT_TRUE(ts.all_timestamp14_strings());
+  EXPECT_TRUE(ts.all_numeric_strings());  // digits only
+
+  mixed.Observe(Value::Varchar("abc"));
+  mixed.Observe(Value::Varchar("123"));
+  EXPECT_FALSE(mixed.all_numeric_strings());
+  EXPECT_EQ(mixed.max_string_len(), 3u);
+}
+
+TEST(TypeInferenceTest, SmallRangeInt64BecomesBitPacked) {
+  Column col{"ns", TypeId::kInt64, 0};
+  ColumnStats st;
+  for (int64_t v = 0; v < 16; ++v) st.Observe(Value::Int64(v));
+  InferredType t = InferColumnType(col, st);
+  EXPECT_EQ(t.encoding, PhysicalEncoding::kBitPacked);
+  EXPECT_EQ(t.bits_per_value, 4);  // 0..15
+  EXPECT_NEAR(t.WasteFraction(), 1.0 - 4.0 / 64.0, 1e-9);
+}
+
+TEST(TypeInferenceTest, BoolAsInt64Becomes1Bit) {
+  Column col{"is_redirect", TypeId::kInt64, 0};
+  ColumnStats st;
+  st.Observe(Value::Int64(0));
+  st.Observe(Value::Int64(1));
+  InferredType t = InferColumnType(col, st);
+  EXPECT_EQ(t.encoding, PhysicalEncoding::kBoolBit);
+  EXPECT_EQ(t.bits_per_value, 1);
+}
+
+TEST(TypeInferenceTest, Timestamp14StringBecomes4Bytes) {
+  // The paper: "a 14 byte string ... can easily be encoded into a 4 byte
+  // timestamp".
+  Column col{"rev_timestamp", TypeId::kChar, 14};
+  ColumnStats st;
+  st.Observe(Value::Char("20110101000000"));
+  st.Observe(Value::Char("20110415093000"));
+  InferredType t = InferColumnType(col, st);
+  EXPECT_EQ(t.encoding, PhysicalEncoding::kTimestampBinary);
+  EXPECT_EQ(t.bits_per_value, 32);
+  EXPECT_NEAR(t.WasteFraction(), 1.0 - 4.0 / 14.0, 1e-9);
+}
+
+TEST(TypeInferenceTest, ConstantColumnIsDropped) {
+  Column col{"rev_deleted", TypeId::kInt64, 0};
+  ColumnStats st;
+  for (int i = 0; i < 100; ++i) st.Observe(Value::Int64(0));
+  InferredType t = InferColumnType(col, st);
+  EXPECT_EQ(t.encoding, PhysicalEncoding::kDropConstant);
+  EXPECT_EQ(t.bits_per_value, 0);
+}
+
+TEST(TypeInferenceTest, LowCardinalityStringsGetDictionary) {
+  Column col{"restrictions", TypeId::kVarchar, 255};
+  ColumnStats st;
+  for (int i = 0; i < 1000; ++i) {
+    st.Observe(Value::Varchar(i % 3 == 0 ? "sysop" : i % 3 == 1 ? "" : "move"));
+  }
+  InferredType t = InferColumnType(col, st);
+  EXPECT_EQ(t.encoding, PhysicalEncoding::kDictionary);
+  EXPECT_LT(t.bits_per_value, 8);
+}
+
+TEST(TypeInferenceTest, OverDeclaredCharShrinks) {
+  // CHAR always occupies the declared width, so observed-max shrinking pays.
+  Column col{"title", TypeId::kChar, 255};
+  ColumnStats st(/*distinct_limit=*/64);  // force distinct overflow
+  Rng rng(6);
+  for (int i = 0; i < 1000; ++i) {
+    st.Observe(Value::Char(rng.NextString(10 + rng.Uniform(10))));
+  }
+  InferredType t = InferColumnType(col, st);
+  EXPECT_EQ(t.encoding, PhysicalEncoding::kShrunkString);
+  EXPECT_LE(t.bits_per_value, 8.0 * (19 + 2));
+}
+
+TEST(TypeInferenceTest, VarcharAccountedAtStoredSizeNotCapacity) {
+  // A varchar(255) holding ~15-byte values is NOT charged 257 bytes — the
+  // engine stores it variable-length, so there is little to reclaim.
+  Column col{"title", TypeId::kVarchar, 255};
+  ColumnStats st(/*distinct_limit=*/64);
+  Rng rng(6);
+  for (int i = 0; i < 1000; ++i) {
+    st.Observe(Value::Varchar(rng.NextString(10 + rng.Uniform(10))));
+  }
+  InferredType t = InferColumnType(col, st);
+  EXPECT_LT(t.declared_bits_per_value, 8.0 * 25);
+  EXPECT_LT(t.WasteFraction(), 0.5);
+}
+
+TEST(TypeInferenceTest, AlreadyMinimalDeclarationStaysPlain) {
+  Column col{"flag", TypeId::kBool, 0};
+  ColumnStats st;
+  st.Observe(Value::Bool(true));
+  st.Observe(Value::Bool(false));
+  InferredType t = InferColumnType(col, st);
+  // 1 bit < 8 bits declared, so even bool compresses at bit granularity.
+  EXPECT_EQ(t.encoding, PhysicalEncoding::kBoolBit);
+
+  Column wide{"hash", TypeId::kInt64, 0};
+  ColumnStats st2;
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    st2.Observe(Value::Int64(static_cast<int64_t>(rng.NextU64())));
+  }
+  InferredType t2 = InferColumnType(wide, st2);
+  EXPECT_EQ(t2.encoding, PhysicalEncoding::kPlain);
+  EXPECT_NEAR(t2.WasteFraction(), 0.0, 1e-9);
+}
+
+TEST(TypeInferenceTest, NumericStringsConvert) {
+  Column col{"count_str", TypeId::kVarchar, 32};
+  ColumnStats st;
+  for (int i = 0; i < 100; ++i) st.Observe(Value::Varchar(std::to_string(i)));
+  InferredType t = InferColumnType(col, st);
+  EXPECT_EQ(t.encoding, PhysicalEncoding::kNumericString);
+  EXPECT_LT(t.bits_per_value, 8.0 * 34);
+}
+
+}  // namespace
+}  // namespace nblb

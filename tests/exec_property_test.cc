@@ -1,0 +1,186 @@
+// End-to-end property sweep on exec::Table: a randomized mixed workload
+// (insert/lookup/update/delete/relocate, covered and uncovered projections)
+// must agree with an in-memory oracle at every step, across cache on/off,
+// heap placement policies and page sizes.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "exec/table.h"
+#include "test_util.h"
+
+namespace nblb {
+namespace {
+
+using nblb::testing::MakeStack;
+using nblb::testing::Stack;
+
+struct ExecParam {
+  bool enable_cache;
+  bool reuse_free_slots;
+  size_t page_size;
+  size_t predicate_log_limit;
+  uint64_t seed;
+};
+
+std::string PrintParam(const ::testing::TestParamInfo<ExecParam>& info) {
+  const ExecParam& p = info.param;
+  std::string out = p.enable_cache ? "cache" : "nocache";
+  out += p.reuse_free_slots ? "_reuse" : "_append";
+  out += "_pg" + std::to_string(p.page_size);
+  out += "_log" + std::to_string(p.predicate_log_limit);
+  out += "_s" + std::to_string(p.seed);
+  return out;
+}
+
+class TablePropertyTest : public ::testing::TestWithParam<ExecParam> {};
+
+Schema TestSchema() {
+  return Schema({{"id", TypeId::kInt64, 0},
+                 {"a", TypeId::kInt64, 0},
+                 {"b", TypeId::kVarchar, 20},
+                 {"c", TypeId::kInt32, 0},
+                 {"d", TypeId::kChar, 30}});
+}
+
+Row MakeRow(int64_t id, uint64_t version) {
+  return {Value::Int64(id), Value::Int64(static_cast<int64_t>(version)),
+          Value::Varchar("v" + std::to_string(version) + "_" +
+                         std::to_string(id)),
+          Value::Int32(static_cast<int32_t>((id * 7 + version) % 100000)),
+          Value::Char("pad_" + std::to_string(id % 1000))};
+}
+
+bool RowsEqual(const Row& x, const Row& y) {
+  if (x.size() != y.size()) return false;
+  for (size_t i = 0; i < x.size(); ++i) {
+    if (x[i] != y[i]) return false;
+  }
+  return true;
+}
+
+TEST_P(TablePropertyTest, AgreesWithOracleUnderMixedWorkload) {
+  const ExecParam p = GetParam();
+  Stack s = MakeStack("execprop", p.page_size, 8192);
+  TableOptions topts;
+  topts.key_columns = {0};
+  topts.cached_columns = {1, 3};  // a (versioned) and c — both updated often
+  topts.enable_index_cache = p.enable_cache;
+  topts.reuse_free_slots = p.reuse_free_slots;
+  topts.cache_options.predicate_log_limit = p.predicate_log_limit;
+  ASSERT_OK_AND_ASSIGN(auto table,
+                       Table::Create(s.bp.get(), TestSchema(), topts));
+
+  // Oracle: key -> version (the row is a pure function of key+version).
+  std::map<int64_t, uint64_t> oracle;
+  Rng rng(p.seed);
+  constexpr int kOps = 8000;
+  constexpr int64_t kKeySpace = 600;
+
+  for (int op = 0; op < kOps; ++op) {
+    const int64_t id = static_cast<int64_t>(rng.Uniform(kKeySpace));
+    const std::vector<Value> key = {Value::Int64(id)};
+    const double dice = rng.NextDouble();
+    const bool present = oracle.count(id) != 0;
+
+    if (dice < 0.30) {  // insert
+      Status st = table->Insert(MakeRow(id, 0));
+      if (present) {
+        ASSERT_TRUE(st.IsAlreadyExists()) << st.ToString();
+      } else {
+        ASSERT_OK(st);
+        oracle[id] = 0;
+      }
+    } else if (dice < 0.45) {  // update
+      if (present) {
+        const uint64_t v = ++oracle[id];
+        ASSERT_OK(table->UpdateByKey(key, MakeRow(id, v)));
+      } else {
+        EXPECT_TRUE(table->UpdateByKey(key, MakeRow(id, 1)).IsNotFound());
+      }
+    } else if (dice < 0.55) {  // delete
+      Status st = table->DeleteByKey(key);
+      if (present) {
+        ASSERT_OK(st);
+        oracle.erase(id);
+      } else {
+        ASSERT_TRUE(st.IsNotFound());
+      }
+    } else if (dice < 0.60) {  // relocate (delete-then-append clustering op)
+      auto r = table->Relocate(key);
+      if (present) {
+        ASSERT_OK(r.status());
+      } else {
+        ASSERT_TRUE(r.status().IsNotFound());
+      }
+    } else if (dice < 0.80) {  // covered projection lookup
+      auto r = table->LookupProjected(key, {0, 1, 3});
+      if (present) {
+        ASSERT_OK(r.status());
+        const Row expect = MakeRow(id, oracle[id]);
+        ASSERT_EQ((*r)[0], expect[0]);
+        ASSERT_EQ((*r)[1], expect[1]) << "stale cached column at op " << op;
+        ASSERT_EQ((*r)[2], expect[3]);
+      } else {
+        ASSERT_TRUE(r.status().IsNotFound());
+      }
+    } else if (dice < 0.92) {  // uncovered projection (forces heap)
+      auto r = table->LookupProjected(key, {2, 4});
+      if (present) {
+        ASSERT_OK(r.status());
+        const Row expect = MakeRow(id, oracle[id]);
+        ASSERT_EQ((*r)[0], expect[2]);
+        ASSERT_EQ((*r)[1], expect[4]);
+      } else {
+        ASSERT_TRUE(r.status().IsNotFound());
+      }
+    } else {  // full row
+      auto r = table->GetByKey(key);
+      if (present) {
+        ASSERT_OK(r.status());
+        ASSERT_TRUE(RowsEqual(*r, MakeRow(id, oracle[id]))) << "op " << op;
+      } else {
+        ASSERT_TRUE(r.status().IsNotFound());
+      }
+    }
+  }
+
+  // Final full-table agreement.
+  EXPECT_EQ(table->heap()->tuple_count(), oracle.size());
+  EXPECT_EQ(table->index()->num_entries(), oracle.size());
+  size_t scanned = 0;
+  ASSERT_OK(table->ForEachRow([&](const Rid&, const Row& row) {
+    const int64_t id = row[0].AsInt();
+    auto it = oracle.find(id);
+    EXPECT_NE(it, oracle.end()) << "phantom row id " << id;
+    if (it != oracle.end()) {
+      EXPECT_TRUE(RowsEqual(row, MakeRow(id, it->second)));
+    }
+    ++scanned;
+    return Status::OK();
+  }));
+  EXPECT_EQ(scanned, oracle.size());
+
+  // With the cache enabled, the covered lookups must actually have used it.
+  if (p.enable_cache) {
+    EXPECT_GT(table->stats().answered_from_cache, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TablePropertyTest,
+    ::testing::Values(ExecParam{true, false, 4096, 1024, 1},
+                      ExecParam{true, true, 4096, 1024, 2},
+                      ExecParam{false, false, 4096, 1024, 3},
+                      ExecParam{false, true, 4096, 1024, 4},
+                      ExecParam{true, false, 1024, 1024, 5},
+                      ExecParam{true, false, 16384, 1024, 6},
+                      ExecParam{true, true, 1024, 16, 7},   // log thrash
+                      ExecParam{true, false, 4096, 4, 8},   // constant bumps
+                      ExecParam{true, true, 8192, 1024, 9},
+                      ExecParam{true, false, 8192, 64, 10}),
+    PrintParam);
+
+}  // namespace
+}  // namespace nblb

@@ -1,0 +1,184 @@
+// Failure injection: crashes, lost in-memory state, and non-durable cache
+// bytes. The §2.1.2 guarantee under test: a cache may be lost at any moment,
+// but a stale cache must NEVER be served.
+
+#include <gtest/gtest.h>
+
+#include "cache/index_cache.h"
+#include "common/bytes.h"
+#include "exec/table.h"
+#include "test_util.h"
+
+namespace nblb {
+namespace {
+
+using nblb::testing::MakeStack;
+using nblb::testing::Stack;
+using nblb::testing::TempFile;
+
+std::string K(uint64_t v) {
+  std::string s(8, '\0');
+  EncodeBigEndian64(s.data(), v);
+  return s;
+}
+
+constexpr uint16_t kItemSize = 25;
+constexpr size_t kPayload = kItemSize - 8;
+
+std::string PayloadFor(uint64_t tid) {
+  std::string p(kPayload, '\0');
+  for (size_t i = 0; i < kPayload; ++i) {
+    p[i] = static_cast<char>('a' + (tid + i) % 26);
+  }
+  return p;
+}
+
+TEST(FailureInjectionTest, CrashWithPersistedCacheBytesNeverServesThem) {
+  TempFile f("fi_crash");
+  PageId meta;
+  {
+    // Session 1: build a tree, cache an item, then FORCE the cache bytes to
+    // disk by dirtying the page through a legitimate index write on the same
+    // page (piggy-backing, as the paper allows), and "crash" without any
+    // orderly shutdown of the in-memory invalidation state.
+    DiskManager disk(f.path(), 4096);
+    ASSERT_OK(disk.Open());
+    BufferPool bp(&disk, 256);
+    BTreeOptions opts;
+    opts.key_size = 8;
+    opts.cache_item_size = kItemSize;
+    ASSERT_OK_AND_ASSIGN(auto tree, BTree::Create(&bp, opts));
+    for (uint64_t i = 0; i < 8; ++i) {
+      ASSERT_OK(tree->Insert(Slice(K(i)), 100 + i));
+    }
+    meta = tree->meta_page_id();
+    IndexCache cache(tree.get());
+    {
+      ASSERT_OK_AND_ASSIGN(PageGuard leaf, tree->FindLeaf(Slice(K(0))));
+      cache.Populate(&leaf, 100, Slice(PayloadFor(100)));
+    }
+    // An index insert dirties the leaf; the cache bytes ride along to disk.
+    ASSERT_OK(tree->Insert(Slice(K(1000)), 1100));
+    ASSERT_OK(bp.FlushAll());
+    ASSERT_OK(disk.Sync());
+    // Crash: destructors run but no InvalidateAll / no checkpoint of the
+    // predicate log (it is memory-only by design).
+  }
+  {
+    // Session 2: reopen. BTree::Open must bump CSNidx so the persisted
+    // cache bytes are unreadable.
+    DiskManager disk(f.path(), 4096);
+    ASSERT_OK(disk.Open());
+    BufferPool bp(&disk, 256);
+    ASSERT_OK_AND_ASSIGN(auto tree, BTree::Open(&bp, meta));
+    IndexCache cache(tree.get());
+    ASSERT_OK_AND_ASSIGN(PageGuard leaf, tree->FindLeaf(Slice(K(0))));
+    char out[kPayload];
+    EXPECT_FALSE(cache.Probe(&leaf, 100, out))
+        << "crash-surviving cache bytes must be invalid after reopen";
+    // The index itself is intact.
+    ASSERT_OK_AND_ASSIGN(uint64_t v, tree->Get(Slice(K(5))));
+    EXPECT_EQ(v, 105u);
+  }
+}
+
+TEST(FailureInjectionTest, CrashAfterUpdateWithUnflushedHeapIsStillConsistent) {
+  // The update path orders invalidation BEFORE the heap write; a crash
+  // between them must not let a future reader see the retracted version via
+  // the cache (it can only see the heap's version, whatever is durable).
+  TempFile f("fi_update");
+  PageId meta;
+  {
+    DiskManager disk(f.path(), 4096);
+    ASSERT_OK(disk.Open());
+    BufferPool bp(&disk, 256);
+    BTreeOptions opts;
+    opts.key_size = 8;
+    opts.cache_item_size = kItemSize;
+    ASSERT_OK_AND_ASSIGN(auto tree, BTree::Create(&bp, opts));
+    ASSERT_OK(tree->Insert(Slice(K(1)), 500));
+    meta = tree->meta_page_id();
+    IndexCache cache(tree.get());
+    ASSERT_OK_AND_ASSIGN(PageGuard leaf, tree->FindLeaf(Slice(K(1))));
+    cache.Populate(&leaf, 500, Slice(PayloadFor(500)));
+    // Update begins: predicate logged (memory only)... crash here.
+    ASSERT_OK(cache.OnTupleModified(Slice(K(1)), 500));
+    leaf.Release();
+    ASSERT_OK(bp.FlushAll());
+  }
+  DiskManager disk(f.path(), 4096);
+  ASSERT_OK(disk.Open());
+  BufferPool bp(&disk, 256);
+  ASSERT_OK_AND_ASSIGN(auto tree, BTree::Open(&bp, meta));
+  IndexCache cache(tree.get());
+  ASSERT_OK_AND_ASSIGN(PageGuard leaf, tree->FindLeaf(Slice(K(1))));
+  char out[kPayload];
+  EXPECT_FALSE(cache.Probe(&leaf, 500, out));
+}
+
+TEST(FailureInjectionTest, EvictionUnderMemoryPressureLosesOnlyCacheNotData) {
+  // A tiny buffer pool constantly evicts pages whose cache bytes were never
+  // written back. Data correctness must be unaffected; the cache silently
+  // restarts cold.
+  Stack s = MakeStack("fi_pressure", 4096, 8);  // 8 frames only
+  BTreeOptions opts;
+  opts.key_size = 8;
+  opts.cache_item_size = kItemSize;
+  ASSERT_OK_AND_ASSIGN(auto tree, BTree::Create(s.bp.get(), opts));
+  IndexCache cache(tree.get());
+  for (uint64_t i = 0; i < 2000; ++i) {
+    ASSERT_OK(tree->Insert(Slice(K(i)), i));
+  }
+  char out[kPayload];
+  Rng rng(13);
+  for (int op = 0; op < 5000; ++op) {
+    const uint64_t k = rng.Uniform(2000);
+    ASSERT_OK_AND_ASSIGN(PageGuard leaf, tree->FindLeaf(Slice(K(k))));
+    if (cache.Probe(&leaf, k, out)) {
+      ASSERT_EQ(std::string(out, kPayload), PayloadFor(k))
+          << "eviction must never corrupt a cache item";
+    } else {
+      cache.Populate(&leaf, k, Slice(PayloadFor(k)));
+    }
+    leaf.Release();
+    ASSERT_OK_AND_ASSIGN(uint64_t v, tree->Get(Slice(K(k))));
+    ASSERT_EQ(v, k);
+  }
+}
+
+TEST(FailureInjectionTest, PredicateLogOverflowUnderWriteStorm) {
+  // A write storm overflows the predicate log; the implementation must fall
+  // back to full invalidation and stay correct throughout.
+  Stack s = MakeStack("fi_storm", 4096, 1024);
+  Schema schema({{"id", TypeId::kInt64, 0},
+                 {"v", TypeId::kInt64, 0},
+                 {"pad", TypeId::kChar, 32}});
+  TableOptions topts;
+  topts.key_columns = {0};
+  topts.cached_columns = {1};
+  topts.cache_options.predicate_log_limit = 16;  // tiny: overflow quickly
+  ASSERT_OK_AND_ASSIGN(auto t, Table::Create(s.bp.get(), schema, topts));
+  constexpr int64_t kN = 200;
+  std::vector<int64_t> truth(kN, 0);
+  for (int64_t i = 0; i < kN; ++i) {
+    ASSERT_OK(t->Insert({Value::Int64(i), Value::Int64(0), Value::Char("x")}));
+  }
+  Rng rng(17);
+  for (int op = 0; op < 5000; ++op) {
+    const int64_t id = static_cast<int64_t>(rng.Uniform(kN));
+    if (rng.Bernoulli(0.5)) {
+      truth[id]++;
+      ASSERT_OK(t->UpdateByKey(
+          {Value::Int64(id)},
+          {Value::Int64(id), Value::Int64(truth[id]), Value::Char("x")}));
+    } else {
+      ASSERT_OK_AND_ASSIGN(Row r, t->LookupProjected({Value::Int64(id)}, {1}));
+      ASSERT_EQ(r[0].AsInt(), truth[id]);
+    }
+  }
+  EXPECT_GT(t->cache()->stats().full_invalidations, 0u)
+      << "the storm should have overflowed the 16-entry log";
+}
+
+}  // namespace
+}  // namespace nblb

@@ -1,0 +1,159 @@
+#include "cache/field_advisor.h"
+
+#include <gtest/gtest.h>
+
+#include "exec/table.h"
+#include "test_util.h"
+
+namespace nblb {
+namespace {
+
+// The §2.1.4 running example: page table, name_title key, 4 candidate
+// fields, one dominant query class.
+Schema PageSchema() {
+  return Schema({{"page_namespace", TypeId::kInt32, 0},   // 0 (key)
+                 {"page_title", TypeId::kVarchar, 24},    // 1 (key)
+                 {"page_id", TypeId::kInt64, 0},          // 2
+                 {"page_latest", TypeId::kInt64, 0},      // 3
+                 {"page_is_redirect", TypeId::kBool, 0},  // 4
+                 {"page_len", TypeId::kInt32, 0},         // 5
+                 {"page_touched", TypeId::kChar, 14},     // 6 (hot update)
+                 {"page_counter", TypeId::kInt64, 0}});   // 7 (hot update)
+}
+
+FieldAdvisorInput BaseInput(const Schema* schema) {
+  FieldAdvisorInput in;
+  in.schema = schema;
+  in.key_columns = {0, 1};
+  // The popular query class (40% of the workload) projects the 4 fields.
+  in.query_classes = {
+      {{2, 3, 4, 5}, 0.40},   // page lookup
+      {{2, 6}, 0.15},         // touched check (needs hot column 6)
+      {{7}, 0.10},            // counter read (hot column 7)
+      {{0, 1}, 0.05},         // existence check: key-only
+  };
+  // page_touched and page_counter are updated constantly.
+  in.update_rates = {0, 0, 0.001, 0.02, 0.001, 0.01, 0.9, 2.0};
+  in.max_item_size = 64;
+  in.update_weight = 0.3;
+  return in;
+}
+
+TEST(FieldAdvisorTest, PicksThePapersFourFields) {
+  Schema schema = PageSchema();
+  FieldAdvisorInput in = BaseInput(&schema);
+  FieldSelection sel = CacheFieldAdvisor::Recommend(in);
+  // The stable, coverage-heavy fields are chosen...
+  EXPECT_EQ(sel.cached_columns, (std::vector<size_t>{2, 3, 4, 5}));
+  // ...covering the 40% class plus the key-only class.
+  EXPECT_NEAR(sel.covered_frequency, 0.45, 1e-9);
+  // Item = 8 (tid) + 8 + 8 + 1 + 4.
+  EXPECT_EQ(sel.item_size, 29u);
+  EXPECT_FALSE(sel.rationale.empty());
+}
+
+TEST(FieldAdvisorTest, HotColumnsAreRejectedByUpdatePenalty) {
+  Schema schema = PageSchema();
+  FieldAdvisorInput in = BaseInput(&schema);
+  FieldSelection sel = CacheFieldAdvisor::Recommend(in);
+  for (size_t c : sel.cached_columns) {
+    EXPECT_NE(c, 6u) << "page_touched updates too often to cache";
+    EXPECT_NE(c, 7u) << "page_counter updates too often to cache";
+  }
+  // With the penalty disabled, covering the 15% class becomes worth it.
+  in.update_weight = 0.0;
+  FieldSelection greedy = CacheFieldAdvisor::Recommend(in);
+  EXPECT_GT(greedy.covered_frequency, sel.covered_frequency);
+}
+
+TEST(FieldAdvisorTest, ByteBudgetIsRespected) {
+  Schema schema = PageSchema();
+  FieldAdvisorInput in = BaseInput(&schema);
+  in.max_item_size = 17;  // tid + at most 9 bytes of fields
+  FieldSelection sel = CacheFieldAdvisor::Recommend(in);
+  EXPECT_LE(sel.item_size, 17u);
+  size_t field_bytes = 0;
+  for (size_t c : sel.cached_columns) field_bytes += schema.column(c).ByteSize();
+  EXPECT_EQ(sel.item_size, 8 + field_bytes);
+}
+
+TEST(FieldAdvisorTest, KeyOnlyWorkloadCachesNothing) {
+  Schema schema = PageSchema();
+  FieldAdvisorInput in = BaseInput(&schema);
+  in.query_classes = {{{0, 1}, 1.0}};  // everything answerable from the key
+  FieldSelection sel = CacheFieldAdvisor::Recommend(in);
+  EXPECT_TRUE(sel.cached_columns.empty());
+  EXPECT_DOUBLE_EQ(sel.covered_frequency, 1.0);
+  EXPECT_EQ(sel.item_size, 8u);
+}
+
+TEST(FieldAdvisorTest, AllHotColumnsMeansCacheDisabled) {
+  Schema schema = PageSchema();
+  FieldAdvisorInput in = BaseInput(&schema);
+  // Every non-key column churns heavily.
+  in.update_rates = {0, 0, 5, 5, 5, 5, 5, 5};
+  in.update_weight = 1.0;
+  FieldSelection sel = CacheFieldAdvisor::Recommend(in);
+  EXPECT_TRUE(sel.cached_columns.empty());
+  EXPECT_EQ(sel.rationale.size(), 1u);
+}
+
+TEST(FieldAdvisorTest, PartialCoverageIsWorthless) {
+  // A class projecting {2,3} is only covered if BOTH are cached; caching
+  // just one gains nothing, so the advisor must pick both or neither.
+  Schema schema = PageSchema();
+  FieldAdvisorInput in = BaseInput(&schema);
+  in.query_classes = {{{2, 3}, 0.5}};
+  FieldSelection sel = CacheFieldAdvisor::Recommend(in);
+  EXPECT_EQ(sel.cached_columns, (std::vector<size_t>{2, 3}));
+  EXPECT_DOUBLE_EQ(sel.covered_frequency, 0.5);
+}
+
+TEST(FieldAdvisorTest, GreedyPrefersDenserCoveragePerByte) {
+  // Two disjoint classes with equal frequency; one needs a 1-byte bool, the
+  // other a 22-byte varchar. With room for only one, the bool wins.
+  Schema schema({{"k", TypeId::kInt64, 0},
+                 {"flag", TypeId::kBool, 0},
+                 {"name", TypeId::kVarchar, 20}});
+  FieldAdvisorInput in;
+  in.schema = &schema;
+  in.key_columns = {0};
+  in.query_classes = {{{1}, 0.3}, {{2}, 0.3}};
+  in.update_rates = {0, 0, 0};
+  in.max_item_size = 16;  // tid + 8: fits the bool, not the varchar
+  FieldSelection sel = CacheFieldAdvisor::Recommend(in);
+  EXPECT_EQ(sel.cached_columns, (std::vector<size_t>{1}));
+  EXPECT_DOUBLE_EQ(sel.covered_frequency, 0.3);
+}
+
+TEST(FieldAdvisorTest, SelectionIsUsableAsTableOptions) {
+  // The advisor's output plugs straight into Table::Create.
+  using nblb::testing::MakeStack;
+  auto s = MakeStack("fieldadvisor");
+  Schema schema = PageSchema();
+  FieldAdvisorInput in = BaseInput(&schema);
+  FieldSelection sel = CacheFieldAdvisor::Recommend(in);
+
+  TableOptions topts;
+  topts.key_columns = in.key_columns;
+  topts.cached_columns = sel.cached_columns;
+  ASSERT_OK_AND_ASSIGN(auto table, Table::Create(s.bp.get(), schema, topts));
+  ASSERT_OK(table->Insert({Value::Int32(0), Value::Varchar("Main"),
+                           Value::Int64(1), Value::Int64(10),
+                           Value::Bool(false), Value::Int32(100),
+                           Value::Char("20110101000000"), Value::Int64(0)}));
+  // The recommended projection really is covered.
+  EXPECT_TRUE(table->ProjectionCoveredByIndex(in.query_classes[0]
+                                                  .projected_columns));
+  ASSERT_OK(table->LookupProjected({Value::Int32(0), Value::Varchar("Main")},
+                                   {2, 3, 4, 5})
+                .status());
+  ASSERT_OK_AND_ASSIGN(
+      Row r, table->LookupProjected({Value::Int32(0), Value::Varchar("Main")},
+                                    {2, 3, 4, 5}));
+  EXPECT_EQ(r[1].AsInt(), 10);
+  EXPECT_EQ(table->stats().answered_from_cache, 1u);
+}
+
+}  // namespace
+}  // namespace nblb

@@ -1,0 +1,172 @@
+#include "storage/heap_file.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.h"
+#include "test_util.h"
+
+namespace nblb {
+namespace {
+
+using nblb::testing::MakeStack;
+using nblb::testing::Stack;
+
+std::string MakeTuple(size_t size, char fill) { return std::string(size, fill); }
+
+TEST(HeapFileTest, InsertGetRoundTrip) {
+  Stack s = MakeStack("heap_basic");
+  ASSERT_OK_AND_ASSIGN(auto heap, HeapFile::Create(s.bp.get(), 64));
+  ASSERT_OK_AND_ASSIGN(Rid rid, heap->Insert(Slice(MakeTuple(64, 'a'))));
+  std::string out;
+  ASSERT_OK(heap->Get(rid, &out));
+  EXPECT_EQ(out, MakeTuple(64, 'a'));
+  EXPECT_EQ(heap->tuple_count(), 1u);
+}
+
+TEST(HeapFileTest, WrongSizeTupleRejected) {
+  Stack s = MakeStack("heap_size");
+  ASSERT_OK_AND_ASSIGN(auto heap, HeapFile::Create(s.bp.get(), 64));
+  EXPECT_TRUE(heap->Insert(Slice(MakeTuple(63, 'a'))).status()
+                  .IsInvalidArgument());
+}
+
+TEST(HeapFileTest, UpdateOverwritesInPlace) {
+  Stack s = MakeStack("heap_update");
+  ASSERT_OK_AND_ASSIGN(auto heap, HeapFile::Create(s.bp.get(), 32));
+  ASSERT_OK_AND_ASSIGN(Rid rid, heap->Insert(Slice(MakeTuple(32, 'a'))));
+  ASSERT_OK(heap->Update(rid, Slice(MakeTuple(32, 'b'))));
+  std::string out;
+  ASSERT_OK(heap->Get(rid, &out));
+  EXPECT_EQ(out, MakeTuple(32, 'b'));
+  EXPECT_EQ(heap->tuple_count(), 1u);
+}
+
+TEST(HeapFileTest, DeleteMakesSlotUnreachable) {
+  Stack s = MakeStack("heap_delete");
+  ASSERT_OK_AND_ASSIGN(auto heap, HeapFile::Create(s.bp.get(), 32));
+  ASSERT_OK_AND_ASSIGN(Rid rid, heap->Insert(Slice(MakeTuple(32, 'a'))));
+  ASSERT_OK(heap->Delete(rid));
+  std::string out;
+  EXPECT_TRUE(heap->Get(rid, &out).IsNotFound());
+  EXPECT_TRUE(heap->Delete(rid).IsNotFound());
+  EXPECT_TRUE(heap->Update(rid, Slice(MakeTuple(32, 'b'))).IsNotFound());
+  EXPECT_EQ(heap->tuple_count(), 0u);
+}
+
+TEST(HeapFileTest, AppendOnlyPolicyLeavesHoles) {
+  // The paper's §3.1 premise: default placement appends and never backfills,
+  // so deletes leave dead space ("locality waste").
+  Stack s = MakeStack("heap_appendonly", 4096, 512);
+  ASSERT_OK_AND_ASSIGN(auto heap, HeapFile::Create(s.bp.get(), 400));
+  std::vector<Rid> rids;
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_OK_AND_ASSIGN(Rid rid, heap->Insert(Slice(MakeTuple(400, 'x'))));
+    rids.push_back(rid);
+  }
+  const size_t pages_before = heap->pages().size();
+  // Delete half, insert the same number back.
+  for (int i = 0; i < 50; i += 2) ASSERT_OK(heap->Delete(rids[i]));
+  for (int i = 0; i < 25; ++i) {
+    ASSERT_OK_AND_ASSIGN(Rid rid, heap->Insert(Slice(MakeTuple(400, 'y'))));
+    // New tuples must land at or after the previous tail (no hole reuse).
+    EXPECT_GE(rid.page, rids.back().page);
+  }
+  EXPECT_GT(heap->pages().size(), pages_before);
+  ASSERT_OK_AND_ASSIGN(HeapFileStats st, heap->ComputeStats());
+  EXPECT_LT(st.Utilization(), 1.0);
+}
+
+TEST(HeapFileTest, ReusePolicyFillsHoles) {
+  Stack s = MakeStack("heap_reuse", 4096, 512);
+  HeapFileOptions opts;
+  opts.reuse_free_slots = true;
+  ASSERT_OK_AND_ASSIGN(auto heap, HeapFile::Create(s.bp.get(), 400, opts));
+  std::vector<Rid> rids;
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_OK_AND_ASSIGN(Rid rid, heap->Insert(Slice(MakeTuple(400, 'x'))));
+    rids.push_back(rid);
+  }
+  const size_t pages_before = heap->pages().size();
+  for (int i = 0; i < 50; i += 2) ASSERT_OK(heap->Delete(rids[i]));
+  for (int i = 0; i < 25; ++i) {
+    ASSERT_OK(heap->Insert(Slice(MakeTuple(400, 'y'))).status());
+  }
+  EXPECT_EQ(heap->pages().size(), pages_before) << "holes should be reused";
+}
+
+TEST(HeapFileTest, SpansMultiplePagesAndScansInOrder) {
+  Stack s = MakeStack("heap_span", 4096, 512);
+  ASSERT_OK_AND_ASSIGN(auto heap, HeapFile::Create(s.bp.get(), 100));
+  const size_t per_page = heap->SlotsPerPage();
+  const size_t n = per_page * 3 + 5;
+  for (size_t i = 0; i < n; ++i) {
+    std::string t(100, static_cast<char>('a' + (i % 26)));
+    ASSERT_OK(heap->Insert(Slice(t)).status());
+  }
+  EXPECT_EQ(heap->pages().size(), 4u);
+  size_t seen = 0;
+  ASSERT_OK(heap->ForEach([&](const Rid&, const char* bytes) {
+    EXPECT_EQ(bytes[0], static_cast<char>('a' + (seen % 26)));
+    ++seen;
+    return Status::OK();
+  }));
+  EXPECT_EQ(seen, n);
+}
+
+TEST(HeapFileTest, AttachRebuildsStateFromDisk) {
+  Stack s = MakeStack("heap_attach", 4096, 512);
+  PageId first;
+  std::map<uint64_t, std::string> expected;
+  {
+    ASSERT_OK_AND_ASSIGN(auto heap, HeapFile::Create(s.bp.get(), 50));
+    first = heap->first_page_id();
+    Rng rng(4);
+    for (int i = 0; i < 300; ++i) {
+      std::string t = rng.NextString(50);
+      ASSERT_OK_AND_ASSIGN(Rid rid, heap->Insert(Slice(t)));
+      expected[rid.ToU64()] = t;
+    }
+  }
+  ASSERT_OK(s.bp->FlushAll());
+  ASSERT_OK_AND_ASSIGN(auto heap, HeapFile::Attach(s.bp.get(), 50, first));
+  EXPECT_EQ(heap->tuple_count(), expected.size());
+  for (const auto& [tid, t] : expected) {
+    std::string out;
+    ASSERT_OK(heap->Get(Rid::FromU64(tid), &out));
+    EXPECT_EQ(out, t);
+  }
+}
+
+TEST(HeapFileTest, AttachDetectsTupleSizeMismatch) {
+  Stack s = MakeStack("heap_attach_bad", 4096, 512);
+  PageId first;
+  {
+    ASSERT_OK_AND_ASSIGN(auto heap, HeapFile::Create(s.bp.get(), 50));
+    first = heap->first_page_id();
+  }
+  EXPECT_TRUE(HeapFile::Attach(s.bp.get(), 64, first).status().IsCorruption());
+}
+
+TEST(HeapFileTest, UtilizationReflectsScatteredHotTuples) {
+  // Reconstructs the §3.1 measurement: one live ("hot") tuple per page after
+  // the cold ones are deleted — low utilization, many pages.
+  Stack s = MakeStack("heap_util", 4096, 512);
+  ASSERT_OK_AND_ASSIGN(auto heap, HeapFile::Create(s.bp.get(), 200));
+  const size_t per_page = heap->SlotsPerPage();
+  std::vector<Rid> rids;
+  for (size_t i = 0; i < per_page * 10; ++i) {
+    ASSERT_OK_AND_ASSIGN(Rid rid, heap->Insert(Slice(MakeTuple(200, 'x'))));
+    rids.push_back(rid);
+  }
+  // Keep exactly one tuple per page.
+  for (const Rid& rid : rids) {
+    if (rid.slot != 0) ASSERT_OK(heap->Delete(rid));
+  }
+  ASSERT_OK_AND_ASSIGN(HeapFileStats st, heap->ComputeStats());
+  EXPECT_DOUBLE_EQ(st.Utilization(), 1.0 / static_cast<double>(per_page));
+}
+
+}  // namespace
+}  // namespace nblb

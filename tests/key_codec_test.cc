@@ -1,0 +1,151 @@
+#include "catalog/key_codec.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "test_util.h"
+
+namespace nblb {
+namespace {
+
+// Property: for any two keys, memcmp order of encodings == logical order.
+template <typename MakeValue>
+void CheckOrderPreservation(TypeId type, size_t length, MakeValue make,
+                            int iters = 2000) {
+  Schema s({{"k", type, length}});
+  KeyCodec codec(&s, {0});
+  Rng rng(1234);
+  for (int i = 0; i < iters; ++i) {
+    const Value a = make(&rng);
+    const Value b = make(&rng);
+    auto ea = codec.EncodeValues({a});
+    auto eb = codec.EncodeValues({b});
+    ASSERT_TRUE(ea.ok() && eb.ok());
+    const int logical = a.Compare(b);
+    const int physical = Slice(*ea).Compare(Slice(*eb));
+    EXPECT_EQ(logical < 0, physical < 0) << a.ToString() << " vs " << b.ToString();
+    EXPECT_EQ(logical == 0, physical == 0);
+  }
+}
+
+TEST(KeyCodecTest, Int64OrderPreserved) {
+  CheckOrderPreservation(TypeId::kInt64, 0, [](Rng* rng) {
+    return Value::Int64(static_cast<int64_t>(rng->NextU64()));
+  });
+}
+
+TEST(KeyCodecTest, Int32OrderPreservedIncludingNegatives) {
+  CheckOrderPreservation(TypeId::kInt32, 0, [](Rng* rng) {
+    return Value::Int32(static_cast<int32_t>(rng->NextU64()));
+  });
+}
+
+TEST(KeyCodecTest, Int16AndInt8OrderPreserved) {
+  CheckOrderPreservation(TypeId::kInt16, 0, [](Rng* rng) {
+    return Value::Int16(static_cast<int16_t>(rng->NextU64()));
+  });
+  CheckOrderPreservation(TypeId::kInt8, 0, [](Rng* rng) {
+    return Value::Int8(static_cast<int8_t>(rng->NextU64()));
+  });
+}
+
+TEST(KeyCodecTest, Float64OrderPreserved) {
+  CheckOrderPreservation(TypeId::kFloat64, 0, [](Rng* rng) {
+    // Mix magnitudes and signs.
+    const double mag = rng->NextDouble() * 1e12;
+    return Value::Float64(rng->Bernoulli(0.5) ? mag : -mag);
+  });
+}
+
+TEST(KeyCodecTest, StringOrderPreserved) {
+  CheckOrderPreservation(TypeId::kVarchar, 12, [](Rng* rng) {
+    return Value::Varchar(rng->NextString(rng->Uniform(12)));
+  });
+}
+
+TEST(KeyCodecTest, TimestampOrderPreserved) {
+  CheckOrderPreservation(TypeId::kTimestamp, 0, [](Rng* rng) {
+    return Value::Timestamp(static_cast<uint32_t>(rng->NextU64()));
+  });
+}
+
+TEST(KeyCodecTest, CompositeKeyOrdersBySignificance) {
+  // The paper's name_title index: (namespace, title).
+  Schema s({{"ns", TypeId::kInt32, 0}, {"title", TypeId::kVarchar, 20}});
+  KeyCodec codec(&s, {0, 1});
+  auto enc = [&](int32_t ns, const std::string& title) {
+    auto r = codec.EncodeValues({Value::Int32(ns), Value::Varchar(title)});
+    EXPECT_TRUE(r.ok());
+    return *r;
+  };
+  // Namespace dominates.
+  EXPECT_LT(Slice(enc(0, "zzz")).Compare(Slice(enc(1, "aaa"))), 0);
+  // Title breaks ties.
+  EXPECT_LT(Slice(enc(0, "apple")).Compare(Slice(enc(0, "banana"))), 0);
+  EXPECT_EQ(Slice(enc(2, "x")).Compare(Slice(enc(2, "x"))), 0);
+}
+
+TEST(KeyCodecTest, DecodeRoundTrip) {
+  Schema s({{"ns", TypeId::kInt32, 0},
+            {"title", TypeId::kVarchar, 20},
+            {"w", TypeId::kFloat64, 0}});
+  KeyCodec codec(&s, {0, 1, 2});
+  const std::vector<Value> key = {Value::Int32(-7), Value::Varchar("Main_Page"),
+                                  Value::Float64(2.5)};
+  ASSERT_OK_AND_ASSIGN(std::string bytes, codec.EncodeValues(key));
+  EXPECT_EQ(bytes.size(), codec.key_size());
+  std::vector<Value> out = codec.Decode(Slice(bytes));
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0], key[0]);
+  EXPECT_EQ(out[1], key[1]);
+  EXPECT_EQ(out[2], key[2]);
+}
+
+TEST(KeyCodecTest, EncodeFromRowExtractsKeyColumns) {
+  Schema s({{"a", TypeId::kInt64, 0},
+            {"b", TypeId::kVarchar, 8},
+            {"c", TypeId::kInt32, 0}});
+  KeyCodec codec(&s, {2, 0});  // key = (c, a)
+  Row row = {Value::Int64(10), Value::Varchar("mid"), Value::Int32(3)};
+  ASSERT_OK_AND_ASSIGN(std::string from_row, codec.EncodeFromRow(row));
+  ASSERT_OK_AND_ASSIGN(std::string from_vals,
+                       codec.EncodeValues({Value::Int32(3), Value::Int64(10)}));
+  EXPECT_EQ(from_row, from_vals);
+}
+
+TEST(KeyCodecTest, ErrorsOnBadInput) {
+  Schema s({{"k", TypeId::kInt32, 0}});
+  KeyCodec codec(&s, {0});
+  EXPECT_TRUE(codec.EncodeValues({}).status().IsInvalidArgument());
+  EXPECT_TRUE(codec.EncodeValues({Value::Varchar("x")})
+                  .status()
+                  .IsInvalidArgument());
+  Schema s2({{"k", TypeId::kVarchar, 4}});
+  KeyCodec codec2(&s2, {0});
+  EXPECT_TRUE(codec2.EncodeValues({Value::Varchar("12345")})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(KeyCodecTest, SortingEncodedKeysMatchesSortingValues) {
+  Schema s({{"k", TypeId::kInt64, 0}});
+  KeyCodec codec(&s, {0});
+  Rng rng(5);
+  std::vector<int64_t> vals;
+  std::vector<std::string> keys;
+  for (int i = 0; i < 500; ++i) {
+    const int64_t v = static_cast<int64_t>(rng.NextU64());
+    vals.push_back(v);
+    keys.push_back(*codec.EncodeValues({Value::Int64(v)}));
+  }
+  std::sort(vals.begin(), vals.end());
+  std::sort(keys.begin(), keys.end());
+  for (size_t i = 0; i < vals.size(); ++i) {
+    EXPECT_EQ(codec.Decode(Slice(keys[i]))[0].AsInt(), vals[i]);
+  }
+}
+
+}  // namespace
+}  // namespace nblb

@@ -1,0 +1,102 @@
+#include "sim/micro_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace nblb {
+namespace {
+
+MicroSimOptions SmallSim() {
+  MicroSimOptions o;
+  o.index_pages = 128;
+  o.bp_pages = 256;
+  o.seed = 7;
+  return o;
+}
+
+TEST(MicroSimTest, CountersSumToLookups) {
+  MicroSimOptions o = SmallSim();
+  o.index_cache_hit_rate = 0.5;
+  o.bp_hit_rate = 0.5;
+  MicroSim sim(o);
+  MicroSimResult r = sim.Run(20000);
+  EXPECT_EQ(r.lookups, 20000u);
+  // Every lookup either hits the cache or goes to the buffer pool/disk.
+  EXPECT_EQ(r.cache_hits + r.bp_hits + r.disk_reads, r.lookups);
+  EXPECT_NEAR(r.cache_hits / 20000.0, 0.5, 0.02);
+  // BP hit rate applies to cache misses only.
+  EXPECT_NEAR(r.bp_hits / static_cast<double>(r.bp_hits + r.disk_reads), 0.5,
+              0.03);
+}
+
+TEST(MicroSimTest, NoCacheMeansNoCacheHits) {
+  MicroSimOptions o = SmallSim();
+  o.cache_enabled = false;
+  o.index_cache_hit_rate = 0.9;  // ignored
+  MicroSim sim(o);
+  MicroSimResult r = sim.Run(5000);
+  EXPECT_EQ(r.cache_hits, 0u);
+  EXPECT_EQ(r.bp_hits + r.disk_reads, 5000u);
+}
+
+TEST(MicroSimTest, DiskMissesChargeVirtualTime) {
+  MicroSimOptions o = SmallSim();
+  o.bp_hit_rate = 0.0;
+  o.index_cache_hit_rate = 0.0;
+  MicroSim sim(o);
+  MicroSimResult r = sim.Run(1000);
+  EXPECT_EQ(r.disk_reads, 1000u);
+  const uint64_t per_read =
+      o.disk_seek_ns + o.disk_transfer_ns_per_byte * o.page_size;
+  EXPECT_EQ(r.virtual_ns, 1000u * per_read);
+  EXPECT_GT(r.AvgCostMs(), 1.0);  // disk-bound: ms regime
+}
+
+TEST(MicroSimTest, FullCacheHitRateAvoidsDiskEntirely) {
+  MicroSimOptions o = SmallSim();
+  o.index_cache_hit_rate = 1.0;
+  o.bp_hit_rate = 0.0;  // irrelevant: the BP is never consulted
+  MicroSim sim(o);
+  MicroSimResult r = sim.Run(5000);
+  EXPECT_EQ(r.cache_hits, 5000u);
+  EXPECT_EQ(r.disk_reads, 0u);
+  EXPECT_EQ(r.virtual_ns, 0u);
+  EXPECT_LT(r.AvgCostUs(), 50.0);  // memory regime
+}
+
+TEST(MicroSimTest, CostDecreasesWithCacheHitRate) {
+  // The monotone shape of Fig 2(b): more cache hits, cheaper lookups.
+  MicroSimOptions o = SmallSim();
+  o.bp_hit_rate = 0.9;
+  double prev = 1e18;
+  for (double chr : {0.0, 0.5, 1.0}) {
+    o.index_cache_hit_rate = chr;
+    MicroSim sim(o);
+    MicroSimResult r = sim.Run(20000);
+    EXPECT_LT(r.AvgCostNs(), prev) << "hit rate " << chr;
+    prev = r.AvgCostNs();
+  }
+}
+
+TEST(MicroSimTest, CostDecreasesWithBufferPoolHitRate) {
+  MicroSimOptions o = SmallSim();
+  o.index_cache_hit_rate = 0.0;
+  double prev = 1e18;
+  for (double bp : {0.0, 0.9, 1.0}) {
+    o.bp_hit_rate = bp;
+    MicroSim sim(o);
+    MicroSimResult r = sim.Run(10000);
+    EXPECT_LT(r.AvgCostNs(), prev) << "bp hit rate " << bp;
+    prev = r.AvgCostNs();
+  }
+}
+
+TEST(MicroSimTest, ChecksumPreventsDeadCodeElimination) {
+  MicroSim sim(SmallSim());
+  (void)sim.Run(1000);
+  EXPECT_NE(sim.checksum(), 0u);
+}
+
+}  // namespace
+}  // namespace nblb

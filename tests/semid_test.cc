@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "semid/reduction.h"
+#include "storage/rid.h"
+#include "semid/routing.h"
+#include "semid/semantic_id.h"
+#include "test_util.h"
+
+namespace nblb {
+namespace {
+
+TEST(SemanticIdTest, EncodeDecodeRoundTrip) {
+  SemanticIdCodec codec(16);
+  const uint64_t id = codec.Encode(42, 123456789);
+  EXPECT_EQ(codec.PartitionOf(id), 42u);
+  EXPECT_EQ(codec.LocalOf(id), 123456789u);
+}
+
+TEST(SemanticIdTest, RoundTripPropertyAcrossBitWidths) {
+  Rng rng(1);
+  for (unsigned bits : {1u, 4u, 8u, 16u, 24u, 32u}) {
+    SemanticIdCodec codec(bits);
+    for (int i = 0; i < 2000; ++i) {
+      const uint32_t part =
+          static_cast<uint32_t>(rng.NextU64() & codec.MaxPartition());
+      const uint64_t local = rng.NextU64() & codec.MaxLocal();
+      const uint64_t id = codec.Encode(part, local);
+      ASSERT_EQ(codec.PartitionOf(id), part) << "bits " << bits;
+      ASSERT_EQ(codec.LocalOf(id), local) << "bits " << bits;
+    }
+  }
+}
+
+TEST(SemanticIdTest, WithPartitionRehomesPreservingLocal) {
+  // §4.2: "simply updating the ID value is enough to physically move the
+  // tuple" when data is clustered on the ID.
+  SemanticIdCodec codec(8);
+  const uint64_t id = codec.Encode(3, 999);
+  const uint64_t moved = codec.WithPartition(id, 200);
+  EXPECT_EQ(codec.PartitionOf(moved), 200u);
+  EXPECT_EQ(codec.LocalOf(moved), 999u);
+}
+
+TEST(SemanticIdTest, IdsClusterByPartitionUnderIntegerOrder) {
+  // All IDs of partition p sort before all IDs of partition p+1 — the
+  // property that makes ID-clustered tables physically partitioned.
+  SemanticIdCodec codec(16);
+  EXPECT_LT(codec.Encode(1, codec.MaxLocal()), codec.Encode(2, 0));
+}
+
+TEST(RouterTest, EmbeddedAndTableRoutersAgree) {
+  SemanticIdCodec codec(10);
+  EmbeddedRouter embedded(codec);
+  TableRouter table;
+  Rng rng(2);
+  std::vector<uint64_t> ids;
+  for (int i = 0; i < 10000; ++i) {
+    const uint32_t part = static_cast<uint32_t>(rng.Uniform(64));
+    const uint64_t id = codec.Encode(part, i);
+    table.Add(id, part);
+    ids.push_back(id);
+  }
+  for (uint64_t id : ids) {
+    ASSERT_OK_AND_ASSIGN(uint32_t from_table, table.Route(id));
+    ASSERT_OK_AND_ASSIGN(uint32_t from_embedded, embedded.Route(id));
+    ASSERT_EQ(from_table, from_embedded);
+  }
+}
+
+TEST(RouterTest, TableRouterMemoryGrowsEmbeddedDoesNot) {
+  // §4.2: "Such tables can easily become a resource and performance
+  // bottleneck". The routing table grows linearly; the embedded router is
+  // constant-size.
+  SemanticIdCodec codec(10);
+  EmbeddedRouter embedded(codec);
+  TableRouter table;
+  for (uint64_t i = 0; i < 100000; ++i) {
+    table.Add(codec.Encode(static_cast<uint32_t>(i % 64), i), i % 64);
+  }
+  EXPECT_GT(table.MemoryBytes(), 100000u * 12);
+  EXPECT_LE(embedded.MemoryBytes(), 16u);
+}
+
+TEST(RouterTest, TableRouterMissesUnknownIds) {
+  TableRouter table;
+  table.Add(5, 1);
+  EXPECT_TRUE(table.Route(6).status().IsNotFound());
+}
+
+TEST(ReductionTest, DetectsFunctionalDependency) {
+  // rev_text_id tracks rev_id 1:1 in our Wikipedia synthesizer — an FD the
+  // paper says justifies dropping the dependent column.
+  Schema schema({{"rev_id", TypeId::kInt64, 0},
+                 {"rev_text_id", TypeId::kInt64, 0},
+                 {"rev_len", TypeId::kInt64, 0}});
+  std::vector<Row> rows;
+  Rng rng(3);
+  for (int64_t i = 1; i <= 1000; ++i) {
+    rows.push_back({Value::Int64(i), Value::Int64(i),
+                    Value::Int64(static_cast<int64_t>(rng.Uniform(100)))});
+  }
+  EXPECT_TRUE(HasFunctionalDependency(schema, rows, {0}, 1));
+  // rev_len is NOT determined by rev_id%10 (collisions with different lens).
+  Schema schema2({{"k", TypeId::kInt64, 0}, {"v", TypeId::kInt64, 0}});
+  std::vector<Row> rows2 = {{Value::Int64(1), Value::Int64(10)},
+                            {Value::Int64(1), Value::Int64(20)}};
+  EXPECT_FALSE(HasFunctionalDependency(schema2, rows2, {0}, 1));
+}
+
+TEST(ReductionTest, CompositeDeterminants) {
+  Schema schema({{"a", TypeId::kInt64, 0},
+                 {"b", TypeId::kVarchar, 8},
+                 {"c", TypeId::kInt64, 0}});
+  std::vector<Row> rows = {
+      {Value::Int64(1), Value::Varchar("x"), Value::Int64(7)},
+      {Value::Int64(1), Value::Varchar("y"), Value::Int64(8)},
+      {Value::Int64(1), Value::Varchar("x"), Value::Int64(7)},
+  };
+  EXPECT_TRUE(HasFunctionalDependency(schema, rows, {0, 1}, 2));
+  EXPECT_FALSE(HasFunctionalDependency(schema, rows, {0}, 2));
+}
+
+TEST(ReductionTest, DroppedColumnSavings) {
+  Schema schema({{"id", TypeId::kInt64, 0}, {"v", TypeId::kVarchar, 20}});
+  EXPECT_EQ(DroppedColumnBytesPerRow(schema, 0), 8u);
+  EXPECT_EQ(DroppedColumnBytesPerRow(schema, 1), 22u);
+}
+
+TEST(ReductionTest, RidIsAUsableAddressProxy) {
+  // §4.2: "ID fields representing uniqueness can be eliminated and the
+  // tuple's physical address can be used as a proxy". Rids pack into 48 bits
+  // and are unique by construction.
+  Rid a(10, 3), b(10, 4), c(11, 3);
+  EXPECT_NE(a.ToU64(), b.ToU64());
+  EXPECT_NE(a.ToU64(), c.ToU64());
+  EXPECT_EQ(Rid::FromU64(a.ToU64()), a);
+}
+
+}  // namespace
+}  // namespace nblb

@@ -1,0 +1,70 @@
+// Shared helpers for nblb tests: temp files, small schemas, stack builders.
+
+#pragma once
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+
+namespace nblb::testing {
+
+/// Unique temp file path removed on destruction.
+class TempFile {
+ public:
+  explicit TempFile(const std::string& tag) {
+    path_ = ::testing::TempDir() + "nblb_" + tag + "_" +
+            std::to_string(::getpid()) + "_" + std::to_string(counter_++) +
+            ".db";
+    std::remove(path_.c_str());
+  }
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  static inline int counter_ = 0;
+  std::string path_;
+};
+
+/// DiskManager + BufferPool over a temp file.
+struct Stack {
+  std::unique_ptr<TempFile> file;
+  std::unique_ptr<DiskManager> disk;
+  std::unique_ptr<BufferPool> bp;
+};
+
+inline Stack MakeStack(const std::string& tag, size_t page_size = 8192,
+                       size_t frames = 256) {
+  Stack s;
+  s.file.reset(new TempFile(tag));
+  s.disk.reset(new DiskManager(s.file->path(), page_size));
+  EXPECT_TRUE(s.disk->Open().ok());
+  s.bp.reset(new BufferPool(s.disk.get(), frames));
+  return s;
+}
+
+#define ASSERT_OK(expr)                                    \
+  do {                                                     \
+    ::nblb::Status _st = (expr);                           \
+    ASSERT_TRUE(_st.ok()) << _st.ToString();               \
+  } while (0)
+
+#define EXPECT_OK(expr)                                    \
+  do {                                                     \
+    ::nblb::Status _st = (expr);                           \
+    EXPECT_TRUE(_st.ok()) << _st.ToString();               \
+  } while (0)
+
+#define ASSERT_OK_AND_ASSIGN(lhs, rexpr)                   \
+  auto NBLB_CONCAT(_r_, __LINE__) = (rexpr);               \
+  ASSERT_TRUE(NBLB_CONCAT(_r_, __LINE__).ok())             \
+      << NBLB_CONCAT(_r_, __LINE__).status().ToString();   \
+  lhs = std::move(NBLB_CONCAT(_r_, __LINE__)).ValueOrDie()
+
+}  // namespace nblb::testing

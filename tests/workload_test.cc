@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <unordered_set>
+
+#include "encoding/timestamp.h"
+#include "test_util.h"
+#include "workload/trace.h"
+#include "workload/wikipedia.h"
+
+namespace nblb {
+namespace {
+
+TEST(TraceTest, MixFractionsRespected) {
+  TraceOptions o;
+  o.num_items = 100;
+  o.num_ops = 50000;
+  o.mix = {0.7, 0.1, 0.15, 0.05};
+  std::vector<Op> trace = BuildTrace(o);
+  ASSERT_EQ(trace.size(), o.num_ops);
+  std::map<OpKind, int> counts;
+  for (const Op& op : trace) counts[op.kind]++;
+  EXPECT_NEAR(counts[OpKind::kLookup] / 50000.0, 0.7, 0.02);
+  EXPECT_NEAR(counts[OpKind::kInsert] / 50000.0, 0.1, 0.02);
+  EXPECT_NEAR(counts[OpKind::kUpdate] / 50000.0, 0.15, 0.02);
+  EXPECT_NEAR(counts[OpKind::kDelete] / 50000.0, 0.05, 0.02);
+}
+
+TEST(TraceTest, ItemsInRangeForAllDistributions) {
+  for (TraceDistribution d :
+       {TraceDistribution::kUniform, TraceDistribution::kZipfian,
+        TraceDistribution::kScrambledZipfian, TraceDistribution::kHotspot}) {
+    TraceOptions o;
+    o.num_items = 500;
+    o.num_ops = 5000;
+    o.distribution = d;
+    for (const Op& op : BuildTrace(o)) {
+      ASSERT_LT(op.item, o.num_items);
+    }
+  }
+}
+
+TEST(TraceTest, DeterministicForSeed) {
+  TraceOptions o;
+  o.num_ops = 1000;
+  std::vector<Op> a = BuildTrace(o), b = BuildTrace(o);
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].item, b[i].item);
+    ASSERT_EQ(a[i].kind, b[i].kind);
+  }
+}
+
+TEST(WikipediaTest, SchemasMatchMediaWikiShapes) {
+  Schema page = WikipediaSynthesizer::PageSchema();
+  EXPECT_EQ(page.num_columns(), 11u);
+  EXPECT_TRUE(page.FindColumn("page_title").has_value());
+  EXPECT_EQ(page.column(*page.FindColumn("page_touched")).type, TypeId::kChar);
+  EXPECT_EQ(page.column(*page.FindColumn("page_touched")).length, 14u);
+
+  Schema rev = WikipediaSynthesizer::RevisionSchema();
+  EXPECT_EQ(rev.num_columns(), 11u);
+  const size_t ts = *rev.FindColumn("rev_timestamp");
+  EXPECT_EQ(rev.column(ts).type, TypeId::kChar);
+  EXPECT_EQ(rev.column(ts).length, 14u);  // the paper's 14-byte string
+}
+
+TEST(WikipediaTest, RowCountsMatchScale) {
+  WikipediaScale scale;
+  scale.num_pages = 1000;
+  scale.revisions_per_page = 5;
+  WikipediaSynthesizer synth(scale);
+  EXPECT_EQ(synth.pages().size(), 1000u);
+  EXPECT_EQ(synth.revisions().size(), 5000u);
+  EXPECT_EQ(synth.latest_revision_ids().size(), 1000u);
+}
+
+TEST(WikipediaTest, RevIdsAreDenseAndOrdered) {
+  WikipediaScale scale;
+  scale.num_pages = 500;
+  scale.revisions_per_page = 4;
+  WikipediaSynthesizer synth(scale);
+  const auto& revs = synth.revisions();
+  for (size_t i = 0; i < revs.size(); ++i) {
+    ASSERT_EQ(revs[i][0].AsInt(), static_cast<int64_t>(i + 1));
+  }
+}
+
+TEST(WikipediaTest, LatestRevisionIdsAreConsistent) {
+  WikipediaScale scale;
+  scale.num_pages = 500;
+  scale.revisions_per_page = 6;
+  WikipediaSynthesizer synth(scale);
+  const auto& revs = synth.revisions();
+  const auto& latest = synth.latest_revision_ids();
+  // Recompute by scanning; must match, and page_latest must agree.
+  std::vector<int64_t> recomputed(scale.num_pages, 0);
+  for (const Row& r : revs) {
+    recomputed[r[1].AsInt() - 1] = r[0].AsInt();
+  }
+  for (size_t p = 0; p < scale.num_pages; ++p) {
+    ASSERT_EQ(latest[p], recomputed[p]);
+    ASSERT_EQ(synth.pages()[p][9].AsInt(), latest[p]);  // page_latest
+  }
+}
+
+TEST(WikipediaTest, LatestRevisionsAreScatteredThroughTheTable) {
+  // §3.1: "these hot tuples are scattered throughout the table". At least
+  // half of the table's "span" must contain latest revisions.
+  WikipediaScale scale;
+  scale.num_pages = 1000;
+  scale.revisions_per_page = 20;
+  WikipediaSynthesizer synth(scale);
+  const auto& latest = synth.latest_revision_ids();
+  const int64_t total = static_cast<int64_t>(synth.revisions().size());
+  int in_first_half = 0;
+  for (int64_t id : latest) {
+    if (id <= total / 2) ++in_first_half;
+  }
+  // Some hot tuples early, most late, but definitely not all at the tail.
+  EXPECT_GT(in_first_half, 0);
+  EXPECT_LT(in_first_half, static_cast<int>(scale.num_pages));
+  // Distinct pages-of-the-table containing hot tuples: spread over >25% of
+  // the id space deciles.
+  std::set<int64_t> deciles;
+  for (int64_t id : latest) deciles.insert(id * 10 / (total + 1));
+  EXPECT_GE(deciles.size(), 4u);
+}
+
+TEST(WikipediaTest, TimestampsAreValid14CharStrings) {
+  WikipediaScale scale;
+  scale.num_pages = 200;
+  scale.revisions_per_page = 3;
+  WikipediaSynthesizer synth(scale);
+  for (const Row& r : synth.revisions()) {
+    const std::string& ts = r[6].AsString();
+    ASSERT_EQ(ts.size(), 14u);
+    ASSERT_TRUE(ParseTimestamp14(ts).ok()) << ts;
+  }
+}
+
+TEST(WikipediaTest, RevisionTraceHitsLatestRevisions999PerMille) {
+  WikipediaScale scale;
+  scale.num_pages = 2000;
+  scale.revisions_per_page = 20;
+  WikipediaSynthesizer synth(scale);
+  std::unordered_set<int64_t> latest(synth.latest_revision_ids().begin(),
+                                     synth.latest_revision_ids().end());
+  const auto trace = synth.RevisionLookupTrace(100000, 0.999);
+  size_t hot = 0;
+  for (int64_t id : trace) {
+    ASSERT_GE(id, 1);
+    ASSERT_LE(id, static_cast<int64_t>(synth.revisions().size()));
+    if (latest.count(id)) ++hot;
+  }
+  EXPECT_GT(hot / static_cast<double>(trace.size()), 0.995);
+}
+
+TEST(WikipediaTest, PageTraceIsSkewed) {
+  WikipediaScale scale;
+  scale.num_pages = 5000;
+  WikipediaSynthesizer synth(scale);
+  const auto trace = synth.PageLookupTrace(100000);
+  std::map<uint64_t, int> counts;
+  for (uint64_t p : trace) counts[p]++;
+  // Far fewer distinct pages than a uniform draw would touch, and the top
+  // page is hit much more than n/num_pages times.
+  int max_count = 0;
+  for (const auto& [page, count] : counts) max_count = std::max(max_count, count);
+  EXPECT_GT(max_count, 100000 / 5000 * 10);
+}
+
+TEST(WikipediaTest, CartelRowsHaveSmallRanges) {
+  WikipediaScale scale;
+  WikipediaSynthesizer synth(scale);
+  for (const Row& r : synth.GenerateCartelLocationRows(1000)) {
+    ASSERT_GE(r[4].AsInt(), 0);    // speed
+    ASSERT_LE(r[4].AsInt(), 120);
+    ASSERT_GE(r[5].AsInt(), 0);    // heading
+    ASSERT_LT(r[5].AsInt(), 360);
+  }
+}
+
+TEST(WikipediaTest, DeterministicForSeed) {
+  WikipediaScale scale;
+  scale.num_pages = 300;
+  scale.revisions_per_page = 3;
+  WikipediaSynthesizer a(scale), b(scale);
+  ASSERT_EQ(a.revisions().size(), b.revisions().size());
+  for (size_t i = 0; i < a.revisions().size(); i += 37) {
+    ASSERT_EQ(RowToString(a.revisions()[i]), RowToString(b.revisions()[i]));
+  }
+}
+
+}  // namespace
+}  // namespace nblb

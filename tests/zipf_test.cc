@@ -1,0 +1,110 @@
+#include "common/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+namespace nblb {
+namespace {
+
+TEST(ZipfTest, SamplesStayInRange) {
+  ZipfianGenerator z(100, 0.5, 1);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(z.Next(), 100u);
+  }
+}
+
+TEST(ZipfTest, RankZeroIsMostPopular) {
+  ZipfianGenerator z(1000, 0.5, 2);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 200000; ++i) counts[z.Next()]++;
+  int max_count = 0;
+  uint64_t max_rank = 0;
+  for (const auto& [rank, count] : counts) {
+    if (count > max_count) {
+      max_count = count;
+      max_rank = rank;
+    }
+  }
+  EXPECT_EQ(max_rank, 0u);
+}
+
+TEST(ZipfTest, EmpiricalFrequenciesTrackTheory) {
+  constexpr uint64_t kN = 100;
+  constexpr int kSamples = 500000;
+  ZipfianGenerator z(kN, 0.5, 3);
+  std::vector<int> counts(kN, 0);
+  for (int i = 0; i < kSamples; ++i) counts[z.Next()]++;
+  // Check the head of the distribution within 15% relative error.
+  for (uint64_t r : {0ull, 1ull, 2ull, 5ull, 10ull}) {
+    const double expect = z.ProbabilityOfRank(r) * kSamples;
+    EXPECT_NEAR(counts[r], expect, expect * 0.15) << "rank " << r;
+  }
+}
+
+TEST(ZipfTest, ProbabilitiesSumToOne) {
+  ZipfianGenerator z(500, 0.5, 4);
+  double sum = 0;
+  for (uint64_t i = 0; i < 500; ++i) sum += z.ProbabilityOfRank(i);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, RanksCoveringMassIsMonotone) {
+  ZipfianGenerator z(1000, 0.5, 5);
+  const uint64_t half = z.RanksCoveringMass(0.5);
+  const uint64_t ninety = z.RanksCoveringMass(0.9);
+  EXPECT_LT(half, ninety);
+  EXPECT_LE(ninety, 1000u);
+  // alpha=0.5 over 1000 items: the top quarter covers roughly half the mass.
+  EXPECT_LT(half, 500u);
+}
+
+TEST(ZipfTest, DeterministicForSeed) {
+  ZipfianGenerator a(100, 0.5, 42), b(100, 0.5, 42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(ScrambledZipfTest, ItemForRankIsDeterministicScatter) {
+  ScrambledZipfianGenerator z(1000, 0.5, 6);
+  const uint64_t hot = z.ItemForRank(0);
+  EXPECT_LT(hot, 1000u);
+  // The scatter should not map rank 0 to item 0 for this n (hash-based).
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 100000; ++i) counts[z.Next()]++;
+  // The most frequent item is ItemForRank(0).
+  int max_count = 0;
+  uint64_t max_item = 0;
+  for (const auto& [item, count] : counts) {
+    if (count > max_count) {
+      max_count = count;
+      max_item = item;
+    }
+  }
+  EXPECT_EQ(max_item, hot);
+}
+
+TEST(HotspotTest, HotFractionGetsHotProbability) {
+  // The paper's revision workload: 5% of tuples get 99.9% of accesses.
+  constexpr uint64_t kN = 10000;
+  HotspotGenerator g(kN, 0.05, 0.999, 7);
+  EXPECT_EQ(g.hot_count(), 500u);
+  int hot_hits = 0;
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (g.Next() < g.hot_count()) ++hot_hits;
+  }
+  EXPECT_NEAR(hot_hits / static_cast<double>(kSamples), 0.999, 0.002);
+}
+
+TEST(HotspotTest, ColdItemsStillReachable) {
+  HotspotGenerator g(100, 0.1, 0.5, 8);
+  bool saw_cold = false;
+  for (int i = 0; i < 1000; ++i) {
+    if (g.Next() >= g.hot_count()) saw_cold = true;
+  }
+  EXPECT_TRUE(saw_cold);
+}
+
+}  // namespace
+}  // namespace nblb
