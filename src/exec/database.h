@@ -28,6 +28,10 @@ struct DatabaseOptions {
   /// Simulated storage latency (disabled charges nothing; see DESIGN.md §4).
   LatencyModelOptions latency;
   bool enable_latency_model = false;
+  /// Open the backing file with O_DIRECT so buffer-pool misses pay real
+  /// device latency instead of hitting the OS page cache (see
+  /// DiskManager).
+  bool direct_io = false;
 };
 
 /// \brief Owns the storage stack and the table registry.

@@ -89,7 +89,7 @@ Result<std::unique_ptr<BTree>> BTree::Open(BufferPool* bp,
   tree->root_ = DecodeFixed32(d + 8);
   tree->first_leaf_ = DecodeFixed32(d + 12);
   tree->num_entries_ = DecodeFixed64(d + 16);
-  tree->global_csn_ = DecodeFixed64(d + 24);
+  tree->global_csn_.store(DecodeFixed64(d + 24), std::memory_order_relaxed);
   meta.Release();
   // Crash discipline (§2.1.2): any page cache persisted before the previous
   // shutdown is invalidated wholesale by bumping CSNidx.
@@ -107,14 +107,14 @@ Status BTree::WriteMeta() {
   EncodeFixed32(d + 8, root_);
   EncodeFixed32(d + 12, first_leaf_);
   EncodeFixed64(d + 16, num_entries_);
-  EncodeFixed64(d + 24, global_csn_);
+  EncodeFixed64(d + 24, global_csn_.load(std::memory_order_relaxed));
   EncodeFixed64(d + 32, kBTreeMetaMagic);
   meta.MarkDirty();
   return Status::OK();
 }
 
 Status BTree::BumpGlobalCsn() {
-  ++global_csn_;
+  global_csn_.fetch_add(1, std::memory_order_relaxed);
   return WriteMeta();
 }
 

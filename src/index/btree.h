@@ -16,6 +16,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -126,8 +127,13 @@ class BTree {
   /// \brief Max entries per leaf page at this geometry.
   size_t LeafCapacity() const;
 
-  /// \brief Index-wide cache sequence number CSNidx (§2.1.2).
-  uint64_t global_csn() const { return global_csn_; }
+  /// \brief Index-wide cache sequence number CSNidx (§2.1.2). Relaxed load:
+  /// CSNidx is a monotonic validity fence read concurrently with bumps; a
+  /// stale read is indistinguishable from reading just before the bump, and
+  /// the cache-page latching already orders the payload bytes it guards.
+  uint64_t global_csn() const {
+    return global_csn_.load(std::memory_order_relaxed);
+  }
   /// \brief Bumps CSNidx — invalidates every page cache at once.
   Status BumpGlobalCsn();
 
@@ -158,7 +164,9 @@ class BTree {
   PageId root_ = kInvalidPageId;
   PageId first_leaf_ = kInvalidPageId;
   uint64_t num_entries_ = 0;
-  uint64_t global_csn_ = 0;
+  /// Atomic: readers poll it from cache probes while an invalidator bumps it
+  /// (see global_csn() for the memory-ordering rationale).
+  std::atomic<uint64_t> global_csn_{0};
 };
 
 }  // namespace nblb

@@ -47,6 +47,12 @@
 #include "semid/routing.h"
 #include "semid/semantic_id.h"
 
+// Sharded serving layer.
+#include "shard/request.h"
+#include "shard/shard.h"
+#include "shard/shard_stats.h"
+#include "shard/sharded_engine.h"
+
 // Storage engine.
 #include "storage/buffer_pool.h"
 #include "storage/disk_manager.h"

@@ -29,10 +29,10 @@ Result<std::unique_ptr<PartitionedTable>> PartitionedTable::BuildFromTable(
 Result<Row> PartitionedTable::LookupProjected(
     const std::vector<Value>& key_values,
     const std::vector<size_t>& project_columns) {
-  ++stats_.lookups;
+  stats_.lookups.fetch_add(1, std::memory_order_relaxed);
   auto hot_result = hot_->LookupProjected(key_values, project_columns);
   if (hot_result.ok()) {
-    ++stats_.hot_hits;
+    stats_.hot_hits.fetch_add(1, std::memory_order_relaxed);
     return hot_result;
   }
   if (!hot_result.status().IsNotFound()) {
@@ -40,9 +40,9 @@ Result<Row> PartitionedTable::LookupProjected(
   }
   auto cold_result = cold_->LookupProjected(key_values, project_columns);
   if (cold_result.ok()) {
-    ++stats_.cold_hits;
+    stats_.cold_hits.fetch_add(1, std::memory_order_relaxed);
   } else if (cold_result.status().IsNotFound()) {
-    ++stats_.misses;
+    stats_.misses.fetch_add(1, std::memory_order_relaxed);
   }
   return cold_result;
 }

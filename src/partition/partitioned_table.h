@@ -10,6 +10,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <unordered_set>
 #include <vector>
@@ -20,11 +21,27 @@
 namespace nblb {
 
 /// \brief Lookup counters per partition.
+///
+/// Counters are atomics so they can be *read* (e.g. by a stats poller or the
+/// shard engine's aggregator) while another thread executes lookups. All
+/// accesses use memory_order_relaxed: each counter is an independent
+/// monotonic event count — no other memory is published through it, so no
+/// acquire/release pairing is needed, and relaxed keeps the increment a
+/// plain atomic add on the lookup path. Cross-counter snapshots are only
+/// exact once writers are quiesced (e.g. after joining worker threads, which
+/// synchronizes-with everything the workers did).
 struct PartitionedTableStats {
-  uint64_t lookups = 0;
-  uint64_t hot_hits = 0;
-  uint64_t cold_hits = 0;
-  uint64_t misses = 0;
+  std::atomic<uint64_t> lookups{0};
+  std::atomic<uint64_t> hot_hits{0};
+  std::atomic<uint64_t> cold_hits{0};
+  std::atomic<uint64_t> misses{0};
+
+  void Reset() {
+    lookups.store(0, std::memory_order_relaxed);
+    hot_hits.store(0, std::memory_order_relaxed);
+    cold_hits.store(0, std::memory_order_relaxed);
+    misses.store(0, std::memory_order_relaxed);
+  }
 };
 
 /// \brief Two physical tables (hot / cold) with a common schema.
@@ -53,7 +70,7 @@ class PartitionedTable {
   Table* hot() { return hot_.get(); }
   Table* cold() { return cold_.get(); }
   const PartitionedTableStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = PartitionedTableStats{}; }
+  void ResetStats() { stats_.Reset(); }
 
  private:
   PartitionedTable() = default;

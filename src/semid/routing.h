@@ -23,6 +23,14 @@ class Router {
   /// \brief Partition of `id`; NotFound if the router cannot place it.
   virtual Result<uint32_t> Route(uint64_t id) const = 0;
 
+  /// \brief Records a placement decision for `id` (e.g. made by the shard
+  /// engine when inserting a fresh tuple). Routers with explicit state
+  /// remember it; routers that derive the partition from the ID ignore it.
+  virtual void Learn(uint64_t id, uint32_t partition) {
+    (void)id;
+    (void)partition;
+  }
+
   /// \brief Approximate RAM the routing state occupies.
   virtual size_t MemoryBytes() const = 0;
 };
@@ -32,6 +40,8 @@ class Router {
 class TableRouter : public Router {
  public:
   void Add(uint64_t id, uint32_t partition) { map_[id] = partition; }
+
+  void Learn(uint64_t id, uint32_t partition) override { Add(id, partition); }
 
   Result<uint32_t> Route(uint64_t id) const override {
     auto it = map_.find(id);
@@ -50,6 +60,36 @@ class TableRouter : public Router {
 
  private:
   std::unordered_map<uint64_t, uint32_t> map_;
+};
+
+/// \brief Stateless fallback for keys with no semantic placement: partition
+/// by a mixed hash of the ID. Unlike TableRouter it costs no RAM and unlike
+/// EmbeddedRouter it needs no ID rewrite, but it cannot express placement
+/// policy — a tuple's home is fixed by its hash forever.
+class HashRouter : public Router {
+ public:
+  explicit HashRouter(uint32_t num_partitions)
+      : num_partitions_(num_partitions) {}
+
+  Result<uint32_t> Route(uint64_t id) const override {
+    return static_cast<uint32_t>(Mix(id) % num_partitions_);
+  }
+
+  size_t MemoryBytes() const override { return sizeof(*this); }
+
+  uint32_t num_partitions() const { return num_partitions_; }
+
+ private:
+  // splitmix64 finalizer: sequential IDs (auto-increment keys) must not all
+  // land in the same partition, so `id % n` is not enough — spread them.
+  static uint64_t Mix(uint64_t x) {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  }
+
+  uint32_t num_partitions_;
 };
 
 /// \brief §4.2 proposal: the partition is embedded in the ID itself.

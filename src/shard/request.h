@@ -1,0 +1,81 @@
+// Request/response types for the sharded serving layer.
+//
+// A RequestBatch is the unit clients hand to ShardedEngine::Execute: the
+// engine routes each request to its home shard, fans the batch out to the
+// per-shard queues, and gathers one RequestResult per request, in batch
+// order. Batching is what makes the thread handoff affordable: the queue
+// round-trip is paid once per (batch × shard), not once per operation.
+
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "catalog/value.h"
+#include "common/result.h"
+
+namespace nblb {
+
+/// \brief Operations the engine can serve.
+enum class RequestKind : uint8_t {
+  kGet = 0,           ///< full-row point lookup by ID
+  kGetProjected = 1,  ///< projected point lookup (index-cache eligible)
+  kInsert = 2,        ///< insert a full row
+};
+
+/// \brief One operation. `id` is the routing key and must equal the row's
+/// primary-key value (the engine serves tables with a single int64 key).
+struct Request {
+  RequestKind kind = RequestKind::kGet;
+  uint64_t id = 0;
+  Row row;                         ///< kInsert only
+  std::vector<size_t> projection;  ///< kGetProjected only
+
+  static Request Get(uint64_t id) {
+    Request r;
+    r.kind = RequestKind::kGet;
+    r.id = id;
+    return r;
+  }
+
+  static Request GetProjected(uint64_t id, std::vector<size_t> projection) {
+    Request r;
+    r.kind = RequestKind::kGetProjected;
+    r.id = id;
+    r.projection = std::move(projection);
+    return r;
+  }
+
+  static Request Insert(uint64_t id, Row row) {
+    Request r;
+    r.kind = RequestKind::kInsert;
+    r.id = id;
+    r.row = std::move(row);
+    return r;
+  }
+};
+
+using RequestBatch = std::vector<Request>;
+
+/// \brief Outcome of one request. `row` is filled for successful lookups.
+struct RequestResult {
+  Status status;
+  Row row;
+  uint32_t shard = 0;  ///< shard that served (or would have served) it
+};
+
+/// \brief Results of a batch, 1:1 with the submitted requests.
+struct BatchResult {
+  std::vector<RequestResult> results;
+
+  /// \brief True iff every request succeeded.
+  bool all_ok() const {
+    for (const auto& r : results) {
+      if (!r.status.ok()) return false;
+    }
+    return true;
+  }
+};
+
+}  // namespace nblb

@@ -1,0 +1,103 @@
+#include "shard/shard.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "catalog/type.h"
+#include "common/logging.h"
+
+namespace nblb {
+
+Shard::Shard(uint32_t shard_id, ShardOptions options)
+    : id_(shard_id), options_(std::move(options)) {}
+
+Shard::~Shard() = default;
+
+Result<std::unique_ptr<Shard>> Shard::Open(uint32_t shard_id,
+                                           ShardOptions options) {
+  if (options.table_options.key_columns.size() != 1) {
+    return Status::InvalidArgument(
+        "shard tables need a single-column primary key (the routing key)");
+  }
+  const size_t key_col = options.table_options.key_columns[0];
+  if (key_col >= options.schema.num_columns() ||
+      !IsIntegerFamily(options.schema.column(key_col).type)) {
+    return Status::InvalidArgument(
+        "shard routing key must be an integer-family column");
+  }
+
+  std::unique_ptr<Shard> shard(new Shard(shard_id, std::move(options)));
+
+  DatabaseOptions dbo;
+  dbo.path = shard->options_.path;
+  dbo.page_size = shard->options_.page_size;
+  dbo.buffer_pool_frames = shard->options_.buffer_pool_frames;
+  dbo.direct_io = shard->options_.direct_io;
+  std::remove(dbo.path.c_str());
+  NBLB_ASSIGN_OR_RETURN(shard->db_, Database::Open(dbo));
+  NBLB_ASSIGN_OR_RETURN(
+      shard->table_,
+      shard->db_->CreateTable("data", shard->options_.schema,
+                              shard->options_.table_options));
+
+  shard->all_columns_.resize(shard->options_.schema.num_columns());
+  for (size_t i = 0; i < shard->all_columns_.size(); ++i) {
+    shard->all_columns_[i] = i;
+  }
+  return shard;
+}
+
+std::vector<Value> Shard::KeyOf(uint64_t id) const {
+  return {Value::Int64(static_cast<int64_t>(id))};
+}
+
+Status Shard::Insert(const Row& row) {
+  stats_.Add(stats_.inserts);
+  Status s = partitioned_ ? partitioned_->InsertHot(row, nullptr)
+                          : table_->Insert(row);
+  if (!s.ok()) {
+    stats_.Add(stats_.errors);
+  } else {
+    ++rows_;
+  }
+  return s;
+}
+
+Result<Row> Shard::Get(uint64_t id) {
+  stats_.Add(stats_.gets);
+  auto result = partitioned_
+                    ? partitioned_->LookupProjected(KeyOf(id), all_columns_)
+                    : table_->GetByKey(KeyOf(id));
+  if (!result.ok()) {
+    stats_.Add(result.status().IsNotFound() ? stats_.not_found
+                                            : stats_.errors);
+  }
+  return result;
+}
+
+Result<Row> Shard::GetProjected(uint64_t id,
+                                const std::vector<size_t>& projection) {
+  stats_.Add(stats_.projected_gets);
+  auto result =
+      partitioned_
+          ? partitioned_->LookupProjected(KeyOf(id), projection)
+          : table_->LookupProjected(KeyOf(id), projection);
+  if (!result.ok()) {
+    stats_.Add(result.status().IsNotFound() ? stats_.not_found
+                                            : stats_.errors);
+  }
+  return result;
+}
+
+Status Shard::EnableHotCold(
+    const std::unordered_set<std::string>& hot_encoded_keys) {
+  if (partitioned_) {
+    return Status::InvalidArgument("shard is already hot/cold partitioned");
+  }
+  NBLB_ASSIGN_OR_RETURN(
+      partitioned_, PartitionedTable::BuildFromTable(
+                        db_->buffer_pool(), table_, hot_encoded_keys));
+  return Status::OK();
+}
+
+}  // namespace nblb

@@ -1,0 +1,100 @@
+// Shard: one slice of a sharded table — its own backing file, buffer pool,
+// and primary index, sized so the per-shard index stays RAM-resident.
+//
+// This is the paper's §3.1 observation operationalized: "reducing the index
+// size ... allows the entire index to fit in RAM". Each shard is a full
+// vertical stack (Database → Table, optionally PartitionedTable for
+// hot/cold), so N shards have N× the aggregate buffer capacity and each
+// B+Tree is ~1/N the height of a monolithic one.
+//
+// Concurrency contract: a Shard is NOT thread safe. The ShardedEngine
+// statically assigns every shard to exactly one worker thread, which is the
+// only thread that ever executes operations on it — single-writer by
+// construction, no per-operation locking. Only stats() may be read from
+// other threads (the counters are atomics, see shard_stats.h).
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/result.h"
+#include "exec/database.h"
+#include "exec/table.h"
+#include "partition/partitioned_table.h"
+#include "shard/shard_stats.h"
+
+namespace nblb {
+
+/// \brief Per-shard configuration.
+struct ShardOptions {
+  /// Backing file for this shard's Database. NOTE: Shard::Open removes and
+  /// recreates this file — shards are (for now) rebuilt from a load phase,
+  /// not reopened; give every engine a distinct path/prefix or prior data
+  /// is destroyed. Durable reopen is a ROADMAP item.
+  std::string path;
+  size_t page_size = kDefaultPageSize;
+  /// Buffer pool capacity, per shard (the scale-out model: each shard is a
+  /// "node" with its own fixed RAM budget).
+  size_t buffer_pool_frames = 4096;
+  /// O_DIRECT backing file: misses pay device latency, not page-cache cost.
+  bool direct_io = false;
+  Schema schema;
+  TableOptions table_options;
+};
+
+/// \brief One shard: a Database wrapping a single table with an int64
+/// primary key, plus optional hot/cold partitioning.
+class Shard {
+ public:
+  /// \brief Creates the shard's backing store. The schema must have a
+  /// single-column int64-family primary key (it is the routing key).
+  static Result<std::unique_ptr<Shard>> Open(uint32_t shard_id,
+                                             ShardOptions options);
+
+  ~Shard();
+  Shard(const Shard&) = delete;
+  Shard& operator=(const Shard&) = delete;
+
+  // ---- Operations (single worker thread only) -----------------------------
+
+  Status Insert(const Row& row);
+  Result<Row> Get(uint64_t id);
+  Result<Row> GetProjected(uint64_t id, const std::vector<size_t>& projection);
+
+  /// \brief Rebuilds this shard as hot/cold partitions (§3.1): rows whose
+  /// encoded key is in `hot_encoded_keys` land in the hot partition, the
+  /// rest in cold; subsequent lookups probe hot first. Must be called while
+  /// no operations are executing on the shard.
+  Status EnableHotCold(const std::unordered_set<std::string>& hot_encoded_keys);
+
+  // ---- Introspection (any thread for stats; owner thread otherwise) -------
+
+  uint32_t id() const { return id_; }
+  const ShardStats& stats() const { return stats_; }
+  /// \brief Called by the owning worker after draining one batch fragment.
+  void NoteSubBatch() { stats_.Add(stats_.sub_batches); }
+  Database* database() { return db_.get(); }
+  Table* table() { return table_; }
+  /// nullptr unless EnableHotCold() ran.
+  PartitionedTable* partitioned() { return partitioned_.get(); }
+  uint64_t rows() const { return rows_; }
+
+ private:
+  Shard(uint32_t shard_id, ShardOptions options);
+
+  std::vector<Value> KeyOf(uint64_t id) const;
+
+  uint32_t id_;
+  ShardOptions options_;
+  std::unique_ptr<Database> db_;
+  Table* table_ = nullptr;  // owned by db_
+  std::unique_ptr<PartitionedTable> partitioned_;
+  std::vector<size_t> all_columns_;  // identity projection for hot/cold gets
+  ShardStats stats_;
+  uint64_t rows_ = 0;
+};
+
+}  // namespace nblb

@@ -1,0 +1,66 @@
+// Per-shard operation counters, safe to read while a worker is serving.
+//
+// Counters use memory_order_relaxed throughout: each one is an independent
+// monotonic event count, never used to publish other memory, so there is no
+// acquire/release pairing to preserve — relaxed keeps the serving path at a
+// plain atomic add. A Snapshot() taken while workers run is a consistent
+// per-counter view but may straddle an in-flight operation; totals are exact
+// once the engine's workers are quiesced (thread join synchronizes-with all
+// their prior writes).
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace nblb {
+
+/// \brief Plain-value copy of ShardStats, safe to aggregate and compare.
+struct ShardStatsSnapshot {
+  uint64_t gets = 0;
+  uint64_t projected_gets = 0;
+  uint64_t inserts = 0;
+  uint64_t not_found = 0;
+  uint64_t errors = 0;        ///< non-NotFound failures
+  uint64_t sub_batches = 0;   ///< per-shard batch fragments executed
+
+  uint64_t ops() const { return gets + projected_gets + inserts; }
+
+  ShardStatsSnapshot& operator+=(const ShardStatsSnapshot& o) {
+    gets += o.gets;
+    projected_gets += o.projected_gets;
+    inserts += o.inserts;
+    not_found += o.not_found;
+    errors += o.errors;
+    sub_batches += o.sub_batches;
+    return *this;
+  }
+};
+
+/// \brief Live counters, written by the shard's owning worker thread and
+/// readable from any thread.
+struct ShardStats {
+  std::atomic<uint64_t> gets{0};
+  std::atomic<uint64_t> projected_gets{0};
+  std::atomic<uint64_t> inserts{0};
+  std::atomic<uint64_t> not_found{0};
+  std::atomic<uint64_t> errors{0};
+  std::atomic<uint64_t> sub_batches{0};
+
+  void Add(std::atomic<uint64_t>& c, uint64_t n = 1) {
+    c.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  ShardStatsSnapshot Snapshot() const {
+    ShardStatsSnapshot s;
+    s.gets = gets.load(std::memory_order_relaxed);
+    s.projected_gets = projected_gets.load(std::memory_order_relaxed);
+    s.inserts = inserts.load(std::memory_order_relaxed);
+    s.not_found = not_found.load(std::memory_order_relaxed);
+    s.errors = errors.load(std::memory_order_relaxed);
+    s.sub_batches = sub_batches.load(std::memory_order_relaxed);
+    return s;
+  }
+};
+
+}  // namespace nblb

@@ -1,0 +1,265 @@
+#include "shard/sharded_engine.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace nblb {
+
+Result<std::unique_ptr<ShardedEngine>> ShardedEngine::Open(
+    ShardedEngineOptions options, std::unique_ptr<Router> router) {
+  if (options.num_shards == 0) {
+    return Status::InvalidArgument("num_shards must be >= 1");
+  }
+  std::unique_ptr<ShardedEngine> engine(new ShardedEngine());
+  engine->options_ = options;
+  engine->router_ = router ? std::move(router)
+                           : std::make_unique<HashRouter>(options.num_shards);
+
+  for (uint32_t i = 0; i < options.num_shards; ++i) {
+    ShardOptions so;
+    so.path = options.path_prefix + ".shard" + std::to_string(i) + ".db";
+    so.page_size = options.page_size;
+    so.buffer_pool_frames = options.buffer_pool_frames_per_shard;
+    so.direct_io = options.direct_io;
+    so.schema = options.schema;
+    so.table_options = options.table_options;
+    NBLB_ASSIGN_OR_RETURN(auto shard, Shard::Open(i, std::move(so)));
+    engine->shards_.push_back(std::move(shard));
+    engine->queues_.push_back(std::make_unique<ShardQueue>());
+  }
+
+  uint32_t num_workers =
+      options.num_workers == 0 ? options.num_shards : options.num_workers;
+  if (num_workers > options.num_shards) num_workers = options.num_shards;
+  for (uint32_t w = 0; w < num_workers; ++w) {
+    engine->workers_.push_back(std::make_unique<Worker>());
+  }
+  for (uint32_t s = 0; s < options.num_shards; ++s) {
+    engine->workers_[s % num_workers]->shards.push_back(s);
+  }
+  for (auto& worker : engine->workers_) {
+    Worker* w = worker.get();
+    w->thread = std::thread([engine_ptr = engine.get(), w] {
+      engine_ptr->WorkerLoop(w);
+    });
+  }
+  return engine;
+}
+
+ShardedEngine::~ShardedEngine() {
+  stop_.store(true, std::memory_order_release);
+  for (auto& worker : workers_) {
+    {
+      std::lock_guard<std::mutex> lk(worker->mu);
+    }
+    worker->cv.notify_all();
+  }
+  for (auto& worker : workers_) {
+    if (worker->thread.joinable()) worker->thread.join();
+  }
+}
+
+Result<uint32_t> ShardedEngine::RouteOf(uint64_t id) const {
+  SharedLatchGuard guard(route_latch_);
+  NBLB_ASSIGN_OR_RETURN(uint32_t partition, router_->Route(id));
+  return partition % num_shards();
+}
+
+Result<uint32_t> ShardedEngine::RouteRequest(const Request& request) {
+  {
+    SharedLatchGuard guard(route_latch_);
+    auto routed = router_->Route(request.id);
+    if (routed.ok()) return *routed % num_shards();
+    if (request.kind != RequestKind::kInsert ||
+        !routed.status().IsNotFound()) {
+      return routed.status();
+    }
+  }
+  // First-seen insert key under a stateful router: pick a home shard
+  // round-robin and teach the router. Re-route under the exclusive latch —
+  // a concurrent inserter of the same id may have won the race.
+  ExclusiveLatchGuard guard(route_latch_);
+  auto routed = router_->Route(request.id);
+  if (routed.ok()) return *routed % num_shards();
+  const uint32_t shard =
+      static_cast<uint32_t>(next_placement_++ % num_shards());
+  router_->Learn(request.id, shard);
+  return shard;
+}
+
+BatchResult ShardedEngine::Execute(const RequestBatch& batch) {
+  BatchResult out;
+  out.results.resize(batch.size());
+  if (batch.empty()) return out;
+
+  // Phase 1 — route on the caller's thread, grouping indexes by home shard.
+  std::vector<std::vector<uint32_t>> per_shard(num_shards());
+  for (uint32_t i = 0; i < batch.size(); ++i) {
+    auto routed = RouteRequest(batch[i]);
+    if (!routed.ok()) {
+      out.results[i].status = routed.status();
+      routing_failures_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    out.results[i].shard = *routed;
+    per_shard[*routed].push_back(i);
+  }
+
+  // Phase 2 — fan out one sub-batch per involved shard.
+  BatchState state;
+  state.batch = &batch;
+  state.out = &out;
+  uint32_t involved = 0;
+  for (const auto& indexes : per_shard) {
+    if (!indexes.empty()) ++involved;
+  }
+  if (involved == 0) return out;  // every request failed routing
+  state.pending.store(involved, std::memory_order_relaxed);
+
+  for (uint32_t s = 0; s < per_shard.size(); ++s) {
+    if (per_shard[s].empty()) continue;
+    SubBatch sub;
+    sub.state = &state;
+    sub.indexes = std::move(per_shard[s]);
+    {
+      std::lock_guard<std::mutex> lk(queues_[s]->mu);
+      queues_[s]->work.push_back(std::move(sub));
+    }
+    Worker* owner = workers_[s % workers_.size()].get();
+    owner->queued.fetch_add(1, std::memory_order_release);
+    {
+      // Empty critical section: pairs with the owner's predicate check so
+      // the queued increment cannot fall into a missed-wakeup window.
+      std::lock_guard<std::mutex> lk(owner->mu);
+    }
+    owner->cv.notify_one();
+  }
+
+  // Phase 3 — gather: wait for the last worker to flip done.
+  {
+    std::unique_lock<std::mutex> lk(state.mu);
+    state.cv.wait(lk, [&state] { return state.done; });
+  }
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  requests_.fetch_add(batch.size(), std::memory_order_relaxed);
+  return out;
+}
+
+void ShardedEngine::WorkerLoop(Worker* worker) {
+  for (;;) {
+    bool ran_any = false;
+    for (uint32_t sid : worker->shards) {
+      ShardQueue* queue = queues_[sid].get();
+      for (;;) {
+        SubBatch sub;
+        {
+          std::lock_guard<std::mutex> lk(queue->mu);
+          if (queue->work.empty()) break;
+          sub = std::move(queue->work.front());
+          queue->work.pop_front();
+        }
+        worker->queued.fetch_sub(1, std::memory_order_relaxed);
+        ran_any = true;
+        RunSubBatch(shards_[sid].get(), sub);
+      }
+    }
+    if (ran_any) continue;
+    std::unique_lock<std::mutex> lk(worker->mu);
+    worker->cv.wait(lk, [this, worker] {
+      return stop_.load(std::memory_order_acquire) ||
+             worker->queued.load(std::memory_order_acquire) > 0;
+    });
+    if (stop_.load(std::memory_order_acquire) &&
+        worker->queued.load(std::memory_order_acquire) == 0) {
+      return;
+    }
+  }
+}
+
+void ShardedEngine::RunSubBatch(Shard* shard, const SubBatch& sub) {
+  BatchState* state = sub.state;
+  const RequestBatch& batch = *state->batch;
+  for (uint32_t i : sub.indexes) {
+    const Request& request = batch[i];
+    RequestResult& result = state->out->results[i];
+    switch (request.kind) {
+      case RequestKind::kGet: {
+        auto row = shard->Get(request.id);
+        if (row.ok()) {
+          result.row = std::move(*row);
+        } else {
+          result.status = row.status();
+        }
+        break;
+      }
+      case RequestKind::kGetProjected: {
+        auto row = shard->GetProjected(request.id, request.projection);
+        if (row.ok()) {
+          result.row = std::move(*row);
+        } else {
+          result.status = row.status();
+        }
+        break;
+      }
+      case RequestKind::kInsert:
+        result.status = shard->Insert(request.row);
+        break;
+    }
+  }
+  shard->NoteSubBatch();
+  // acq_rel: see BatchState::pending. The last decrementer observes every
+  // other worker's result writes and wakes the gatherer.
+  if (state->pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard<std::mutex> lk(state->mu);
+    state->done = true;
+    state->cv.notify_all();
+  }
+}
+
+Status ShardedEngine::Insert(uint64_t id, Row row) {
+  RequestBatch batch;
+  batch.push_back(Request::Insert(id, std::move(row)));
+  return Execute(batch).results[0].status;
+}
+
+Result<Row> ShardedEngine::Get(uint64_t id) {
+  RequestBatch batch;
+  batch.push_back(Request::Get(id));
+  auto result = Execute(batch);
+  if (!result.results[0].status.ok()) return result.results[0].status;
+  return std::move(result.results[0].row);
+}
+
+Result<Row> ShardedEngine::GetProjected(uint64_t id,
+                                        std::vector<size_t> projection) {
+  RequestBatch batch;
+  batch.push_back(Request::GetProjected(id, std::move(projection)));
+  auto result = Execute(batch);
+  if (!result.results[0].status.ok()) return result.results[0].status;
+  return std::move(result.results[0].row);
+}
+
+Status ShardedEngine::EnableHotCold(
+    uint32_t shard, const std::unordered_set<std::string>& hot_keys) {
+  if (shard >= num_shards()) {
+    return Status::InvalidArgument("no such shard");
+  }
+  return shards_[shard]->EnableHotCold(hot_keys);
+}
+
+ShardStatsSnapshot ShardedEngine::TotalShardStats() const {
+  ShardStatsSnapshot total;
+  for (const auto& shard : shards_) total += shard->stats().Snapshot();
+  return total;
+}
+
+EngineStatsSnapshot ShardedEngine::engine_stats() const {
+  EngineStatsSnapshot s;
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.routing_failures = routing_failures_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace nblb

@@ -1,0 +1,190 @@
+// ShardedEngine: the serving layer — N shards, a pluggable router, and a
+// fixed worker pool draining per-shard queues.
+//
+// Request lifecycle (see src/shard/README.md for the long version):
+//
+//   client thread                          worker thread (owns shard s)
+//   ─────────────                          ────────────────────────────
+//   Execute(batch)
+//     route every id        ── semid::Router, shared-mode latch
+//     split into per-shard
+//       sub-batches
+//     enqueue + wake owner  ──────────────▶ pop sub-batch from shard queue
+//     block on batch cv                      run ops on shard (single-writer)
+//                                            write results[i] slots
+//                           ◀────────────── last worker flips done, signals
+//     gather → BatchResult
+//
+// Threading model: every shard is statically owned by exactly one worker
+// (worker = shard % num_workers), so shard-local state (Table, B+Tree,
+// IndexCache) is single-threaded by construction and needs no locks. The
+// only cross-thread state is (a) the router, guarded by a SharedLatch —
+// shared mode for the read-mostly Route calls, exclusive only when an
+// insert teaches a TableRouter a new placement — and (b) the atomic batch
+// bookkeeping.
+//
+// Any number of client threads may call Execute concurrently.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/latch.h"
+#include "common/result.h"
+#include "semid/routing.h"
+#include "shard/request.h"
+#include "shard/shard.h"
+
+namespace nblb {
+
+/// \brief Engine-wide configuration.
+struct ShardedEngineOptions {
+  uint32_t num_shards = 4;
+  /// Worker threads; 0 means one per shard. Shards are statically assigned
+  /// worker = shard_id % num_workers.
+  uint32_t num_workers = 0;
+  /// Shard i's backing file is "<path_prefix>.shard<i>.db". Existing files
+  /// under this prefix are removed and recreated on Open (see
+  /// ShardOptions::path) — use a distinct prefix per engine.
+  std::string path_prefix = "/tmp/nblb_engine";
+  size_t page_size = kDefaultPageSize;
+  /// Per-shard buffer pool capacity (scale-out model: each shard models a
+  /// node with its own fixed RAM budget).
+  size_t buffer_pool_frames_per_shard = 4096;
+  /// O_DIRECT shard files (see DiskManager): serving misses cost real I/O.
+  bool direct_io = false;
+  Schema schema;
+  TableOptions table_options;
+};
+
+/// \brief Engine-level counters (atomics; relaxed — see shard_stats.h for
+/// the memory-ordering rationale, which applies unchanged here).
+struct EngineStatsSnapshot {
+  uint64_t batches = 0;
+  uint64_t requests = 0;
+  uint64_t routing_failures = 0;
+};
+
+/// \brief Owns the shards, the router, and the worker pool.
+class ShardedEngine {
+ public:
+  /// \brief Builds shards and starts workers. `router` may be nullptr, in
+  /// which case a HashRouter over num_shards is used. The router's
+  /// partitions are folded onto shards modulo num_shards, so an
+  /// EmbeddedRouter with more partitions than shards still works.
+  static Result<std::unique_ptr<ShardedEngine>> Open(
+      ShardedEngineOptions options, std::unique_ptr<Router> router = nullptr);
+
+  /// \brief Joins the workers. Must not race with in-flight Execute calls.
+  ~ShardedEngine();
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  // ---- Serving ------------------------------------------------------------
+
+  /// \brief Routes, fans out, executes, and gathers `batch`. Blocks until
+  /// every request has a result. Thread safe. Results are in batch order;
+  /// per-shard execution preserves batch order, but requests routed to
+  /// different shards execute in parallel with no mutual ordering.
+  BatchResult Execute(const RequestBatch& batch);
+
+  /// \brief Single-op conveniences (one-element batches; for hot loops,
+  /// batch yourself — the queue round-trip is paid per batch × shard).
+  Status Insert(uint64_t id, Row row);
+  Result<Row> Get(uint64_t id);
+  Result<Row> GetProjected(uint64_t id, std::vector<size_t> projection);
+
+  // ---- Placement / topology ----------------------------------------------
+
+  /// \brief Where `id` would be served (shared-mode router read).
+  Result<uint32_t> RouteOf(uint64_t id) const;
+
+  /// \brief Switches one shard to hot/cold partitioned mode (§3.1). Call
+  /// only while no batches are in flight.
+  Status EnableHotCold(uint32_t shard,
+                       const std::unordered_set<std::string>& hot_keys);
+
+  uint32_t num_shards() const { return static_cast<uint32_t>(shards_.size()); }
+  uint32_t num_workers() const {
+    return static_cast<uint32_t>(workers_.size());
+  }
+  Shard* shard(uint32_t i) { return shards_[i].get(); }
+  Router* router() { return router_.get(); }
+
+  // ---- Stats --------------------------------------------------------------
+
+  ShardStatsSnapshot ShardStatsOf(uint32_t i) const {
+    return shards_[i]->stats().Snapshot();
+  }
+  /// \brief Sum over shards. Exact only when workers are quiescent.
+  ShardStatsSnapshot TotalShardStats() const;
+  EngineStatsSnapshot engine_stats() const;
+
+ private:
+  /// Completion state shared by one Execute call and the involved workers.
+  struct BatchState {
+    const RequestBatch* batch = nullptr;
+    BatchResult* out = nullptr;
+    /// Sub-batches still running. Decremented with acq_rel: the release
+    /// half publishes this worker's result writes, the acquire half makes
+    /// every earlier worker's writes visible to whichever worker ends up
+    /// last — which then signals the client under `mu`, completing the
+    /// happens-before chain from all result slots to the gatherer.
+    std::atomic<uint32_t> pending{0};
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+  };
+
+  /// The fragment of a batch bound for one shard.
+  struct SubBatch {
+    BatchState* state = nullptr;
+    std::vector<uint32_t> indexes;  // into state->batch, ascending
+  };
+
+  /// One per shard; MPSC — many Execute callers push, one worker pops.
+  struct ShardQueue {
+    std::mutex mu;
+    std::deque<SubBatch> work;
+  };
+
+  /// One per worker thread.
+  struct Worker {
+    std::thread thread;
+    std::mutex mu;
+    std::condition_variable cv;
+    std::atomic<uint64_t> queued{0};  // sub-batches across owned shards
+    std::vector<uint32_t> shards;     // owned shard ids
+  };
+
+  ShardedEngine() = default;
+
+  /// Routes one request, teaching the router on first-seen insert keys.
+  Result<uint32_t> RouteRequest(const Request& request);
+  void WorkerLoop(Worker* worker);
+  void RunSubBatch(Shard* shard, const SubBatch& sub);
+
+  ShardedEngineOptions options_;
+  std::unique_ptr<Router> router_;
+  /// Guards router_ state: shared for Route, exclusive for Learn.
+  mutable SharedLatch route_latch_;
+  uint64_t next_placement_ = 0;  // round-robin cursor; under exclusive latch
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::unique_ptr<ShardQueue>> queues_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::atomic<bool> stop_{false};
+
+  std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> routing_failures_{0};
+};
+
+}  // namespace nblb

@@ -28,8 +28,16 @@ class DiskManager {
   /// \param path       backing file path (created if missing on Open)
   /// \param page_size  page size in bytes
   /// \param latency    optional latency model (not owned); may be nullptr
+  /// \param direct_io  open with O_DIRECT, bypassing the OS page cache so
+  ///                   buffer-pool misses pay real storage latency (the
+  ///                   regime the paper's RAM-residency arguments assume).
+  ///                   Requires page_size to be a multiple of 4096; I/O is
+  ///                   staged through an internal aligned bounce buffer so
+  ///                   callers need no aligned memory. Falls back to
+  ///                   buffered I/O when the filesystem rejects O_DIRECT
+  ///                   (e.g. tmpfs); check direct_io() after Open.
   DiskManager(std::string path, size_t page_size,
-              LatencyModel* latency = nullptr);
+              LatencyModel* latency = nullptr, bool direct_io = false);
   ~DiskManager();
 
   DiskManager(const DiskManager&) = delete;
@@ -55,6 +63,8 @@ class DiskManager {
 
   size_t page_size() const { return page_size_; }
   PageId num_pages() const { return num_pages_; }
+  /// \brief True when the file is actually open with O_DIRECT.
+  bool direct_io() const { return direct_io_; }
   const DiskStats& stats() const { return stats_; }
   void ResetStats() { stats_ = DiskStats{}; }
   const std::string& path() const { return path_; }
@@ -63,9 +73,12 @@ class DiskManager {
   std::string path_;
   size_t page_size_;
   LatencyModel* latency_;
+  bool direct_io_ = false;
   int fd_ = -1;
   PageId num_pages_ = 0;
   DiskStats stats_;
+  /// 4096-aligned staging buffer for O_DIRECT transfers; null otherwise.
+  char* bounce_ = nullptr;
 };
 
 }  // namespace nblb

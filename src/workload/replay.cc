@@ -1,0 +1,86 @@
+#include "workload/replay.h"
+
+#include <chrono>
+
+namespace nblb {
+
+namespace {
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+}  // namespace
+
+Status LoadRows(ShardedEngine* engine, const std::vector<Row>& rows,
+                size_t key_column, size_t batch_size) {
+  if (batch_size == 0) return Status::InvalidArgument("batch_size must be >0");
+  RequestBatch batch;
+  batch.reserve(batch_size);
+  for (const Row& row : rows) {
+    if (key_column >= row.size()) {
+      return Status::InvalidArgument("key column out of range");
+    }
+    const uint64_t id = static_cast<uint64_t>(row[key_column].AsInt());
+    batch.push_back(Request::Insert(id, row));
+    if (batch.size() == batch_size) {
+      BatchResult result = engine->Execute(batch);
+      for (const auto& r : result.results) {
+        if (!r.status.ok()) return r.status;
+      }
+      batch.clear();
+    }
+  }
+  if (!batch.empty()) {
+    BatchResult result = engine->Execute(batch);
+    for (const auto& r : result.results) {
+      if (!r.status.ok()) return r.status;
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<RequestBatch> BuildLookupBatches(const std::vector<int64_t>& ids,
+                                             size_t batch_size) {
+  std::vector<RequestBatch> batches;
+  if (batch_size == 0) return batches;
+  batches.reserve((ids.size() + batch_size - 1) / batch_size);
+  RequestBatch batch;
+  batch.reserve(batch_size);
+  for (int64_t id : ids) {
+    batch.push_back(Request::Get(static_cast<uint64_t>(id)));
+    if (batch.size() == batch_size) {
+      batches.push_back(std::move(batch));
+      batch = RequestBatch();
+      batch.reserve(batch_size);
+    }
+  }
+  if (!batch.empty()) batches.push_back(std::move(batch));
+  return batches;
+}
+
+ReplayReport ReplayBatches(ShardedEngine* engine,
+                           const std::vector<RequestBatch>& batches) {
+  ReplayReport report;
+  report.batch_seconds.reserve(batches.size());
+  const auto run_start = std::chrono::steady_clock::now();
+  for (const RequestBatch& batch : batches) {
+    const auto batch_start = std::chrono::steady_clock::now();
+    BatchResult result = engine->Execute(batch);
+    report.batch_seconds.push_back(SecondsSince(batch_start));
+    report.ops += batch.size();
+    for (const auto& r : result.results) {
+      if (r.status.ok()) {
+        ++report.found;
+      } else if (r.status.IsNotFound()) {
+        ++report.not_found;
+      } else {
+        ++report.errors;
+      }
+    }
+  }
+  report.seconds = SecondsSince(run_start);
+  return report;
+}
+
+}  // namespace nblb

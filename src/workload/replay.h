@@ -1,0 +1,48 @@
+// Replay: drives workload traces through the sharded serving layer.
+//
+// This is the glue between the synthetic Wikipedia workload (wikipedia.h,
+// trace.h) and ShardedEngine: rows are bulk-loaded as insert batches, and a
+// lookup trace (e.g. the Zipfian revision trace) is chopped into fixed-size
+// RequestBatches and executed, collecting per-batch latencies so callers
+// can report ops/sec and tail latency.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "catalog/value.h"
+#include "common/result.h"
+#include "shard/request.h"
+#include "shard/sharded_engine.h"
+#include "workload/trace.h"
+
+namespace nblb {
+
+/// \brief Outcome of a replay run.
+struct ReplayReport {
+  uint64_t ops = 0;
+  uint64_t found = 0;
+  uint64_t not_found = 0;
+  uint64_t errors = 0;
+  double seconds = 0;
+  /// Wall-clock seconds of each Execute call, in submission order.
+  std::vector<double> batch_seconds;
+
+  double OpsPerSec() const { return seconds > 0 ? ops / seconds : 0; }
+};
+
+/// \brief Bulk-loads `rows` into the engine as insert batches. The routing
+/// id of each row is its value in column `key_column` (int64 family).
+Status LoadRows(ShardedEngine* engine, const std::vector<Row>& rows,
+                size_t key_column, size_t batch_size = 256);
+
+/// \brief Chops `ids` into kGet batches of `batch_size`.
+std::vector<RequestBatch> BuildLookupBatches(const std::vector<int64_t>& ids,
+                                             size_t batch_size);
+
+/// \brief Executes every batch on the engine, timing each Execute call.
+ReplayReport ReplayBatches(ShardedEngine* engine,
+                           const std::vector<RequestBatch>& batches);
+
+}  // namespace nblb

@@ -1,0 +1,358 @@
+// ShardedEngine tests: single-thread correctness against a plain Table
+// oracle, routing behavior of all three routers, batch semantics, hot/cold
+// mode, and a multi-threaded smoke test (no lost inserts, consistent
+// lookups under 8 client threads).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <unordered_map>
+
+#include "common/rng.h"
+#include "shard/sharded_engine.h"
+#include "test_util.h"
+#include "workload/replay.h"
+#include "workload/wikipedia.h"
+
+namespace nblb {
+namespace {
+
+using nblb::testing::TempFile;
+
+Schema SmallSchema() {
+  return Schema({{"id", TypeId::kInt64, 0},
+                 {"payload", TypeId::kVarchar, 32},
+                 {"score", TypeId::kInt64, 0}});
+}
+
+Row MakeRow(uint64_t id) {
+  return {Value::Int64(static_cast<int64_t>(id)),
+          Value::Varchar("payload-" + std::to_string(id)),
+          Value::Int64(static_cast<int64_t>(id * 7 + 3))};
+}
+
+ShardedEngineOptions SmallOptions(const std::string& tag, uint32_t shards,
+                                  uint32_t workers = 0) {
+  ShardedEngineOptions opts;
+  opts.num_shards = shards;
+  opts.num_workers = workers;
+  opts.path_prefix = ::testing::TempDir() + "nblb_engine_" + tag + "_" +
+                     std::to_string(::getpid());
+  opts.page_size = 4096;
+  opts.buffer_pool_frames_per_shard = 512;
+  opts.schema = SmallSchema();
+  opts.table_options.key_columns = {0};
+  opts.table_options.cached_columns = {2};
+  return opts;
+}
+
+/// Removes the per-shard backing files an engine created.
+void Cleanup(const ShardedEngineOptions& opts) {
+  for (uint32_t i = 0; i < opts.num_shards; ++i) {
+    std::remove(
+        (opts.path_prefix + ".shard" + std::to_string(i) + ".db").c_str());
+  }
+}
+
+TEST(ShardedEngineTest, MatchesPlainTableOracle) {
+  auto opts = SmallOptions("oracle", 4);
+  ASSERT_OK_AND_ASSIGN(auto engine, ShardedEngine::Open(opts));
+
+  // Oracle: one plain single-threaded Table with the same schema.
+  auto stack = nblb::testing::MakeStack("shard_oracle", 4096, 2048);
+  TableOptions topts;
+  topts.key_columns = {0};
+  topts.cached_columns = {2};
+  ASSERT_OK_AND_ASSIGN(auto oracle,
+                       Table::Create(stack.bp.get(), SmallSchema(), topts));
+
+  constexpr uint64_t kRows = 2000;
+  Rng rng(7);
+  std::vector<uint64_t> ids;
+  ids.reserve(kRows);
+  while (ids.size() < kRows) {
+    // Sparse, shuffled id space so routing is non-trivial.
+    const uint64_t id = rng.Uniform(1u << 20);
+    ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+
+  RequestBatch inserts;
+  for (uint64_t id : ids) {
+    inserts.push_back(Request::Insert(id, MakeRow(id)));
+    ASSERT_OK(oracle->Insert(MakeRow(id)));
+  }
+  BatchResult insert_result = engine->Execute(inserts);
+  ASSERT_TRUE(insert_result.all_ok());
+
+  // Full-row lookups must agree with the oracle.
+  RequestBatch gets;
+  for (uint64_t id : ids) gets.push_back(Request::Get(id));
+  BatchResult get_result = engine->Execute(gets);
+  ASSERT_EQ(get_result.results.size(), ids.size());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    ASSERT_OK(get_result.results[i].status);
+    ASSERT_OK_AND_ASSIGN(
+        Row expected, oracle->GetByKey({Value::Int64(
+                          static_cast<int64_t>(ids[i]))}));
+    EXPECT_EQ(get_result.results[i].row, expected) << "id=" << ids[i];
+  }
+
+  // Projected lookups (index-cache path) must agree too.
+  const std::vector<size_t> projection = {0, 2};
+  RequestBatch projected;
+  for (uint64_t id : ids) {
+    projected.push_back(Request::GetProjected(id, projection));
+  }
+  BatchResult proj_result = engine->Execute(projected);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    ASSERT_OK(proj_result.results[i].status);
+    ASSERT_OK_AND_ASSIGN(
+        Row expected,
+        oracle->LookupProjected(
+            {Value::Int64(static_cast<int64_t>(ids[i]))}, projection));
+    EXPECT_EQ(proj_result.results[i].row, expected);
+  }
+
+  // Missing keys are NotFound, never a wrong row.
+  auto missing = engine->Get((1ull << 40) + 17);
+  EXPECT_TRUE(missing.status().IsNotFound());
+
+  // Duplicate insert surfaces AlreadyExists on exactly that request.
+  RequestBatch dup;
+  dup.push_back(Request::Insert(ids[0], MakeRow(ids[0])));
+  dup.push_back(Request::Get(ids[1]));
+  BatchResult dup_result = engine->Execute(dup);
+  EXPECT_TRUE(dup_result.results[0].status.IsAlreadyExists());
+  EXPECT_OK(dup_result.results[1].status);
+
+  const ShardStatsSnapshot totals = engine->TotalShardStats();
+  EXPECT_EQ(totals.inserts, ids.size() + 1);  // +1 duplicate attempt
+  EXPECT_EQ(totals.gets, ids.size() + 2);  // + missing probe + dup-batch get
+  EXPECT_EQ(totals.projected_gets, ids.size());
+  Cleanup(opts);
+}
+
+TEST(ShardedEngineTest, HashRouterSpreadsSequentialIds) {
+  auto opts = SmallOptions("spread", 4);
+  ASSERT_OK_AND_ASSIGN(auto engine, ShardedEngine::Open(opts));
+  RequestBatch inserts;
+  for (uint64_t id = 0; id < 1000; ++id) {
+    inserts.push_back(Request::Insert(id, MakeRow(id)));
+  }
+  ASSERT_TRUE(engine->Execute(inserts).all_ok());
+  // Sequential auto-increment ids must not pile onto one shard.
+  for (uint32_t s = 0; s < engine->num_shards(); ++s) {
+    EXPECT_GT(engine->shard(s)->rows(), 100u) << "shard " << s;
+  }
+  Cleanup(opts);
+}
+
+TEST(ShardedEngineTest, TableRouterLearnsInsertPlacements) {
+  auto opts = SmallOptions("tablerouter", 3);
+  ASSERT_OK_AND_ASSIGN(
+      auto engine,
+      ShardedEngine::Open(opts, std::make_unique<TableRouter>()));
+
+  // A lookup for an id the router has never seen fails in routing.
+  auto unrouted = engine->Get(42);
+  EXPECT_TRUE(unrouted.status().IsNotFound());
+  EXPECT_EQ(engine->engine_stats().routing_failures, 1u);
+
+  // Inserts get placed round-robin and the router learns the mapping.
+  for (uint64_t id = 100; id < 200; ++id) {
+    ASSERT_OK(engine->Insert(id, MakeRow(id)));
+  }
+  for (uint64_t id = 100; id < 200; ++id) {
+    ASSERT_OK_AND_ASSIGN(uint32_t shard, engine->RouteOf(id));
+    ASSERT_OK_AND_ASSIGN(Row row, engine->Get(id));
+    EXPECT_EQ(row, MakeRow(id));
+    EXPECT_LT(shard, engine->num_shards());
+  }
+  // Round-robin placement balances exactly.
+  EXPECT_EQ(engine->shard(0)->rows() + engine->shard(1)->rows() +
+                engine->shard(2)->rows(),
+            100u);
+  EXPECT_GE(engine->shard(0)->rows(), 33u);
+  EXPECT_GE(engine->shard(1)->rows(), 33u);
+  EXPECT_GE(engine->shard(2)->rows(), 33u);
+  Cleanup(opts);
+}
+
+TEST(ShardedEngineTest, EmbeddedRouterUsesIdBits) {
+  auto opts = SmallOptions("embedded", 4);
+  SemanticIdCodec codec(/*partition_bits=*/8);
+  ASSERT_OK_AND_ASSIGN(
+      auto engine,
+      ShardedEngine::Open(opts, std::make_unique<EmbeddedRouter>(codec)));
+
+  // Encode the shard into the id: partition p -> shard p % 4.
+  for (uint32_t p = 0; p < 8; ++p) {
+    for (uint64_t local = 0; local < 50; ++local) {
+      const uint64_t id = codec.Encode(p, local);
+      ASSERT_OK(engine->Insert(id, MakeRow(id)));
+      ASSERT_OK_AND_ASSIGN(uint32_t shard, engine->RouteOf(id));
+      EXPECT_EQ(shard, p % 4);
+    }
+  }
+  for (uint32_t p = 0; p < 8; ++p) {
+    for (uint64_t local = 0; local < 50; ++local) {
+      const uint64_t id = codec.Encode(p, local);
+      ASSERT_OK_AND_ASSIGN(Row row, engine->Get(id));
+      EXPECT_EQ(row, MakeRow(id));
+    }
+  }
+  // Shift+mask routing: every tuple lives exactly where its bits say.
+  EXPECT_EQ(engine->shard(0)->rows(), 100u);  // partitions 0 and 4
+  EXPECT_EQ(engine->shard(1)->rows(), 100u);  // partitions 1 and 5
+  Cleanup(opts);
+}
+
+TEST(ShardedEngineTest, HotColdShardsServeBothPartitions) {
+  auto opts = SmallOptions("hotcold", 2);
+  ASSERT_OK_AND_ASSIGN(auto engine, ShardedEngine::Open(opts));
+  RequestBatch inserts;
+  for (uint64_t id = 0; id < 400; ++id) {
+    inserts.push_back(Request::Insert(id, MakeRow(id)));
+  }
+  ASSERT_TRUE(engine->Execute(inserts).all_ok());
+
+  // Declare even ids hot, per shard, using the shard's own key codec.
+  for (uint32_t s = 0; s < engine->num_shards(); ++s) {
+    std::unordered_set<std::string> hot;
+    ASSERT_OK(engine->shard(s)->table()->ForEachRow(
+        [&](const Rid&, const Row& row) {
+          if (row[0].AsInt() % 2 == 0) {
+            auto key =
+                engine->shard(s)->table()->key_codec().EncodeFromRow(row);
+            NBLB_RETURN_NOT_OK(key.status());
+            hot.insert(*key);
+          }
+          return Status::OK();
+        }));
+    ASSERT_OK(engine->EnableHotCold(s, hot));
+  }
+
+  // Every row is still served; hot hits land in the hot partition.
+  RequestBatch gets;
+  for (uint64_t id = 0; id < 400; ++id) gets.push_back(Request::Get(id));
+  BatchResult result = engine->Execute(gets);
+  ASSERT_TRUE(result.all_ok());
+  for (uint64_t id = 0; id < 400; ++id) {
+    EXPECT_EQ(result.results[id].row, MakeRow(id));
+  }
+  uint64_t hot_hits = 0, cold_hits = 0;
+  for (uint32_t s = 0; s < engine->num_shards(); ++s) {
+    const auto& stats = engine->shard(s)->partitioned()->stats();
+    hot_hits += stats.hot_hits.load(std::memory_order_relaxed);
+    cold_hits += stats.cold_hits.load(std::memory_order_relaxed);
+  }
+  EXPECT_EQ(hot_hits, 200u);
+  EXPECT_EQ(cold_hits, 200u);
+  Cleanup(opts);
+}
+
+TEST(ShardedEngineTest, ReplayDrivesWikipediaTraceThroughEngine) {
+  // End-to-end: synthesize a small Wikipedia revision workload, load it,
+  // replay its Zipfian lookup trace, and require perfect hit accounting.
+  WikipediaScale scale;
+  scale.num_pages = 200;
+  scale.revisions_per_page = 5;
+  WikipediaSynthesizer wiki(scale);
+
+  ShardedEngineOptions opts;
+  opts.num_shards = 4;
+  opts.path_prefix =
+      ::testing::TempDir() + "nblb_engine_wiki_" + std::to_string(::getpid());
+  opts.page_size = 4096;
+  opts.buffer_pool_frames_per_shard = 1024;
+  opts.schema = WikipediaSynthesizer::RevisionSchema();
+  opts.table_options.key_columns = {0};
+  ASSERT_OK_AND_ASSIGN(auto engine, ShardedEngine::Open(opts));
+
+  ASSERT_OK(LoadRows(engine.get(), wiki.revisions(), /*key_column=*/0));
+  const auto batches =
+      BuildLookupBatches(wiki.RevisionLookupTrace(5000), /*batch_size=*/64);
+  ReplayReport report = ReplayBatches(engine.get(), batches);
+  EXPECT_EQ(report.ops, 5000u);
+  EXPECT_EQ(report.found, 5000u) << "every traced rev_id exists";
+  EXPECT_EQ(report.errors, 0u);
+  EXPECT_EQ(report.batch_seconds.size(), batches.size());
+  Cleanup(opts);
+}
+
+TEST(ShardedEngineSmokeTest, EightClientThreadsNoLostInsertsOrLookups) {
+  auto opts = SmallOptions("smoke", 4, /*workers=*/2);
+  ASSERT_OK_AND_ASSIGN(auto engine, ShardedEngine::Open(opts));
+
+  constexpr int kClients = 8;
+  constexpr uint64_t kIdsPerClient = 1500;
+  std::atomic<uint64_t> insert_failures{0};
+  std::atomic<uint64_t> lookup_wrong{0};
+
+  // Each client owns a disjoint id range: inserts it in small batches, with
+  // interleaved reads of ids already inserted (its own and other clients').
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      const uint64_t base = static_cast<uint64_t>(c) * kIdsPerClient;
+      Rng rng(c + 99);
+      for (uint64_t i = 0; i < kIdsPerClient; i += 50) {
+        RequestBatch batch;
+        for (uint64_t k = i; k < i + 50 && k < kIdsPerClient; ++k) {
+          batch.push_back(Request::Insert(base + k, MakeRow(base + k)));
+        }
+        // Mix in reads of ids this client has already written.
+        for (int r = 0; r < 10 && i > 0; ++r) {
+          batch.push_back(Request::Get(base + rng.Uniform(i)));
+        }
+        BatchResult result = engine->Execute(batch);
+        for (size_t j = 0; j < result.results.size(); ++j) {
+          const auto& rr = result.results[j];
+          if (batch[j].kind == RequestKind::kInsert) {
+            if (!rr.status.ok()) ++insert_failures;
+          } else {
+            if (!rr.status.ok() || rr.row != MakeRow(batch[j].id)) {
+              ++lookup_wrong;
+            }
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  EXPECT_EQ(insert_failures.load(), 0u);
+  EXPECT_EQ(lookup_wrong.load(), 0u);
+
+  // No lost inserts: every id readable, shard row counts add up exactly.
+  constexpr uint64_t kTotal = kClients * kIdsPerClient;
+  RequestBatch verify;
+  for (uint64_t id = 0; id < kTotal; ++id) {
+    verify.push_back(Request::Get(id));
+  }
+  BatchResult all = engine->Execute(verify);
+  uint64_t found = 0;
+  for (uint64_t id = 0; id < kTotal; ++id) {
+    if (all.results[id].status.ok() && all.results[id].row == MakeRow(id)) {
+      ++found;
+    }
+  }
+  EXPECT_EQ(found, kTotal);
+
+  uint64_t shard_rows = 0;
+  for (uint32_t s = 0; s < engine->num_shards(); ++s) {
+    shard_rows += engine->shard(s)->rows();
+  }
+  EXPECT_EQ(shard_rows, kTotal);
+  const auto totals = engine->TotalShardStats();
+  EXPECT_EQ(totals.inserts, kTotal);
+  EXPECT_EQ(totals.errors, 0u);
+  Cleanup(opts);
+}
+
+}  // namespace
+}  // namespace nblb
