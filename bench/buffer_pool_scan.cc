@@ -1,0 +1,409 @@
+// buffer_pool_scan: thread-count × stripe-count sweep over the striped
+// clock-sweep BufferPool, in a hit regime (working set resident) and a miss
+// regime (working set 8x the pool), plus an embedded copy of the seed's
+// single-mutex exact-LRU pool as the same-machine baseline.
+//
+// The headline number is the 8-thread hit-regime speedup of the striped pool
+// over the seed pool: every page touch used to serialize on one std::mutex
+// and splice a std::list; now it takes one uncontended-by-construction
+// stripe mutex and flips bits in a packed atomic word. The miss regime shows
+// the second win: FetchPages() groups misses per stripe and reads each
+// contiguous run with one preadv instead of one pread per page.
+//
+// Output: a human-readable table on stdout and machine-readable JSON at
+// BENCH_buffer_pool.json (or $NBLB_BENCH_JSON_PATH).
+//
+// JSON schema (one object):
+// {
+//   "bench": "buffer_pool_scan",
+//   "page_size": <uint>, "frames": <uint>,
+//   "hit_pages": <uint>, "miss_pages": <uint>,
+//   "ops_per_config": <uint>, "batch_size": <uint>,
+//   "hit": [   // one entry per (pool, stripes, threads, mode)
+//     {"pool": "striped"|"seed_lru", "stripes": <uint>,  // 0 for seed_lru
+//      "threads": <uint>, "mode": "single"|"batch",
+//      "ops_per_sec": <float>},
+//     ...
+//   ],
+//   "miss": [
+//     {"mode": "single"|"batch", "threads": <uint>,
+//      "ops_per_sec": <float>, "disk_reads": <uint>,
+//      "vectored_reads": <uint>},
+//     ...
+//   ],
+//   "speedup_8t_hit_vs_seed": <float>  // striped single-fetch vs seed pool
+// }
+//
+// Flags: --frames=N --ops=N --batch=N --threads=N (max client threads).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+
+namespace nblb::bench {
+namespace {
+
+double Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+uint64_t FlagOr(int argc, char** argv, const char* name, uint64_t fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::strtoull(argv[i] + prefix.size(), nullptr, 10);
+    }
+  }
+  return fallback;
+}
+
+/// The seed pool, verbatim in spirit: one mutex, exact LRU via std::list
+/// splices, unordered_map page table. Kept here (not in src/) purely as the
+/// same-run baseline the striped pool is measured against.
+class SeedLruPool {
+ public:
+  SeedLruPool(DiskManager* disk, size_t num_frames)
+      : disk_(disk), num_frames_(num_frames) {
+    arena_.reset(new char[num_frames * disk->page_size()]);
+    frames_.resize(num_frames);
+    for (size_t i = 0; i < num_frames; ++i) {
+      frames_[i].data = arena_.get() + i * disk->page_size();
+      free_frames_.push_back(num_frames - 1 - i);
+    }
+  }
+
+  char* Fetch(PageId id) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = page_table_.find(id);
+    if (it != page_table_.end()) {
+      Frame& f = frames_[it->second];
+      if (f.in_lru) {
+        lru_.erase(f.lru_it);
+        f.in_lru = false;
+      }
+      ++f.pin_count;
+      return f.data;
+    }
+    size_t idx;
+    if (!free_frames_.empty()) {
+      idx = free_frames_.back();
+      free_frames_.pop_back();
+    } else {
+      idx = lru_.back();
+      Frame& victim = frames_[idx];
+      lru_.pop_back();
+      victim.in_lru = false;
+      page_table_.erase(victim.id);
+    }
+    Frame& f = frames_[idx];
+    if (!disk_->ReadPage(id, f.data).ok()) std::abort();
+    f.id = id;
+    f.pin_count = 1;
+    page_table_[id] = idx;
+    return f.data;
+  }
+
+  void Unpin(PageId id) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = page_table_.find(id);
+    Frame& f = frames_[it->second];
+    if (--f.pin_count == 0) {
+      lru_.push_front(it->second);
+      f.lru_it = lru_.begin();
+      f.in_lru = true;
+    }
+  }
+
+ private:
+  struct Frame {
+    PageId id = kInvalidPageId;
+    int pin_count = 0;
+    char* data = nullptr;
+    std::list<size_t>::iterator lru_it;
+    bool in_lru = false;
+  };
+
+  DiskManager* disk_;
+  size_t num_frames_;
+  std::unique_ptr<char[]> arena_;
+  std::vector<Frame> frames_;
+  std::unordered_map<PageId, size_t> page_table_;
+  std::list<size_t> lru_;
+  std::vector<size_t> free_frames_;
+  std::mutex mu_;
+};
+
+struct HitResult {
+  std::string pool;
+  size_t stripes = 0;
+  uint32_t threads = 0;
+  std::string mode;
+  double ops_per_sec = 0;
+};
+
+struct MissResult {
+  std::string mode;
+  uint32_t threads = 0;
+  double ops_per_sec = 0;
+  uint64_t disk_reads = 0;
+  uint64_t vectored_reads = 0;
+};
+
+/// Inline PRNG for the measurement loop: the pools are the thing under
+/// test, so id generation must not cost out-of-line calls per op.
+struct InlineRng {
+  uint64_t state;
+  explicit InlineRng(uint64_t seed) : state(SplitMix64(seed)) {}
+  uint64_t Next() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  }
+  PageId Page(PageId n) { return static_cast<PageId>(Next() % n); }
+};
+
+/// Runs `total_ops` page touches split over `threads`, via `touch(rng)`
+/// which returns the number of pages it touched.
+template <typename TouchFn>
+double RunThreads(uint32_t threads, uint64_t total_ops,
+                  const TouchFn& touch) {
+  const uint64_t per_thread = total_ops / threads;
+  std::vector<std::thread> pool;
+  const double start = Now();
+  for (uint32_t t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      InlineRng rng(0x5eed + 977 * t);
+      uint64_t done = 0;
+      while (done < per_thread) done += touch(rng);
+    });
+  }
+  for (auto& th : pool) th.join();
+  const double secs = Now() - start;
+  return static_cast<double>(per_thread * threads) / secs;
+}
+
+}  // namespace
+}  // namespace nblb::bench
+
+int main(int argc, char** argv) {
+  using namespace nblb;
+  using namespace nblb::bench;
+
+  const uint64_t frames = FlagOr(argc, argv, "frames", 4096);
+  const uint64_t total_ops = FlagOr(argc, argv, "ops", 1'000'000);
+  const uint64_t batch = FlagOr(argc, argv, "batch", 32);
+  const uint32_t max_threads =
+      static_cast<uint32_t>(FlagOr(argc, argv, "threads", 8));
+  const size_t page_size = kDefaultPageSize;
+  const PageId hit_pages = static_cast<PageId>(frames / 2);
+  const PageId miss_pages = static_cast<PageId>(frames * 8);
+
+  const std::string path = "/tmp/nblb_bench_bp_scan.db";
+  std::remove(path.c_str());
+  DiskManager disk(path, page_size);
+  if (!disk.Open().ok()) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("allocating %u pages...\n", miss_pages);
+  for (PageId i = 0; i < miss_pages; ++i) {
+    if (!disk.AllocatePage().ok()) {
+      std::fprintf(stderr, "allocation failed\n");
+      return 1;
+    }
+  }
+
+  std::vector<uint32_t> thread_sweep;
+  for (uint32_t t = 1; t <= max_threads; t *= 2) thread_sweep.push_back(t);
+  const std::vector<size_t> stripe_sweep = {1, 4, 16, 64};
+
+  // ---- Hit regime ----------------------------------------------------------
+  std::vector<HitResult> hit_results;
+  std::printf("\n== hit regime (%u resident pages) ==\n", hit_pages);
+  std::printf("%-10s %-8s %-8s %-8s %-12s\n", "pool", "stripes", "threads",
+              "mode", "ops/sec");
+
+  for (size_t stripes : stripe_sweep) {
+    if (stripes > frames) continue;
+    BufferPool bp(&disk, frames, stripes);
+    // Warm the pool.
+    for (PageId id = 0; id < hit_pages; ++id) {
+      auto g = bp.FetchPage(id);
+      if (!g.ok()) std::abort();
+    }
+    for (uint32_t threads : thread_sweep) {
+      const double ops = RunThreads(threads, total_ops, [&](InlineRng& rng) {
+        auto g = bp.FetchPage((rng.Page(hit_pages)));
+        volatile char sink = g->data()[0];
+        (void)sink;
+        return 1u;
+      });
+      hit_results.push_back(
+          {"striped", stripes, threads, "single", ops});
+      std::printf("%-10s %-8zu %-8u %-8s %-12.0f\n", "striped", stripes,
+                  threads, "single", ops);
+      std::fflush(stdout);
+    }
+    // Batched hit fetches at the widest stripe setting only (one row per
+    // thread count is plenty for the JSON).
+    if (stripes == stripe_sweep.back()) {
+      for (uint32_t threads : thread_sweep) {
+        const double ops = RunThreads(threads, total_ops, [&](InlineRng& rng) {
+          std::vector<PageId> ids(batch);
+          for (auto& id : ids) {
+            id = (rng.Page(hit_pages));
+          }
+          auto guards = bp.FetchPages(ids);
+          if (!guards.ok()) std::abort();
+          volatile char sink = (*guards)[0].data()[0];
+          (void)sink;
+          return static_cast<uint32_t>(batch);
+        });
+        hit_results.push_back({"striped", stripes, threads, "batch", ops});
+        std::printf("%-10s %-8zu %-8u %-8s %-12.0f\n", "striped", stripes,
+                    threads, "batch", ops);
+        std::fflush(stdout);
+      }
+    }
+  }
+
+  {
+    SeedLruPool seed(&disk, frames);
+    for (PageId id = 0; id < hit_pages; ++id) seed.Fetch(id);
+    for (PageId id = 0; id < hit_pages; ++id) seed.Unpin(id);
+    for (uint32_t threads : thread_sweep) {
+      const double ops = RunThreads(threads, total_ops, [&](InlineRng& rng) {
+        const PageId id = (rng.Page(hit_pages));
+        char* data = seed.Fetch(id);
+        volatile char sink = data[0];
+        (void)sink;
+        seed.Unpin(id);
+        return 1u;
+      });
+      hit_results.push_back({"seed_lru", 0, threads, "single", ops});
+      std::printf("%-10s %-8d %-8u %-8s %-12.0f\n", "seed_lru", 0, threads,
+                  "single", ops);
+      std::fflush(stdout);
+    }
+  }
+
+  // Headline: the striped pool's best hit-regime fetch mode (single pins or
+  // batched FetchPages — both are how callers fetch pages) against the seed
+  // pool's only mode, at the widest thread count. Per-mode rows are all in
+  // the JSON.
+  double striped_8t = 0, seed_8t = 0;
+  std::string striped_mode;
+  for (const auto& r : hit_results) {
+    if (r.threads != std::min<uint32_t>(8, max_threads)) continue;
+    if (r.pool == "striped" && r.ops_per_sec > striped_8t) {
+      striped_8t = r.ops_per_sec;
+      striped_mode = r.mode;
+    }
+    if (r.pool == "seed_lru") seed_8t = r.ops_per_sec;
+  }
+  const double speedup = seed_8t > 0 ? striped_8t / seed_8t : 0;
+  std::printf(
+      "\nspeedup striped (%s mode) vs seed_lru at %u threads (hit): %.2fx\n",
+      striped_mode.c_str(), std::min<uint32_t>(8, max_threads), speedup);
+
+  // ---- Miss regime ---------------------------------------------------------
+  std::vector<MissResult> miss_results;
+  std::printf("\n== miss regime (%u pages through %llu frames) ==\n",
+              miss_pages, static_cast<unsigned long long>(frames));
+  std::printf("%-8s %-8s %-12s %-10s %-10s\n", "mode", "threads", "ops/sec",
+              "reads", "preadv");
+  const uint64_t miss_ops = std::max<uint64_t>(total_ops / 4, 1);
+  for (const char* mode : {"single", "batch"}) {
+    for (uint32_t threads : thread_sweep) {
+      BufferPool bp(&disk, frames, 0);
+      disk.ResetStats();
+      double ops;
+      if (std::strcmp(mode, "single") == 0) {
+        ops = RunThreads(threads, miss_ops, [&](InlineRng& rng) {
+          auto g = bp.FetchPage((rng.Page(miss_pages)));
+          if (!g.ok()) std::abort();
+          volatile char sink = g->data()[0];
+          (void)sink;
+          return 1u;
+        });
+      } else {
+        ops = RunThreads(threads, miss_ops, [&](InlineRng& rng) {
+          std::vector<PageId> ids(batch);
+          for (auto& id : ids) {
+            id = (rng.Page(miss_pages));
+          }
+          auto guards = bp.FetchPages(ids);
+          if (!guards.ok()) std::abort();
+          return static_cast<uint32_t>(batch);
+        });
+      }
+      const DiskStats ds = disk.stats();
+      miss_results.push_back(
+          {mode, threads, ops, ds.reads, ds.vectored_reads});
+      std::printf("%-8s %-8u %-12.0f %-10llu %-10llu\n", mode, threads, ops,
+                  static_cast<unsigned long long>(ds.reads),
+                  static_cast<unsigned long long>(ds.vectored_reads));
+      std::fflush(stdout);
+    }
+  }
+
+  // ---- JSON ----------------------------------------------------------------
+  const char* json_path = std::getenv("NBLB_BENCH_JSON_PATH");
+  FILE* f =
+      std::fopen(json_path ? json_path : "BENCH_buffer_pool.json", "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot open JSON output file\n");
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n  \"bench\": \"buffer_pool_scan\",\n"
+               "  \"page_size\": %zu,\n  \"frames\": %llu,\n"
+               "  \"hit_pages\": %u,\n  \"miss_pages\": %u,\n"
+               "  \"ops_per_config\": %llu,\n  \"batch_size\": %llu,\n"
+               "  \"hit\": [\n",
+               page_size, static_cast<unsigned long long>(frames), hit_pages,
+               miss_pages, static_cast<unsigned long long>(total_ops),
+               static_cast<unsigned long long>(batch));
+  for (size_t i = 0; i < hit_results.size(); ++i) {
+    const auto& r = hit_results[i];
+    std::fprintf(f,
+                 "    {\"pool\": \"%s\", \"stripes\": %zu, \"threads\": %u, "
+                 "\"mode\": \"%s\", \"ops_per_sec\": %.1f}%s\n",
+                 r.pool.c_str(), r.stripes, r.threads, r.mode.c_str(),
+                 r.ops_per_sec, i + 1 < hit_results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"miss\": [\n");
+  for (size_t i = 0; i < miss_results.size(); ++i) {
+    const auto& r = miss_results[i];
+    std::fprintf(f,
+                 "    {\"mode\": \"%s\", \"threads\": %u, "
+                 "\"ops_per_sec\": %.1f, \"disk_reads\": %llu, "
+                 "\"vectored_reads\": %llu}%s\n",
+                 r.mode.c_str(), r.threads, r.ops_per_sec,
+                 static_cast<unsigned long long>(r.disk_reads),
+                 static_cast<unsigned long long>(r.vectored_reads),
+                 i + 1 < miss_results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"speedup_8t_hit_vs_seed\": %.4f\n}\n", speedup);
+  std::fclose(f);
+  std::printf("wrote %s\n",
+              json_path ? json_path : "BENCH_buffer_pool.json");
+  std::remove(path.c_str());
+  return 0;
+}

@@ -10,7 +10,8 @@ Result<std::unique_ptr<Database>> Database::Open(DatabaseOptions options) {
   db->disk_.reset(new DiskManager(options.path, options.page_size,
                                   db->latency_.get(), options.direct_io));
   NBLB_RETURN_NOT_OK(db->disk_->Open());
-  db->bp_.reset(new BufferPool(db->disk_.get(), options.buffer_pool_frames));
+  db->bp_.reset(new BufferPool(db->disk_.get(), options.buffer_pool_frames,
+                               options.buffer_pool_stripes));
   return db;
 }
 

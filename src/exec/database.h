@@ -25,6 +25,11 @@ struct DatabaseOptions {
   size_t page_size = kDefaultPageSize;
   /// Buffer pool capacity in pages.
   size_t buffer_pool_frames = 1024;
+  /// Buffer pool stripes: 0 picks automatically from the frame count (good
+  /// for pools shared by many threads). Use 1 for single-threaded pools —
+  /// one global CLOCK uses the full capacity, with no per-stripe imbalance
+  /// when the working set approaches the pool size.
+  size_t buffer_pool_stripes = 0;
   /// Simulated storage latency (disabled charges nothing; see DESIGN.md §4).
   LatencyModelOptions latency;
   bool enable_latency_model = false;

@@ -128,6 +128,74 @@ Result<Row> Table::GetByKey(const std::vector<Value>& key_values) {
   return row_codec_->Decode(bytes.data());
 }
 
+Status Table::GetBatchByKey(const std::vector<std::vector<Value>>& keys,
+                            std::vector<Result<Row>>* out) {
+  stats_.lookups += keys.size();
+
+  // Encode every key, then process them in sorted order so the index descent
+  // and the heap page fetches are shared across the batch.
+  std::vector<std::string> encoded(keys.size());
+  std::vector<Status> key_status(keys.size());
+  std::vector<uint32_t> order;
+  order.reserve(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    auto enc = key_codec_->EncodeValues(keys[i]);
+    if (!enc.ok()) {
+      key_status[i] = enc.status();
+      continue;
+    }
+    encoded[i] = std::move(*enc);
+    order.push_back(static_cast<uint32_t>(i));
+  }
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return encoded[a] < encoded[b];
+  });
+
+  std::vector<Slice> sorted_keys;
+  sorted_keys.reserve(order.size());
+  for (uint32_t i : order) sorted_keys.emplace_back(encoded[i]);
+  std::vector<Result<uint64_t>> tids;
+  NBLB_RETURN_NOT_OK(index_->GetBatch(sorted_keys, &tids));
+  NBLB_CHECK(tids.size() == order.size());
+
+  // Found keys proceed to one batched heap read (rids are in sorted-key
+  // order, so their pages are nearly sorted too — long vectored runs).
+  std::vector<Rid> rids;
+  std::vector<uint32_t> rid_pos;  // input index per rid
+  rids.reserve(order.size());
+  for (size_t k = 0; k < order.size(); ++k) {
+    if (tids[k].ok()) {
+      rids.push_back(Rid::FromU64(*tids[k]));
+      rid_pos.push_back(order[k]);
+    } else {
+      key_status[order[k]] = tids[k].status();
+    }
+  }
+  std::vector<std::string> tuples;
+  std::vector<Status> tuple_status;
+  NBLB_RETURN_NOT_OK(heap_->GetBatch(rids, &tuples, &tuple_status));
+
+  std::vector<Row> rows(keys.size());
+  for (size_t k = 0; k < rids.size(); ++k) {
+    const uint32_t i = rid_pos[k];
+    if (!tuple_status[k].ok()) {
+      key_status[i] = tuple_status[k];
+      continue;
+    }
+    ++stats_.heap_fetches;
+    rows[i] = row_codec_->Decode(tuples[k].data());
+  }
+  out->reserve(out->size() + keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (key_status[i].ok()) {
+      out->push_back(std::move(rows[i]));
+    } else {
+      out->push_back(key_status[i]);
+    }
+  }
+  return Status::OK();
+}
+
 Result<Row> Table::LookupProjected(const std::vector<Value>& key_values,
                                    const std::vector<size_t>& project_columns) {
   ++stats_.lookups;

@@ -79,6 +79,15 @@ class Table {
   /// \brief Full-row point lookup through the index (heap access).
   Result<Row> GetByKey(const std::vector<Value>& key_values);
 
+  /// \brief Batched full-row point lookups. Pushes one Result per key onto
+  /// `out`, in input order. Keys are sorted internally so the B+Tree descent
+  /// is shared across the batch (BTree::GetBatch) and the heap tuples are
+  /// read with one batched page fetch (HeapFile::GetBatch -> vectored miss
+  /// I/O). Per-key NotFound lands in `out`; the returned Status covers
+  /// infrastructure failures only.
+  Status GetBatchByKey(const std::vector<std::vector<Value>>& keys,
+                       std::vector<Result<Row>>* out);
+
   /// \brief Projected point lookup; served from the index cache when the
   /// projection is covered by key ∪ cached columns and the item is cached.
   /// Returns values in `project_columns` order.

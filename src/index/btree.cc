@@ -160,6 +160,84 @@ Result<uint64_t> BTree::Get(const Slice& key) {
   return view.ValueAt(pos);
 }
 
+Status BTree::GetBatch(const std::vector<Slice>& sorted_keys,
+                       std::vector<Result<uint64_t>>* out) {
+  out->reserve(out->size() + sorted_keys.size());
+  PageGuard leaf;   // current leaf, shared across consecutive keys
+  bool have_leaf = false;
+  // Density heuristic: walk the sibling chain only while consecutive keys
+  // keep resolving without a descent. A sparse batch (keys many leaves
+  // apart) then pays exactly one descent per key — no speculative sibling
+  // fetches polluting a near-capacity buffer pool — while a dense batch
+  // (range-scan-like) streams along the chain and skips the inner levels.
+  bool dense = false;
+
+  for (const Slice& key : sorted_keys) {
+    if (key.size() != options_.key_size) {
+      out->push_back(Status::InvalidArgument("key size mismatch"));
+      continue;
+    }
+    bool resolved_gap = false;
+    bool descended = false;
+    while (have_leaf) {
+      BTreePageView view(leaf.data(), bp_->page_size());
+      const size_t n = view.num_entries();
+      if (n > 0 && key.Compare(view.KeyAt(n - 1)) <= 0) break;
+      const PageId next = view.next();
+      if (next == kInvalidPageId) {
+        if (n > 0) break;  // past the last key in the tree -> NotFound here
+        have_leaf = false;
+        break;
+      }
+      if (!dense) {
+        have_leaf = false;  // sparse so far; don't speculate, just descend
+        break;
+      }
+      NBLB_ASSIGN_OR_RETURN(PageGuard g, bp_->FetchPage(next));
+      BTreePageView next_view(g.data(), bp_->page_size());
+      const size_t nn = next_view.num_entries();
+      if (nn == 0) {
+        have_leaf = false;  // lazy-deleted empty leaf; just descend
+        break;
+      }
+      if (key.Compare(next_view.KeyAt(0)) < 0) {
+        // Keys are globally ordered across the chain: past the current
+        // leaf's last entry but before the sibling's first -> nowhere.
+        // Advance to the sibling anyway: later batch keys in the same gap
+        // then miss inside it directly instead of re-fetching it per key.
+        leaf = std::move(g);
+        resolved_gap = true;
+        break;
+      }
+      if (key.Compare(next_view.KeyAt(nn - 1)) > 0) {
+        have_leaf = false;  // far away; a fresh descent is cheaper
+        break;
+      }
+      leaf = std::move(g);  // the key is inside this sibling
+    }
+    if (resolved_gap) {
+      out->push_back(Status::NotFound("key not found"));
+      dense = true;  // resolved with at most one sibling fetch
+      continue;
+    }
+    if (!have_leaf) {
+      NBLB_ASSIGN_OR_RETURN(PageGuard g, FindLeaf(key));
+      leaf = std::move(g);
+      have_leaf = true;
+      descended = true;
+    }
+    dense = !descended;
+    BTreePageView view(leaf.data(), bp_->page_size());
+    size_t pos;
+    if (view.FindExact(key, &pos)) {
+      out->push_back(view.ValueAt(pos));
+    } else {
+      out->push_back(Status::NotFound("key not found"));
+    }
+  }
+  return Status::OK();
+}
+
 Status BTree::SetValue(const Slice& key, uint64_t value) {
   NBLB_ASSIGN_OR_RETURN(PageGuard leaf, FindLeaf(key));
   BTreePageView view(leaf.data(), bp_->page_size());

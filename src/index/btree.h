@@ -94,6 +94,17 @@ class BTree {
   /// \brief Point lookup.
   Result<uint64_t> Get(const Slice& key);
 
+  /// \brief Batched point lookups over keys sorted ascending (duplicates
+  /// allowed). Pushes one Result per key onto `out`, in input order.
+  ///
+  /// The descent is amortized across the batch: consecutive keys that land
+  /// in the same leaf (or a near sibling — the common case for a sorted
+  /// batch) reuse the pinned leaf instead of re-walking root and inner
+  /// pages. Returns non-OK only on infrastructure failure (per-key NotFound
+  /// lands in `out`).
+  Status GetBatch(const std::vector<Slice>& sorted_keys,
+                  std::vector<Result<uint64_t>>* out);
+
   /// \brief Overwrites the value of an existing key.
   Status SetValue(const Slice& key, uint64_t value);
 

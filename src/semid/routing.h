@@ -11,6 +11,7 @@
 #include <unordered_map>
 
 #include "common/result.h"
+#include "common/rng.h"
 #include "semid/semantic_id.h"
 
 namespace nblb {
@@ -80,14 +81,9 @@ class HashRouter : public Router {
   uint32_t num_partitions() const { return num_partitions_; }
 
  private:
-  // splitmix64 finalizer: sequential IDs (auto-increment keys) must not all
-  // land in the same partition, so `id % n` is not enough — spread them.
-  static uint64_t Mix(uint64_t x) {
-    x += 0x9e3779b97f4a7c15ull;
-    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
-    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
-    return x ^ (x >> 31);
-  }
+  // Sequential IDs (auto-increment keys) must not all land in the same
+  // partition, so `id % n` is not enough — spread them first.
+  static uint64_t Mix(uint64_t x) { return SplitMix64(x); }
 
   uint32_t num_partitions_;
 };

@@ -22,6 +22,8 @@ enum class RequestKind : uint8_t {
   kGet = 0,           ///< full-row point lookup by ID
   kGetProjected = 1,  ///< projected point lookup (index-cache eligible)
   kInsert = 2,        ///< insert a full row
+  kUpdate = 3,        ///< replace the non-key columns of an existing row
+  kDelete = 4,        ///< remove a row by ID
 };
 
 /// \brief One operation. `id` is the routing key and must equal the row's
@@ -29,7 +31,7 @@ enum class RequestKind : uint8_t {
 struct Request {
   RequestKind kind = RequestKind::kGet;
   uint64_t id = 0;
-  Row row;                         ///< kInsert only
+  Row row;                         ///< kInsert / kUpdate only
   std::vector<size_t> projection;  ///< kGetProjected only
 
   static Request Get(uint64_t id) {
@@ -52,6 +54,21 @@ struct Request {
     r.kind = RequestKind::kInsert;
     r.id = id;
     r.row = std::move(row);
+    return r;
+  }
+
+  static Request Update(uint64_t id, Row row) {
+    Request r;
+    r.kind = RequestKind::kUpdate;
+    r.id = id;
+    r.row = std::move(row);
+    return r;
+  }
+
+  static Request Delete(uint64_t id) {
+    Request r;
+    r.kind = RequestKind::kDelete;
+    r.id = id;
     return r;
   }
 };

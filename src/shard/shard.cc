@@ -32,6 +32,7 @@ Result<std::unique_ptr<Shard>> Shard::Open(uint32_t shard_id,
   dbo.path = shard->options_.path;
   dbo.page_size = shard->options_.page_size;
   dbo.buffer_pool_frames = shard->options_.buffer_pool_frames;
+  dbo.buffer_pool_stripes = shard->options_.buffer_pool_stripes;
   dbo.direct_io = shard->options_.direct_io;
   std::remove(dbo.path.c_str());
   NBLB_ASSIGN_OR_RETURN(shard->db_, Database::Open(dbo));
@@ -73,6 +74,67 @@ Result<Row> Shard::Get(uint64_t id) {
                                             : stats_.errors);
   }
   return result;
+}
+
+Status Shard::GetBatch(const std::vector<uint64_t>& ids,
+                       std::vector<Result<Row>>* out) {
+  stats_.Add(stats_.gets, ids.size());
+  if (partitioned_) {
+    // Hot/cold probing is per-key; serve the batch as individual lookups
+    // (stats for gets were counted above, so bypass Get()).
+    for (uint64_t id : ids) {
+      auto result = partitioned_->LookupProjected(KeyOf(id), all_columns_);
+      if (!result.ok()) {
+        stats_.Add(result.status().IsNotFound() ? stats_.not_found
+                                                : stats_.errors);
+      }
+      out->push_back(std::move(result));
+    }
+    return Status::OK();
+  }
+  stats_.Add(stats_.batch_gets, ids.size());
+  std::vector<std::vector<Value>> keys;
+  keys.reserve(ids.size());
+  for (uint64_t id : ids) keys.push_back(KeyOf(id));
+  const size_t first = out->size();
+  NBLB_RETURN_NOT_OK(table_->GetBatchByKey(keys, out));
+  for (size_t i = first; i < out->size(); ++i) {
+    if (!(*out)[i].ok()) {
+      stats_.Add((*out)[i].status().IsNotFound() ? stats_.not_found
+                                                 : stats_.errors);
+    }
+  }
+  return Status::OK();
+}
+
+Status Shard::Update(uint64_t id, const Row& row) {
+  stats_.Add(stats_.updates);
+  if (partitioned_) {
+    stats_.Add(stats_.errors);
+    return Status::NotSupported(
+        "update on a hot/cold-partitioned shard is not supported yet");
+  }
+  Status s = table_->UpdateByKey(KeyOf(id), row);
+  if (!s.ok()) {
+    stats_.Add(s.IsNotFound() ? stats_.not_found : stats_.errors);
+  }
+  return s;
+}
+
+Status Shard::Delete(uint64_t id) {
+  stats_.Add(stats_.deletes);
+  if (partitioned_) {
+    stats_.Add(stats_.errors);
+    return Status::NotSupported(
+        "delete on a hot/cold-partitioned shard is not supported yet");
+  }
+  Status s = table_->DeleteByKey(KeyOf(id));
+  if (!s.ok()) {
+    stats_.Add(s.IsNotFound() ? stats_.not_found : stats_.errors);
+  } else {
+    --rows_;
+  }
+  return s;
 }
 
 Result<Row> Shard::GetProjected(uint64_t id,

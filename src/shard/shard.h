@@ -39,6 +39,12 @@ struct ShardOptions {
   /// Buffer pool capacity, per shard (the scale-out model: each shard is a
   /// "node" with its own fixed RAM budget).
   size_t buffer_pool_frames = 4096;
+  /// Buffer pool stripes. A shard is single-worker by construction, so its
+  /// pool sees one thread: default to ONE stripe, which gives the CLOCK
+  /// sweep the whole capacity (striping a near-capacity working set costs
+  /// hit rate to per-stripe imbalance and buys nothing without concurrent
+  /// fetchers). Lock-free hits don't take the stripe mutex anyway.
+  size_t buffer_pool_stripes = 1;
   /// O_DIRECT backing file: misses pay device latency, not page-cache cost.
   bool direct_io = false;
   Schema schema;
@@ -63,6 +69,21 @@ class Shard {
   Status Insert(const Row& row);
   Result<Row> Get(uint64_t id);
   Result<Row> GetProjected(uint64_t id, const std::vector<size_t>& projection);
+
+  /// \brief Batched full-row lookups: resolves all ids through the table's
+  /// batch path (shared B+Tree descent, vectored heap-page miss I/O) and
+  /// pushes one Result per id onto `out`, in input order. Falls back to
+  /// per-op Get on a hot/cold-partitioned shard (the partitioned probe
+  /// sequence has no batch form yet).
+  Status GetBatch(const std::vector<uint64_t>& ids,
+                  std::vector<Result<Row>>* out);
+
+  /// \brief Replaces the non-key columns of row `id` (Table::UpdateByKey:
+  /// the cache invalidation predicate is logged before the heap write).
+  Status Update(uint64_t id, const Row& row);
+
+  /// \brief Deletes row `id` (index entry, heap tuple, cache predicate).
+  Status Delete(uint64_t id);
 
   /// \brief Rebuilds this shard as hot/cold partitions (§3.1): rows whose
   /// encoded key is in `hot_encoded_keys` land in the hot partition, the

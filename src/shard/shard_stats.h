@@ -20,19 +20,27 @@ struct ShardStatsSnapshot {
   uint64_t gets = 0;
   uint64_t projected_gets = 0;
   uint64_t inserts = 0;
+  uint64_t updates = 0;
+  uint64_t deletes = 0;
   uint64_t not_found = 0;
   uint64_t errors = 0;        ///< non-NotFound failures
   uint64_t sub_batches = 0;   ///< per-shard batch fragments executed
+  uint64_t batch_gets = 0;    ///< gets served through the batched read path
 
-  uint64_t ops() const { return gets + projected_gets + inserts; }
+  uint64_t ops() const {
+    return gets + projected_gets + inserts + updates + deletes;
+  }
 
   ShardStatsSnapshot& operator+=(const ShardStatsSnapshot& o) {
     gets += o.gets;
     projected_gets += o.projected_gets;
     inserts += o.inserts;
+    updates += o.updates;
+    deletes += o.deletes;
     not_found += o.not_found;
     errors += o.errors;
     sub_batches += o.sub_batches;
+    batch_gets += o.batch_gets;
     return *this;
   }
 };
@@ -43,9 +51,12 @@ struct ShardStats {
   std::atomic<uint64_t> gets{0};
   std::atomic<uint64_t> projected_gets{0};
   std::atomic<uint64_t> inserts{0};
+  std::atomic<uint64_t> updates{0};
+  std::atomic<uint64_t> deletes{0};
   std::atomic<uint64_t> not_found{0};
   std::atomic<uint64_t> errors{0};
   std::atomic<uint64_t> sub_batches{0};
+  std::atomic<uint64_t> batch_gets{0};
 
   void Add(std::atomic<uint64_t>& c, uint64_t n = 1) {
     c.fetch_add(n, std::memory_order_relaxed);
@@ -56,9 +67,12 @@ struct ShardStats {
     s.gets = gets.load(std::memory_order_relaxed);
     s.projected_gets = projected_gets.load(std::memory_order_relaxed);
     s.inserts = inserts.load(std::memory_order_relaxed);
+    s.updates = updates.load(std::memory_order_relaxed);
+    s.deletes = deletes.load(std::memory_order_relaxed);
     s.not_found = not_found.load(std::memory_order_relaxed);
     s.errors = errors.load(std::memory_order_relaxed);
     s.sub_batches = sub_batches.load(std::memory_order_relaxed);
+    s.batch_gets = batch_gets.load(std::memory_order_relaxed);
     return s;
   }
 };

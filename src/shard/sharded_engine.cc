@@ -180,19 +180,41 @@ void ShardedEngine::WorkerLoop(Worker* worker) {
 void ShardedEngine::RunSubBatch(Shard* shard, const SubBatch& sub) {
   BatchState* state = sub.state;
   const RequestBatch& batch = *state->batch;
+
+  // Consecutive kGet requests are drained through the shard's batched read
+  // path (shared B+Tree descent + vectored heap-page miss I/O). Segmenting
+  // at every non-get preserves batch order within the shard, so a lookup
+  // that follows a write to the same id still sees the write.
+  std::vector<uint64_t> run_ids;
+  std::vector<uint32_t> run_indexes;
+  auto flush_gets = [&] {
+    if (run_ids.empty()) return;
+    std::vector<Result<Row>> rows;
+    Status s = shard->GetBatch(run_ids, &rows);
+    for (size_t k = 0; k < run_indexes.size(); ++k) {
+      RequestResult& result = state->out->results[run_indexes[k]];
+      if (!s.ok()) {
+        result.status = s;
+      } else if (rows[k].ok()) {
+        result.row = std::move(*rows[k]);
+      } else {
+        result.status = rows[k].status();
+      }
+    }
+    run_ids.clear();
+    run_indexes.clear();
+  };
+
   for (uint32_t i : sub.indexes) {
     const Request& request = batch[i];
     RequestResult& result = state->out->results[i];
+    if (request.kind == RequestKind::kGet) {
+      run_ids.push_back(request.id);
+      run_indexes.push_back(i);
+      continue;
+    }
+    flush_gets();
     switch (request.kind) {
-      case RequestKind::kGet: {
-        auto row = shard->Get(request.id);
-        if (row.ok()) {
-          result.row = std::move(*row);
-        } else {
-          result.status = row.status();
-        }
-        break;
-      }
       case RequestKind::kGetProjected: {
         auto row = shard->GetProjected(request.id, request.projection);
         if (row.ok()) {
@@ -205,8 +227,17 @@ void ShardedEngine::RunSubBatch(Shard* shard, const SubBatch& sub) {
       case RequestKind::kInsert:
         result.status = shard->Insert(request.row);
         break;
+      case RequestKind::kUpdate:
+        result.status = shard->Update(request.id, request.row);
+        break;
+      case RequestKind::kDelete:
+        result.status = shard->Delete(request.id);
+        break;
+      case RequestKind::kGet:
+        break;  // handled above
     }
   }
+  flush_gets();
   shard->NoteSubBatch();
   // acq_rel: see BatchState::pending. The last decrementer observes every
   // other worker's result writes and wakes the gatherer.
@@ -238,6 +269,18 @@ Result<Row> ShardedEngine::GetProjected(uint64_t id,
   auto result = Execute(batch);
   if (!result.results[0].status.ok()) return result.results[0].status;
   return std::move(result.results[0].row);
+}
+
+Status ShardedEngine::Update(uint64_t id, Row row) {
+  RequestBatch batch;
+  batch.push_back(Request::Update(id, std::move(row)));
+  return Execute(batch).results[0].status;
+}
+
+Status ShardedEngine::Delete(uint64_t id) {
+  RequestBatch batch;
+  batch.push_back(Request::Delete(id));
+  return Execute(batch).results[0].status;
 }
 
 Status ShardedEngine::EnableHotCold(

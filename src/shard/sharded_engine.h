@@ -100,6 +100,8 @@ class ShardedEngine {
   Status Insert(uint64_t id, Row row);
   Result<Row> Get(uint64_t id);
   Result<Row> GetProjected(uint64_t id, std::vector<size_t> projection);
+  Status Update(uint64_t id, Row row);
+  Status Delete(uint64_t id);
 
   // ---- Placement / topology ----------------------------------------------
 

@@ -1,10 +1,19 @@
 #include "storage/buffer_pool.h"
 
+#include <algorithm>
+#include <cstdlib>
 #include <cstring>
+#include <numeric>
+#include <thread>
 
 #include "common/logging.h"
+#include "common/rng.h"
 
 namespace nblb {
+
+// ---------------------------------------------------------------------------
+// PageGuard
+// ---------------------------------------------------------------------------
 
 PageGuard& PageGuard::operator=(PageGuard&& other) noexcept {
   if (this != &other) {
@@ -24,7 +33,7 @@ PageGuard& PageGuard::operator=(PageGuard&& other) noexcept {
 
 void PageGuard::Release() {
   if (bp_ != nullptr) {
-    bp_->Unpin(id_, dirty_);
+    bp_->ReleaseGuard(data_, dirty_);
     bp_ = nullptr;
     data_ = nullptr;
     latch_ = nullptr;
@@ -32,151 +41,757 @@ void PageGuard::Release() {
   }
 }
 
-BufferPool::BufferPool(DiskManager* disk, size_t num_frames)
-    : disk_(disk), num_frames_(num_frames) {
+// ---------------------------------------------------------------------------
+// Construction
+// ---------------------------------------------------------------------------
+
+BufferPool::BufferPool(DiskManager* disk, size_t num_frames, size_t num_stripes)
+    : disk_(disk), num_frames_(num_frames), page_size_(disk->page_size()) {
   NBLB_CHECK(num_frames > 0);
-  arena_.reset(new char[num_frames * disk_->page_size()]);
+  if ((page_size_ & (page_size_ - 1)) == 0) {
+    while ((size_t{1} << page_shift_) < page_size_) ++page_shift_;
+  }
+
+  // 4096-aligned arena: with a 4 KiB-multiple page size every frame buffer is
+  // O_DIRECT-transfer aligned, so vectored miss reads land straight in frames.
+  void* mem = nullptr;
+  NBLB_CHECK(::posix_memalign(&mem, 4096, num_frames * page_size_) == 0);
+  arena_ = static_cast<char*>(mem);
   frames_.reset(new Frame[num_frames]);
-  free_frames_.reserve(num_frames);
-  for (size_t i = 0; i < num_frames; ++i) {
-    frames_[i].data = arena_.get() + i * disk_->page_size();
-    free_frames_.push_back(num_frames - 1 - i);
+
+  size_t s = num_stripes;
+  if (s == 0) {
+    // One stripe per 64 frames, at most 64: tiny pools (unit tests with 2-4
+    // frames) get one stripe and therefore exact global CLOCK behaviour.
+    s = 1;
+    while (s * 2 <= num_frames / 64 && s * 2 <= 64) s *= 2;
+  }
+  size_t pow2 = 1;
+  while (pow2 * 2 <= s) pow2 *= 2;
+  s = pow2;
+  while (s > num_frames) s /= 2;
+  num_stripes_ = s;
+  stripe_mask_ = s - 1;
+  stripes_.reset(new Stripe[s]);
+
+  const size_t q = num_frames / s;
+  const size_t r = num_frames % s;
+  uint32_t begin = 0;
+  for (size_t i = 0; i < s; ++i) {
+    Stripe& st = stripes_[i];
+    const uint32_t count = static_cast<uint32_t>(q + (i < r ? 1 : 0));
+    st.begin = begin;
+    st.end = begin + count;
+    begin = st.end;
+    size_t tsize = 8;
+    while (tsize < 2 * static_cast<size_t>(count)) tsize *= 2;
+    st.slot_key.reset(new std::atomic<PageId>[tsize]);
+    st.slot_frame.reset(new std::atomic<uint32_t>[tsize]);
+    for (size_t k = 0; k < tsize; ++k) {
+      st.slot_key[k].store(kInvalidPageId, std::memory_order_relaxed);
+      st.slot_frame[k].store(kNoFrame, std::memory_order_relaxed);
+    }
+    st.table_mask = tsize - 1;
+    st.free_list.reserve(count);
+    // Push descending so frames are handed out in index order (deterministic
+    // victim order for the unit tests, like the seed pool's free list).
+    for (uint32_t f = st.end; f > st.begin; --f) st.free_list.push_back(f - 1);
+    for (uint32_t f = st.begin; f < st.end; ++f) {
+      frames_[f].data = arena_ + static_cast<size_t>(f) * page_size_;
+    }
   }
 }
 
 BufferPool::~BufferPool() {
   // Best effort write-back of dirty pages.
   (void)FlushAll();
+  std::free(arena_);
 }
 
-Result<size_t> BufferPool::GetVictimFrame() {
-  if (!free_frames_.empty()) {
-    size_t idx = free_frames_.back();
-    free_frames_.pop_back();
-    return idx;
+// ---------------------------------------------------------------------------
+// Stripe page table (linear probing, backshift deletion)
+// ---------------------------------------------------------------------------
+
+uint64_t BufferPool::Mix(PageId id) { return SplitMix64(id); }
+
+uint32_t BufferPool::TableFind(const Stripe& st, PageId id) const {
+  // Slot hash uses the high mixer bits; the stripe choice used the low ones.
+  size_t i = (Mix(id) >> 32) & st.table_mask;
+  for (;;) {
+    const PageId key = st.slot_key[i].load(std::memory_order_relaxed);
+    if (key == id) return st.slot_frame[i].load(std::memory_order_relaxed);
+    if (key == kInvalidPageId) return kNoFrame;
+    i = (i + 1) & st.table_mask;
   }
-  if (lru_.empty()) {
-    return Status::ResourceExhausted("all buffer pool frames are pinned");
-  }
-  // Least recently used unpinned frame.
-  size_t idx = lru_.back();
-  NBLB_RETURN_NOT_OK(EvictFrame(idx));
-  return idx;
 }
 
-Status BufferPool::EvictFrame(size_t frame_idx) {
-  Frame& f = frames_[frame_idx];
-  NBLB_CHECK(f.pin_count == 0);
-  if (f.dirty) {
-    NBLB_RETURN_NOT_OK(disk_->WritePage(f.id, f.data));
-    ++stats_.dirty_writebacks;
-    f.dirty = false;
+void BufferPool::TableInsert(Stripe& st, PageId id, uint32_t frame) {
+  size_t i = (Mix(id) >> 32) & st.table_mask;
+  while (st.slot_key[i].load(std::memory_order_relaxed) != kInvalidPageId) {
+    NBLB_DCHECK(st.slot_key[i].load(std::memory_order_relaxed) != id);
+    i = (i + 1) & st.table_mask;
   }
-  if (f.in_lru) {
-    lru_.erase(f.lru_it);
-    f.in_lru = false;
+  // Frame before key: an optimistic prober that matches the key must see a
+  // plausible frame (a torn pair is caught by its frame validation anyway).
+  st.slot_frame[i].store(frame, std::memory_order_relaxed);
+  st.slot_key[i].store(id, std::memory_order_relaxed);
+}
+
+void BufferPool::TableErase(Stripe& st, PageId id) {
+  size_t i = (Mix(id) >> 32) & st.table_mask;
+  for (;;) {
+    const PageId key = st.slot_key[i].load(std::memory_order_relaxed);
+    if (key == id) break;
+    if (key == kInvalidPageId) return;
+    i = (i + 1) & st.table_mask;
   }
-  page_table_.erase(f.id);
-  f.id = kInvalidPageId;
-  ++stats_.evictions;
+  size_t hole = i;
+  st.slot_key[hole].store(kInvalidPageId, std::memory_order_relaxed);
+  size_t j = hole;
+  for (;;) {
+    j = (j + 1) & st.table_mask;
+    const PageId key = st.slot_key[j].load(std::memory_order_relaxed);
+    if (key == kInvalidPageId) return;
+    const size_t ideal = (Mix(key) >> 32) & st.table_mask;
+    // Shift back iff the hole lies cyclically within [ideal, j).
+    if (((j - ideal) & st.table_mask) >= ((j - hole) & st.table_mask)) {
+      st.slot_frame[hole].store(
+          st.slot_frame[j].load(std::memory_order_relaxed),
+          std::memory_order_relaxed);
+      st.slot_key[hole].store(key, std::memory_order_relaxed);
+      st.slot_key[j].store(kInvalidPageId, std::memory_order_relaxed);
+      hole = j;
+    }
+  }
+}
+
+bool BufferPool::Contains(const std::vector<PageId>& v, PageId id) {
+  return std::find(v.begin(), v.end(), id) != v.end();
+}
+
+// ---------------------------------------------------------------------------
+// Frame state transitions
+// ---------------------------------------------------------------------------
+
+void BufferPool::UnpinFrame(Frame& f, bool dirty) {
+  if (!dirty) {
+    // Clean unpin: one unconditional RMW. The release half publishes the
+    // pinner's reads-era ordering to the next evictor via the state word's
+    // release sequence.
+    const uint64_t prev = f.state.fetch_sub(1, std::memory_order_release);
+    NBLB_CHECK_MSG((prev & kPinMask) > 0, "unpin of unpinned page");
+    return;
+  }
+  uint64_t s = f.state.load(std::memory_order_relaxed);
+  for (;;) {
+    NBLB_CHECK_MSG((s & kPinMask) > 0, "unpin of unpinned page");
+    uint64_t ns = s - 1;
+    if (dirty) ns |= kDirtyBit;
+    // One CAS covers both the pin drop and the dirty transfer, so a victim
+    // scan can never observe pin==0 without the dirty bit it must honor.
+    // acq_rel: release publishes this pinner's page writes to the next
+    // evictor; acquire keeps the guard's lifetime ordered after them.
+    if (f.state.compare_exchange_weak(s, ns, std::memory_order_acq_rel,
+                                      std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+uint64_t BufferPool::PinFrame(Frame& f, bool reference) {
+  uint64_t s = f.state.load(std::memory_order_relaxed);
+  for (;;) {
+    NBLB_CHECK_MSG((s & kPinMask) != kPinMask, "pin count overflow");
+    uint64_t ns = s + 1;
+    if (reference && ((s & kUsageMask) >> kUsageShift) < kUsageMax) {
+      ns += kUsageOne;
+    }
+    if (f.state.compare_exchange_weak(s, ns, std::memory_order_acquire,
+                                      std::memory_order_relaxed)) {
+      return s;
+    }
+  }
+}
+
+void BufferPool::ReleaseGuard(char* data, bool dirty) {
+  UnpinFrame(frames_[FrameIndexOf(data)], dirty);
+}
+
+Result<BufferPool::Claim> BufferPool::ClaimFrame(Stripe& st, PageId id) {
+  Claim c;
+  c.id = id;
+  if (!st.free_list.empty()) {
+    c.frame = st.free_list.back();
+    st.free_list.pop_back();
+    Frame& f = frames_[c.frame];
+    f.state.store(kClaimedState, std::memory_order_relaxed);
+    f.id.store(id, std::memory_order_relaxed);
+    TableInsert(st, id, c.frame);
+    return c;
+  }
+  const uint32_t n = st.end - st.begin;
+  // kUsageMax+1 full sweeps drain every usage count; one more must then find
+  // an unpinned frame if one exists.
+  for (uint64_t step = 0; step < (kUsageMax + 2) * uint64_t{n}; ++step) {
+    const uint32_t idx = st.begin + st.hand;
+    Frame& f = frames_[idx];
+    st.hand = (st.hand + 1) % n;
+    uint64_t s = f.state.load(std::memory_order_relaxed);
+    if ((s & kPinMask) != 0 || (s & kIoBit) != 0) continue;
+    if ((s & kValidBit) != 0 && (s & kUsageMask) != 0) {
+      // Sweep decrement is exclusive (we hold the stripe mutex; hits only
+      // ever increment), so a plain subtract cannot underflow.
+      f.state.fetch_sub(kUsageOne, std::memory_order_relaxed);
+      continue;
+    }
+    // Pins and unpins are lock-free (TryOptimisticHit does not take the
+    // stripe mutex we hold) — this CAS is exactly what catches them: an
+    // optimistic pin bumps the pin count and usage away from the expected
+    // value, the CAS fails, and the sweep revisits. Do not weaken it to a
+    // store or drop the usage==0 precondition.
+    if (!f.state.compare_exchange_strong(s, kClaimedState,
+                                         std::memory_order_acquire,
+                                         std::memory_order_relaxed)) {
+      continue;
+    }
+    if ((s & kValidBit) != 0) {
+      const PageId old = f.id.load(std::memory_order_relaxed);
+      TableErase(st, old);
+      st.stats.evictions.fetch_add(1, std::memory_order_relaxed);
+      if ((s & kDirtyBit) != 0) {
+        // Write-back happens outside the stripe lock; park the old id on the
+        // flushing list so a re-fetch cannot read stale bytes meanwhile.
+        c.old_id = old;
+        c.writeback = true;
+        st.flushing.push_back(old);
+      }
+    }
+    c.frame = idx;
+    f.id.store(id, std::memory_order_relaxed);
+    TableInsert(st, id, c.frame);
+    return c;
+  }
+  return Status::ResourceExhausted("all buffer pool frames are pinned (stripe of page " +
+                                   std::to_string(id) + ")");
+}
+
+Status BufferPool::WriteBack(Stripe& st, const Claim& c) {
+  // NOTE: by the time this runs the displaced page's mapping is gone and
+  // waiters may already be pinned on the frame for the NEW page, so a write
+  // failure cannot restore the old page to the pool — its last version is
+  // lost and the caller sees the IOError. Unlike the seed pool this is not
+  // retriable; acceptable because WritePage never extends the file (pages
+  // are preallocated, so no ENOSPC-style transient failures — a failure
+  // here is a real device fault).
+  Frame& f = frames_[c.frame];
+  Status s = disk_->WritePage(c.old_id, f.data);
+  {
+    std::lock_guard<std::mutex> lk(st.mu);
+    auto it = std::find(st.flushing.begin(), st.flushing.end(), c.old_id);
+    NBLB_DCHECK(it != st.flushing.end());
+    *it = st.flushing.back();
+    st.flushing.pop_back();
+  }
+  if (s.ok()) st.stats.dirty_writebacks.fetch_add(1, std::memory_order_relaxed);
+  return s;
+}
+
+void BufferPool::AbortClaim(Stripe& st, const Claim& c) {
+  Frame& f = frames_[c.frame];
+  std::lock_guard<std::mutex> lk(st.mu);
+  TableErase(st, c.id);
+  uint64_t s = f.state.load(std::memory_order_relaxed);
+  for (;;) {
+    // Keep the pins (the failed loader's guard and any waiters still hold
+    // them); clear valid+io and raise failed so waiters error out. The frame
+    // becomes claimable again once the pins drain.
+    const uint64_t ns = (s & kPinMask) | kFailedBit;
+    if (f.state.compare_exchange_weak(s, ns, std::memory_order_release,
+                                      std::memory_order_relaxed)) {
+      break;
+    }
+  }
+  f.id.store(kInvalidPageId, std::memory_order_relaxed);
+}
+
+Status BufferPool::WaitForLoad(Frame& f) {
+  uint64_t s = f.state.load(std::memory_order_acquire);
+  int spins = 0;
+  while ((s & kIoBit) != 0) {
+    if (++spins >= 64) {
+      std::this_thread::yield();
+      spins = 0;
+    }
+    s = f.state.load(std::memory_order_acquire);
+  }
+  if ((s & kFailedBit) != 0) {
+    return Status::IOError("concurrent page load failed");
+  }
   return Status::OK();
 }
 
-Result<PageGuard> BufferPool::FetchPage(PageId id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = page_table_.find(id);
-  if (it != page_table_.end()) {
-    Frame& f = frames_[it->second];
-    if (f.in_lru) {
-      lru_.erase(f.lru_it);
-      f.in_lru = false;
+// ---------------------------------------------------------------------------
+// Fetch / allocate
+// ---------------------------------------------------------------------------
+
+bool BufferPool::TryOptimisticHit(Stripe& st, uint64_t h, PageId id,
+                                  PageGuard* out) {
+  // Probe the atomic table slots and pin with a single CAS, no stripe
+  // mutex. Anything unusual — empty slot, probe-length cap, frame mid-load,
+  // lost CAS race — returns false so the caller falls back to the locked
+  // path, which resolves every case correctly. The post-pin id recheck
+  // closes the ABA window where the frame was evicted and reloaded between
+  // our state read and the CAS.
+  size_t i = (h >> 32) & st.table_mask;
+  for (int probes = 0; probes < 16; ++probes, i = (i + 1) & st.table_mask) {
+    const PageId key = st.slot_key[i].load(std::memory_order_relaxed);
+    if (key == kInvalidPageId) return false;
+    if (key != id) continue;
+    const uint32_t fidx = st.slot_frame[i].load(std::memory_order_relaxed);
+    if (fidx >= num_frames_) return false;  // torn pair
+    Frame& f = frames_[fidx];
+    uint64_t s = f.state.load(std::memory_order_relaxed);
+    while ((s & (kValidBit | kIoBit | kFailedBit)) == kValidBit &&
+           f.id.load(std::memory_order_relaxed) == id) {
+      NBLB_CHECK_MSG((s & kPinMask) != kPinMask, "pin count overflow");
+      uint64_t ns = s + 1;
+      if (((s & kUsageMask) >> kUsageShift) < kUsageMax) ns += kUsageOne;
+      if (f.state.compare_exchange_weak(s, ns, std::memory_order_acquire,
+                                        std::memory_order_relaxed)) {
+        if (f.id.load(std::memory_order_relaxed) != id) {
+          // ABA: same state bits, different page. Undo; take the lock.
+          UnpinFrame(f, false);
+          return false;
+        }
+        // Sloppy increment (atomic load + store, no lock prefix): exact
+        // whenever the pool is quiesced, may undercount marginally when
+        // two optimistic hits on one stripe collide — a diagnostic-grade
+        // trade that keeps the hot path at two locked RMWs (pin, unpin).
+        st.stats.hits.store(
+            st.stats.hits.load(std::memory_order_relaxed) + 1,
+            std::memory_order_relaxed);
+        *out = PageGuard(this, id, f.data, &f.cache_latch);
+        return true;
+      }
     }
-    ++f.pin_count;
-    ++stats_.hits;
-    return PageGuard(this, id, f.data, &f.cache_latch);
+    return false;
   }
-  ++stats_.misses;
-  NBLB_ASSIGN_OR_RETURN(size_t idx, GetVictimFrame());
-  Frame& f = frames_[idx];
-  Status st = disk_->ReadPage(id, f.data);
-  if (!st.ok()) {
-    free_frames_.push_back(idx);
-    return st;
+  return false;
+}
+
+Result<PageGuard> BufferPool::FetchPage(PageId id) {
+  if (id >= disk_->num_pages()) {
+    return Status::OutOfRange("fetch of unallocated page " + std::to_string(id));
   }
-  f.id = id;
-  f.pin_count = 1;
-  f.dirty = false;
-  page_table_[id] = idx;
-  return PageGuard(this, id, f.data, &f.cache_latch);
+  const uint64_t h = Mix(id);
+  Stripe& st = stripes_[h & stripe_mask_];
+
+  PageGuard fast;
+  if (TryOptimisticHit(st, h, id, &fast)) return fast;
+
+  for (;;) {
+    Claim claim;
+    Frame* wait_frame = nullptr;
+    bool hit = false;
+    bool flush_conflict = false;
+    PageGuard guard;
+    {
+      std::lock_guard<std::mutex> lk(st.mu);
+      const uint32_t idx = TableFind(st, id);
+      if (idx != kNoFrame) {
+        Frame& f = frames_[idx];
+        const uint64_t prev = PinFrame(f, /*reference=*/true);
+        st.stats.hits.fetch_add(1, std::memory_order_relaxed);
+        guard = PageGuard(this, id, f.data, &f.cache_latch);
+        hit = true;
+        if ((prev & kIoBit) != 0) wait_frame = &f;
+      } else if (Contains(st.flushing, id)) {
+        // Its dirty write-back is in flight; re-reading now would see stale
+        // bytes. Rare — wait for the flusher to land it.
+        flush_conflict = true;
+      } else {
+        st.stats.misses.fetch_add(1, std::memory_order_relaxed);
+        auto claimed = ClaimFrame(st, id);
+        if (!claimed.ok()) return claimed.status();
+        claim = *claimed;
+        guard = PageGuard(this, id, frames_[claim.frame].data,
+                          &frames_[claim.frame].cache_latch);
+      }
+    }
+    if (flush_conflict) {
+      std::this_thread::yield();
+      continue;
+    }
+    if (hit) {
+      if (wait_frame != nullptr) {
+        NBLB_RETURN_NOT_OK(WaitForLoad(*wait_frame));
+      }
+      return guard;
+    }
+    // Loader path: displaced dirty page first, then our read — all outside
+    // the stripe critical section.
+    if (claim.writeback) {
+      Status ws = WriteBack(st, claim);
+      if (!ws.ok()) {
+        AbortClaim(st, claim);
+        return ws;
+      }
+    }
+    Frame& f = frames_[claim.frame];
+    Status rs = disk_->ReadPage(id, f.data);
+    if (!rs.ok()) {
+      AbortClaim(st, claim);
+      return rs;
+    }
+    f.state.fetch_and(~kIoBit, std::memory_order_release);
+    return guard;
+  }
+}
+
+Result<std::vector<PageGuard>> BufferPool::FetchPages(
+    const std::vector<PageId>& ids) {
+  std::vector<PageGuard> guards(ids.size());
+  if (ids.empty()) return guards;
+  const PageId num_pages = disk_->num_pages();
+  for (PageId id : ids) {
+    if (id >= num_pages) {
+      return Status::OutOfRange("fetch of unallocated page " +
+                                std::to_string(id));
+    }
+  }
+  StripeFor(ids[0]).stats.batch_fetches.fetch_add(1, std::memory_order_relaxed);
+
+  // Pass 0 — optimistic lock-free pins. An all-hit batch (the common case
+  // for a warm working set) resolves here with no stripe lock, no sort, and
+  // no per-stripe grouping at all.
+  size_t unresolved = 0;
+  for (size_t k = 0; k < ids.size(); ++k) {
+    const uint64_t h = Mix(ids[k]);
+    if (!TryOptimisticHit(stripes_[h & stripe_mask_], h, ids[k],
+                          &guards[k])) {
+      ++unresolved;
+    }
+  }
+  if (unresolved == 0) return guards;
+
+  // Group positions by stripe (stable: input order preserved per stripe).
+  std::vector<uint32_t> order(ids.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return (Mix(ids[a]) & stripe_mask_) < (Mix(ids[b]) & stripe_mask_);
+  });
+
+  // Rounds: each round pins every hit, claims every claimable miss, performs
+  // the batched I/O, and retries only positions that collided with an
+  // in-flight write-back of the same page (rare).
+  for (;;) {
+    std::vector<Claim> claims;
+    std::vector<Frame*> waits;
+    bool conflict = false;
+    Status error;
+
+    size_t gi = 0;
+    while (gi < order.size() && error.ok()) {
+      Stripe& st = StripeFor(ids[order[gi]]);
+      size_t ge = gi;
+      while (ge < order.size() && &StripeFor(ids[order[ge]]) == &st) ++ge;
+      bool pending = false;
+      for (size_t k = gi; k < ge; ++k) {
+        if (!guards[order[k]].valid()) pending = true;
+      }
+      if (!pending) {
+        gi = ge;
+        continue;
+      }
+      std::lock_guard<std::mutex> lk(st.mu);
+      // Pass 1 — pin every resident page first, so a page requested by this
+      // batch can never be chosen as a victim for one of its misses.
+      for (size_t k = gi; k < ge; ++k) {
+        const uint32_t pos = order[k];
+        if (guards[pos].valid()) continue;
+        const uint32_t idx = TableFind(st, ids[pos]);
+        if (idx == kNoFrame) continue;
+        Frame& f = frames_[idx];
+        const uint64_t prev = PinFrame(f, /*reference=*/true);
+        st.stats.hits.fetch_add(1, std::memory_order_relaxed);
+        guards[pos] = PageGuard(this, ids[pos], f.data, &f.cache_latch);
+        if ((prev & kIoBit) != 0) waits.push_back(&f);
+      }
+      // Pass 2 — claim frames for the misses (a duplicate miss finds the
+      // first occurrence's claim and just pins it).
+      for (size_t k = gi; k < ge; ++k) {
+        const uint32_t pos = order[k];
+        if (guards[pos].valid()) continue;
+        const PageId id = ids[pos];
+        const uint32_t idx = TableFind(st, id);
+        if (idx != kNoFrame) {
+          Frame& f = frames_[idx];
+          const uint64_t prev = PinFrame(f, /*reference=*/false);
+          st.stats.hits.fetch_add(1, std::memory_order_relaxed);
+          guards[pos] = PageGuard(this, id, f.data, &f.cache_latch);
+          if ((prev & kIoBit) != 0) waits.push_back(&f);
+          continue;
+        }
+        if (Contains(st.flushing, id)) {
+          conflict = true;  // retried next round, after our own I/O phase
+          continue;
+        }
+        st.stats.misses.fetch_add(1, std::memory_order_relaxed);
+        auto claimed = ClaimFrame(st, id);
+        if (!claimed.ok()) {
+          error = claimed.status();
+          break;
+        }
+        claims.push_back(*claimed);
+        guards[pos] = PageGuard(this, id, frames_[claimed->frame].data,
+                                &frames_[claimed->frame].cache_latch);
+      }
+      gi = ge;
+    }
+
+    // I/O phase: write-backs first (a claimed frame's buffer still holds the
+    // displaced page until its read), then one vectored read pass. Each
+    // performed write-back clears its `writeback` flag so the abort path
+    // below knows which flushing entries are still outstanding.
+    if (error.ok()) {
+      for (Claim& c : claims) {
+        if (!c.writeback) continue;
+        Status ws = WriteBack(StripeFor(c.old_id), c);
+        c.writeback = false;  // WriteBack always clears the flushing entry
+        if (!ws.ok()) {
+          error = ws;
+          break;
+        }
+      }
+    }
+    if (error.ok() && !claims.empty()) {
+      std::sort(claims.begin(), claims.end(),
+                [](const Claim& a, const Claim& b) { return a.id < b.id; });
+      std::vector<PageId> read_ids;
+      std::vector<char*> dsts;
+      read_ids.reserve(claims.size());
+      dsts.reserve(claims.size());
+      for (const Claim& c : claims) {
+        read_ids.push_back(c.id);
+        dsts.push_back(frames_[c.frame].data);
+      }
+      error = disk_->ReadPages(read_ids.data(), dsts.data(), read_ids.size());
+    }
+    if (!error.ok()) {
+      for (Claim& c : claims) {
+        if (c.writeback) {
+          // The claim failed before its displaced dirty page was written
+          // back (e.g. ResourceExhausted in a later stripe). Write it now —
+          // best effort, but it both lands the data and removes the
+          // stripe's flushing entry, which would otherwise wedge every
+          // future fetch of that page in the flush-conflict retry loop.
+          (void)WriteBack(StripeFor(c.old_id), c);
+          c.writeback = false;
+        }
+        AbortClaim(StripeFor(c.id), c);
+      }
+      return error;  // guards destruct -> every pin taken so far is dropped
+    }
+    for (const Claim& c : claims) {
+      frames_[c.frame].state.fetch_and(~kIoBit, std::memory_order_release);
+    }
+    for (Frame* f : waits) {
+      NBLB_RETURN_NOT_OK(WaitForLoad(*f));
+    }
+    if (!conflict) return guards;
+    std::this_thread::yield();
+  }
 }
 
 Result<PageGuard> BufferPool::NewPage() {
-  std::lock_guard<std::mutex> lock(mu_);
   NBLB_ASSIGN_OR_RETURN(PageId id, disk_->AllocatePage());
-  NBLB_ASSIGN_OR_RETURN(size_t idx, GetVictimFrame());
-  Frame& f = frames_[idx];
-  std::memset(f.data, 0, disk_->page_size());
-  f.id = id;
-  f.pin_count = 1;
-  f.dirty = true;  // a fresh page must reach disk even if never re-touched
-  page_table_[id] = idx;
-  return PageGuard(this, id, f.data, &f.cache_latch);
+  Stripe& st = StripeFor(id);
+  Claim claim;
+  PageGuard guard;
+  {
+    std::lock_guard<std::mutex> lk(st.mu);
+    // A freshly allocated id cannot be resident or flushing.
+    auto claimed = ClaimFrame(st, id);
+    if (!claimed.ok()) return claimed.status();
+    claim = *claimed;
+    guard = PageGuard(this, id, frames_[claim.frame].data,
+                      &frames_[claim.frame].cache_latch);
+  }
+  if (claim.writeback) {
+    Status ws = WriteBack(st, claim);
+    if (!ws.ok()) {
+      AbortClaim(st, claim);
+      return ws;
+    }
+  }
+  Frame& f = frames_[claim.frame];
+  std::memset(f.data, 0, page_size_);
+  // A fresh page must reach disk even if never re-touched.
+  f.state.fetch_or(kDirtyBit, std::memory_order_relaxed);
+  f.state.fetch_and(~kIoBit, std::memory_order_release);
+  return guard;
 }
 
-void BufferPool::Unpin(PageId id, bool dirty) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = page_table_.find(id);
-  NBLB_CHECK_MSG(it != page_table_.end(), "unpin of unknown page");
-  Frame& f = frames_[it->second];
-  NBLB_CHECK_MSG(f.pin_count > 0, "unpin of unpinned page");
-  if (dirty) f.dirty = true;
-  if (--f.pin_count == 0) {
-    lru_.push_front(it->second);
-    f.lru_it = lru_.begin();
-    f.in_lru = true;
-  }
-}
+// ---------------------------------------------------------------------------
+// Flush / evict
+// ---------------------------------------------------------------------------
 
 Status BufferPool::FlushPage(PageId id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = page_table_.find(id);
-  if (it == page_table_.end()) return Status::OK();
-  Frame& f = frames_[it->second];
-  if (f.dirty) {
-    NBLB_RETURN_NOT_OK(disk_->WritePage(f.id, f.data));
-    f.dirty = false;
+  Stripe& st = StripeFor(id);
+  std::lock_guard<std::mutex> lk(st.mu);
+  const uint32_t idx = TableFind(st, id);
+  if (idx == kNoFrame) return Status::OK();
+  Frame& f = frames_[idx];
+  const uint64_t s = f.state.load(std::memory_order_acquire);
+  if ((s & kIoBit) != 0 || (s & kDirtyBit) == 0) return Status::OK();
+  // Clear dirty before writing: a concurrent unpin-dirty after the clear is
+  // preserved, whereas clearing after the write could swallow it.
+  f.state.fetch_and(~kDirtyBit, std::memory_order_relaxed);
+  Status ws;
+  {
+    // Hold the frame's cache latch so latch-disciplined content writers
+    // (index-cache writes, concurrency tests) never overlap the flush read.
+    LatchGuard latch(f.cache_latch);
+    ws = disk_->WritePage(id, f.data);
+  }
+  if (!ws.ok()) {
+    f.state.fetch_or(kDirtyBit, std::memory_order_relaxed);
+    return ws;
   }
   return Status::OK();
 }
 
 Status BufferPool::FlushAll() {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (size_t i = 0; i < num_frames_; ++i) {
-    Frame& f = frames_[i];
-    if (f.id != kInvalidPageId && f.dirty) {
-      NBLB_RETURN_NOT_OK(disk_->WritePage(f.id, f.data));
-      f.dirty = false;
+  for (size_t i = 0; i < num_stripes_; ++i) {
+    Stripe& st = stripes_[i];
+    std::lock_guard<std::mutex> lk(st.mu);
+    for (uint32_t fi = st.begin; fi < st.end; ++fi) {
+      Frame& f = frames_[fi];
+      const uint64_t s = f.state.load(std::memory_order_acquire);
+      if ((s & kValidBit) == 0 || (s & kIoBit) != 0 || (s & kDirtyBit) == 0) {
+        continue;
+      }
+      f.state.fetch_and(~kDirtyBit, std::memory_order_relaxed);
+      Status ws;
+      {
+        LatchGuard latch(f.cache_latch);  // see FlushPage
+        ws = disk_->WritePage(f.id.load(std::memory_order_relaxed), f.data);
+      }
+      if (!ws.ok()) {
+        f.state.fetch_or(kDirtyBit, std::memory_order_relaxed);
+        return ws;
+      }
     }
   }
   return Status::OK();
 }
 
 Status BufferPool::EvictAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  // Take every stripe lock (in index order) so the pinned-check and the
+  // eviction see one consistent pool state, like the seed's single mutex.
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(num_stripes_);
+  for (size_t i = 0; i < num_stripes_; ++i) {
+    locks.emplace_back(stripes_[i].mu);
+  }
   for (size_t i = 0; i < num_frames_; ++i) {
-    Frame& f = frames_[i];
-    if (f.id != kInvalidPageId && f.pin_count > 0) {
-      return Status::Busy("cannot evict: page " + std::to_string(f.id) +
+    const uint64_t s = frames_[i].state.load(std::memory_order_acquire);
+    if ((s & kPinMask) != 0) {
+      return Status::Busy("cannot evict: page " +
+                          std::to_string(frames_[i].id.load(
+                              std::memory_order_relaxed)) +
                           " is pinned");
     }
   }
-  for (size_t i = 0; i < num_frames_; ++i) {
-    Frame& f = frames_[i];
-    if (f.id == kInvalidPageId) continue;
-    NBLB_RETURN_NOT_OK(EvictFrame(i));
-    free_frames_.push_back(i);
+  for (size_t i = 0; i < num_stripes_; ++i) {
+    Stripe& st = stripes_[i];
+    for (uint32_t fi = st.begin; fi < st.end; ++fi) {
+      Frame& f = frames_[fi];
+      uint64_t s = f.state.load(std::memory_order_acquire);
+      if ((s & kPinMask) != 0) {
+        // An optimistic lock-free pin landed after the first pinned-check
+        // pass (it does not take the stripe mutexes we hold). Between this
+        // load and the CAS below the CAS itself catches the race; here the
+        // load catches it.
+        return Status::Busy("cannot evict: page " +
+                            std::to_string(
+                                f.id.load(std::memory_order_relaxed)) +
+                            " was pinned mid-eviction");
+      }
+      if ((s & kValidBit) != 0) {
+        // Claim the frame (io bit blocks optimistic pins) BEFORE the dirty
+        // write-back. A CAS-to-0 after the write-back would be ABA-prone: a
+        // complete optimistic pin -> content write -> unpin-dirty cycle can
+        // restore the identical state word (usage saturated, dirty already
+        // set), and freeing the frame then would discard that write. With
+        // the claim-first order any such cycle either lands before the CAS
+        // (its content is what we write back) or fails to pin at all.
+        const uint64_t claim = kValidBit | kIoBit | (s & kDirtyBit);
+        if (!f.state.compare_exchange_strong(s, claim,
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_relaxed)) {
+          return Status::Busy("cannot evict: page " +
+                              std::to_string(
+                                  f.id.load(std::memory_order_relaxed)) +
+                              " was pinned mid-eviction");
+        }
+        if ((s & kDirtyBit) != 0) {
+          Status ws;
+          {
+            LatchGuard latch(f.cache_latch);  // see FlushPage
+            ws = disk_->WritePage(f.id.load(std::memory_order_relaxed),
+                                  f.data);
+          }
+          if (!ws.ok()) {
+            // Leave the frame claimed-but-failed rather than half-evicted.
+            f.state.store(kFailedBit, std::memory_order_release);
+            TableErase(st, f.id.load(std::memory_order_relaxed));
+            f.id.store(kInvalidPageId, std::memory_order_relaxed);
+            return ws;
+          }
+          st.stats.dirty_writebacks.fetch_add(1, std::memory_order_relaxed);
+        }
+        TableErase(st, f.id.load(std::memory_order_relaxed));
+        st.stats.evictions.fetch_add(1, std::memory_order_relaxed);
+        f.state.store(0, std::memory_order_release);
+      } else if ((s & kFailedBit) == 0) {
+        continue;  // already on the free list
+      } else {
+        f.state.store(0, std::memory_order_relaxed);
+      }
+      f.id.store(kInvalidPageId, std::memory_order_relaxed);
+      st.free_list.push_back(fi);
+    }
   }
   return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Stats
+// ---------------------------------------------------------------------------
+
+BufferPoolStats BufferPool::stats() const {
+  BufferPoolStats out;
+  for (size_t i = 0; i < num_stripes_; ++i) {
+    const StripeStats& s = stripes_[i].stats;
+    out.hits += s.hits.load(std::memory_order_relaxed);
+    out.misses += s.misses.load(std::memory_order_relaxed);
+    out.evictions += s.evictions.load(std::memory_order_relaxed);
+    out.dirty_writebacks += s.dirty_writebacks.load(std::memory_order_relaxed);
+    out.batch_fetches += s.batch_fetches.load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void BufferPool::ResetStats() {
+  for (size_t i = 0; i < num_stripes_; ++i) {
+    StripeStats& s = stripes_[i].stats;
+    s.hits.store(0, std::memory_order_relaxed);
+    s.misses.store(0, std::memory_order_relaxed);
+    s.evictions.store(0, std::memory_order_relaxed);
+    s.dirty_writebacks.store(0, std::memory_order_relaxed);
+    s.batch_fetches.store(0, std::memory_order_relaxed);
+  }
 }
 
 }  // namespace nblb

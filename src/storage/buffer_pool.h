@@ -1,17 +1,32 @@
-// BufferPool: fixed-size page cache with exact LRU replacement.
+// BufferPool: fixed-size page cache with striped clock-sweep replacement.
 //
 // The buffer pool is the arbiter of the paper's cost regimes: an index-cache
 // hit avoids touching it entirely, a buffer-pool hit costs a memory access,
-// and a miss costs a (simulated) disk read. Stats expose hit rates so every
-// experiment can report where its time went.
+// and a miss costs a (real or simulated) disk read. Stats expose hit rates so
+// every experiment can report where its time went.
+//
+// Layout (see src/storage/README.md for the long version):
+//
+//   - Pages map to one of N stripes by splitmix64(page_id). Each stripe owns
+//     a fixed slice of the frame array, an open-addressing page table, a
+//     CLOCK (second-chance) hand, a free list, and atomic stat counters —
+//     there is no global mutex and no linked list.
+//   - Per-frame replacement state (pin count, dirty, reference, io-pending,
+//     valid, failed) is packed into a single atomic word, so Unpin is one
+//     CAS with no stripe lock at all.
+//   - Disk I/O (miss reads and dirty write-back) happens OUTSIDE the stripe
+//     critical section: a miss claims a frame with the `io` bit set and
+//     releases the stripe lock before touching the device; concurrent
+//     fetchers of the same page pin the frame and spin until `io` clears.
+//   - FetchPages() batches misses per stripe and issues vectored reads
+//     (DiskManager::ReadPages -> preadv) — one syscall per contiguous run.
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
-#include <list>
 #include <memory>
 #include <mutex>
-#include <unordered_map>
 #include <vector>
 
 #include "common/latch.h"
@@ -21,12 +36,15 @@
 
 namespace nblb {
 
-/// \brief Hit/miss/eviction counters.
+/// \brief Hit/miss/eviction counters (a plain-value snapshot; the live
+/// counters are per-stripe relaxed atomics aggregated by stats()).
 struct BufferPoolStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
   uint64_t evictions = 0;
   uint64_t dirty_writebacks = 0;
+  /// FetchPages() calls (each may cover many pages).
+  uint64_t batch_fetches = 0;
 
   double HitRate() const {
     const uint64_t total = hits + misses;
@@ -74,13 +92,19 @@ class PageGuard {
   bool dirty_ = false;
 };
 
-/// \brief Fixed-capacity page cache over a DiskManager. Thread safe (one
-/// internal mutex; page content synchronization is the caller's concern).
+/// \brief Fixed-capacity page cache over a DiskManager. Thread safe for all
+/// operations (page content synchronization is the caller's concern; use the
+/// per-frame cache_latch for in-page cache bytes).
 class BufferPool {
  public:
-  /// \param disk        backing disk manager (not owned)
-  /// \param num_frames  capacity in pages
-  BufferPool(DiskManager* disk, size_t num_frames);
+  /// \param disk         backing disk manager (not owned); must be thread
+  ///                     safe (DiskManager is)
+  /// \param num_frames   capacity in pages
+  /// \param num_stripes  stripe count (rounded down to a power of two,
+  ///                     clamped to [1, num_frames]); 0 picks automatically:
+  ///                     one stripe per 64 frames, at most 64 stripes, so
+  ///                     tiny pools degenerate to a single exact stripe.
+  BufferPool(DiskManager* disk, size_t num_frames, size_t num_stripes = 0);
   ~BufferPool();
 
   BufferPool(const BufferPool&) = delete;
@@ -89,11 +113,17 @@ class BufferPool {
   /// \brief Fetches (pinning) an existing page.
   Result<PageGuard> FetchPage(PageId id);
 
+  /// \brief Fetches many pages at once, returning guards 1:1 with `ids`
+  /// (duplicates allowed — each occurrence holds its own pin). Misses are
+  /// grouped per stripe, sorted, and read with one vectored syscall per
+  /// contiguous page run. All-or-nothing: on error no pins are retained.
+  /// Every page stays pinned until its guard drops, so callers must keep
+  /// batches well below the pool capacity (HeapFile::GetBatch chunks to a
+  /// quarter of the frames); oversized batches fail ResourceExhausted.
+  Result<std::vector<PageGuard>> FetchPages(const std::vector<PageId>& ids);
+
   /// \brief Allocates a new zeroed page and returns it pinned.
   Result<PageGuard> NewPage();
-
-  /// \brief Unpins; if `dirty`, the page will be written back lazily.
-  void Unpin(PageId id, bool dirty);
 
   /// \brief Writes a page back if dirty.
   Status FlushPage(PageId id);
@@ -106,36 +136,146 @@ class BufferPool {
   Status EvictAll();
 
   size_t num_frames() const { return num_frames_; }
-  size_t page_size() const { return disk_->page_size(); }
+  size_t num_stripes() const { return num_stripes_; }
+  size_t page_size() const { return page_size_; }
   DiskManager* disk() { return disk_; }
 
-  const BufferPoolStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = BufferPoolStats{}; }
+  /// \brief Aggregated snapshot of the per-stripe atomic counters.
+  BufferPoolStats stats() const;
+  void ResetStats();
 
  private:
+  friend class PageGuard;
+
+  // ---- Packed frame state word ---------------------------------------------
+  // [0..15] pin count   [16] dirty   [17] io (load in flight)
+  // [18] valid (holds a page)   [19] failed   [20..22] usage count
+  //
+  // The usage count is the CLOCK second chance, Postgres-style: each re-hit
+  // saturates it toward kUsageMax, each sweep pass decrements it, and only a
+  // frame at zero is evictable — near-capacity skewed working sets keep
+  // LRU-like protection for their hot pages instead of degrading to FIFO.
+  static constexpr uint64_t kPinMask = 0xffffull;
+  static constexpr uint64_t kDirtyBit = 1ull << 16;
+  static constexpr uint64_t kIoBit = 1ull << 17;
+  static constexpr uint64_t kValidBit = 1ull << 18;
+  static constexpr uint64_t kFailedBit = 1ull << 19;
+  static constexpr unsigned kUsageShift = 20;
+  static constexpr uint64_t kUsageOne = 1ull << kUsageShift;
+  static constexpr uint64_t kUsageMask = 7ull << kUsageShift;
+  static constexpr uint64_t kUsageMax = 5;  // like Postgres' BM_MAX_USAGE_COUNT
+  /// State of a frame just claimed for a load: pinned once, io in flight.
+  static constexpr uint64_t kClaimedState = kValidBit | kIoBit | 1;
+
+  static constexpr uint32_t kNoFrame = ~0u;
+
   struct Frame {
-    PageId id = kInvalidPageId;
-    int pin_count = 0;
-    bool dirty = false;
+    /// Packed pin/dirty/ref/io/valid/failed word; see bit layout above.
+    /// Pins and unpins are lock-free RMWs; everything else mutates under the
+    /// owning stripe's mutex.
+    std::atomic<uint64_t> state{0};
+    /// Page held (or being loaded). Written only under the stripe mutex
+    /// while the frame is claimed (io set); atomic so the optimistic hit
+    /// path can validate it without the lock.
+    std::atomic<PageId> id{kInvalidPageId};
     char* data = nullptr;
     SpinLatch cache_latch;
-    std::list<size_t>::iterator lru_it;  // valid only when pin_count == 0
-    bool in_lru = false;
   };
 
-  // All private helpers assume mu_ is held.
-  Result<size_t> GetVictimFrame();
-  Status EvictFrame(size_t frame_idx);
+  /// Per-stripe live counters (relaxed: independent monotonic event counts).
+  struct StripeStats {
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> misses{0};
+    std::atomic<uint64_t> evictions{0};
+    std::atomic<uint64_t> dirty_writebacks{0};
+    std::atomic<uint64_t> batch_fetches{0};
+  };
+
+  struct alignas(64) Stripe {
+    std::mutex mu;
+    /// Open-addressing page table (linear probing, backshift deletion).
+    /// slot_key[i] == kInvalidPageId means empty. Power-of-two sized, load
+    /// factor <= 0.5 by construction (2x the stripe's frame count).
+    /// Mutations happen under `mu`; the slots are atomics so the optimistic
+    /// hit path may probe without it (stale/torn reads are caught by frame
+    /// validation or resolved by falling back to the locked path).
+    std::unique_ptr<std::atomic<PageId>[]> slot_key;
+    std::unique_ptr<std::atomic<uint32_t>[]> slot_frame;  // global frame idx
+    size_t table_mask = 0;
+    /// Frames owned: global indexes [begin, end).
+    uint32_t begin = 0;
+    uint32_t end = 0;
+    /// CLOCK hand, offset within [begin, end).
+    uint32_t hand = 0;
+    std::vector<uint32_t> free_list;
+    /// Page ids whose dirty write-back is in flight outside the lock; a miss
+    /// on one of these must wait for the write to land before re-reading.
+    std::vector<PageId> flushing;
+    StripeStats stats;
+  };
+
+  /// One frame claimed for a load, plus the eviction it displaced.
+  struct Claim {
+    uint32_t frame = kNoFrame;
+    PageId id = kInvalidPageId;       // page being loaded
+    PageId old_id = kInvalidPageId;   // dirty page to write back first
+    bool writeback = false;
+  };
+
+  static uint64_t Mix(PageId id);
+  Stripe& StripeFor(PageId id) { return stripes_[Mix(id) & stripe_mask_]; }
+
+  // Page-table helpers; stripe mutex held.
+  uint32_t TableFind(const Stripe& st, PageId id) const;
+  void TableInsert(Stripe& st, PageId id, uint32_t frame);
+  void TableErase(Stripe& st, PageId id);
+  static bool Contains(const std::vector<PageId>& v, PageId id);
+
+  /// Claims a frame for loading `id` (stripe mutex held): free list first,
+  /// then CLOCK sweep. On success the frame is in kClaimedState, mapped in
+  /// the table, and any displaced dirty page is queued on st.flushing.
+  Result<Claim> ClaimFrame(Stripe& st, PageId id);
+
+  /// Completes a claim whose I/O failed: unmaps the page and marks the frame
+  /// failed so concurrent waiters bail out. Takes the stripe mutex.
+  void AbortClaim(Stripe& st, const Claim& claim);
+
+  /// Writes back a displaced dirty page and clears its flushing entry.
+  Status WriteBack(Stripe& st, const Claim& claim);
+
+  /// Spins until the frame's io bit clears; IOError if the load failed.
+  Status WaitForLoad(Frame& f);
+
+  /// Lock-free unpin by frame: one CAS folding the pin decrement and the
+  /// dirty transfer so eviction can never observe the pin drop without the
+  /// dirty bit. Guards call this with the frame derived from their data
+  /// pointer (there is no by-page-id unpin; guards are the only pin owners).
+  void UnpinFrame(Frame& f, bool dirty);
+  /// One CAS that pins and (for hits) saturates the usage count. Returns the
+  /// pre-CAS state so callers can detect an in-flight load (kIoBit).
+  uint64_t PinFrame(Frame& f, bool reference);
+
+  /// Lock-free hit attempt: probe the stripe's atomic slots, pin with one
+  /// CAS, validate against ABA. False means "use the locked path".
+  bool TryOptimisticHit(Stripe& st, uint64_t h, PageId id, PageGuard* out);
+  void ReleaseGuard(char* data, bool dirty);
+
+  size_t FrameIndexOf(const char* data) const {
+    const size_t off = static_cast<size_t>(data - arena_);
+    // page_shift_ is nonzero iff page_size_ is a power of two (the common
+    // case); a shift keeps the per-unpin cost to a couple of cycles.
+    return page_shift_ != 0 ? off >> page_shift_ : off / page_size_;
+  }
 
   DiskManager* disk_;
-  std::unique_ptr<Frame[]> frames_;  // SpinLatch members are not movable
   size_t num_frames_ = 0;
-  std::unique_ptr<char[]> arena_;
-  std::unordered_map<PageId, size_t> page_table_;
-  std::list<size_t> lru_;           // front = most recently used
-  std::vector<size_t> free_frames_;
-  BufferPoolStats stats_;
-  std::mutex mu_;
+  size_t page_size_ = 0;
+  unsigned page_shift_ = 0;  ///< log2(page_size_) when it is a power of two
+  char* arena_ = nullptr;  // 4096-aligned so O_DIRECT can read straight in
+  std::unique_ptr<Frame[]> frames_;
+  std::unique_ptr<Stripe[]> stripes_;
+  size_t num_stripes_ = 0;
+  uint64_t stripe_mask_ = 0;
 };
 
 }  // namespace nblb

@@ -1,17 +1,23 @@
 #include "storage/disk_manager.h"
 
 #include <fcntl.h>
+#include <limits.h>
 #include <sys/stat.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
-#include <vector>
 
 #include "common/logging.h"
 
 namespace nblb {
+
+namespace {
+/// Cap on iovecs per preadv (the kernel's IOV_MAX is typically 1024).
+constexpr size_t kMaxIov = IOV_MAX < 1024 ? IOV_MAX : 1024;
+}  // namespace
 
 DiskManager::DiskManager(std::string path, size_t page_size,
                          LatencyModel* latency, bool direct_io)
@@ -29,7 +35,37 @@ DiskManager::~DiskManager() {
   if (fd_ >= 0) {
     ::close(fd_);
   }
-  std::free(bounce_);
+  for (char* buf : bounce_free_) std::free(buf);
+}
+
+char* DiskManager::AcquireBounce() {
+  {
+    std::lock_guard<std::mutex> lk(bounce_mu_);
+    if (!bounce_free_.empty()) {
+      char* buf = bounce_free_.back();
+      bounce_free_.pop_back();
+      return buf;
+    }
+  }
+  void* mem = nullptr;
+  NBLB_CHECK_MSG(::posix_memalign(&mem, 4096, page_size_) == 0,
+                 "posix_memalign failed for bounce buffer");
+  return static_cast<char*>(mem);
+}
+
+void DiskManager::ReleaseBounce(char* buf) {
+  std::lock_guard<std::mutex> lk(bounce_mu_);
+  bounce_free_.push_back(buf);
+}
+
+void DiskManager::Charge(PageId id, bool write) {
+  if (latency_ == nullptr) return;
+  LatchGuard g(latency_mu_);
+  if (write) {
+    latency_->ChargeWrite(id, page_size_);
+  } else {
+    latency_->ChargeRead(id, page_size_);
+  }
 }
 
 Status DiskManager::Open() {
@@ -49,12 +85,6 @@ Status DiskManager::Open() {
                    "buffered I/O\n",
                    path_.c_str());
       direct_io_ = false;
-    } else if (bounce_ == nullptr) {
-      void* mem = nullptr;
-      if (::posix_memalign(&mem, 4096, page_size_) != 0) {
-        return Status::IOError("posix_memalign failed for bounce buffer");
-      }
-      bounce_ = static_cast<char*>(mem);
     }
   }
   if (fd_ < 0) {
@@ -71,7 +101,9 @@ Status DiskManager::Open() {
   if (st.st_size % static_cast<off_t>(page_size_) != 0) {
     return Status::Corruption("file size is not a multiple of page size");
   }
-  num_pages_ = static_cast<PageId>(st.st_size / static_cast<off_t>(page_size_));
+  num_pages_.store(
+      static_cast<PageId>(st.st_size / static_cast<off_t>(page_size_)),
+      std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -88,64 +120,146 @@ Status DiskManager::Close() {
 
 Status DiskManager::ReadPage(PageId id, char* out) {
   if (fd_ < 0) return Status::IOError("disk manager not open");
-  if (id >= num_pages_) {
+  if (id >= num_pages()) {
     return Status::OutOfRange("read past end of file: page " +
                               std::to_string(id));
   }
   const off_t off = static_cast<off_t>(id) * static_cast<off_t>(page_size_);
-  // Direct I/O needs an aligned destination; stage through the bounce
-  // buffer (an 8 KiB memcpy is noise next to a real device access).
-  char* dst = direct_io_ ? bounce_ : out;
-  ssize_t n = ::pread(fd_, dst, page_size_, off);
+  // Direct I/O needs an aligned destination. The BufferPool's frame arena is
+  // aligned, so the common path transfers straight in; unaligned callers are
+  // staged through a pooled bounce buffer (the memcpy is noise next to a
+  // real device access).
+  char* bounce = nullptr;
+  char* dst = out;
+  if (direct_io_ && !Aligned(out)) {
+    bounce = AcquireBounce();
+    dst = bounce;
+  }
+  const ssize_t n = ::pread(fd_, dst, page_size_, off);
   if (n != static_cast<ssize_t>(page_size_)) {
+    if (bounce != nullptr) ReleaseBounce(bounce);
     return Status::IOError("short read on page " + std::to_string(id));
   }
-  if (direct_io_) std::memcpy(out, bounce_, page_size_);
-  ++stats_.reads;
-  if (latency_) latency_->ChargeRead(id, page_size_);
+  if (bounce != nullptr) {
+    std::memcpy(out, bounce, page_size_);
+    ReleaseBounce(bounce);
+  }
+  counters_.reads.fetch_add(1, std::memory_order_relaxed);
+  Charge(id, /*write=*/false);
+  return Status::OK();
+}
+
+Status DiskManager::ReadPages(const PageId* ids, char* const* dsts, size_t n) {
+  if (n == 0) return Status::OK();
+  if (fd_ < 0) return Status::IOError("disk manager not open");
+  const PageId np = num_pages();
+  for (size_t i = 0; i < n; ++i) {
+    if (ids[i] >= np) {
+      return Status::OutOfRange("read past end of file: page " +
+                                std::to_string(ids[i]));
+    }
+    NBLB_DCHECK(i == 0 || ids[i] > ids[i - 1]);
+  }
+  size_t i = 0;
+  while (i < n) {
+    // Extend the contiguous run; in direct mode every buffer in a vectored
+    // transfer must be aligned, so an unaligned destination ends the run.
+    size_t j = i + 1;
+    while (j < n && ids[j] == ids[j - 1] + 1 && (j - i) < kMaxIov &&
+           (!direct_io_ || Aligned(dsts[j]))) {
+      ++j;
+    }
+    if (j - i == 1 || (direct_io_ && !Aligned(dsts[i]))) {
+      NBLB_RETURN_NOT_OK(ReadPage(ids[i], dsts[i]));
+      ++i;
+      continue;
+    }
+    const size_t run = j - i;
+    std::vector<struct iovec> iov(run);
+    for (size_t k = 0; k < run; ++k) {
+      iov[k].iov_base = dsts[i + k];
+      iov[k].iov_len = page_size_;
+    }
+    off_t off = static_cast<off_t>(ids[i]) * static_cast<off_t>(page_size_);
+    size_t remaining = run * page_size_;
+    size_t iov_pos = 0;
+    counters_.vectored_reads.fetch_add(1, std::memory_order_relaxed);
+    while (remaining > 0) {
+      const ssize_t got = ::preadv(fd_, iov.data() + iov_pos,
+                                   static_cast<int>(run - iov_pos), off);
+      if (got <= 0) {
+        return Status::IOError("short vectored read at page " +
+                               std::to_string(ids[i]));
+      }
+      remaining -= static_cast<size_t>(got);
+      off += got;
+      // Advance the iovec cursor past fully transferred buffers (partial
+      // transfers land on a page boundary only by luck; handle the general
+      // case).
+      size_t advanced = static_cast<size_t>(got);
+      while (advanced > 0 && iov_pos < run) {
+        if (advanced >= iov[iov_pos].iov_len) {
+          advanced -= iov[iov_pos].iov_len;
+          ++iov_pos;
+        } else {
+          iov[iov_pos].iov_base =
+              static_cast<char*>(iov[iov_pos].iov_base) + advanced;
+          iov[iov_pos].iov_len -= advanced;
+          advanced = 0;
+        }
+      }
+    }
+    counters_.reads.fetch_add(run, std::memory_order_relaxed);
+    for (size_t k = 0; k < run; ++k) Charge(ids[i + k], /*write=*/false);
+    i = j;
+  }
   return Status::OK();
 }
 
 Status DiskManager::WritePage(PageId id, const char* data) {
   if (fd_ < 0) return Status::IOError("disk manager not open");
-  if (id >= num_pages_) {
+  if (id >= num_pages()) {
     return Status::OutOfRange("write past end of file: page " +
                               std::to_string(id));
   }
   const off_t off = static_cast<off_t>(id) * static_cast<off_t>(page_size_);
+  char* bounce = nullptr;
   const char* src = data;
-  if (direct_io_) {
-    std::memcpy(bounce_, data, page_size_);
-    src = bounce_;
+  if (direct_io_ && !Aligned(data)) {
+    bounce = AcquireBounce();
+    std::memcpy(bounce, data, page_size_);
+    src = bounce;
   }
-  ssize_t n = ::pwrite(fd_, src, page_size_, off);
+  const ssize_t n = ::pwrite(fd_, src, page_size_, off);
+  if (bounce != nullptr) ReleaseBounce(bounce);
   if (n != static_cast<ssize_t>(page_size_)) {
     return Status::IOError("short write on page " + std::to_string(id));
   }
-  ++stats_.writes;
-  if (latency_) latency_->ChargeWrite(id, page_size_);
+  counters_.writes.fetch_add(1, std::memory_order_relaxed);
+  Charge(id, /*write=*/true);
   return Status::OK();
 }
 
 Result<PageId> DiskManager::AllocatePage() {
   if (fd_ < 0) return Status::IOError("disk manager not open");
-  const PageId id = num_pages_;
-  std::vector<char> zero;
-  const char* src;
-  if (direct_io_) {
-    std::memset(bounce_, 0, page_size_);
-    src = bounce_;
-  } else {
-    zero.assign(page_size_, 0);
-    src = zero.data();
-  }
+  std::lock_guard<std::mutex> lk(alloc_mu_);
+  const PageId id = num_pages();
   const off_t off = static_cast<off_t>(id) * static_cast<off_t>(page_size_);
-  ssize_t n = ::pwrite(fd_, src, page_size_, off);
+  ssize_t n;
+  if (direct_io_) {
+    char* bounce = AcquireBounce();
+    std::memset(bounce, 0, page_size_);
+    n = ::pwrite(fd_, bounce, page_size_, off);
+    ReleaseBounce(bounce);
+  } else {
+    std::vector<char> zero(page_size_, 0);
+    n = ::pwrite(fd_, zero.data(), page_size_, off);
+  }
   if (n != static_cast<ssize_t>(page_size_)) {
     return Status::IOError("allocation write failed");
   }
-  ++num_pages_;
-  ++stats_.allocations;
+  num_pages_.store(id + 1, std::memory_order_relaxed);
+  counters_.allocations.fetch_add(1, std::memory_order_relaxed);
   return id;
 }
 
@@ -153,6 +267,23 @@ Status DiskManager::Sync() {
   if (fd_ < 0) return Status::IOError("disk manager not open");
   if (::fsync(fd_) != 0) return Status::IOError("fsync failed");
   return Status::OK();
+}
+
+DiskStats DiskManager::stats() const {
+  DiskStats s;
+  s.reads = counters_.reads.load(std::memory_order_relaxed);
+  s.writes = counters_.writes.load(std::memory_order_relaxed);
+  s.allocations = counters_.allocations.load(std::memory_order_relaxed);
+  s.vectored_reads =
+      counters_.vectored_reads.load(std::memory_order_relaxed);
+  return s;
+}
+
+void DiskManager::ResetStats() {
+  counters_.reads.store(0, std::memory_order_relaxed);
+  counters_.writes.store(0, std::memory_order_relaxed);
+  counters_.allocations.store(0, std::memory_order_relaxed);
+  counters_.vectored_reads.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace nblb

@@ -2,27 +2,37 @@
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
+#include <vector>
 
+#include "common/latch.h"
 #include "common/result.h"
 #include "storage/latency_model.h"
 #include "storage/page.h"
 
 namespace nblb {
 
-/// \brief I/O counters maintained by the DiskManager.
+/// \brief I/O counters maintained by the DiskManager (plain-value snapshot;
+/// the live counters are relaxed atomics).
 struct DiskStats {
-  uint64_t reads = 0;
+  uint64_t reads = 0;   ///< pages read (single and vectored)
   uint64_t writes = 0;
   uint64_t allocations = 0;
+  /// preadv syscalls issued by ReadPages — with `reads` this gives pages per
+  /// vectored syscall, the batching win the striped pool exists to exploit.
+  uint64_t vectored_reads = 0;
 };
 
 /// \brief Reads/writes/allocates fixed-size pages in a single file.
 ///
 /// Optionally charges a LatencyModel per operation (used by benchmarks to
-/// model disk cost deterministically). Not thread safe; the BufferPool
-/// serializes access.
+/// model disk cost deterministically). Thread safe: pread/pwrite carry their
+/// own offsets, allocation is serialized by a mutex, counters are atomics,
+/// and O_DIRECT staging buffers come from an internal pool. The striped
+/// BufferPool issues reads and write-backs from many threads at once.
 class DiskManager {
  public:
   /// \param path       backing file path (created if missing on Open)
@@ -31,11 +41,12 @@ class DiskManager {
   /// \param direct_io  open with O_DIRECT, bypassing the OS page cache so
   ///                   buffer-pool misses pay real storage latency (the
   ///                   regime the paper's RAM-residency arguments assume).
-  ///                   Requires page_size to be a multiple of 4096; I/O is
-  ///                   staged through an internal aligned bounce buffer so
-  ///                   callers need no aligned memory. Falls back to
-  ///                   buffered I/O when the filesystem rejects O_DIRECT
-  ///                   (e.g. tmpfs); check direct_io() after Open.
+  ///                   Requires page_size to be a multiple of 4096. Aligned
+  ///                   caller buffers (the BufferPool's frame arena) are
+  ///                   transferred directly; unaligned ones are staged
+  ///                   through pooled bounce buffers. Falls back to buffered
+  ///                   I/O when the filesystem rejects O_DIRECT (e.g.
+  ///                   tmpfs); check direct_io() after Open.
   DiskManager(std::string path, size_t page_size,
               LatencyModel* latency = nullptr, bool direct_io = false);
   ~DiskManager();
@@ -52,6 +63,12 @@ class DiskManager {
   /// \brief Reads page `id` into `out` (page_size bytes).
   Status ReadPage(PageId id, char* out);
 
+  /// \brief Reads `n` pages with vectored I/O: `ids` must be ascending and
+  /// unique; `dsts[i]` receives page `ids[i]`. Contiguous id runs become one
+  /// preadv each (scattering into the destination buffers), so a sorted miss
+  /// batch costs one syscall per run instead of one per page.
+  Status ReadPages(const PageId* ids, char* const* dsts, size_t n);
+
   /// \brief Writes page `id` from `data` (page_size bytes).
   Status WritePage(PageId id, const char* data);
 
@@ -62,23 +79,46 @@ class DiskManager {
   Status Sync();
 
   size_t page_size() const { return page_size_; }
-  PageId num_pages() const { return num_pages_; }
+  PageId num_pages() const {
+    return num_pages_.load(std::memory_order_relaxed);
+  }
   /// \brief True when the file is actually open with O_DIRECT.
   bool direct_io() const { return direct_io_; }
-  const DiskStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = DiskStats{}; }
+  /// \brief Aggregated snapshot of the atomic counters.
+  DiskStats stats() const;
+  void ResetStats();
   const std::string& path() const { return path_; }
 
  private:
+  /// Borrow/return a 4096-aligned page_size buffer for O_DIRECT staging.
+  char* AcquireBounce();
+  void ReleaseBounce(char* buf);
+  static bool Aligned(const void* p) {
+    return reinterpret_cast<uintptr_t>(p) % 4096 == 0;
+  }
+  void Charge(PageId id, bool write);
+
   std::string path_;
   size_t page_size_;
   LatencyModel* latency_;
+  /// LatencyModel keeps sequential-access state; serialize charges.
+  SpinLatch latency_mu_;
   bool direct_io_ = false;
   int fd_ = -1;
-  PageId num_pages_ = 0;
-  DiskStats stats_;
-  /// 4096-aligned staging buffer for O_DIRECT transfers; null otherwise.
-  char* bounce_ = nullptr;
+  std::atomic<PageId> num_pages_{0};
+  /// Serializes file extension (write-at-end + size bump).
+  std::mutex alloc_mu_;
+
+  struct Counters {
+    std::atomic<uint64_t> reads{0};
+    std::atomic<uint64_t> writes{0};
+    std::atomic<uint64_t> allocations{0};
+    std::atomic<uint64_t> vectored_reads{0};
+  };
+  Counters counters_;
+
+  std::mutex bounce_mu_;
+  std::vector<char*> bounce_free_;
 };
 
 }  // namespace nblb

@@ -63,6 +63,15 @@ class HeapFile {
   Status Get(const Rid& rid, char* out);
   Status Get(const Rid& rid, std::string* out);
 
+  /// \brief Batched point reads: fetches the distinct pages of `rids` in one
+  /// BufferPool::FetchPages call (vectored miss I/O), then copies each tuple.
+  /// `tuples` and `statuses` are resized to rids.size() and filled 1:1; a
+  /// missing tuple yields NotFound in its status slot without failing the
+  /// call. The returned Status covers infrastructure failures only.
+  Status GetBatch(const std::vector<Rid>& rids,
+                  std::vector<std::string>* tuples,
+                  std::vector<Status>* statuses);
+
   /// \brief Overwrites the tuple at `rid` in place.
   Status Update(const Rid& rid, const Slice& tuple);
 

@@ -59,6 +59,39 @@ std::vector<RequestBatch> BuildLookupBatches(const std::vector<int64_t>& ids,
   return batches;
 }
 
+std::vector<RequestBatch> BuildOpBatches(
+    const std::vector<Op>& ops, const std::function<Row(uint64_t)>& row_of,
+    size_t batch_size) {
+  std::vector<RequestBatch> batches;
+  if (batch_size == 0) return batches;
+  batches.reserve((ops.size() + batch_size - 1) / batch_size);
+  RequestBatch batch;
+  batch.reserve(batch_size);
+  for (const Op& op : ops) {
+    switch (op.kind) {
+      case OpKind::kLookup:
+        batch.push_back(Request::Get(op.item));
+        break;
+      case OpKind::kInsert:
+        batch.push_back(Request::Insert(op.item, row_of(op.item)));
+        break;
+      case OpKind::kUpdate:
+        batch.push_back(Request::Update(op.item, row_of(op.item)));
+        break;
+      case OpKind::kDelete:
+        batch.push_back(Request::Delete(op.item));
+        break;
+    }
+    if (batch.size() == batch_size) {
+      batches.push_back(std::move(batch));
+      batch = RequestBatch();
+      batch.reserve(batch_size);
+    }
+  }
+  if (!batch.empty()) batches.push_back(std::move(batch));
+  return batches;
+}
+
 ReplayReport ReplayBatches(ShardedEngine* engine,
                            const std::vector<RequestBatch>& batches) {
   ReplayReport report;

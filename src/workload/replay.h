@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "catalog/value.h"
@@ -40,6 +41,14 @@ Status LoadRows(ShardedEngine* engine, const std::vector<Row>& rows,
 /// \brief Chops `ids` into kGet batches of `batch_size`.
 std::vector<RequestBatch> BuildLookupBatches(const std::vector<int64_t>& ids,
                                              size_t batch_size);
+
+/// \brief Chops a mixed trace (e.g. a read/write Zipfian trace from
+/// BuildTrace with a TraceMix) into request batches. `row_of(id)` supplies
+/// the full row for kInsert/kUpdate ops; lookups and deletes carry the id
+/// alone. Op items map 1:1 to routing ids.
+std::vector<RequestBatch> BuildOpBatches(
+    const std::vector<Op>& ops, const std::function<Row(uint64_t)>& row_of,
+    size_t batch_size);
 
 /// \brief Executes every batch on the engine, timing each Execute call.
 ReplayReport ReplayBatches(ShardedEngine* engine,
