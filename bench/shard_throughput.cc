@@ -1,6 +1,8 @@
 // shard_throughput: sweeps shard count × worker-thread count over a
 // 1M-row Zipfian Wikipedia revision workload served by ShardedEngine, and
-// reports aggregate lookup throughput and tail latency.
+// reports aggregate lookup throughput and tail latency — closed-loop
+// (blocking Execute, one batch in flight per client) AND open-loop (async
+// Submit at a sustained in-flight depth) for every configuration.
 //
 // The sweep follows the scale-out model: every shard is a "node" with a
 // fixed per-shard buffer pool, so 4 shards hold 4× the aggregate hot set of
@@ -12,6 +14,14 @@
 // thread) and execution (shard owners), and overlap the shards' misses —
 // the device serves several outstanding reads while the CPU keeps routing.
 //
+// The open-loop phase is the "no I/O slot left idle" experiment: a
+// closed-loop client's queue depth collapses to its thread count, so batch
+// coalescing and preadv run length collapse with it; the open-loop driver
+// keeps ≥ --inflight tickets outstanding, the per-shard adaptive window
+// grows, and each service group drains more sub-batches per descent/syscall.
+// Queue-depth, coalesced-group and service-latency distributions for both
+// phases come from the engine's per-shard log-histograms.
+//
 // Shard files are opened with O_DIRECT (--direct=0 disables) so a
 // buffer-pool miss pays real device latency rather than an OS page-cache
 // copy; without it the host cache absorbs the entire dataset and the
@@ -20,15 +30,16 @@
 // Output: a human-readable table on stdout, and machine-readable JSON
 // written to BENCH_shard_throughput.json (or $NBLB_BENCH_JSON_PATH).
 //
-// JSON schema (all times seconds unless suffixed _ms; one object):
+// JSON schema (all times seconds unless suffixed _ms/_us; one object):
 // {
 //   "bench": "shard_throughput",
 //   "rows": <uint>,              // rows loaded per configuration
 //   "lookups": <uint>,           // traced lookups per configuration
-//   "batch_size": <uint>,        // requests per Execute call
+//   "batch_size": <uint>,        // requests per Execute/Submit call
 //   "page_size": <uint>,
 //   "frames_per_shard": <uint>,  // per-shard buffer pool capacity
 //   "direct_io": <0|1>,          // O_DIRECT shard files
+//   "inflight": <uint>,          // open-loop target in-flight depth
 //   "configs": [                 // one entry per (shards, workers) point
 //     {
 //       "shards": <uint>, "workers": <uint>, "clients": <uint>,
@@ -36,17 +47,37 @@
 //       "lookup_seconds": <float>, "ops_per_sec": <float>,
 //       "p50_batch_ms": <float>, "p99_batch_ms": <float>,
 //       "found": <uint>, "not_found": <uint>, "errors": <uint>,
-//       "bp_hit_rate": <float>,  // aggregated over shards, lookup phase
-//       "disk_reads": <uint>,    // aggregated over shards, lookup phase
-//       "direct_io_effective": <0|1>  // every shard file really O_DIRECT
-//                                     // (0 = fs refused; page-cache run)
+//       "bp_hit_rate": <float>,  // aggregated over shards, closed phase
+//       "disk_reads": <uint>,    // aggregated over shards, closed phase
+//       "queue_depth_p50": <uint>, "queue_depth_p99": <uint>,
+//       "queue_depth_max": <uint>,      // log-bucket upper bounds
+//       "coalesce_p50": <uint>, "coalesce_max": <uint>,
+//       "avg_coalesce": <float>,        // sub-batches per service group
+//       "service_us_p50": <uint>, "service_us_p99": <uint>,
+//       "direct_io_effective": <0|1>,   // every shard file really O_DIRECT
+//                                       // (0 = fs refused; page-cache run)
+//       "open_loop": {                  // async Submit phase, same batches
+//         "inflight": <uint>,
+//         "lookup_seconds": <float>, "ops_per_sec": <float>,
+//         "p50_batch_ms": <float>, "p99_batch_ms": <float>,
+//         "found": <uint>, "not_found": <uint>, "errors": <uint>,
+//         "bp_hit_rate": <float>, "disk_reads": <uint>,
+//         "queue_depth_p50": <uint>, "queue_depth_p99": <uint>,
+//         "queue_depth_max": <uint>,
+//         "coalesce_p50": <uint>, "coalesce_max": <uint>,
+//         "avg_coalesce": <float>,
+//         "service_us_p50": <uint>, "service_us_p99": <uint>
+//       }
 //     }, ...
 //   ],
-//   "speedup_4s4t_vs_1s1t": <float>  // ops_per_sec ratio, the headline
+//   "speedup_4s4t_vs_1s1t": <float>,    // closed-loop ratio, the headline
+//   "openloop_speedup_4s4w": <float>    // open vs closed at 4 shards/4 wkrs
+//                                       // (omitted with --openloop=0, as is
+//                                       // each config's "open_loop" object)
 // }
 //
 // Flags: --rows=N --lookups=N --batch=N --frames=N --direct=0|1
-// (defaults below).
+// --inflight=N --openloop=0|1 --deadline_us=N (defaults below).
 
 #include <algorithm>
 #include <chrono>
@@ -64,13 +95,38 @@
 namespace nblb::bench {
 namespace {
 
-struct ConfigResult {
-  uint32_t shards = 0;
-  uint32_t workers = 0;
-  uint32_t clients = 0;
-  double load_seconds = 0;
-  double load_ops_per_sec = 0;
-  double lookup_seconds = 0;
+/// Distribution summary of one measurement phase, from the engine's
+/// per-shard log-histograms (values are log-bucket upper bounds).
+struct PhaseDist {
+  uint64_t queue_depth_p50 = 0;
+  uint64_t queue_depth_p99 = 0;
+  uint64_t queue_depth_max = 0;
+  uint64_t coalesce_p50 = 0;
+  uint64_t coalesce_max = 0;
+  double avg_coalesce = 0;
+  uint64_t service_us_p50 = 0;
+  uint64_t service_us_p99 = 0;
+};
+
+PhaseDist DistOf(const ShardStatsSnapshot& delta) {
+  PhaseDist d;
+  d.queue_depth_p50 = delta.queue_depth.ApproxPercentile(0.50);
+  d.queue_depth_p99 = delta.queue_depth.ApproxPercentile(0.99);
+  d.queue_depth_max = delta.queue_depth.ApproxMax();
+  d.coalesce_p50 = delta.coalesced.ApproxPercentile(0.50);
+  d.coalesce_max = delta.coalesced.ApproxMax();
+  d.avg_coalesce = delta.coalesced_groups == 0
+                       ? 0
+                       : static_cast<double>(delta.sub_batches) /
+                             static_cast<double>(delta.coalesced_groups);
+  d.service_us_p50 = delta.sub_batch_latency_us.ApproxPercentile(0.50);
+  d.service_us_p99 = delta.sub_batch_latency_us.ApproxPercentile(0.99);
+  return d;
+}
+
+/// One replay phase's throughput numbers.
+struct PhaseResult {
+  double seconds = 0;
   double ops_per_sec = 0;
   double p50_batch_ms = 0;
   double p99_batch_ms = 0;
@@ -79,6 +135,19 @@ struct ConfigResult {
   uint64_t errors = 0;
   double bp_hit_rate = 0;
   uint64_t disk_reads = 0;
+  PhaseDist dist;
+};
+
+struct ConfigResult {
+  uint32_t shards = 0;
+  uint32_t workers = 0;
+  uint32_t clients = 0;
+  double load_seconds = 0;
+  double load_ops_per_sec = 0;
+  PhaseResult closed;
+  PhaseResult open;
+  bool open_ran = false;
+  size_t inflight = 0;
   bool direct_io_effective = false;
 };
 
@@ -96,16 +165,57 @@ double Now() {
       .count();
 }
 
-/// Runs one (shards, workers) point: fresh engine, bulk load, multi-client
-/// replay of the Zipfian revision trace.
+/// Buffer-pool / disk counters summed over shards, for phase deltas.
+struct IoCounters {
+  uint64_t reads = 0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+};
+
+IoCounters IoCountersOf(ShardedEngine* engine) {
+  IoCounters c;
+  for (uint32_t s = 0; s < engine->num_shards(); ++s) {
+    c.reads += engine->shard(s)->database()->disk()->stats().reads;
+    c.hits += engine->shard(s)->database()->buffer_pool()->stats().hits;
+    c.misses += engine->shard(s)->database()->buffer_pool()->stats().misses;
+  }
+  return c;
+}
+
+void FillPhaseIo(PhaseResult* phase, const IoCounters& before,
+                 const IoCounters& after) {
+  phase->disk_reads = after.reads - before.reads;
+  const uint64_t accesses =
+      (after.hits - before.hits) + (after.misses - before.misses);
+  phase->bp_hit_rate = accesses == 0 ? 0
+                                     : static_cast<double>(after.hits -
+                                                           before.hits) /
+                                           static_cast<double>(accesses);
+}
+
+void FillPhaseReport(PhaseResult* phase, uint64_t ops,
+                     const std::vector<double>& batch_seconds,
+                     double seconds) {
+  phase->seconds = seconds;
+  phase->ops_per_sec = seconds > 0 ? ops / seconds : 0;
+  phase->p50_batch_ms = Percentile(batch_seconds, 0.50) * 1e3;
+  phase->p99_batch_ms = Percentile(batch_seconds, 0.99) * 1e3;
+}
+
+/// Runs one (shards, workers) point: fresh engine, bulk load, closed-loop
+/// multi-client replay of the Zipfian revision trace, then an open-loop
+/// async replay of the same batches at --inflight depth.
 ConfigResult RunConfig(uint32_t shards, uint32_t workers,
                        const std::vector<Row>& rows,
                        const std::vector<RequestBatch>& batches,
-                       size_t frames_per_shard, bool direct_io) {
+                       size_t frames_per_shard, bool direct_io,
+                       size_t inflight, bool run_openloop,
+                       uint32_t deadline_us) {
   ConfigResult r;
   r.shards = shards;
   r.workers = workers;
   r.clients = workers;
+  r.inflight = inflight;
 
   ShardedEngineOptions opts;
   opts.num_shards = shards;
@@ -115,6 +225,8 @@ ConfigResult RunConfig(uint32_t shards, uint32_t workers,
       std::to_string(workers);
   opts.buffer_pool_frames_per_shard = frames_per_shard;
   opts.direct_io = direct_io;
+  opts.max_coalesce_window = 32;
+  opts.drain_deadline_us = deadline_us;
   opts.schema = WikipediaSynthesizer::RevisionSchema();
   opts.table_options.key_columns = {0};
   auto engine_result = ShardedEngine::Open(opts);
@@ -147,16 +259,10 @@ ConfigResult RunConfig(uint32_t shards, uint32_t workers,
   r.load_seconds = Now() - load_start;
   r.load_ops_per_sec = rows.size() / r.load_seconds;
 
-  // Only measure the serving phase's buffer pool behavior.
-  uint64_t reads_before = 0, hits_before = 0, misses_before = 0;
-  for (uint32_t s = 0; s < shards; ++s) {
-    reads_before += engine->shard(s)->database()->disk()->stats().reads;
-    hits_before += engine->shard(s)->database()->buffer_pool()->stats().hits;
-    misses_before +=
-        engine->shard(s)->database()->buffer_pool()->stats().misses;
-  }
+  // ---- Closed-loop phase: blocking Execute, one batch per client thread.
+  IoCounters io_before = IoCountersOf(engine.get());
+  ShardStatsSnapshot stats_before = engine->TotalShardStats();
 
-  // Slice the batches round-robin over the clients and replay concurrently.
   const uint32_t clients = r.clients;
   std::vector<std::vector<RequestBatch>> slices(clients);
   for (size_t i = 0; i < batches.size(); ++i) {
@@ -171,36 +277,47 @@ ConfigResult RunConfig(uint32_t shards, uint32_t workers,
     });
   }
   for (auto& t : threads) t.join();
-  r.lookup_seconds = Now() - serve_start;
+  const double closed_seconds = Now() - serve_start;
 
   std::vector<double> batch_seconds;
   uint64_t ops = 0;
   for (const auto& rep : reports) {
     ops += rep.ops;
-    r.found += rep.found;
-    r.not_found += rep.not_found;
-    r.errors += rep.errors;
+    r.closed.found += rep.found;
+    r.closed.not_found += rep.not_found;
+    r.closed.errors += rep.errors;
     batch_seconds.insert(batch_seconds.end(), rep.batch_seconds.begin(),
                          rep.batch_seconds.end());
   }
-  r.ops_per_sec = ops / r.lookup_seconds;
-  r.p50_batch_ms = Percentile(batch_seconds, 0.50) * 1e3;
-  r.p99_batch_ms = Percentile(batch_seconds, 0.99) * 1e3;
-
-  uint64_t reads_after = 0, hits_after = 0, misses_after = 0;
-  for (uint32_t s = 0; s < shards; ++s) {
-    reads_after += engine->shard(s)->database()->disk()->stats().reads;
-    hits_after += engine->shard(s)->database()->buffer_pool()->stats().hits;
-    misses_after +=
-        engine->shard(s)->database()->buffer_pool()->stats().misses;
+  FillPhaseReport(&r.closed, ops, batch_seconds, closed_seconds);
+  IoCounters io_mid = IoCountersOf(engine.get());
+  FillPhaseIo(&r.closed, io_before, io_mid);
+  ShardStatsSnapshot stats_mid = engine->TotalShardStats();
+  {
+    ShardStatsSnapshot delta = stats_mid;
+    delta -= stats_before;
+    r.closed.dist = DistOf(delta);
   }
-  r.disk_reads = reads_after - reads_before;
-  const uint64_t accesses =
-      (hits_after - hits_before) + (misses_after - misses_before);
-  r.bp_hit_rate =
-      accesses == 0
-          ? 0
-          : static_cast<double>(hits_after - hits_before) / accesses;
+
+  // ---- Open-loop phase: async Submit at sustained in-flight depth, same
+  // batches. The pool is warm from the closed phase in the hit regime; in
+  // the miss regime the working set exceeds the pool either way, so the
+  // comparison measures pipelining + coalescing, not cache warmth.
+  if (run_openloop) {
+    r.open_ran = true;
+    ReplayReport rep =
+        ReplayBatchesOpenLoop(engine.get(), batches, inflight);
+    r.open.found = rep.found;
+    r.open.not_found = rep.not_found;
+    r.open.errors = rep.errors;
+    FillPhaseReport(&r.open, rep.ops, rep.batch_seconds, rep.seconds);
+    IoCounters io_after = IoCountersOf(engine.get());
+    FillPhaseIo(&r.open, io_mid, io_after);
+    ShardStatsSnapshot stats_after = engine->TotalShardStats();
+    ShardStatsSnapshot delta = stats_after;
+    delta -= stats_mid;
+    r.open.dist = DistOf(delta);
+  }
 
   for (uint32_t s = 0; s < shards; ++s) {
     std::remove(
@@ -219,6 +336,24 @@ uint64_t FlagOr(int argc, char** argv, const char* name, uint64_t fallback) {
   return fallback;
 }
 
+void PrintPhaseDistJson(FILE* f, const char* indent, const PhaseResult& p) {
+  std::fprintf(
+      f,
+      "%s\"queue_depth_p50\": %llu, \"queue_depth_p99\": %llu, "
+      "\"queue_depth_max\": %llu,\n"
+      "%s\"coalesce_p50\": %llu, \"coalesce_max\": %llu, "
+      "\"avg_coalesce\": %.3f,\n"
+      "%s\"service_us_p50\": %llu, \"service_us_p99\": %llu",
+      indent, static_cast<unsigned long long>(p.dist.queue_depth_p50),
+      static_cast<unsigned long long>(p.dist.queue_depth_p99),
+      static_cast<unsigned long long>(p.dist.queue_depth_max), indent,
+      static_cast<unsigned long long>(p.dist.coalesce_p50),
+      static_cast<unsigned long long>(p.dist.coalesce_max),
+      p.dist.avg_coalesce, indent,
+      static_cast<unsigned long long>(p.dist.service_us_p50),
+      static_cast<unsigned long long>(p.dist.service_us_p99));
+}
+
 }  // namespace
 }  // namespace nblb::bench
 
@@ -235,6 +370,15 @@ int main(int argc, char** argv) {
   // about.
   const uint64_t frames = FlagOr(argc, argv, "frames", 4096);
   const bool direct_io = FlagOr(argc, argv, "direct", 1) != 0;
+  const uint64_t inflight = FlagOr(argc, argv, "inflight", 64);
+  const bool run_openloop = FlagOr(argc, argv, "openloop", 1) != 0;
+  // Default 0: the drain-deadline hold applies to whichever engine it is
+  // set on — and both phases share one engine per config — so a non-zero
+  // default would tax the closed-loop baseline with Nagle stalls the old
+  // bench never paid. Open-loop coalescing comes from sustained queue
+  // depth; it does not need the hold to win. Set --deadline_us to measure
+  // the hold itself (it then applies to BOTH phases).
+  const uint64_t deadline_us = FlagOr(argc, argv, "deadline_us", 0);
 
   // ~20 revisions/page (the synthesizer's hot fraction is 1/this).
   WikipediaScale scale;
@@ -247,36 +391,59 @@ int main(int argc, char** argv) {
   const std::vector<Row>& rows = wiki.revisions();
   const auto batches = BuildLookupBatches(
       wiki.RevisionLookupTrace(num_lookups), batch_size);
-  std::printf("rows=%zu lookups=%llu batch=%llu frames/shard=%llu direct=%d\n",
-              rows.size(), static_cast<unsigned long long>(num_lookups),
-              static_cast<unsigned long long>(batch_size),
-              static_cast<unsigned long long>(frames), direct_io ? 1 : 0);
+  std::printf(
+      "rows=%zu lookups=%llu batch=%llu frames/shard=%llu direct=%d "
+      "inflight=%llu\n",
+      rows.size(), static_cast<unsigned long long>(num_lookups),
+      static_cast<unsigned long long>(batch_size),
+      static_cast<unsigned long long>(frames), direct_io ? 1 : 0,
+      static_cast<unsigned long long>(inflight));
 
   const std::vector<std::pair<uint32_t, uint32_t>> sweep = {
       {1, 1}, {2, 2}, {4, 1}, {4, 4}, {8, 4}};
 
   std::vector<ConfigResult> results;
-  std::printf("%-8s %-8s %-12s %-12s %-12s %-12s %-10s %-10s\n", "shards",
-              "workers", "ops/sec", "p50_ms", "p99_ms", "load_ops/s",
-              "bp_hit", "disk_rd");
+  std::printf("%-8s %-8s %-12s %-12s %-12s %-12s %-10s %-10s %-10s\n",
+              "shards", "workers", "closed_ops/s", "open_ops/s", "p99_ms",
+              "open_p99", "bp_hit", "depth_p99", "avg_coal");
   for (auto [shards, workers] : sweep) {
-    ConfigResult r =
-        RunConfig(shards, workers, rows, batches, frames, direct_io);
+    ConfigResult r = RunConfig(shards, workers, rows, batches, frames,
+                               direct_io, inflight, run_openloop,
+                               static_cast<uint32_t>(deadline_us));
     results.push_back(r);
-    std::printf("%-8u %-8u %-12.0f %-12.3f %-12.3f %-12.0f %-10.4f %-10llu\n",
-                r.shards, r.workers, r.ops_per_sec, r.p50_batch_ms,
-                r.p99_batch_ms, r.load_ops_per_sec, r.bp_hit_rate,
-                static_cast<unsigned long long>(r.disk_reads));
+    if (r.open_ran) {
+      std::printf(
+          "%-8u %-8u %-12.0f %-12.0f %-12.3f %-12.3f %-10.4f %-10llu "
+          "%-10.2f\n",
+          r.shards, r.workers, r.closed.ops_per_sec, r.open.ops_per_sec,
+          r.closed.p99_batch_ms, r.open.p99_batch_ms, r.closed.bp_hit_rate,
+          static_cast<unsigned long long>(r.open.dist.queue_depth_p99),
+          r.open.dist.avg_coalesce);
+    } else {
+      std::printf("%-8u %-8u %-12.0f %-12s %-12.3f %-12s %-10.4f %-10s %-10s\n",
+                  r.shards, r.workers, r.closed.ops_per_sec, "-",
+                  r.closed.p99_batch_ms, "-", r.closed.bp_hit_rate, "-", "-");
+    }
     std::fflush(stdout);
   }
 
-  double base = 0, scaled = 0;
+  double base = 0, scaled = 0, open_4s4w = 0;
   for (const auto& r : results) {
-    if (r.shards == 1 && r.workers == 1) base = r.ops_per_sec;
-    if (r.shards == 4 && r.workers == 4) scaled = r.ops_per_sec;
+    if (r.shards == 1 && r.workers == 1) base = r.closed.ops_per_sec;
+    if (r.shards == 4 && r.workers == 4) {
+      scaled = r.closed.ops_per_sec;
+      open_4s4w = r.open.ops_per_sec;
+    }
   }
   const double speedup = base > 0 ? scaled / base : 0;
-  std::printf("\nspeedup 4 shards/4 workers vs 1/1: %.2fx\n", speedup);
+  const double open_speedup =
+      run_openloop && scaled > 0 ? open_4s4w / scaled : 0;
+  std::printf("\nspeedup 4 shards/4 workers vs 1/1 (closed): %.2fx\n",
+              speedup);
+  if (run_openloop) {
+    std::printf("open-loop (inflight=%llu) vs closed at 4s/4w: %.2fx\n",
+                static_cast<unsigned long long>(inflight), open_speedup);
+  }
 
   const char* json_path = std::getenv("NBLB_BENCH_JSON_PATH");
   FILE* f = std::fopen(json_path ? json_path : "BENCH_shard_throughput.json",
@@ -290,10 +457,12 @@ int main(int argc, char** argv) {
                "  \"rows\": %zu,\n  \"lookups\": %llu,\n"
                "  \"batch_size\": %llu,\n  \"page_size\": %zu,\n"
                "  \"frames_per_shard\": %llu,\n  \"direct_io\": %d,\n"
+               "  \"inflight\": %llu,\n"
                "  \"configs\": [\n",
                rows.size(), static_cast<unsigned long long>(num_lookups),
                static_cast<unsigned long long>(batch_size), kDefaultPageSize,
-               static_cast<unsigned long long>(frames), direct_io ? 1 : 0);
+               static_cast<unsigned long long>(frames), direct_io ? 1 : 0,
+               static_cast<unsigned long long>(inflight));
   for (size_t i = 0; i < results.size(); ++i) {
     const auto& r = results[i];
     std::fprintf(
@@ -303,17 +472,41 @@ int main(int argc, char** argv) {
         "     \"lookup_seconds\": %.4f, \"ops_per_sec\": %.1f,\n"
         "     \"p50_batch_ms\": %.4f, \"p99_batch_ms\": %.4f,\n"
         "     \"found\": %llu, \"not_found\": %llu, \"errors\": %llu,\n"
-        "     \"bp_hit_rate\": %.6f, \"disk_reads\": %llu,\n"
-        "     \"direct_io_effective\": %d}%s\n",
+        "     \"bp_hit_rate\": %.6f, \"disk_reads\": %llu,\n",
         r.shards, r.workers, r.clients, r.load_seconds, r.load_ops_per_sec,
-        r.lookup_seconds, r.ops_per_sec, r.p50_batch_ms, r.p99_batch_ms,
-        static_cast<unsigned long long>(r.found),
-        static_cast<unsigned long long>(r.not_found),
-        static_cast<unsigned long long>(r.errors), r.bp_hit_rate,
-        static_cast<unsigned long long>(r.disk_reads),
-        r.direct_io_effective ? 1 : 0, i + 1 < results.size() ? "," : "");
+        r.closed.seconds, r.closed.ops_per_sec, r.closed.p50_batch_ms,
+        r.closed.p99_batch_ms, static_cast<unsigned long long>(r.closed.found),
+        static_cast<unsigned long long>(r.closed.not_found),
+        static_cast<unsigned long long>(r.closed.errors), r.closed.bp_hit_rate,
+        static_cast<unsigned long long>(r.closed.disk_reads));
+    PrintPhaseDistJson(f, "     ", r.closed);
+    std::fprintf(f, ",\n     \"direct_io_effective\": %d",
+                 r.direct_io_effective ? 1 : 0);
+    if (r.open_ran) {
+      std::fprintf(
+          f,
+          ",\n     \"open_loop\": {\n"
+          "       \"inflight\": %llu,\n"
+          "       \"lookup_seconds\": %.4f, \"ops_per_sec\": %.1f,\n"
+          "       \"p50_batch_ms\": %.4f, \"p99_batch_ms\": %.4f,\n"
+          "       \"found\": %llu, \"not_found\": %llu, \"errors\": %llu,\n"
+          "       \"bp_hit_rate\": %.6f, \"disk_reads\": %llu,\n",
+          static_cast<unsigned long long>(r.inflight), r.open.seconds,
+          r.open.ops_per_sec, r.open.p50_batch_ms, r.open.p99_batch_ms,
+          static_cast<unsigned long long>(r.open.found),
+          static_cast<unsigned long long>(r.open.not_found),
+          static_cast<unsigned long long>(r.open.errors), r.open.bp_hit_rate,
+          static_cast<unsigned long long>(r.open.disk_reads));
+      PrintPhaseDistJson(f, "       ", r.open);
+      std::fprintf(f, "\n     }");
+    }
+    std::fprintf(f, "}%s\n", i + 1 < results.size() ? "," : "");
   }
-  std::fprintf(f, "  ],\n  \"speedup_4s4t_vs_1s1t\": %.4f\n}\n", speedup);
+  std::fprintf(f, "  ],\n  \"speedup_4s4t_vs_1s1t\": %.4f", speedup);
+  if (run_openloop) {
+    std::fprintf(f, ",\n  \"openloop_speedup_4s4w\": %.4f", open_speedup);
+  }
+  std::fprintf(f, "\n}\n");
   std::fclose(f);
   std::printf("wrote %s\n",
               json_path ? json_path : "BENCH_shard_throughput.json");

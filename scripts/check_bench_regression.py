@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Bench regression gate: compare a fresh bench JSON against the committed
+baseline and fail (exit 1) if hit-regime throughput regressed by more than
+the allowed ratio.
+
+Usage:
+    check_bench_regression.py --baseline BENCH_shard_throughput.json \
+        --current smoke_shard_throughput.json [--min-ratio 0.75]
+
+Handles both bench schemas in this repo ("shard_throughput" and
+"buffer_pool_scan"), matching comparable configurations between the two
+files. Only hit-regime points are gated: miss-regime throughput is
+device-bound and too noisy across runner hardware, and smoke-size runs have
+different miss profiles than full-size baselines.
+
+The gate is on the GEOMETRIC MEAN of the per-config throughput ratios
+across hit-regime configs — single configs (especially single-client
+points) swing +-25% run to run on small machines, but a fleet-wide drop
+below min-ratio is a real regression. Any single config below
+min-ratio * CATASTROPHIC_FACTOR fails outright.
+
+Error counts are gated unconditionally: any serving error in any regime
+fails the job.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+DEFAULT_MIN_RATIO = 0.75  # fail on a >25% hit-regime throughput drop
+CATASTROPHIC_FACTOR = 0.6  # per-config hard floor = min_ratio * this
+HIT_REGIME_MIN_RATE = 0.90
+
+
+def fail(msg):
+    print(f"REGRESSION GATE FAILED: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def gate_ratios(bench, ratios, min_ratio):
+    """Common verdict: geometric-mean gate + per-config catastrophic floor."""
+    if not ratios:
+        # A gate with nothing to gate is a silent no-op — fail loudly so a
+        # baseline/sweep drift can't turn CI green by vacuity.
+        fail(f"{bench}: no hit-regime configs comparable between baseline "
+             f"and current (baseline drifted or sweep changed?)")
+    floor = min_ratio * CATASTROPHIC_FACTOR
+    for key, ratio in ratios.items():
+        if ratio < floor:
+            fail(f"{bench} {key}: hit-regime throughput collapsed to "
+                 f"{ratio:.2f}x of baseline (hard floor {floor:.2f}x)")
+    geomean = math.exp(sum(math.log(max(r, 1e-9)) for r in ratios.values())
+                       / len(ratios))
+    print(f"  geometric mean over {len(ratios)} hit-regime configs: "
+          f"x{geomean:.2f} (min {min_ratio:.2f})")
+    if geomean < min_ratio:
+        fail(f"{bench}: hit-regime throughput geomean dropped to "
+             f"{geomean:.2f}x of baseline (allowed >= {min_ratio:.2f}x)")
+
+
+def check_shard_throughput(baseline, current, min_ratio):
+    base_by_key = {(c["shards"], c["workers"]): c for c in baseline["configs"]}
+    cur_by_key = {(c["shards"], c["workers"]): c for c in current["configs"]}
+    ratios = {}
+    for key, cur in sorted(cur_by_key.items()):
+        if cur.get("errors", 0) != 0:
+            fail(f"shard_throughput {key}: closed-loop errors={cur['errors']}")
+        open_loop = cur.get("open_loop")
+        if open_loop and open_loop.get("errors", 0) != 0:
+            fail(f"shard_throughput {key}: open-loop errors={open_loop['errors']}")
+        base = base_by_key.get(key)
+        if base is None:
+            print(f"  {key}: no baseline config, skipping throughput gate")
+            continue
+        # Gate only configurations that were hit-regime in the baseline.
+        base_hit_rate = base.get("bp_hit_rate", 0.0)
+        if base_hit_rate < HIT_REGIME_MIN_RATE:
+            print(f"  {key}: baseline miss-regime "
+                  f"(bp_hit_rate={base_hit_rate:.3f}), not gated")
+            continue
+        ratio = cur["ops_per_sec"] / base["ops_per_sec"] if base["ops_per_sec"] else 0
+        ratios[key] = ratio
+        print(f"  {key}: closed-loop {cur['ops_per_sec']:.0f} vs baseline "
+              f"{base['ops_per_sec']:.0f} ops/s (x{ratio:.2f})")
+        if open_loop:
+            open_ratio = (open_loop["ops_per_sec"] / cur["ops_per_sec"]
+                          if cur["ops_per_sec"] else 0)
+            print(f"  {key}: open-loop {open_loop['ops_per_sec']:.0f} ops/s "
+                  f"({open_ratio:.2f}x closed, inflight="
+                  f"{open_loop.get('inflight', '?')})")
+    gate_ratios("shard_throughput", ratios, min_ratio)
+
+
+def check_buffer_pool(baseline, current, min_ratio):
+    def key_of(entry):
+        return (entry["pool"], entry["stripes"], entry["threads"],
+                entry["mode"])
+
+    base_by_key = {key_of(e): e for e in baseline.get("hit", [])}
+    ratios = {}
+    for cur in current.get("hit", []):
+        base = base_by_key.get(key_of(cur))
+        if base is None:
+            continue
+        ratio = cur["ops_per_sec"] / base["ops_per_sec"] if base["ops_per_sec"] else 0
+        ratios[key_of(cur)] = ratio
+        print(f"  {key_of(cur)}: {cur['ops_per_sec']:.0f} vs baseline "
+              f"{base['ops_per_sec']:.0f} ops/s (x{ratio:.2f})")
+    gate_ratios("buffer_pool_scan", ratios, min_ratio)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--current", required=True)
+    parser.add_argument("--min-ratio", type=float, default=DEFAULT_MIN_RATIO)
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    with open(args.current) as f:
+        current = json.load(f)
+
+    if baseline.get("bench") != current.get("bench"):
+        fail(f"bench kind mismatch: baseline={baseline.get('bench')} "
+             f"current={current.get('bench')}")
+
+    bench = current.get("bench")
+    print(f"gating {bench}: current={args.current} vs "
+          f"baseline={args.baseline} (min ratio {args.min_ratio:.2f})")
+    if bench == "shard_throughput":
+        check_shard_throughput(baseline, current, args.min_ratio)
+    elif bench == "buffer_pool_scan":
+        check_buffer_pool(baseline, current, args.min_ratio)
+    else:
+        fail(f"unknown bench kind: {bench}")
+    print("regression gate passed")
+
+
+if __name__ == "__main__":
+    main()

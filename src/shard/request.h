@@ -1,10 +1,13 @@
 // Request/response types for the sharded serving layer.
 //
-// A RequestBatch is the unit clients hand to ShardedEngine::Execute: the
-// engine routes each request to its home shard, fans the batch out to the
-// per-shard queues, and gathers one RequestResult per request, in batch
+// A RequestBatch is the unit clients hand to ShardedEngine::Submit (async,
+// completion callback + ticket) or Execute (blocking wrapper): the engine
+// routes each request to its home shard, fans the batch out to the
+// per-shard queues, and delivers one RequestResult per request, in batch
 // order. Batching is what makes the thread handoff affordable: the queue
-// round-trip is paid once per (batch × shard), not once per operation.
+// round-trip is paid once per (batch × shard), not once per operation —
+// and queued sub-batches are further coalesced per shard (see
+// sharded_engine.h).
 
 #pragma once
 

@@ -1,6 +1,8 @@
 #include "shard/shard.h"
 
 #include <cstdio>
+#include <filesystem>
+#include <system_error>
 #include <utility>
 
 #include "catalog/type.h"
@@ -25,6 +27,14 @@ Result<std::unique_ptr<Shard>> Shard::Open(uint32_t shard_id,
     return Status::InvalidArgument(
         "shard routing key must be an integer-family column");
   }
+  // Normalize the coalescing knobs here, where they live — the engine's
+  // worker reads them back through options(), and a direct Shard::Open
+  // must uphold the same invariants the engine validates.
+  if (options.min_coalesce_window == 0) options.min_coalesce_window = 1;
+  if (options.max_coalesce_window < options.min_coalesce_window) {
+    return Status::InvalidArgument(
+        "max_coalesce_window must be >= min_coalesce_window");
+  }
 
   std::unique_ptr<Shard> shard(new Shard(shard_id, std::move(options)));
 
@@ -34,7 +44,28 @@ Result<std::unique_ptr<Shard>> Shard::Open(uint32_t shard_id,
   dbo.buffer_pool_frames = shard->options_.buffer_pool_frames;
   dbo.buffer_pool_stripes = shard->options_.buffer_pool_stripes;
   dbo.direct_io = shard->options_.direct_io;
-  std::remove(dbo.path.c_str());
+  if (shard->options_.truncate) {
+    std::remove(dbo.path.c_str());
+  } else {
+    std::error_code ec;
+    const bool exists = std::filesystem::exists(dbo.path, ec);
+    if (ec) {
+      // Can't prove the path is clear — refuse rather than risk the
+      // downstream O_CREAT (no O_EXCL) silently clobbering a file the
+      // guard exists to protect.
+      return Status::IOError("cannot probe shard path (" + ec.message() +
+                             "); refusing guarded open: " + dbo.path);
+    }
+    if (exists) {
+      // Durable reopen is not implemented (ROADMAP): the catalog is not
+      // persisted, so "opening" an existing file would really mean
+      // silently clobbering it. Refuse instead of destroying data.
+      return Status::AlreadyExists(
+          "shard backing file exists and truncate=false; durable reopen is "
+          "not supported — pass truncate=true to rebuild: " +
+          dbo.path);
+    }
+  }
   NBLB_ASSIGN_OR_RETURN(shard->db_, Database::Open(dbo));
   NBLB_ASSIGN_OR_RETURN(
       shard->table_,

@@ -30,11 +30,18 @@ namespace nblb {
 
 /// \brief Per-shard configuration.
 struct ShardOptions {
-  /// Backing file for this shard's Database. NOTE: Shard::Open removes and
-  /// recreates this file — shards are (for now) rebuilt from a load phase,
-  /// not reopened; give every engine a distinct path/prefix or prior data
-  /// is destroyed. Durable reopen is a ROADMAP item.
+  /// Backing file for this shard's Database. With `truncate` (the default)
+  /// Shard::Open removes and recreates this file — shards are (for now)
+  /// rebuilt from a load phase, not reopened; give every engine a distinct
+  /// path/prefix or prior data is destroyed. Durable reopen is a ROADMAP
+  /// item.
   std::string path;
+  /// When true, an existing file at `path` is removed and the shard is
+  /// rebuilt from scratch (the load-phase model). When false, Open refuses
+  /// to touch a path where a file already exists — durable reopen is not
+  /// implemented yet, and the guard keeps an accidental reopen from
+  /// silently destroying data.
+  bool truncate = true;
   size_t page_size = kDefaultPageSize;
   /// Buffer pool capacity, per shard (the scale-out model: each shard is a
   /// "node" with its own fixed RAM budget).
@@ -47,6 +54,24 @@ struct ShardOptions {
   size_t buffer_pool_stripes = 1;
   /// O_DIRECT backing file: misses pay device latency, not page-cache cost.
   bool direct_io = false;
+
+  // ---- Adaptive batching (read by the ShardedEngine worker that owns this
+  // shard; the shard itself just executes whatever it is handed) ----------
+
+  /// Lower bound of the adaptive coalesce window: the minimum number of
+  /// queued sub-batches a worker merges into one service group.
+  size_t min_coalesce_window = 1;
+  /// Upper bound of the adaptive coalesce window. The window doubles when
+  /// the observed queue depth reaches it and halves when the queue runs
+  /// near-empty (Nagle-style: batch for throughput under load, shrink
+  /// toward latency when idle).
+  size_t max_coalesce_window = 32;
+  /// Drain deadline in microseconds: when the backlog is smaller than the
+  /// current window, the owning worker may hold off up to this long for
+  /// more sub-batches to arrive before serving. 0 (default) serves
+  /// immediately — idle-regime latency is never taxed unless asked.
+  uint32_t drain_deadline_us = 0;
+
   Schema schema;
   TableOptions table_options;
 };
@@ -94,7 +119,9 @@ class Shard {
   // ---- Introspection (any thread for stats; owner thread otherwise) -------
 
   uint32_t id() const { return id_; }
+  const ShardOptions& options() const { return options_; }
   const ShardStats& stats() const { return stats_; }
+  ShardStats& stats() { return stats_; }
   /// \brief Called by the owning worker after draining one batch fragment.
   void NoteSubBatch() { stats_.Add(stats_.sub_batches); }
   Database* database() { return db_.get(); }

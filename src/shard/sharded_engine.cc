@@ -1,5 +1,8 @@
 #include "shard/sharded_engine.h"
 
+#include <algorithm>
+#include <filesystem>
+#include <system_error>
 #include <utility>
 
 #include "common/logging.h"
@@ -11,22 +14,60 @@ Result<std::unique_ptr<ShardedEngine>> ShardedEngine::Open(
   if (options.num_shards == 0) {
     return Status::InvalidArgument("num_shards must be >= 1");
   }
+  if (options.min_coalesce_window == 0) options.min_coalesce_window = 1;
+  if (options.max_coalesce_window < options.min_coalesce_window) {
+    return Status::InvalidArgument(
+        "max_coalesce_window must be >= min_coalesce_window");
+  }
   std::unique_ptr<ShardedEngine> engine(new ShardedEngine());
   engine->options_ = options;
   engine->router_ = router ? std::move(router)
                            : std::make_unique<HashRouter>(options.num_shards);
 
+  std::vector<std::string> created_paths;
   for (uint32_t i = 0; i < options.num_shards; ++i) {
     ShardOptions so;
     so.path = options.path_prefix + ".shard" + std::to_string(i) + ".db";
+    so.truncate = options.truncate_on_open;
     so.page_size = options.page_size;
     so.buffer_pool_frames = options.buffer_pool_frames_per_shard;
     so.direct_io = options.direct_io;
+    so.min_coalesce_window = options.min_coalesce_window;
+    so.max_coalesce_window = options.max_coalesce_window;
+    so.drain_deadline_us = options.drain_deadline_us;
     so.schema = options.schema;
     so.table_options = options.table_options;
-    NBLB_ASSIGN_OR_RETURN(auto shard, Shard::Open(i, std::move(so)));
-    engine->shards_.push_back(std::move(shard));
-    engine->queues_.push_back(std::make_unique<ShardQueue>());
+    // Record the path BEFORE attempting the open: a Shard::Open that
+    // creates the file and then fails a later step must still get its
+    // debris removed below. The only paths NOT recorded are pre-existing
+    // files under the guard (truncate_on_open=false) — a guard trip must
+    // never delete the data it is guarding. Under truncate the open
+    // destroys a pre-existing file anyway, so what's left after a failure
+    // is this attempt's debris and is recorded for cleanup.
+    std::string path = so.path;
+    std::error_code ec;
+    bool preexisting = std::filesystem::exists(path, ec);
+    // Probe failure: conservatively assume the file exists — cleanup must
+    // never delete something it cannot prove this attempt created.
+    if (ec) preexisting = true;
+    if (!preexisting || options.truncate_on_open) {
+      created_paths.push_back(path);
+    }
+    auto shard_result = Shard::Open(i, std::move(so));
+    if (!shard_result.ok()) {
+      // Remove every file this attempt created so a failed open leaves no
+      // debris — in particular, a guarded open (truncate_on_open=false)
+      // that trips on shard k must not leave fresh empty files that would
+      // then block the operator's own retry. Shards are released (files
+      // closed) before the unlink.
+      engine->shards_.clear();
+      for (const std::string& p : created_paths) std::remove(p.c_str());
+      return shard_result.status();
+    }
+    engine->shards_.push_back(std::move(*shard_result));
+    auto queue = std::make_unique<ShardQueue>();
+    queue->window = options.min_coalesce_window;
+    engine->queues_.push_back(std::move(queue));
   }
 
   uint32_t num_workers =
@@ -44,10 +85,16 @@ Result<std::unique_ptr<ShardedEngine>> ShardedEngine::Open(
       engine_ptr->WorkerLoop(w);
     });
   }
+  for (uint32_t c = 0; c < options.num_completion_threads; ++c) {
+    engine->completion_threads_.emplace_back(
+        [engine_ptr = engine.get()] { engine_ptr->CompletionLoop(); });
+  }
   return engine;
 }
 
 ShardedEngine::~ShardedEngine() {
+  // Workers drain their queues before exiting (stop is honored only at
+  // queued == 0), so every in-flight ticket reaches FinishTicket.
   stop_.store(true, std::memory_order_release);
   for (auto& worker : workers_) {
     {
@@ -58,7 +105,46 @@ ShardedEngine::~ShardedEngine() {
   for (auto& worker : workers_) {
     if (worker->thread.joinable()) worker->thread.join();
   }
+  // Only after the workers are gone can the completion queue stop growing;
+  // the completion threads drain it fully before exiting, so no Wait()er
+  // is left hanging.
+  {
+    std::lock_guard<std::mutex> lk(completion_mu_);
+    completion_stop_ = true;
+  }
+  completion_cv_.notify_all();
+  for (auto& t : completion_threads_) {
+    if (t.joinable()) t.join();
+  }
 }
+
+// ---- Ticket -----------------------------------------------------------------
+
+void ShardedEngine::Ticket::Wait() {
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_.wait(lk, [this] { return done_; });
+}
+
+bool ShardedEngine::Ticket::TryWait() {
+  std::lock_guard<std::mutex> lk(mu_);
+  return done_;
+}
+
+void ShardedEngine::Ticket::MarkDone() {
+  // A completed ticket only serves its result: drop the request payloads
+  // and the callback closure so a caller holding TicketPtrs for later
+  // harvesting doesn't pin every submitted row and captured state.
+  on_complete_ = nullptr;
+  batch_ = nullptr;
+  RequestBatch().swap(owned_batch_);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    done_ = true;
+  }
+  cv_.notify_all();
+}
+
+// ---- Routing ----------------------------------------------------------------
 
 Result<uint32_t> ShardedEngine::RouteOf(uint64_t id) const {
   SharedLatchGuard guard(route_latch_);
@@ -88,10 +174,42 @@ Result<uint32_t> ShardedEngine::RouteRequest(const Request& request) {
   return shard;
 }
 
+// ---- Submission -------------------------------------------------------------
+
+ShardedEngine::TicketPtr ShardedEngine::Submit(RequestBatch batch,
+                                               CompletionFn on_complete) {
+  TicketPtr ticket(new Ticket());
+  ticket->owned_batch_ = std::move(batch);
+  ticket->batch_ = &ticket->owned_batch_;
+  ticket->on_complete_ = std::move(on_complete);
+  SubmitTicket(ticket);
+  return ticket;
+}
+
+ShardedEngine::TicketPtr ShardedEngine::SubmitRef(const RequestBatch& batch,
+                                                  CompletionFn on_complete) {
+  TicketPtr ticket(new Ticket());
+  ticket->batch_ = &batch;  // caller guarantees lifetime until completion
+  ticket->on_complete_ = std::move(on_complete);
+  SubmitTicket(ticket);
+  return ticket;
+}
+
 BatchResult ShardedEngine::Execute(const RequestBatch& batch) {
-  BatchResult out;
+  // Thin blocking wrapper over the async path: submit-by-reference (the
+  // caller's batch outlives the Wait) + Wait.
+  TicketPtr ticket = SubmitRef(batch);
+  ticket->Wait();
+  return ticket->TakeResult();
+}
+
+void ShardedEngine::SubmitTicket(const TicketPtr& ticket) {
+  if (ticket->on_complete_) {
+    async_submits_.fetch_add(1, std::memory_order_relaxed);
+  }
+  const RequestBatch& batch = *ticket->batch_;
+  BatchResult& out = ticket->result_;
   out.results.resize(batch.size());
-  if (batch.empty()) return out;
 
   // Phase 1 — route on the caller's thread, grouping indexes by home shard.
   std::vector<std::vector<uint32_t>> per_shard(num_shards());
@@ -106,28 +224,39 @@ BatchResult ShardedEngine::Execute(const RequestBatch& batch) {
     per_shard[*routed].push_back(i);
   }
 
-  // Phase 2 — fan out one sub-batch per involved shard.
-  BatchState state;
-  state.batch = &batch;
-  state.out = &out;
+  // Phase 2 — fan out one sub-batch per involved shard. pending_ is armed
+  // before the first enqueue: a worker may finish the first sub-batch while
+  // later ones are still being pushed.
   uint32_t involved = 0;
   for (const auto& indexes : per_shard) {
     if (!indexes.empty()) ++involved;
   }
-  if (involved == 0) return out;  // every request failed routing
-  state.pending.store(involved, std::memory_order_relaxed);
+  if (involved == 0) {
+    // Empty batch or every request failed routing: complete immediately.
+    FinishTicket(ticket);
+    return;
+  }
+  ticket->pending_.store(involved, std::memory_order_relaxed);
 
+  const auto now = std::chrono::steady_clock::now();
   for (uint32_t s = 0; s < per_shard.size(); ++s) {
     if (per_shard[s].empty()) continue;
     SubBatch sub;
-    sub.state = &state;
+    sub.ticket = ticket;
     sub.indexes = std::move(per_shard[s]);
-    {
-      std::lock_guard<std::mutex> lk(queues_[s]->mu);
-      queues_[s]->work.push_back(std::move(sub));
-    }
+    sub.enqueued = now;
+    ShardQueue* queue = queues_[s].get();
     Worker* owner = workers_[s % workers_.size()].get();
-    owner->queued.fetch_add(1, std::memory_order_release);
+    {
+      std::lock_guard<std::mutex> lk(queue->mu);
+      queue->work.push_back(std::move(sub));
+      // Both counters inside the critical section so neither can lag
+      // behind a concurrent pop: the pop of this element takes the same
+      // mutex, so its decrements always follow these adds — a lagging add
+      // would otherwise let the matching fetch_sub wrap the count.
+      queue->size.fetch_add(1, std::memory_order_release);
+      owner->queued.fetch_add(1, std::memory_order_release);
+    }
     {
       // Empty critical section: pairs with the owner's predicate check so
       // the queued increment cannot fall into a missed-wakeup window.
@@ -135,34 +264,49 @@ BatchResult ShardedEngine::Execute(const RequestBatch& batch) {
     }
     owner->cv.notify_one();
   }
-
-  // Phase 3 — gather: wait for the last worker to flip done.
-  {
-    std::unique_lock<std::mutex> lk(state.mu);
-    state.cv.wait(lk, [&state] { return state.done; });
-  }
-  batches_.fetch_add(1, std::memory_order_relaxed);
-  requests_.fetch_add(batch.size(), std::memory_order_relaxed);
-  return out;
 }
 
+void ShardedEngine::FinishTicket(const TicketPtr& ticket) {
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  requests_.fetch_add(ticket->batch_->size(), std::memory_order_relaxed);
+  if (ticket->on_complete_ && !completion_threads_.empty()) {
+    {
+      std::lock_guard<std::mutex> lk(completion_mu_);
+      completions_.push_back(ticket);
+    }
+    completion_cv_.notify_one();
+    return;
+  }
+  // No callback (or no pool): complete inline on the finishing thread.
+  if (ticket->on_complete_) ticket->on_complete_(ticket->result_);
+  ticket->MarkDone();
+}
+
+void ShardedEngine::CompletionLoop() {
+  for (;;) {
+    TicketPtr ticket;
+    {
+      std::unique_lock<std::mutex> lk(completion_mu_);
+      completion_cv_.wait(lk, [this] {
+        return completion_stop_ || !completions_.empty();
+      });
+      if (completions_.empty()) return;  // stop requested and fully drained
+      ticket = std::move(completions_.front());
+      completions_.pop_front();
+    }
+    ticket->on_complete_(ticket->result_);
+    ticket->MarkDone();
+  }
+}
+
+// ---- Workers ----------------------------------------------------------------
+
 void ShardedEngine::WorkerLoop(Worker* worker) {
+  std::vector<SubBatch> group;
   for (;;) {
     bool ran_any = false;
     for (uint32_t sid : worker->shards) {
-      ShardQueue* queue = queues_[sid].get();
-      for (;;) {
-        SubBatch sub;
-        {
-          std::lock_guard<std::mutex> lk(queue->mu);
-          if (queue->work.empty()) break;
-          sub = std::move(queue->work.front());
-          queue->work.pop_front();
-        }
-        worker->queued.fetch_sub(1, std::memory_order_relaxed);
-        ran_any = true;
-        RunSubBatch(shards_[sid].get(), sub);
-      }
+      while (ServeShard(worker, sid, &group)) ran_any = true;
     }
     if (ran_any) continue;
     std::unique_lock<std::mutex> lk(worker->mu);
@@ -177,22 +321,101 @@ void ShardedEngine::WorkerLoop(Worker* worker) {
   }
 }
 
-void ShardedEngine::RunSubBatch(Shard* shard, const SubBatch& sub) {
-  BatchState* state = sub.state;
-  const RequestBatch& batch = *state->batch;
+bool ShardedEngine::ServeShard(Worker* worker, uint32_t sid,
+                               std::vector<SubBatch>* group) {
+  ShardQueue* queue = queues_[sid].get();
+  Shard* shard = shards_[sid].get();
+  const ShardOptions& knobs = shard->options();
 
-  // Consecutive kGet requests are drained through the shard's batched read
-  // path (shared B+Tree descent + vectored heap-page miss I/O). Segmenting
-  // at every non-get preserves batch order within the shard, so a lookup
-  // that follows a write to the same id still sees the write.
+  size_t depth = queue->size.load(std::memory_order_acquire);
+  if (depth == 0) return false;
+
+  // Nagle-style hold: the backlog is smaller than the current window and
+  // the engine is configured to trade a bounded delay for a fuller group —
+  // give concurrent submitters a moment to top it up. Skipped when the
+  // window has shrunk to its minimum (idle regime: serve immediately) and
+  // when a sibling shard of this worker already has queued work (holding
+  // here would head-of-line block it; queued > this queue's size means
+  // some other owned queue is non-empty). The wait breaks when this queue
+  // fills to the window, or when a SIBLING shard receives work (so it is
+  // never delayed by the full deadline) — an arrival on the held queue
+  // itself keeps accumulating, which is the entire point of the hold.
+  bool hold_timed_out = false;
+  if (knobs.drain_deadline_us > 0 && depth < queue->window &&
+      queue->window > knobs.min_coalesce_window) {
+    const uint64_t queued_before =
+        worker->queued.load(std::memory_order_acquire);
+    const uint64_t size_before =
+        queue->size.load(std::memory_order_acquire);
+    if (queued_before <= size_before) {
+      // queued - size ≈ sub-batches on sibling queues (transient skew
+      // between the two counters can only end the hold early — benign).
+      const uint64_t siblings_before = queued_before - size_before;
+      std::unique_lock<std::mutex> lk(worker->mu);
+      // wait_for returns the predicate's final value: false means the
+      // deadline genuinely expired with nothing new arriving anywhere.
+      hold_timed_out = !worker->cv.wait_for(
+          lk, std::chrono::microseconds(knobs.drain_deadline_us),
+          [this, worker, queue, siblings_before] {
+            if (stop_.load(std::memory_order_acquire)) return true;
+            const uint64_t size =
+                queue->size.load(std::memory_order_acquire);
+            if (size >= queue->window) return true;
+            return worker->queued.load(std::memory_order_acquire) - size !=
+                   siblings_before;
+          });
+    }
+  }
+
+  group->clear();
+  {
+    std::lock_guard<std::mutex> lk(queue->mu);
+    depth = queue->work.size();
+    if (depth == 0) return false;
+    const size_t take = std::min(depth, queue->window);
+    for (size_t i = 0; i < take; ++i) {
+      group->push_back(std::move(queue->work.front()));
+      queue->work.pop_front();
+    }
+    queue->size.fetch_sub(take, std::memory_order_release);
+    worker->queued.fetch_sub(take, std::memory_order_relaxed);
+    // Adapt. Grow only on STRICT excess — backlog beyond what this group
+    // takes proves deeper coalescing has material waiting (depth == window
+    // with nothing behind it must not grow, or a lone blocked client
+    // ratchets the window up and then stalls on the drain deadline).
+    // Shrink when the queue is nearly drained, or when a hold just timed
+    // out — the submitters cannot sustain this window, so decay it rather
+    // than paying the deadline again next group.
+    if (depth > queue->window) {
+      queue->window = std::min(queue->window * 2, knobs.max_coalesce_window);
+    } else if (depth <= 1 || hold_timed_out) {
+      queue->window = std::max(queue->window / 2, knobs.min_coalesce_window);
+    }
+  }
+
+  ShardStats& stats = shard->stats();
+  stats.queue_depth.Record(depth);
+  stats.coalesced.Record(group->size());
+  stats.Add(stats.coalesced_groups);
+  RunGroup(shard, group);
+  return true;
+}
+
+void ShardedEngine::RunGroup(Shard* shard, std::vector<SubBatch>* group) {
+  // Consecutive kGet requests — ACROSS sub-batch boundaries — are drained
+  // through the shard's batched read path (shared B+Tree descent + vectored
+  // heap-page miss I/O); coalescing the group is what turns queue depth into
+  // longer preadv runs. Segmenting at every non-get preserves batch order
+  // within the shard, so a lookup that follows a write to the same id still
+  // sees the write, including across tickets queued to this shard.
   std::vector<uint64_t> run_ids;
-  std::vector<uint32_t> run_indexes;
+  std::vector<RequestResult*> run_slots;
   auto flush_gets = [&] {
     if (run_ids.empty()) return;
     std::vector<Result<Row>> rows;
     Status s = shard->GetBatch(run_ids, &rows);
-    for (size_t k = 0; k < run_indexes.size(); ++k) {
-      RequestResult& result = state->out->results[run_indexes[k]];
+    for (size_t k = 0; k < run_slots.size(); ++k) {
+      RequestResult& result = *run_slots[k];
       if (!s.ok()) {
         result.status = s;
       } else if (rows[k].ok()) {
@@ -202,51 +425,66 @@ void ShardedEngine::RunSubBatch(Shard* shard, const SubBatch& sub) {
       }
     }
     run_ids.clear();
-    run_indexes.clear();
+    run_slots.clear();
   };
 
-  for (uint32_t i : sub.indexes) {
-    const Request& request = batch[i];
-    RequestResult& result = state->out->results[i];
-    if (request.kind == RequestKind::kGet) {
-      run_ids.push_back(request.id);
-      run_indexes.push_back(i);
-      continue;
-    }
-    flush_gets();
-    switch (request.kind) {
-      case RequestKind::kGetProjected: {
-        auto row = shard->GetProjected(request.id, request.projection);
-        if (row.ok()) {
-          result.row = std::move(*row);
-        } else {
-          result.status = row.status();
-        }
-        break;
+  for (SubBatch& sub : *group) {
+    const RequestBatch& batch = *sub.ticket->batch_;
+    BatchResult& out = sub.ticket->result_;
+    for (uint32_t i : sub.indexes) {
+      const Request& request = batch[i];
+      RequestResult& result = out.results[i];
+      if (request.kind == RequestKind::kGet) {
+        run_ids.push_back(request.id);
+        run_slots.push_back(&result);
+        continue;
       }
-      case RequestKind::kInsert:
-        result.status = shard->Insert(request.row);
-        break;
-      case RequestKind::kUpdate:
-        result.status = shard->Update(request.id, request.row);
-        break;
-      case RequestKind::kDelete:
-        result.status = shard->Delete(request.id);
-        break;
-      case RequestKind::kGet:
-        break;  // handled above
+      flush_gets();
+      switch (request.kind) {
+        case RequestKind::kGetProjected: {
+          auto row = shard->GetProjected(request.id, request.projection);
+          if (row.ok()) {
+            result.row = std::move(*row);
+          } else {
+            result.status = row.status();
+          }
+          break;
+        }
+        case RequestKind::kInsert:
+          result.status = shard->Insert(request.row);
+          break;
+        case RequestKind::kUpdate:
+          result.status = shard->Update(request.id, request.row);
+          break;
+        case RequestKind::kDelete:
+          result.status = shard->Delete(request.id);
+          break;
+        case RequestKind::kGet:
+          break;  // handled above
+      }
     }
+    shard->NoteSubBatch();
   }
   flush_gets();
-  shard->NoteSubBatch();
-  // acq_rel: see BatchState::pending. The last decrementer observes every
-  // other worker's result writes and wakes the gatherer.
-  if (state->pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-    std::lock_guard<std::mutex> lk(state->mu);
-    state->done = true;
-    state->cv.notify_all();
+
+  const auto now = std::chrono::steady_clock::now();
+  ShardStats& stats = shard->stats();
+  for (SubBatch& sub : *group) {
+    stats.sub_batch_latency_us.Record(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(now -
+                                                              sub.enqueued)
+            .count()));
+    TicketPtr ticket = std::move(sub.ticket);
+    // acq_rel: see Ticket::pending_. The last decrementer observes every
+    // other worker's result writes and completes the ticket.
+    if (ticket->pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      FinishTicket(ticket);
+    }
   }
+  group->clear();
 }
+
+// ---- Single-op conveniences -------------------------------------------------
 
 Status ShardedEngine::Insert(uint64_t id, Row row) {
   RequestBatch batch;
@@ -302,6 +540,7 @@ EngineStatsSnapshot ShardedEngine::engine_stats() const {
   s.batches = batches_.load(std::memory_order_relaxed);
   s.requests = requests_.load(std::memory_order_relaxed);
   s.routing_failures = routing_failures_.load(std::memory_order_relaxed);
+  s.async_submits = async_submits_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -1,35 +1,55 @@
-// ShardedEngine: the serving layer — N shards, a pluggable router, and a
-// fixed worker pool draining per-shard queues.
+// ShardedEngine: the serving layer — N shards, a pluggable router, a fixed
+// worker pool draining per-shard queues, and a submit/completion front end.
 //
 // Request lifecycle (see src/shard/README.md for the long version):
 //
 //   client thread                          worker thread (owns shard s)
 //   ─────────────                          ────────────────────────────
-//   Execute(batch)
+//   Submit(batch, fn) → Ticket
 //     route every id        ── semid::Router, shared-mode latch
 //     split into per-shard
 //       sub-batches
-//     enqueue + wake owner  ──────────────▶ pop sub-batch from shard queue
-//     block on batch cv                      run ops on shard (single-writer)
-//                                            write results[i] slots
-//                           ◀────────────── last worker flips done, signals
-//     gather → BatchResult
+//     enqueue + wake owner  ──────────────▶ coalesce up to `window` queued
+//     return Ticket                          sub-batches into one service
+//       (caller keeps going)                 group, run ops on shard
+//                                            (single-writer), write
+//                                            results[i] slots
+//                           ◀────────────── last worker drops pending to 0:
+//   Ticket::Wait()/TryWait()                 callback → completion pool,
+//     or completion fn fires                 else mark ticket done
+//
+// The blocking Execute(batch) of PR 1/2 survives as a thin wrapper —
+// Submit + Wait — with identical results and result ordering.
+//
+// Adaptive batching: each shard queue carries a coalesce window in
+// [min_coalesce_window, max_coalesce_window]. A worker serves up to
+// `window` queued sub-batches as ONE group — consecutive kGets are merged
+// across sub-batch boundaries into single Shard::GetBatch calls (longer
+// B+Tree descent sharing and preadv runs), still segmented at every write
+// so per-shard order is preserved. The window doubles when the observed
+// queue depth reaches it and halves when the queue runs near-empty:
+// Nagle-style, throughput under load, latency when idle. A non-zero
+// drain_deadline_us additionally lets a worker hold a sub-window backlog
+// briefly, giving concurrent submitters time to top the group up.
 //
 // Threading model: every shard is statically owned by exactly one worker
 // (worker = shard % num_workers), so shard-local state (Table, B+Tree,
 // IndexCache) is single-threaded by construction and needs no locks. The
 // only cross-thread state is (a) the router, guarded by a SharedLatch —
 // shared mode for the read-mostly Route calls, exclusive only when an
-// insert teaches a TableRouter a new placement — and (b) the atomic batch
-// bookkeeping.
+// insert teaches a TableRouter a new placement — (b) the atomic ticket
+// bookkeeping, and (c) the completion queue feeding the completion pool.
 //
-// Any number of client threads may call Execute concurrently.
+// Any number of client threads may call Submit/Execute concurrently.
 
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -50,16 +70,29 @@ struct ShardedEngineOptions {
   /// Worker threads; 0 means one per shard. Shards are statically assigned
   /// worker = shard_id % num_workers.
   uint32_t num_workers = 0;
-  /// Shard i's backing file is "<path_prefix>.shard<i>.db". Existing files
-  /// under this prefix are removed and recreated on Open (see
-  /// ShardOptions::path) — use a distinct prefix per engine.
+  /// Completion threads: callbacks passed to Submit fire here, off the
+  /// worker threads, so a slow callback cannot stall a shard. 0 runs
+  /// callbacks inline on the finishing worker (use 1 for strictly FIFO
+  /// callback dispatch order).
+  uint32_t num_completion_threads = 2;
+  /// Shard i's backing file is "<path_prefix>.shard<i>.db". With
+  /// truncate_on_open (default), existing files under this prefix are
+  /// removed and recreated on Open — use a distinct prefix per engine.
   std::string path_prefix = "/tmp/nblb_engine";
+  /// Forwarded to ShardOptions::truncate: false refuses to open a prefix
+  /// whose shard files already exist instead of destroying them.
+  bool truncate_on_open = true;
   size_t page_size = kDefaultPageSize;
   /// Per-shard buffer pool capacity (scale-out model: each shard models a
   /// node with its own fixed RAM budget).
   size_t buffer_pool_frames_per_shard = 4096;
   /// O_DIRECT shard files (see DiskManager): serving misses cost real I/O.
   bool direct_io = false;
+  /// Adaptive coalesce window bounds and drain deadline, forwarded to each
+  /// shard's ShardOptions (see shard.h for semantics).
+  size_t min_coalesce_window = 1;
+  size_t max_coalesce_window = 32;
+  uint32_t drain_deadline_us = 0;
   Schema schema;
   TableOptions table_options;
 };
@@ -67,14 +100,64 @@ struct ShardedEngineOptions {
 /// \brief Engine-level counters (atomics; relaxed — see shard_stats.h for
 /// the memory-ordering rationale, which applies unchanged here).
 struct EngineStatsSnapshot {
-  uint64_t batches = 0;
-  uint64_t requests = 0;
+  uint64_t batches = 0;   ///< completed batches (Submit and Execute alike)
+  uint64_t requests = 0;  ///< requests in completed batches
   uint64_t routing_failures = 0;
+  uint64_t async_submits = 0;  ///< Submit calls with a completion callback
 };
 
-/// \brief Owns the shards, the router, and the worker pool.
+/// \brief Owns the shards, the router, the worker pool, and the completion
+/// pool.
 class ShardedEngine {
  public:
+  /// \brief Fires on the completion pool once every request in the batch
+  /// has a result. The BatchResult reference is valid for the duration of
+  /// the callback; Ticket::result() holds the same object afterwards.
+  using CompletionFn = std::function<void(const BatchResult&)>;
+
+  /// \brief Handle to one submitted batch. Created by Submit; completion is
+  /// observable three ways: the CompletionFn, Wait(), or TryWait().
+  class Ticket {
+   public:
+    /// \brief Blocks until every request has a result and the completion
+    /// callback (if any) has returned. Idempotent — calling after
+    /// completion returns immediately.
+    void Wait();
+    /// \brief Non-blocking probe: true iff the batch has completed (and
+    /// the callback, if any, has returned).
+    bool TryWait();
+    /// \brief The batch's results, in submission order. Valid only after
+    /// Wait() returned or TryWait() returned true.
+    const BatchResult& result() const { return result_; }
+    /// \brief Moves the results out (same validity rule as result()).
+    BatchResult TakeResult() { return std::move(result_); }
+
+   private:
+    friend class ShardedEngine;
+    Ticket() = default;
+    /// Releases the batch and the callback closure (nothing reads them
+    /// after completion), then flips done_ and wakes waiters.
+    void MarkDone();
+
+    RequestBatch owned_batch_;               // Submit moves the batch here
+    const RequestBatch* batch_ = nullptr;    // owned_batch_, or the
+                                             // caller's batch for
+                                             // Execute/SubmitRef; null
+                                             // once done
+    BatchResult result_;
+    CompletionFn on_complete_;
+    /// Sub-batches still running. Decremented with acq_rel: the release
+    /// half publishes this worker's result writes, the acquire half makes
+    /// every earlier worker's writes visible to whichever worker ends up
+    /// last — which then completes the ticket, extending the
+    /// happens-before chain from all result slots to the callback/waiter.
+    std::atomic<uint32_t> pending_{0};
+    std::mutex mu_;
+    std::condition_variable cv_;
+    bool done_ = false;
+  };
+  using TicketPtr = std::shared_ptr<Ticket>;
+
   /// \brief Builds shards and starts workers. `router` may be nullptr, in
   /// which case a HashRouter over num_shards is used. The router's
   /// partitions are folded onto shards modulo num_shards, so an
@@ -82,17 +165,33 @@ class ShardedEngine {
   static Result<std::unique_ptr<ShardedEngine>> Open(
       ShardedEngineOptions options, std::unique_ptr<Router> router = nullptr);
 
-  /// \brief Joins the workers. Must not race with in-flight Execute calls.
+  /// \brief Joins workers and completion threads. Every submitted ticket
+  /// completes first; must not race with concurrent Submit/Execute calls.
   ~ShardedEngine();
   ShardedEngine(const ShardedEngine&) = delete;
   ShardedEngine& operator=(const ShardedEngine&) = delete;
 
   // ---- Serving ------------------------------------------------------------
 
-  /// \brief Routes, fans out, executes, and gathers `batch`. Blocks until
-  /// every request has a result. Thread safe. Results are in batch order;
-  /// per-shard execution preserves batch order, but requests routed to
-  /// different shards execute in parallel with no mutual ordering.
+  /// \brief Asynchronous submission: routes on the calling thread, enqueues
+  /// per-shard sub-batches, and returns immediately. `on_complete` (may be
+  /// nullptr) fires on the completion pool once every request has a result;
+  /// the returned Ticket supports Wait()/TryWait() regardless. Thread safe.
+  /// Results are in batch order; per-shard execution preserves batch order,
+  /// but requests routed to different shards execute in parallel with no
+  /// mutual ordering.
+  TicketPtr Submit(RequestBatch batch, CompletionFn on_complete = nullptr);
+
+  /// \brief As Submit, but references the caller-owned batch instead of
+  /// copying it. `batch` must stay alive and unmodified until the ticket
+  /// completes (callback returned / Wait() returned / TryWait() true) —
+  /// the natural fit for drivers that keep a stable vector of batches in
+  /// flight (see workload/replay.h's open-loop driver).
+  TicketPtr SubmitRef(const RequestBatch& batch,
+                      CompletionFn on_complete = nullptr);
+
+  /// \brief Blocking convenience: Submit + Wait, without copying the batch.
+  /// Identical results and result ordering to the pre-async Execute.
   BatchResult Execute(const RequestBatch& batch);
 
   /// \brief Single-op conveniences (one-element batches; for hot loops,
@@ -130,31 +229,24 @@ class ShardedEngine {
   EngineStatsSnapshot engine_stats() const;
 
  private:
-  /// Completion state shared by one Execute call and the involved workers.
-  struct BatchState {
-    const RequestBatch* batch = nullptr;
-    BatchResult* out = nullptr;
-    /// Sub-batches still running. Decremented with acq_rel: the release
-    /// half publishes this worker's result writes, the acquire half makes
-    /// every earlier worker's writes visible to whichever worker ends up
-    /// last — which then signals the client under `mu`, completing the
-    /// happens-before chain from all result slots to the gatherer.
-    std::atomic<uint32_t> pending{0};
-    std::mutex mu;
-    std::condition_variable cv;
-    bool done = false;
-  };
-
   /// The fragment of a batch bound for one shard.
   struct SubBatch {
-    BatchState* state = nullptr;
-    std::vector<uint32_t> indexes;  // into state->batch, ascending
+    TicketPtr ticket;
+    std::vector<uint32_t> indexes;  // into ticket->batch_, ascending
+    std::chrono::steady_clock::time_point enqueued;
   };
 
-  /// One per shard; MPSC — many Execute callers push, one worker pops.
+  /// One per shard; MPSC — many submitters push, one worker pops.
   struct ShardQueue {
     std::mutex mu;
     std::deque<SubBatch> work;
+    /// Mirrors work.size() so the owning worker's drain-deadline predicate
+    /// can peek without taking `mu` inside its own cv wait.
+    std::atomic<size_t> size{0};
+    /// Adaptive coalesce target, clamped to the shard's
+    /// [min_coalesce_window, max_coalesce_window]. Touched only by the
+    /// owning worker.
+    size_t window = 1;
   };
 
   /// One per worker thread.
@@ -170,8 +262,18 @@ class ShardedEngine {
 
   /// Routes one request, teaching the router on first-seen insert keys.
   Result<uint32_t> RouteRequest(const Request& request);
+  /// Shared by Submit and Execute: routes, fans out, pre-arms pending_.
+  void SubmitTicket(const TicketPtr& ticket);
+  /// Counts the batch, then dispatches the callback to the completion pool
+  /// (or completes inline when there is none / no pool).
+  void FinishTicket(const TicketPtr& ticket);
   void WorkerLoop(Worker* worker);
-  void RunSubBatch(Shard* shard, const SubBatch& sub);
+  void CompletionLoop();
+  /// Pops up to `window` sub-batches off shard `sid`'s queue (honoring the
+  /// drain deadline), adapts the window, and serves them as one group.
+  /// Returns true if anything ran.
+  bool ServeShard(Worker* worker, uint32_t sid, std::vector<SubBatch>* group);
+  void RunGroup(Shard* shard, std::vector<SubBatch>* group);
 
   ShardedEngineOptions options_;
   std::unique_ptr<Router> router_;
@@ -184,9 +286,16 @@ class ShardedEngine {
   std::vector<std::unique_ptr<Worker>> workers_;
   std::atomic<bool> stop_{false};
 
+  std::vector<std::thread> completion_threads_;
+  std::mutex completion_mu_;
+  std::condition_variable completion_cv_;
+  std::deque<TicketPtr> completions_;
+  bool completion_stop_ = false;  // under completion_mu_
+
   std::atomic<uint64_t> batches_{0};
   std::atomic<uint64_t> requests_{0};
   std::atomic<uint64_t> routing_failures_{0};
+  std::atomic<uint64_t> async_submits_{0};
 };
 
 }  // namespace nblb

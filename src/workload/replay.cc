@@ -1,6 +1,8 @@
 #include "workload/replay.h"
 
 #include <chrono>
+#include <condition_variable>
+#include <mutex>
 
 namespace nblb {
 
@@ -113,6 +115,67 @@ ReplayReport ReplayBatches(ShardedEngine* engine,
     }
   }
   report.seconds = SecondsSince(run_start);
+  return report;
+}
+
+ReplayReport ReplayBatchesOpenLoop(ShardedEngine* engine,
+                                   const std::vector<RequestBatch>& batches,
+                                   size_t target_inflight) {
+  if (target_inflight == 0) target_inflight = 1;
+  ReplayReport report;
+  report.batch_seconds.assign(batches.size(), 0.0);
+
+  // Shared with the completion callbacks, which run on the engine's
+  // completion pool; everything below is guarded by `mu`. The final wait
+  // for inflight == 0 guarantees all callbacks (and thus all writes into
+  // `report`) finished before this frame is torn down.
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t inflight = 0;
+  uint64_t found = 0, not_found = 0, errors = 0;
+
+  const auto run_start = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < batches.size(); ++i) {
+    {
+      std::unique_lock<std::mutex> lk(mu);
+      cv.wait(lk, [&] { return inflight < target_inflight; });
+      ++inflight;
+    }
+    report.ops += batches[i].size();
+    const auto batch_start = std::chrono::steady_clock::now();
+    // SubmitRef: `batches` outlives the final inflight==0 wait below, so
+    // the driver pays no per-batch copy (keeping the open-vs-closed
+    // comparison about pipelining, not allocation).
+    engine->SubmitRef(batches[i], [&, i,
+                                   batch_start](const BatchResult& result) {
+      uint64_t f = 0, nf = 0, e = 0;
+      for (const auto& r : result.results) {
+        if (r.status.ok()) {
+          ++f;
+        } else if (r.status.IsNotFound()) {
+          ++nf;
+        } else {
+          ++e;
+        }
+      }
+      const double secs = SecondsSince(batch_start);
+      std::lock_guard<std::mutex> lk(mu);
+      report.batch_seconds[i] = secs;
+      found += f;
+      not_found += nf;
+      errors += e;
+      --inflight;
+      cv.notify_all();
+    });
+  }
+  {
+    std::unique_lock<std::mutex> lk(mu);
+    cv.wait(lk, [&] { return inflight == 0; });
+  }
+  report.seconds = SecondsSince(run_start);
+  report.found = found;
+  report.not_found = not_found;
+  report.errors = errors;
   return report;
 }
 

@@ -5,6 +5,12 @@
 // lookup trace (e.g. the Zipfian revision trace) is chopped into fixed-size
 // RequestBatches and executed, collecting per-batch latencies so callers
 // can report ops/sec and tail latency.
+//
+// Two drivers: ReplayBatches is closed-loop (each batch blocks in Execute
+// before the next is sent — queue depth at any shard is bounded by the
+// number of replay threads), ReplayBatchesOpenLoop drives the async Submit
+// path at a sustained in-flight depth, which is what keeps per-shard queues
+// deep enough for the engine's adaptive coalescing to engage.
 
 #pragma once
 
@@ -50,8 +56,19 @@ std::vector<RequestBatch> BuildOpBatches(
     const std::vector<Op>& ops, const std::function<Row(uint64_t)>& row_of,
     size_t batch_size);
 
-/// \brief Executes every batch on the engine, timing each Execute call.
+/// \brief Executes every batch on the engine, timing each Execute call
+/// (closed-loop: one batch in flight per calling thread).
 ReplayReport ReplayBatches(ShardedEngine* engine,
                            const std::vector<RequestBatch>& batches);
+
+/// \brief Open-loop driver: submits batches through the async path,
+/// keeping up to `target_inflight` tickets outstanding (a new batch is
+/// submitted as soon as the window has room, not when the previous batch
+/// finished). batch_seconds[i] is batch i's submit-to-completion latency —
+/// under a deep window this includes queueing, so per-batch latencies rise
+/// while aggregate throughput does too. Thread safe against other replays.
+ReplayReport ReplayBatchesOpenLoop(ShardedEngine* engine,
+                                   const std::vector<RequestBatch>& batches,
+                                   size_t target_inflight);
 
 }  // namespace nblb

@@ -284,6 +284,46 @@ TEST(ShardedEngineTest, ReplayDrivesWikipediaTraceThroughEngine) {
   Cleanup(opts);
 }
 
+TEST(ShardedEngineTest, TruncateGuardRefusesToClobberExistingShardFiles) {
+  // First open (truncate, the default) creates the shard files and data.
+  auto opts = SmallOptions("truncguard", 2);
+  {
+    ASSERT_OK_AND_ASSIGN(auto engine, ShardedEngine::Open(opts));
+    ASSERT_OK(engine->Insert(7, MakeRow(7)));
+  }
+
+  // truncate_on_open=false on a prefix with existing files must refuse —
+  // durable reopen is unimplemented, so "reopening" would destroy the data.
+  auto guarded = opts;
+  guarded.truncate_on_open = false;
+  auto refused = ShardedEngine::Open(guarded);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_TRUE(refused.status().IsAlreadyExists())
+      << refused.status().ToString();
+
+  // A failed guarded open must not leave debris of its own: remove shard
+  // 0's file, leaving shard 1's — the retry trips on shard 1, and the
+  // fresh shard-0 file the attempt created must be cleaned up again (else
+  // the guard would block its own retry forever).
+  const std::string shard0 = opts.path_prefix + ".shard0.db";
+  std::remove(shard0.c_str());
+  EXPECT_FALSE(ShardedEngine::Open(guarded).ok());
+  FILE* leftover = std::fopen(shard0.c_str(), "rb");
+  EXPECT_EQ(leftover, nullptr) << "failed guarded open left " << shard0;
+  if (leftover) std::fclose(leftover);
+
+  // The guard really protected the files: a fresh default open still works
+  // (and rebuilds), and a guarded open on a clean prefix succeeds too.
+  Cleanup(opts);
+  {
+    ASSERT_OK_AND_ASSIGN(auto engine, ShardedEngine::Open(guarded));
+    ASSERT_OK(engine->Insert(9, MakeRow(9)));
+    ASSERT_OK_AND_ASSIGN(Row row, engine->Get(9));
+    EXPECT_EQ(row, MakeRow(9));
+  }
+  Cleanup(opts);
+}
+
 TEST(ShardedEngineSmokeTest, EightClientThreadsNoLostInsertsOrLookups) {
   auto opts = SmallOptions("smoke", 4, /*workers=*/2);
   ASSERT_OK_AND_ASSIGN(auto engine, ShardedEngine::Open(opts));
