@@ -34,7 +34,9 @@
 //   "speedup_8t_hit_vs_seed": <float>  // striped single-fetch vs seed pool
 // }
 //
-// Flags: --frames=N --ops=N --batch=N --threads=N (max client threads).
+// Flags: --frames=N --ops=N --batch=N --threads=N (max client threads)
+// --io=auto|uring|threads (async miss-read backend; "threads" forces the
+// preadv worker-pool fallback).
 
 #include <algorithm>
 #include <chrono>
@@ -162,6 +164,7 @@ struct MissResult {
   double ops_per_sec = 0;
   uint64_t disk_reads = 0;
   uint64_t vectored_reads = 0;
+  uint64_t async_reads = 0;
 };
 
 /// Inline PRNG for the measurement loop: the pools are the thing under
@@ -210,13 +213,21 @@ int main(int argc, char** argv) {
   const uint64_t batch = FlagOr(argc, argv, "batch", 32);
   const uint32_t max_threads =
       static_cast<uint32_t>(FlagOr(argc, argv, "threads", 8));
+  std::string io_flag = "auto";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--io=", 5) == 0) io_flag = argv[i] + 5;
+  }
   const size_t page_size = kDefaultPageSize;
   const PageId hit_pages = static_cast<PageId>(frames / 2);
   const PageId miss_pages = static_cast<PageId>(frames * 8);
 
   const std::string path = "/tmp/nblb_bench_bp_scan.db";
   std::remove(path.c_str());
-  DiskManager disk(path, page_size);
+  AsyncIoOptions aio;
+  aio.backend = io_flag == "uring"     ? IoBackend::kUring
+                : io_flag == "threads" ? IoBackend::kThreads
+                                       : IoBackend::kAuto;
+  DiskManager disk(path, page_size, nullptr, /*direct_io=*/false, aio);
   if (!disk.Open().ok()) {
     std::fprintf(stderr, "cannot open %s\n", path.c_str());
     return 1;
@@ -354,8 +365,8 @@ int main(int argc, char** argv) {
         });
       }
       const DiskStats ds = disk.stats();
-      miss_results.push_back(
-          {mode, threads, ops, ds.reads, ds.vectored_reads});
+      miss_results.push_back({mode, threads, ops, ds.reads,
+                              ds.vectored_reads, ds.async_reads});
       std::printf("%-8s %-8u %-12.0f %-10llu %-10llu\n", mode, threads, ops,
                   static_cast<unsigned long long>(ds.reads),
                   static_cast<unsigned long long>(ds.vectored_reads));
@@ -376,10 +387,13 @@ int main(int argc, char** argv) {
                "  \"page_size\": %zu,\n  \"frames\": %llu,\n"
                "  \"hit_pages\": %u,\n  \"miss_pages\": %u,\n"
                "  \"ops_per_config\": %llu,\n  \"batch_size\": %llu,\n"
+               "  \"io_backend\": \"%s\",\n"
                "  \"hit\": [\n",
                page_size, static_cast<unsigned long long>(frames), hit_pages,
                miss_pages, static_cast<unsigned long long>(total_ops),
-               static_cast<unsigned long long>(batch));
+               static_cast<unsigned long long>(batch),
+               disk.io_backend_in_use() == IoBackend::kUring ? "uring"
+                                                             : "threads");
   for (size_t i = 0; i < hit_results.size(); ++i) {
     const auto& r = hit_results[i];
     std::fprintf(f,
@@ -394,10 +408,11 @@ int main(int argc, char** argv) {
     std::fprintf(f,
                  "    {\"mode\": \"%s\", \"threads\": %u, "
                  "\"ops_per_sec\": %.1f, \"disk_reads\": %llu, "
-                 "\"vectored_reads\": %llu}%s\n",
+                 "\"vectored_reads\": %llu, \"async_reads\": %llu}%s\n",
                  r.mode.c_str(), r.threads, r.ops_per_sec,
                  static_cast<unsigned long long>(r.disk_reads),
                  static_cast<unsigned long long>(r.vectored_reads),
+                 static_cast<unsigned long long>(r.async_reads),
                  i + 1 < miss_results.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n  \"speedup_8t_hit_vs_seed\": %.4f\n}\n", speedup);

@@ -77,7 +77,12 @@
 // }
 //
 // Flags: --rows=N --lookups=N --batch=N --frames=N --direct=0|1
-// --inflight=N --openloop=0|1 --deadline_us=N (defaults below).
+// --inflight=N --openloop=0|1 --deadline_us=N --io=auto|uring|threads
+// --flusher_us=N (0 = background flusher off) --flush_batch=N
+// --max_queue=N (0 = unbounded Submit; >0 bounds each shard queue, blocking
+// policy) (defaults below). The JSON gains "io_backend" (requested),
+// "io_backend_effective" (what every shard actually runs after runtime
+// probing), "flusher_interval_us" and "max_queue_depth".
 
 #include <algorithm>
 #include <chrono>
@@ -149,6 +154,7 @@ struct ConfigResult {
   bool open_ran = false;
   size_t inflight = 0;
   bool direct_io_effective = false;
+  bool uring_effective = false;
 };
 
 double Percentile(std::vector<double> xs, double p) {
@@ -205,12 +211,19 @@ void FillPhaseReport(PhaseResult* phase, uint64_t ops,
 /// Runs one (shards, workers) point: fresh engine, bulk load, closed-loop
 /// multi-client replay of the Zipfian revision trace, then an open-loop
 /// async replay of the same batches at --inflight depth.
+struct IoKnobs {
+  IoBackend backend = IoBackend::kAuto;
+  uint64_t flusher_us = 0;
+  size_t flush_batch = 64;
+  size_t max_queue = 0;
+};
+
 ConfigResult RunConfig(uint32_t shards, uint32_t workers,
                        const std::vector<Row>& rows,
                        const std::vector<RequestBatch>& batches,
                        size_t frames_per_shard, bool direct_io,
                        size_t inflight, bool run_openloop,
-                       uint32_t deadline_us) {
+                       uint32_t deadline_us, const IoKnobs& io) {
   ConfigResult r;
   r.shards = shards;
   r.workers = workers;
@@ -227,6 +240,10 @@ ConfigResult RunConfig(uint32_t shards, uint32_t workers,
   opts.direct_io = direct_io;
   opts.max_coalesce_window = 32;
   opts.drain_deadline_us = deadline_us;
+  opts.io_backend = io.backend;
+  opts.flusher_interval_us = io.flusher_us;
+  opts.flush_batch_pages = io.flush_batch;
+  opts.max_queue_depth = io.max_queue;
   opts.schema = WikipediaSynthesizer::RevisionSchema();
   opts.table_options.key_columns = {0};
   auto engine_result = ShardedEngine::Open(opts);
@@ -240,9 +257,12 @@ ConfigResult RunConfig(uint32_t shards, uint32_t workers,
   // Record what the filesystem actually gave us: a silent O_DIRECT
   // fallback would measure the OS page cache instead of the device.
   r.direct_io_effective = true;
+  r.uring_effective = true;
   for (uint32_t s = 0; s < shards; ++s) {
     r.direct_io_effective &=
         engine->shard(s)->database()->disk()->direct_io();
+    r.uring_effective &= engine->shard(s)->database()->disk()
+                             ->io_backend_in_use() == IoBackend::kUring;
   }
   if (direct_io && !r.direct_io_effective) {
     std::fprintf(stderr,
@@ -379,6 +399,16 @@ int main(int argc, char** argv) {
   // depth; it does not need the hold to win. Set --deadline_us to measure
   // the hold itself (it then applies to BOTH phases).
   const uint64_t deadline_us = FlagOr(argc, argv, "deadline_us", 0);
+  IoKnobs io;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--io=uring") == 0) io.backend = IoBackend::kUring;
+    if (std::strcmp(argv[i], "--io=threads") == 0) {
+      io.backend = IoBackend::kThreads;
+    }
+  }
+  io.flusher_us = FlagOr(argc, argv, "flusher_us", 0);
+  io.flush_batch = FlagOr(argc, argv, "flush_batch", 64);
+  io.max_queue = FlagOr(argc, argv, "max_queue", 0);
 
   // ~20 revisions/page (the synthesizer's hot fraction is 1/this).
   WikipediaScale scale;
@@ -409,7 +439,7 @@ int main(int argc, char** argv) {
   for (auto [shards, workers] : sweep) {
     ConfigResult r = RunConfig(shards, workers, rows, batches, frames,
                                direct_io, inflight, run_openloop,
-                               static_cast<uint32_t>(deadline_us));
+                               static_cast<uint32_t>(deadline_us), io);
     results.push_back(r);
     if (r.open_ran) {
       std::printf(
@@ -458,11 +488,23 @@ int main(int argc, char** argv) {
                "  \"batch_size\": %llu,\n  \"page_size\": %zu,\n"
                "  \"frames_per_shard\": %llu,\n  \"direct_io\": %d,\n"
                "  \"inflight\": %llu,\n"
+               "  \"io_backend\": \"%s\",\n"
+               "  \"io_backend_effective\": \"%s\",\n"
+               "  \"flusher_interval_us\": %llu,\n"
+               "  \"max_queue_depth\": %llu,\n"
                "  \"configs\": [\n",
                rows.size(), static_cast<unsigned long long>(num_lookups),
                static_cast<unsigned long long>(batch_size), kDefaultPageSize,
                static_cast<unsigned long long>(frames), direct_io ? 1 : 0,
-               static_cast<unsigned long long>(inflight));
+               static_cast<unsigned long long>(inflight),
+               io.backend == IoBackend::kUring     ? "uring"
+               : io.backend == IoBackend::kThreads ? "threads"
+                                                   : "auto",
+               !results.empty() && results.front().uring_effective
+                   ? "uring"
+                   : "threads",
+               static_cast<unsigned long long>(io.flusher_us),
+               static_cast<unsigned long long>(io.max_queue));
   for (size_t i = 0; i < results.size(); ++i) {
     const auto& r = results[i];
     std::fprintf(

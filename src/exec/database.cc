@@ -7,11 +7,19 @@ Result<std::unique_ptr<Database>> Database::Open(DatabaseOptions options) {
   if (options.enable_latency_model) {
     db->latency_.reset(new LatencyModel(options.latency, &db->clock_));
   }
+  AsyncIoOptions aio;
+  aio.backend = options.io_backend;
+  aio.queue_depth = options.io_queue_depth;
   db->disk_.reset(new DiskManager(options.path, options.page_size,
-                                  db->latency_.get(), options.direct_io));
+                                  db->latency_.get(), options.direct_io,
+                                  aio));
   NBLB_RETURN_NOT_OK(db->disk_->Open());
   db->bp_.reset(new BufferPool(db->disk_.get(), options.buffer_pool_frames,
                                options.buffer_pool_stripes));
+  if (options.flusher_interval_us > 0) {
+    db->bp_->StartFlusher(options.flusher_interval_us,
+                          options.flush_batch_pages);
+  }
   return db;
 }
 

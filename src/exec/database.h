@@ -37,6 +37,18 @@ struct DatabaseOptions {
   /// device latency instead of hitting the OS page cache (see
   /// DiskManager).
   bool direct_io = false;
+  /// Async miss-read engine: kAuto uses io_uring when compiled in and the
+  /// kernel permits it, kThreads forces the preadv worker-pool fallback
+  /// (also forceable at runtime via NBLB_IO_BACKEND=threads).
+  IoBackend io_backend = IoBackend::kAuto;
+  /// Max in-flight async read ops (io_uring ring size / thread-pool queue).
+  size_t io_queue_depth = 64;
+  /// Background dirty-page flusher cadence in microseconds; 0 (default)
+  /// disables the flusher and write-back rides the evicting thread as
+  /// before.
+  uint64_t flusher_interval_us = 0;
+  /// Max dirty pages written back per flusher pass.
+  size_t flush_batch_pages = 64;
 };
 
 /// \brief Owns the storage stack and the table registry.

@@ -97,11 +97,15 @@ class BTree {
   /// \brief Batched point lookups over keys sorted ascending (duplicates
   /// allowed). Pushes one Result per key onto `out`, in input order.
   ///
-  /// The descent is amortized across the batch: consecutive keys that land
-  /// in the same leaf (or a near sibling — the common case for a sorted
-  /// batch) reuse the pinned leaf instead of re-walking root and inner
-  /// pages. Returns non-OK only on infrastructure failure (per-key NotFound
-  /// lands in `out`).
+  /// Small batches (or a single-level tree) amortize the descent by
+  /// sharing the pinned leaf across consecutive keys. Larger batches on a
+  /// multi-level tree descend level-synchronously instead: each inner level
+  /// is resolved for the whole batch at once and the next level's page set
+  /// — ultimately the leaf set — is prefetched through the buffer pool's
+  /// async path (BufferPool::StartFetchPages), so index misses overlap at
+  /// the device instead of being paid one root-to-leaf walk at a time.
+  /// Returns non-OK only on infrastructure failure (per-key NotFound lands
+  /// in `out`).
   Status GetBatch(const std::vector<Slice>& sorted_keys,
                   std::vector<Result<uint64_t>>* out);
 
@@ -160,6 +164,15 @@ class BTree {
     std::string sep_key;
     PageId right_id = kInvalidPageId;
   };
+
+  /// Leaf-sharing batch path: walk keys left to right, reusing the pinned
+  /// leaf (and its sibling chain when the batch is dense).
+  Status GetBatchChained(const std::vector<Slice>& sorted_keys,
+                         std::vector<Result<uint64_t>>* out);
+  /// Level-synchronous batch path: resolve every key one level at a time,
+  /// prefetching each next-level page set via the async fetch API.
+  Status GetBatchDescent(const std::vector<Slice>& sorted_keys,
+                         std::vector<Result<uint64_t>>* out);
 
   Status InsertRec(PageId node_id, const Slice& key, const Slice& payload,
                    SplitResult* split);

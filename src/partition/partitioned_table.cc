@@ -47,6 +47,42 @@ Result<Row> PartitionedTable::LookupProjected(
   return cold_result;
 }
 
+Status PartitionedTable::GetBatchByKey(
+    const std::vector<std::vector<Value>>& keys,
+    std::vector<Result<Row>>* out) {
+  stats_.lookups.fetch_add(keys.size(), std::memory_order_relaxed);
+  const size_t base = out->size();
+  NBLB_RETURN_NOT_OK(hot_->GetBatchByKey(keys, out));
+  // With the paper's access skew the cold pass is almost always empty —
+  // one batch probe of the tiny hot index answers everything.
+  std::vector<uint32_t> retry;
+  std::vector<std::vector<Value>> cold_keys;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    Result<Row>& r = (*out)[base + i];
+    if (r.ok()) {
+      stats_.hot_hits.fetch_add(1, std::memory_order_relaxed);
+    } else if (r.status().IsNotFound()) {
+      retry.push_back(static_cast<uint32_t>(i));
+      cold_keys.push_back(keys[i]);
+    }
+    // Non-NotFound errors stay in place; the cold partition cannot answer
+    // for a hot-side infrastructure failure.
+  }
+  if (retry.empty()) return Status::OK();
+  std::vector<Result<Row>> cold_out;
+  cold_out.reserve(retry.size());
+  NBLB_RETURN_NOT_OK(cold_->GetBatchByKey(cold_keys, &cold_out));
+  for (size_t k = 0; k < retry.size(); ++k) {
+    if (cold_out[k].ok()) {
+      stats_.cold_hits.fetch_add(1, std::memory_order_relaxed);
+    } else if (cold_out[k].status().IsNotFound()) {
+      stats_.misses.fetch_add(1, std::memory_order_relaxed);
+    }
+    (*out)[base + retry[k]] = std::move(cold_out[k]);
+  }
+  return Status::OK();
+}
+
 Status PartitionedTable::InsertHot(const Row& row,
                                    const std::vector<Value>* displaced_key) {
   NBLB_RETURN_NOT_OK(hot_->Insert(row));

@@ -60,6 +60,15 @@ class PartitionedTable {
   Result<Row> LookupProjected(const std::vector<Value>& key_values,
                               const std::vector<size_t>& project_columns);
 
+  /// \brief Batched full-row lookups: one hot-partition batch probe
+  /// (shared B+Tree descent, vectored/async heap miss I/O via
+  /// Table::GetBatchByKey), then a single cold-partition batch over the
+  /// hot misses. Pushes one Result per key onto `out`, in input order;
+  /// per-key NotFound lands in `out` and the returned Status covers
+  /// infrastructure failures only.
+  Status GetBatchByKey(const std::vector<std::vector<Value>>& keys,
+                       std::vector<Result<Row>>* out);
+
   /// \brief Inserts into the hot partition and, if `displaced_key` is
   /// non-null, demotes that row to the cold partition — the paper's policy
   /// for Wikipedia revisions ("newly inserted revision tuples can replace the

@@ -44,6 +44,10 @@ Result<std::unique_ptr<Shard>> Shard::Open(uint32_t shard_id,
   dbo.buffer_pool_frames = shard->options_.buffer_pool_frames;
   dbo.buffer_pool_stripes = shard->options_.buffer_pool_stripes;
   dbo.direct_io = shard->options_.direct_io;
+  dbo.io_backend = shard->options_.io_backend;
+  dbo.io_queue_depth = shard->options_.io_queue_depth;
+  dbo.flusher_interval_us = shard->options_.flusher_interval_us;
+  dbo.flush_batch_pages = shard->options_.flush_batch_pages;
   if (shard->options_.truncate) {
     std::remove(dbo.path.c_str());
   } else {
@@ -110,24 +114,23 @@ Result<Row> Shard::Get(uint64_t id) {
 Status Shard::GetBatch(const std::vector<uint64_t>& ids,
                        std::vector<Result<Row>>* out) {
   stats_.Add(stats_.gets, ids.size());
-  if (partitioned_) {
-    // Hot/cold probing is per-key; serve the batch as individual lookups
-    // (stats for gets were counted above, so bypass Get()).
-    for (uint64_t id : ids) {
-      auto result = partitioned_->LookupProjected(KeyOf(id), all_columns_);
-      if (!result.ok()) {
-        stats_.Add(result.status().IsNotFound() ? stats_.not_found
-                                                : stats_.errors);
-      }
-      out->push_back(std::move(result));
-    }
-    return Status::OK();
-  }
   stats_.Add(stats_.batch_gets, ids.size());
   std::vector<std::vector<Value>> keys;
   keys.reserve(ids.size());
   for (uint64_t id : ids) keys.push_back(KeyOf(id));
   const size_t first = out->size();
+  if (partitioned_) {
+    // Hot/cold shards batch too: one hot-partition probe, then a single
+    // cold batch over the hot misses.
+    NBLB_RETURN_NOT_OK(partitioned_->GetBatchByKey(keys, out));
+    for (size_t i = first; i < out->size(); ++i) {
+      if (!(*out)[i].ok()) {
+        stats_.Add((*out)[i].status().IsNotFound() ? stats_.not_found
+                                                   : stats_.errors);
+      }
+    }
+    return Status::OK();
+  }
   NBLB_RETURN_NOT_OK(table_->GetBatchByKey(keys, out));
   for (size_t i = first; i < out->size(); ++i) {
     if (!(*out)[i].ok()) {

@@ -54,6 +54,16 @@ struct ShardOptions {
   size_t buffer_pool_stripes = 1;
   /// O_DIRECT backing file: misses pay device latency, not page-cache cost.
   bool direct_io = false;
+  /// Async miss-read engine (see storage/disk_manager.h): kAuto prefers
+  /// io_uring, kThreads forces the preadv worker-pool fallback.
+  IoBackend io_backend = IoBackend::kAuto;
+  /// Max in-flight async read ops for this shard's DiskManager.
+  size_t io_queue_depth = 64;
+  /// Background dirty-page flusher cadence (µs); 0 disables it and dirty
+  /// write-back rides the evicting worker as before.
+  uint64_t flusher_interval_us = 0;
+  /// Max dirty pages per flusher pass.
+  size_t flush_batch_pages = 64;
 
   // ---- Adaptive batching (read by the ShardedEngine worker that owns this
   // shard; the shard itself just executes whatever it is handed) ----------
@@ -96,10 +106,10 @@ class Shard {
   Result<Row> GetProjected(uint64_t id, const std::vector<size_t>& projection);
 
   /// \brief Batched full-row lookups: resolves all ids through the table's
-  /// batch path (shared B+Tree descent, vectored heap-page miss I/O) and
-  /// pushes one Result per id onto `out`, in input order. Falls back to
-  /// per-op Get on a hot/cold-partitioned shard (the partitioned probe
-  /// sequence has no batch form yet).
+  /// batch path (shared B+Tree descent, vectored/async heap-page miss I/O)
+  /// and pushes one Result per id onto `out`, in input order. A hot/cold
+  /// partitioned shard batches too: one hot-partition probe, then a single
+  /// cold batch over the hot misses (PartitionedTable::GetBatchByKey).
   Status GetBatch(const std::vector<uint64_t>& ids,
                   std::vector<Result<Row>>* out);
 

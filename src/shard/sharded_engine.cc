@@ -35,6 +35,10 @@ Result<std::unique_ptr<ShardedEngine>> ShardedEngine::Open(
     so.min_coalesce_window = options.min_coalesce_window;
     so.max_coalesce_window = options.max_coalesce_window;
     so.drain_deadline_us = options.drain_deadline_us;
+    so.io_backend = options.io_backend;
+    so.io_queue_depth = options.io_queue_depth;
+    so.flusher_interval_us = options.flusher_interval_us;
+    so.flush_batch_pages = options.flush_batch_pages;
     so.schema = options.schema;
     so.table_options = options.table_options;
     // Record the path BEFORE attempting the open: a Shard::Open that
@@ -239,16 +243,43 @@ void ShardedEngine::SubmitTicket(const TicketPtr& ticket) {
   ticket->pending_.store(involved, std::memory_order_relaxed);
 
   const auto now = std::chrono::steady_clock::now();
+  const size_t max_depth = options_.max_queue_depth;
   for (uint32_t s = 0; s < per_shard.size(); ++s) {
     if (per_shard[s].empty()) continue;
-    SubBatch sub;
-    sub.ticket = ticket;
-    sub.indexes = std::move(per_shard[s]);
-    sub.enqueued = now;
     ShardQueue* queue = queues_[s].get();
     Worker* owner = workers_[s % workers_.size()].get();
     {
-      std::lock_guard<std::mutex> lk(queue->mu);
+      std::unique_lock<std::mutex> lk(queue->mu);
+      if (max_depth > 0 && queue->work.size() >= max_depth) {
+        if (options_.busy_fail_fast) {
+          // Fail fast: every request bound for this shard completes kBusy
+          // without ever touching the queue. The sub-batch's pending_ slot
+          // is retired here, so the ticket still completes normally.
+          lk.unlock();
+          busy_rejections_.fetch_add(per_shard[s].size(),
+                                     std::memory_order_relaxed);
+          for (uint32_t i : per_shard[s]) {
+            out.results[i].status =
+                Status::Busy("shard " + std::to_string(s) +
+                             " queue full (max_queue_depth)");
+          }
+          if (ticket->pending_.fetch_sub(1, std::memory_order_acq_rel) ==
+              1) {
+            FinishTicket(ticket);
+          }
+          continue;
+        }
+        // Blocking backpressure: wait for the owning worker to drain below
+        // the bound. The wait releases queue->mu, so the worker's pops make
+        // progress; ~ShardedEngine never runs concurrently with Submit, so
+        // no shutdown wakeup is needed here.
+        queue->space_cv.wait(
+            lk, [&] { return queue->work.size() < max_depth; });
+      }
+      SubBatch sub;
+      sub.ticket = ticket;
+      sub.indexes = std::move(per_shard[s]);
+      sub.enqueued = now;
       queue->work.push_back(std::move(sub));
       // Both counters inside the critical section so neither can lag
       // behind a concurrent pop: the pop of this element takes the same
@@ -379,6 +410,11 @@ bool ShardedEngine::ServeShard(Worker* worker, uint32_t sid,
     }
     queue->size.fetch_sub(take, std::memory_order_release);
     worker->queued.fetch_sub(take, std::memory_order_relaxed);
+    if (options_.max_queue_depth > 0) {
+      // Backpressured submitters wait on space_cv under queue->mu (held
+      // here), so this wakeup cannot be lost.
+      queue->space_cv.notify_all();
+    }
     // Adapt. Grow only on STRICT excess — backlog beyond what this group
     // takes proves deeper coalescing has material waiting (depth == window
     // with nothing behind it must not grow, or a lone blocked client
@@ -541,6 +577,7 @@ EngineStatsSnapshot ShardedEngine::engine_stats() const {
   s.requests = requests_.load(std::memory_order_relaxed);
   s.routing_failures = routing_failures_.load(std::memory_order_relaxed);
   s.async_submits = async_submits_.load(std::memory_order_relaxed);
+  s.busy_rejections = busy_rejections_.load(std::memory_order_relaxed);
   return s;
 }
 

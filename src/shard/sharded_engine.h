@@ -93,6 +93,22 @@ struct ShardedEngineOptions {
   size_t min_coalesce_window = 1;
   size_t max_coalesce_window = 32;
   uint32_t drain_deadline_us = 0;
+  /// Async miss-read engine and flusher knobs, forwarded to every shard
+  /// (see storage/disk_manager.h and exec/database.h).
+  IoBackend io_backend = IoBackend::kAuto;
+  size_t io_queue_depth = 64;
+  uint64_t flusher_interval_us = 0;
+  size_t flush_batch_pages = 64;
+  /// Backpressure: bound on each shard queue's depth in sub-batches. 0
+  /// (default) keeps the queues unbounded, as before. With a bound, an
+  /// over-limit Submit either blocks until the owning worker drains below
+  /// the limit (default) or fails fast with kBusy results for the affected
+  /// requests (busy_fail_fast) — so an unbounded open-loop client can no
+  /// longer grow the queues without limit.
+  size_t max_queue_depth = 0;
+  /// With max_queue_depth: true = fail over-limit sub-batches immediately
+  /// with Status::Busy per request; false = block the submitter.
+  bool busy_fail_fast = false;
   Schema schema;
   TableOptions table_options;
 };
@@ -104,6 +120,8 @@ struct EngineStatsSnapshot {
   uint64_t requests = 0;  ///< requests in completed batches
   uint64_t routing_failures = 0;
   uint64_t async_submits = 0;  ///< Submit calls with a completion callback
+  /// Requests rejected kBusy by fail-fast backpressure (max_queue_depth).
+  uint64_t busy_rejections = 0;
 };
 
 /// \brief Owns the shards, the router, the worker pool, and the completion
@@ -247,6 +265,9 @@ class ShardedEngine {
     /// [min_coalesce_window, max_coalesce_window]. Touched only by the
     /// owning worker.
     size_t window = 1;
+    /// Signaled by the owning worker after each pop when max_queue_depth
+    /// bounds this queue; blocked submitters wait here for space.
+    std::condition_variable space_cv;
   };
 
   /// One per worker thread.
@@ -296,6 +317,7 @@ class ShardedEngine {
   std::atomic<uint64_t> requests_{0};
   std::atomic<uint64_t> routing_failures_{0};
   std::atomic<uint64_t> async_submits_{0};
+  std::atomic<uint64_t> busy_rejections_{0};
 };
 
 }  // namespace nblb

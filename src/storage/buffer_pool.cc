@@ -1,6 +1,7 @@
 #include "storage/buffer_pool.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <numeric>
@@ -103,6 +104,7 @@ BufferPool::BufferPool(DiskManager* disk, size_t num_frames, size_t num_stripes)
 }
 
 BufferPool::~BufferPool() {
+  StopFlusher();
   // Best effort write-back of dirty pages.
   (void)FlushAll();
   std::free(arena_);
@@ -448,10 +450,27 @@ Result<PageGuard> BufferPool::FetchPage(PageId id) {
   }
 }
 
-Result<std::vector<PageGuard>> BufferPool::FetchPages(
+void BufferPool::AbortClaims(std::vector<Claim>* claims) {
+  for (Claim& c : *claims) {
+    if (c.writeback) {
+      // The batch failed before this claim's displaced dirty page was
+      // written back (e.g. ResourceExhausted in a later stripe). Write it
+      // now — best effort, but it both lands the data and removes the
+      // stripe's flushing entry, which would otherwise wedge every future
+      // fetch of that page in the flush-conflict retry loop.
+      (void)WriteBack(StripeFor(c.old_id), c);
+      c.writeback = false;
+    }
+    AbortClaim(StripeFor(c.id), c);
+  }
+  claims->clear();
+}
+
+Result<BufferPool::BatchFetch> BufferPool::StartFetchPages(
     const std::vector<PageId>& ids) {
-  std::vector<PageGuard> guards(ids.size());
-  if (ids.empty()) return guards;
+  BatchFetch bf;
+  bf.guards.resize(ids.size());
+  if (ids.empty()) return bf;
   const PageId num_pages = disk_->num_pages();
   for (PageId id : ids) {
     if (id >= num_pages) {
@@ -468,11 +487,11 @@ Result<std::vector<PageGuard>> BufferPool::FetchPages(
   for (size_t k = 0; k < ids.size(); ++k) {
     const uint64_t h = Mix(ids[k]);
     if (!TryOptimisticHit(stripes_[h & stripe_mask_], h, ids[k],
-                          &guards[k])) {
+                          &bf.guards[k])) {
       ++unresolved;
     }
   }
-  if (unresolved == 0) return guards;
+  if (unresolved == 0) return bf;
 
   // Group positions by stripe (stable: input order preserved per stripe).
   std::vector<uint32_t> order(ids.size());
@@ -481,126 +500,133 @@ Result<std::vector<PageGuard>> BufferPool::FetchPages(
     return (Mix(ids[a]) & stripe_mask_) < (Mix(ids[b]) & stripe_mask_);
   });
 
-  // Rounds: each round pins every hit, claims every claimable miss, performs
-  // the batched I/O, and retries only positions that collided with an
-  // in-flight write-back of the same page (rare).
-  for (;;) {
-    std::vector<Claim> claims;
-    std::vector<Frame*> waits;
-    bool conflict = false;
-    Status error;
-
-    size_t gi = 0;
-    while (gi < order.size() && error.ok()) {
-      Stripe& st = StripeFor(ids[order[gi]]);
-      size_t ge = gi;
-      while (ge < order.size() && &StripeFor(ids[order[ge]]) == &st) ++ge;
-      bool pending = false;
-      for (size_t k = gi; k < ge; ++k) {
-        if (!guards[order[k]].valid()) pending = true;
-      }
-      if (!pending) {
-        gi = ge;
+  Status error;
+  size_t gi = 0;
+  while (gi < order.size() && error.ok()) {
+    Stripe& st = StripeFor(ids[order[gi]]);
+    size_t ge = gi;
+    while (ge < order.size() && &StripeFor(ids[order[ge]]) == &st) ++ge;
+    bool pending = false;
+    for (size_t k = gi; k < ge; ++k) {
+      if (!bf.guards[order[k]].valid()) pending = true;
+    }
+    if (!pending) {
+      gi = ge;
+      continue;
+    }
+    std::lock_guard<std::mutex> lk(st.mu);
+    // Pass 1 — pin every resident page first, so a page requested by this
+    // batch can never be chosen as a victim for one of its misses.
+    for (size_t k = gi; k < ge; ++k) {
+      const uint32_t pos = order[k];
+      if (bf.guards[pos].valid()) continue;
+      const uint32_t idx = TableFind(st, ids[pos]);
+      if (idx == kNoFrame) continue;
+      Frame& f = frames_[idx];
+      const uint64_t prev = PinFrame(f, /*reference=*/true);
+      st.stats.hits.fetch_add(1, std::memory_order_relaxed);
+      bf.guards[pos] = PageGuard(this, ids[pos], f.data, &f.cache_latch);
+      if ((prev & kIoBit) != 0) bf.waits.push_back(&f);
+    }
+    // Pass 2 — claim frames for the misses (a duplicate miss finds the
+    // first occurrence's claim and just pins it). A page whose dirty
+    // write-back is in flight elsewhere cannot be re-read yet; it is left
+    // for FinishFetchPages to resolve with a blocking fetch (rare).
+    for (size_t k = gi; k < ge; ++k) {
+      const uint32_t pos = order[k];
+      if (bf.guards[pos].valid()) continue;
+      const PageId id = ids[pos];
+      const uint32_t idx = TableFind(st, id);
+      if (idx != kNoFrame) {
+        Frame& f = frames_[idx];
+        const uint64_t prev = PinFrame(f, /*reference=*/false);
+        st.stats.hits.fetch_add(1, std::memory_order_relaxed);
+        bf.guards[pos] = PageGuard(this, id, f.data, &f.cache_latch);
+        if ((prev & kIoBit) != 0) bf.waits.push_back(&f);
         continue;
       }
-      std::lock_guard<std::mutex> lk(st.mu);
-      // Pass 1 — pin every resident page first, so a page requested by this
-      // batch can never be chosen as a victim for one of its misses.
-      for (size_t k = gi; k < ge; ++k) {
-        const uint32_t pos = order[k];
-        if (guards[pos].valid()) continue;
-        const uint32_t idx = TableFind(st, ids[pos]);
-        if (idx == kNoFrame) continue;
-        Frame& f = frames_[idx];
-        const uint64_t prev = PinFrame(f, /*reference=*/true);
-        st.stats.hits.fetch_add(1, std::memory_order_relaxed);
-        guards[pos] = PageGuard(this, ids[pos], f.data, &f.cache_latch);
-        if ((prev & kIoBit) != 0) waits.push_back(&f);
+      if (Contains(st.flushing, id)) {
+        bf.stragglers.emplace_back(pos, id);
+        continue;
       }
-      // Pass 2 — claim frames for the misses (a duplicate miss finds the
-      // first occurrence's claim and just pins it).
-      for (size_t k = gi; k < ge; ++k) {
-        const uint32_t pos = order[k];
-        if (guards[pos].valid()) continue;
-        const PageId id = ids[pos];
-        const uint32_t idx = TableFind(st, id);
-        if (idx != kNoFrame) {
-          Frame& f = frames_[idx];
-          const uint64_t prev = PinFrame(f, /*reference=*/false);
-          st.stats.hits.fetch_add(1, std::memory_order_relaxed);
-          guards[pos] = PageGuard(this, id, f.data, &f.cache_latch);
-          if ((prev & kIoBit) != 0) waits.push_back(&f);
-          continue;
-        }
-        if (Contains(st.flushing, id)) {
-          conflict = true;  // retried next round, after our own I/O phase
-          continue;
-        }
-        st.stats.misses.fetch_add(1, std::memory_order_relaxed);
-        auto claimed = ClaimFrame(st, id);
-        if (!claimed.ok()) {
-          error = claimed.status();
-          break;
-        }
-        claims.push_back(*claimed);
-        guards[pos] = PageGuard(this, id, frames_[claimed->frame].data,
-                                &frames_[claimed->frame].cache_latch);
+      st.stats.misses.fetch_add(1, std::memory_order_relaxed);
+      auto claimed = ClaimFrame(st, id);
+      if (!claimed.ok()) {
+        error = claimed.status();
+        break;
       }
-      gi = ge;
+      bf.claims.push_back(*claimed);
+      bf.guards[pos] = PageGuard(this, id, frames_[claimed->frame].data,
+                                 &frames_[claimed->frame].cache_latch);
     }
-
-    // I/O phase: write-backs first (a claimed frame's buffer still holds the
-    // displaced page until its read), then one vectored read pass. Each
-    // performed write-back clears its `writeback` flag so the abort path
-    // below knows which flushing entries are still outstanding.
-    if (error.ok()) {
-      for (Claim& c : claims) {
-        if (!c.writeback) continue;
-        Status ws = WriteBack(StripeFor(c.old_id), c);
-        c.writeback = false;  // WriteBack always clears the flushing entry
-        if (!ws.ok()) {
-          error = ws;
-          break;
-        }
-      }
-    }
-    if (error.ok() && !claims.empty()) {
-      std::sort(claims.begin(), claims.end(),
-                [](const Claim& a, const Claim& b) { return a.id < b.id; });
-      std::vector<PageId> read_ids;
-      std::vector<char*> dsts;
-      read_ids.reserve(claims.size());
-      dsts.reserve(claims.size());
-      for (const Claim& c : claims) {
-        read_ids.push_back(c.id);
-        dsts.push_back(frames_[c.frame].data);
-      }
-      error = disk_->ReadPages(read_ids.data(), dsts.data(), read_ids.size());
-    }
-    if (!error.ok()) {
-      for (Claim& c : claims) {
-        if (c.writeback) {
-          // The claim failed before its displaced dirty page was written
-          // back (e.g. ResourceExhausted in a later stripe). Write it now —
-          // best effort, but it both lands the data and removes the
-          // stripe's flushing entry, which would otherwise wedge every
-          // future fetch of that page in the flush-conflict retry loop.
-          (void)WriteBack(StripeFor(c.old_id), c);
-          c.writeback = false;
-        }
-        AbortClaim(StripeFor(c.id), c);
-      }
-      return error;  // guards destruct -> every pin taken so far is dropped
-    }
-    for (const Claim& c : claims) {
-      frames_[c.frame].state.fetch_and(~kIoBit, std::memory_order_release);
-    }
-    for (Frame* f : waits) {
-      NBLB_RETURN_NOT_OK(WaitForLoad(*f));
-    }
-    if (!conflict) return guards;
-    std::this_thread::yield();
+    gi = ge;
   }
+
+  // Displaced dirty pages go back to disk before the miss reads are
+  // submitted (a claimed frame's buffer still holds the displaced page
+  // until its read overwrites it — here the buffers are distinct frames,
+  // but the flushing-list entry must clear before any re-fetch).
+  if (error.ok()) {
+    for (Claim& c : bf.claims) {
+      if (!c.writeback) continue;
+      Status ws = WriteBack(StripeFor(c.old_id), c);
+      c.writeback = false;  // WriteBack always clears the flushing entry
+      if (!ws.ok()) {
+        error = ws;
+        break;
+      }
+    }
+  }
+  if (error.ok() && !bf.claims.empty()) {
+    std::sort(bf.claims.begin(), bf.claims.end(),
+              [](const Claim& a, const Claim& b) { return a.id < b.id; });
+    std::vector<PageId> read_ids;
+    std::vector<char*> dsts;
+    read_ids.reserve(bf.claims.size());
+    dsts.reserve(bf.claims.size());
+    for (const Claim& c : bf.claims) {
+      read_ids.push_back(c.id);
+      dsts.push_back(frames_[c.frame].data);
+    }
+    // The reads go out now and proceed while the caller does other work;
+    // FinishFetchPages harvests them.
+    error = disk_->SubmitReads(read_ids.data(), dsts.data(), read_ids.size(),
+                               &bf.ticket);
+  }
+  if (!error.ok()) {
+    AbortClaims(&bf.claims);
+    return error;  // bf.guards destruct -> every pin taken so far is dropped
+  }
+  return bf;
+}
+
+Result<std::vector<PageGuard>> BufferPool::FinishFetchPages(BatchFetch bf) {
+  Status rs = disk_->WaitReads(&bf.ticket);
+  if (!rs.ok()) {
+    // Write-backs already landed in Start; just unmap the failed loads so
+    // waiters bail out and the frames self-heal.
+    for (Claim& c : bf.claims) AbortClaim(StripeFor(c.id), c);
+    return rs;  // guards destruct -> no pins retained
+  }
+  for (const Claim& c : bf.claims) {
+    frames_[c.frame].state.fetch_and(~kIoBit, std::memory_order_release);
+  }
+  for (Frame* f : bf.waits) {
+    NBLB_RETURN_NOT_OK(WaitForLoad(*f));
+  }
+  // Stragglers collided with an in-flight write-back of the same page; the
+  // blocking per-page path waits it out (duplicates each take their own
+  // pin, same as the batch path would have).
+  for (const auto& [pos, id] : bf.stragglers) {
+    NBLB_ASSIGN_OR_RETURN(bf.guards[pos], FetchPage(id));
+  }
+  return std::move(bf.guards);
+}
+
+Result<std::vector<PageGuard>> BufferPool::FetchPages(
+    const std::vector<PageId>& ids) {
+  NBLB_ASSIGN_OR_RETURN(BatchFetch bf, StartFetchPages(ids));
+  return FinishFetchPages(std::move(bf));
 }
 
 Result<PageGuard> BufferPool::NewPage() {
@@ -662,6 +688,11 @@ Status BufferPool::FlushPage(PageId id) {
 }
 
 Status BufferPool::FlushAll() {
+  // Exclude the background flusher: a pass in flight holds pins and may
+  // have cleared dirty bits for writes that have not landed yet — letting
+  // FlushAll (and the Checkpoint fsync behind it) overtake those writes
+  // would unsync what "checkpoint" promises.
+  std::lock_guard<std::mutex> fl(flusher_pass_mu_);
   for (size_t i = 0; i < num_stripes_; ++i) {
     Stripe& st = stripes_[i];
     std::lock_guard<std::mutex> lk(st.mu);
@@ -687,6 +718,9 @@ Status BufferPool::FlushAll() {
 }
 
 Status BufferPool::EvictAll() {
+  // Exclude the flusher first: its pass pins frames, which would make the
+  // pinned-check below report spurious Busy.
+  std::lock_guard<std::mutex> fl(flusher_pass_mu_);
   // Take every stripe lock (in index order) so the pinned-check and the
   // eviction see one consistent pool state, like the seed's single mutex.
   std::vector<std::unique_lock<std::mutex>> locks;
@@ -767,6 +801,97 @@ Status BufferPool::EvictAll() {
 }
 
 // ---------------------------------------------------------------------------
+// Background flusher
+// ---------------------------------------------------------------------------
+
+void BufferPool::StartFlusher(uint64_t interval_us, size_t batch_pages) {
+  if (interval_us == 0) return;
+  NBLB_CHECK_MSG(!flusher_thread_.joinable(), "flusher already started");
+  flusher_interval_us_ = interval_us;
+  flush_batch_pages_ = batch_pages == 0 ? 1 : batch_pages;
+  flusher_stop_ = false;
+  flusher_thread_ = std::thread([this] { FlusherLoop(); });
+}
+
+void BufferPool::StopFlusher() {
+  if (!flusher_thread_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lk(flusher_wake_mu_);
+    flusher_stop_ = true;
+  }
+  flusher_cv_.notify_all();
+  flusher_thread_.join();
+}
+
+void BufferPool::FlusherLoop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(flusher_wake_mu_);
+      flusher_cv_.wait_for(lk,
+                           std::chrono::microseconds(flusher_interval_us_),
+                           [this] { return flusher_stop_; });
+      if (flusher_stop_) return;
+    }
+    FlusherPass();
+  }
+}
+
+void BufferPool::FlusherPass() {
+  std::lock_guard<std::mutex> pass(flusher_pass_mu_);
+  flusher_passes_.fetch_add(1, std::memory_order_relaxed);
+  size_t budget = flush_batch_pages_;
+  for (size_t s = 0; s < num_stripes_ && budget > 0; ++s) {
+    Stripe& st = stripes_[(flusher_cursor_ + s) & stripe_mask_];
+    // Select under the stripe lock; write outside it. Each target is
+    // PINNED for the duration of its write — a pinned frame can never be
+    // claimed by an evictor, so the frame's identity and buffer are stable
+    // while the stripe lock is released.
+    std::vector<std::pair<Frame*, PageId>> targets;
+    {
+      std::lock_guard<std::mutex> lk(st.mu);
+      for (uint32_t fi = st.begin; fi < st.end && budget > 0; ++fi) {
+        Frame& f = frames_[fi];
+        const uint64_t s0 = f.state.load(std::memory_order_acquire);
+        if ((s0 & (kValidBit | kDirtyBit)) != (kValidBit | kDirtyBit) ||
+            (s0 & (kIoBit | kFailedBit)) != 0) {
+          continue;
+        }
+        // Skip pages someone is actively holding: a pinned writer is
+        // likely to re-dirty immediately, so flushing it now is wasted
+        // write I/O — and it cannot be chosen as a victim anyway, which
+        // is what the flusher exists to pre-clean for.
+        if ((s0 & kPinMask) != 0) continue;
+        PinFrame(f, /*reference=*/false);
+        // Clear dirty BEFORE the write (the FlushPage discipline): a
+        // concurrent unpin-dirty after the clear re-marks the frame and it
+        // is simply flushed again next pass.
+        f.state.fetch_and(~kDirtyBit, std::memory_order_relaxed);
+        targets.emplace_back(&f, f.id.load(std::memory_order_relaxed));
+        --budget;
+      }
+    }
+    for (auto& [f, id] : targets) {
+      Status ws;
+      {
+        // Hold the frame's cache latch so latch-disciplined content
+        // writers never overlap the flush read (see FlushPage).
+        LatchGuard latch(f->cache_latch);
+        ws = disk_->WritePage(id, f->data);
+      }
+      if (ws.ok()) {
+        flusher_pages_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        // Put the dirt back; the page stays resident, so nothing is lost —
+        // eviction or the next pass retries.
+        f->state.fetch_or(kDirtyBit, std::memory_order_relaxed);
+      }
+      UnpinFrame(*f, /*dirty=*/false);
+    }
+  }
+  flusher_cursor_ = (flusher_cursor_ + 1) & stripe_mask_;
+}
+
+// ---------------------------------------------------------------------------
 // Stats
 // ---------------------------------------------------------------------------
 
@@ -780,6 +905,8 @@ BufferPoolStats BufferPool::stats() const {
     out.dirty_writebacks += s.dirty_writebacks.load(std::memory_order_relaxed);
     out.batch_fetches += s.batch_fetches.load(std::memory_order_relaxed);
   }
+  out.flusher_passes = flusher_passes_.load(std::memory_order_relaxed);
+  out.flusher_pages = flusher_pages_.load(std::memory_order_relaxed);
   return out;
 }
 
@@ -792,6 +919,8 @@ void BufferPool::ResetStats() {
     s.dirty_writebacks.store(0, std::memory_order_relaxed);
     s.batch_fetches.store(0, std::memory_order_relaxed);
   }
+  flusher_passes_.store(0, std::memory_order_relaxed);
+  flusher_pages_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace nblb

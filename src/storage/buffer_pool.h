@@ -18,15 +18,23 @@
 //     critical section: a miss claims a frame with the `io` bit set and
 //     releases the stripe lock before touching the device; concurrent
 //     fetchers of the same page pin the frame and spin until `io` clears.
-//   - FetchPages() batches misses per stripe and issues vectored reads
-//     (DiskManager::ReadPages -> preadv) — one syscall per contiguous run.
+//   - FetchPages() batches misses per stripe and submits them as one async
+//     read group (DiskManager::SubmitReads — io_uring or the preadv thread
+//     fallback): one vectored op per contiguous run, every run in flight at
+//     the device at once. StartFetchPages/FinishFetchPages expose the two
+//     halves so callers (the B+Tree descent) can overlap work with the I/O.
+//   - An optional background flusher thread (StartFlusher) writes dirty
+//     unpinned frames back on a timer, so eviction mostly finds clean
+//     victims and write-back stays off the serving path.
 
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <thread>
 #include <vector>
 
 #include "common/latch.h"
@@ -43,8 +51,13 @@ struct BufferPoolStats {
   uint64_t misses = 0;
   uint64_t evictions = 0;
   uint64_t dirty_writebacks = 0;
-  /// FetchPages() calls (each may cover many pages).
+  /// FetchPages()/StartFetchPages() calls (each may cover many pages).
   uint64_t batch_fetches = 0;
+  /// Background flusher cycles executed (0 unless StartFlusher ran).
+  uint64_t flusher_passes = 0;
+  /// Dirty pages written back by the background flusher — write-back work
+  /// taken off the serving/evicting threads entirely.
+  uint64_t flusher_pages = 0;
 
   double HitRate() const {
     const uint64_t total = hits + misses;
@@ -113,14 +126,38 @@ class BufferPool {
   /// \brief Fetches (pinning) an existing page.
   Result<PageGuard> FetchPage(PageId id);
 
+  /// \brief In-flight state of a batched fetch started with
+  /// StartFetchPages: pinned hits, claimed miss frames (io bit set), and
+  /// the async read ticket covering them. Move-only; must be handed to
+  /// FinishFetchPages exactly once (dropping it un-pins the hits but would
+  /// leave claimed frames loading — Finish is what completes them).
+  class BatchFetch;
+
   /// \brief Fetches many pages at once, returning guards 1:1 with `ids`
   /// (duplicates allowed — each occurrence holds its own pin). Misses are
-  /// grouped per stripe, sorted, and read with one vectored syscall per
-  /// contiguous page run. All-or-nothing: on error no pins are retained.
+  /// grouped per stripe, sorted, and submitted as one async read group —
+  /// one vectored op per contiguous page run, all runs in flight at the
+  /// device simultaneously. All-or-nothing: on error no pins are retained.
   /// Every page stays pinned until its guard drops, so callers must keep
   /// batches well below the pool capacity (HeapFile::GetBatch chunks to a
   /// quarter of the frames); oversized batches fail ResourceExhausted.
+  /// Equivalent to StartFetchPages + FinishFetchPages.
   Result<std::vector<PageGuard>> FetchPages(const std::vector<PageId>& ids);
+
+  /// \brief Begins a batched fetch: pins every resident page, claims frames
+  /// for the misses (they sit in the io-in-progress state), performs any
+  /// displaced dirty write-backs, and submits the miss reads through
+  /// DiskManager::SubmitReads — then returns while the reads are still in
+  /// flight. Callers overlap useful work (e.g. the B+Tree descent
+  /// prefetches the next level while processing the current one) and call
+  /// FinishFetchPages to harvest the guards.
+  Result<BatchFetch> StartFetchPages(const std::vector<PageId>& ids);
+
+  /// \brief Completes a StartFetchPages: waits for the in-flight reads,
+  /// publishes the loaded frames, and resolves any stragglers (pages whose
+  /// dirty write-back was in flight at claim time). All-or-nothing like
+  /// FetchPages.
+  Result<std::vector<PageGuard>> FinishFetchPages(BatchFetch bf);
 
   /// \brief Allocates a new zeroed page and returns it pinned.
   Result<PageGuard> NewPage();
@@ -134,6 +171,16 @@ class BufferPool {
   /// \brief Drops every unpinned page (clean or dirty-after-flush) from the
   /// pool. Simulates a cold cache; fails if any page is pinned.
   Status EvictAll();
+
+  /// \brief Starts the background dirty-page flusher: every `interval_us`
+  /// it writes back up to `batch_pages` dirty unpinned frames (round-robin
+  /// over stripes), so eviction mostly finds clean victims and write-back
+  /// leaves the serving path. Call at most once; no-op if interval_us == 0.
+  void StartFlusher(uint64_t interval_us, size_t batch_pages);
+
+  /// \brief Stops the flusher thread (idempotent; called by the
+  /// destructor before the final FlushAll).
+  void StopFlusher();
 
   size_t num_frames() const { return num_frames_; }
   size_t num_stripes() const { return num_stripes_; }
@@ -240,6 +287,12 @@ class BufferPool {
   /// failed so concurrent waiters bail out. Takes the stripe mutex.
   void AbortClaim(Stripe& st, const Claim& claim);
 
+  /// Aborts every claim in the list, writing back any still-pending
+  /// displaced dirty page first (landing the data AND removing the
+  /// stripe's flushing entry, which would otherwise wedge future fetches
+  /// of that page in the flush-conflict retry loop).
+  void AbortClaims(std::vector<Claim>* claims);
+
   /// Writes back a displaced dirty page and clears its flushing entry.
   Status WriteBack(Stripe& st, const Claim& claim);
 
@@ -267,6 +320,11 @@ class BufferPool {
     return page_shift_ != 0 ? off >> page_shift_ : off / page_size_;
   }
 
+  void FlusherLoop();
+  /// One flusher cycle: pin + clean up to flush_batch_pages_ dirty frames
+  /// (round-robin over stripes) and write them back off the serving path.
+  void FlusherPass();
+
   DiskManager* disk_;
   size_t num_frames_ = 0;
   size_t page_size_ = 0;
@@ -276,6 +334,57 @@ class BufferPool {
   std::unique_ptr<Stripe[]> stripes_;
   size_t num_stripes_ = 0;
   uint64_t stripe_mask_ = 0;
+
+  // ---- Background flusher --------------------------------------------------
+  /// Held by the flusher for the duration of each pass; FlushAll and
+  /// EvictAll take it first so they never interleave with a half-done pass
+  /// (the flusher pins its targets, which would flip EvictAll to Busy and
+  /// let Checkpoint sync before an in-flight write-back lands).
+  std::mutex flusher_pass_mu_;
+  std::mutex flusher_wake_mu_;
+  std::condition_variable flusher_cv_;
+  std::thread flusher_thread_;
+  bool flusher_stop_ = false;  // under flusher_wake_mu_
+  uint64_t flusher_interval_us_ = 0;
+  size_t flush_batch_pages_ = 64;
+  size_t flusher_cursor_ = 0;  // stripe rotation across passes
+  std::atomic<uint64_t> flusher_passes_{0};
+  std::atomic<uint64_t> flusher_pages_{0};
+
+ public:
+  class BatchFetch {
+   public:
+    BatchFetch() = default;
+    BatchFetch(BatchFetch&&) = default;
+    BatchFetch& operator=(BatchFetch&&) = default;
+    BatchFetch(const BatchFetch&) = delete;
+    BatchFetch& operator=(const BatchFetch&) = delete;
+
+    /// True when completing this fetch depends only on its own submitted
+    /// reads — no frame another thread is still loading (waits) and no
+    /// page whose dirty write-back was in flight (stragglers).
+    /// Pipelining callers MUST NOT hold a second unfinished
+    /// StartFetchPages while finishing one that is not self-contained:
+    /// Finish would then block on another thread's progress while this
+    /// caller's prefetched claims keep their io bits set, and two callers
+    /// doing that against each other deadlock (A waits on B's claim, B
+    /// waits on A's prefetched claim). A thread that holds no unfinished
+    /// prefetch publishes its own claims before blocking on others, which
+    /// is what makes the plain FetchPages path deadlock-free.
+    bool self_contained() const {
+      return waits.empty() && stragglers.empty();
+    }
+
+   private:
+    friend class BufferPool;
+    std::vector<PageGuard> guards;    // 1:1 with the request; stragglers
+                                      // invalid until Finish resolves them
+    std::vector<Claim> claims;        // frames this fetch is loading
+    std::vector<Frame*> waits;        // frames another thread is loading
+    /// (position, page) pairs that collided with an in-flight write-back.
+    std::vector<std::pair<uint32_t, PageId>> stragglers;
+    DiskManager::IoTicket ticket;     // in-flight reads for `claims`
+  };
 };
 
 }  // namespace nblb

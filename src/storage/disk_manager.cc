@@ -11,27 +11,92 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "storage/io_ring.h"
 
 namespace nblb {
 
 namespace {
 /// Cap on iovecs per preadv (the kernel's IOV_MAX is typically 1024).
 constexpr size_t kMaxIov = IOV_MAX < 1024 ? IOV_MAX : 1024;
+
+/// Advances the iovec cursor `*pos` past `transferred` bytes, trimming a
+/// partially filled entry in place. Partial transfers land on a page
+/// boundary only by luck; every resumption path shares this general case.
+void AdvanceIov(struct iovec* iov, size_t n, size_t* pos,
+                size_t transferred) {
+  while (transferred > 0 && *pos < n) {
+    if (transferred >= iov[*pos].iov_len) {
+      transferred -= iov[*pos].iov_len;
+      ++*pos;
+    } else {
+      iov[*pos].iov_base =
+          static_cast<char*>(iov[*pos].iov_base) + transferred;
+      iov[*pos].iov_len -= transferred;
+      transferred = 0;
+    }
+  }
+}
 }  // namespace
 
+namespace internal {
+
+/// Completion state shared by one SubmitReads group, its in-flight
+/// OpRecords, and the caller's IoTicket. The ticket and every op hold a
+/// shared_ptr, so a ticket dropped mid-flight keeps the state alive until
+/// the last completion lands.
+struct IoGroup {
+  std::atomic<uint32_t> remaining{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;   // under mu; set when remaining hits zero
+  Status error;        // under mu; first failure wins
+};
+
+}  // namespace internal
+
+using internal::IoGroup;
+
+/// One in-flight async op: a contiguous run of pages read with a single
+/// vectored transfer. The iovec array lives here so it survives until the
+/// kernel (or the worker thread) is done with it.
+struct DiskManager::OpRecord {
+  std::shared_ptr<IoGroup> group;
+  std::vector<struct iovec> iov;
+  PageId first_id = kInvalidPageId;
+  size_t pages = 0;
+  /// Release-stored by the submitter after the fields above are final,
+  /// acquire-loaded by whichever thread reaps the completion. The kernel's
+  /// ring barriers already order these in practice; this makes the edge
+  /// visible to ThreadSanitizer (different threads may submit and reap).
+  std::atomic<bool> published{false};
+};
+
 DiskManager::DiskManager(std::string path, size_t page_size,
-                         LatencyModel* latency, bool direct_io)
+                         LatencyModel* latency, bool direct_io,
+                         AsyncIoOptions aio)
     : path_(std::move(path)),
       page_size_(page_size),
       latency_(latency),
-      direct_io_(direct_io) {
+      direct_io_(direct_io),
+      aio_(aio) {
   NBLB_CHECK(page_size_ >= 512);
   // O_DIRECT transfers must be logical-block aligned in offset, length, and
   // memory; requiring a 4096-multiple page covers every common block size.
   if (direct_io_) NBLB_CHECK(page_size_ % 4096 == 0);
+  if (aio_.queue_depth == 0) aio_.queue_depth = 1;
+  if (aio_.io_threads == 0) aio_.io_threads = 1;
 }
 
 DiskManager::~DiskManager() {
+  DrainAsync();
+  {
+    std::lock_guard<std::mutex> lk(tp_mu_);
+    tp_stop_ = true;
+  }
+  tp_cv_.notify_all();
+  for (std::thread& t : tp_threads_) {
+    if (t.joinable()) t.join();
+  }
   if (fd_ >= 0) {
     ::close(fd_);
   }
@@ -104,10 +169,45 @@ Status DiskManager::Open() {
   num_pages_.store(
       static_cast<PageId>(st.st_size / static_cast<off_t>(page_size_)),
       std::memory_order_relaxed);
+
+  // Resolve the async backend. NBLB_IO_BACKEND overrides the option so CI
+  // (and operators) can force the fallback path without a rebuild.
+  IoBackend want = aio_.backend;
+  if (const char* env = std::getenv("NBLB_IO_BACKEND")) {
+    if (std::strcmp(env, "threads") == 0) {
+      want = IoBackend::kThreads;
+    } else if (std::strcmp(env, "uring") == 0) {
+      want = IoBackend::kUring;
+    } else if (std::strcmp(env, "auto") == 0) {
+      want = IoBackend::kAuto;
+    }
+  }
+  backend_in_use_ = IoBackend::kThreads;
+#if NBLB_HAVE_IO_URING
+  if (want != IoBackend::kThreads) {
+    ring_ = IoRing::TryCreate(static_cast<unsigned>(aio_.queue_depth));
+    if (ring_ != nullptr) {
+      backend_in_use_ = IoBackend::kUring;
+    } else if (want == IoBackend::kUring) {
+      std::fprintf(stderr,
+                   "nblb: io_uring unavailable at runtime; using the preadv "
+                   "thread fallback for %s\n",
+                   path_.c_str());
+    }
+  }
+#else
+  if (want == IoBackend::kUring) {
+    std::fprintf(stderr,
+                 "nblb: built without io_uring support; using the preadv "
+                 "thread fallback for %s\n",
+                 path_.c_str());
+  }
+#endif
   return Status::OK();
 }
 
 Status DiskManager::Close() {
+  DrainAsync();
   if (fd_ >= 0) {
     if (::close(fd_) != 0) {
       fd_ = -1;
@@ -149,6 +249,31 @@ Status DiskManager::ReadPage(PageId id, char* out) {
   return Status::OK();
 }
 
+Status DiskManager::ResumeRunSync(struct iovec* iov, size_t n,
+                                  size_t iov_pos, off_t off,
+                                  size_t remaining, PageId first_id) {
+  while (remaining > 0) {
+    const ssize_t got =
+        ::preadv(fd_, iov + iov_pos, static_cast<int>(n - iov_pos), off);
+    if (got <= 0) {
+      return Status::IOError("short vectored read at page " +
+                             std::to_string(first_id));
+    }
+    remaining -= static_cast<size_t>(got);
+    off += got;
+    AdvanceIov(iov, n, &iov_pos, static_cast<size_t>(got));
+  }
+  return Status::OK();
+}
+
+Status DiskManager::ReadRunSync(PageId first_id, struct iovec* iov,
+                                size_t run) {
+  return ResumeRunSync(iov, run, /*iov_pos=*/0,
+                       static_cast<off_t>(first_id) *
+                           static_cast<off_t>(page_size_),
+                       run * page_size_, first_id);
+}
+
 Status DiskManager::ReadPages(const PageId* ids, char* const* dsts, size_t n) {
   if (n == 0) return Status::OK();
   if (fd_ < 0) return Status::IOError("disk manager not open");
@@ -160,61 +285,367 @@ Status DiskManager::ReadPages(const PageId* ids, char* const* dsts, size_t n) {
     }
     NBLB_DCHECK(i == 0 || ids[i] > ids[i - 1]);
   }
+  // One contiguous aligned run is a single synchronous preadv — nothing to
+  // overlap. Anything else goes through the async engine so every run is in
+  // flight at once instead of queueing behind its predecessor.
+  const bool single_run =
+      ids[n - 1] == ids[0] + static_cast<PageId>(n - 1) && n <= kMaxIov &&
+      [&] {
+        if (!direct_io_) return true;
+        for (size_t i = 0; i < n; ++i) {
+          if (!Aligned(dsts[i])) return false;
+        }
+        return true;
+      }();
+  if (!single_run) {
+    IoTicket ticket;
+    NBLB_RETURN_NOT_OK(SubmitReads(ids, dsts, n, &ticket));
+    return WaitReads(&ticket);
+  }
+  if (n == 1) return ReadPage(ids[0], dsts[0]);
+  std::vector<struct iovec> iov(n);
+  for (size_t k = 0; k < n; ++k) {
+    iov[k].iov_base = dsts[k];
+    iov[k].iov_len = page_size_;
+  }
+  counters_.vectored_reads.fetch_add(1, std::memory_order_relaxed);
+  NBLB_RETURN_NOT_OK(ReadRunSync(ids[0], iov.data(), n));
+  counters_.reads.fetch_add(n, std::memory_order_relaxed);
+  for (size_t k = 0; k < n; ++k) Charge(ids[k], /*write=*/false);
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Async read engine
+// ---------------------------------------------------------------------------
+
+void DiskManager::CompleteOp(OpRecord* op, Status status) {
+  if (status.ok()) {
+    counters_.reads.fetch_add(op->pages, std::memory_order_relaxed);
+    if (op->pages > 1) {
+      counters_.vectored_reads.fetch_add(1, std::memory_order_relaxed);
+    }
+    for (size_t k = 0; k < op->pages; ++k) {
+      Charge(op->first_id + static_cast<PageId>(k), /*write=*/false);
+    }
+  }
+  std::shared_ptr<IoGroup> group = std::move(op->group);
+  delete op;
+  if (!status.ok()) {
+    std::lock_guard<std::mutex> lk(group->mu);
+    if (group->error.ok()) group->error = std::move(status);
+  }
+  // acq_rel: the release half publishes this op's page bytes (and error)
+  // to whoever observes remaining == 0; the acquire half orders the final
+  // decrementer after every other op.
+  if (group->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard<std::mutex> lk(group->mu);
+    group->done = true;
+    group->cv.notify_all();
+  }
+}
+
+void DiskManager::CompleteOpRaw(OpRecord* op, int32_t res) {
+  Status st;
+  if (res < 0) {
+    st = Status::IOError("async read failed at page " +
+                         std::to_string(op->first_id) + ": " +
+                         std::strerror(-res));
+  } else {
+    const size_t expected = op->pages * page_size_;
+    const size_t got = static_cast<size_t>(res);
+    if (got < expected) {
+      // Short transfer (legal for the kernel, rare for regular files):
+      // finish the remainder synchronously, reusing the same iovecs. A
+      // mid-page cut just leaves a trimmed partial iovec to resume from.
+      size_t iov_pos = 0;
+      AdvanceIov(op->iov.data(), op->iov.size(), &iov_pos, got);
+      st = ResumeRunSync(op->iov.data(), op->iov.size(), iov_pos,
+                         static_cast<off_t>(op->first_id) *
+                                 static_cast<off_t>(page_size_) +
+                             static_cast<off_t>(got),
+                         expected - got, op->first_id);
+    }
+  }
+  CompleteOp(op, std::move(st));
+}
+
+size_t DiskManager::ReapUringLocked() {
+#if NBLB_HAVE_IO_URING
+  IoRing::Cqe cqes[64];
+  size_t total = 0;
+  for (;;) {
+    const size_t n = ring_->Reap(cqes, 64);
+    if (n == 0) break;
+    total += n;
+    uring_inflight_.fetch_sub(n, std::memory_order_relaxed);
+    for (size_t i = 0; i < n; ++i) {
+      OpRecord* op = reinterpret_cast<OpRecord*>(cqes[i].user_data);
+      // Pairs with the submitter's release store; see OpRecord::published.
+      // A cqe implies the sqe was flushed, which happens strictly after
+      // the publish store, so this spin is a handful of iterations at
+      // most — the yield just keeps a single-vCPU box from burning a
+      // timeslice inside cq_mu_.
+      while (!op->published.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+      CompleteOpRaw(op, cqes[i].res);
+    }
+  }
+  return total;
+#else
+  return 0;
+#endif
+}
+
+void DiskManager::EnsureIoThreads() {
+  std::lock_guard<std::mutex> lk(tp_mu_);
+  if (!tp_threads_.empty()) return;
+  tp_threads_.reserve(aio_.io_threads);
+  for (size_t i = 0; i < aio_.io_threads; ++i) {
+    tp_threads_.emplace_back([this] { IoThreadLoop(); });
+  }
+}
+
+void DiskManager::IoThreadLoop() {
+  for (;;) {
+    OpRecord* op = nullptr;
+    {
+      std::unique_lock<std::mutex> lk(tp_mu_);
+      tp_cv_.wait(lk, [this] { return tp_stop_ || !tp_queue_.empty(); });
+      if (tp_queue_.empty()) return;  // stop requested and drained
+      op = tp_queue_.front();
+      tp_queue_.pop_front();
+    }
+    Status st = ReadRunSync(op->first_id, op->iov.data(), op->iov.size());
+    CompleteOp(op, std::move(st));
+    tp_inflight_.fetch_sub(1, std::memory_order_release);
+  }
+}
+
+Status DiskManager::SubmitReads(const PageId* ids, char* const* dsts,
+                                size_t n, IoTicket* ticket) {
+  ticket->group_.reset();
+  if (n == 0) return Status::OK();
+  if (fd_ < 0) return Status::IOError("disk manager not open");
+  const PageId np = num_pages();
+  for (size_t i = 0; i < n; ++i) {
+    if (ids[i] >= np) {
+      return Status::OutOfRange("read past end of file: page " +
+                                std::to_string(ids[i]));
+    }
+    NBLB_DCHECK(i == 0 || ids[i] > ids[i - 1]);
+  }
+  counters_.async_batches.fetch_add(1, std::memory_order_relaxed);
+
+  auto group = std::make_shared<IoGroup>();
+  std::vector<OpRecord*> ops;
+  Status sync_error;  // first failure among synchronously-served pages
   size_t i = 0;
   while (i < n) {
-    // Extend the contiguous run; in direct mode every buffer in a vectored
-    // transfer must be aligned, so an unaligned destination ends the run.
+    // In direct mode every buffer of a vectored transfer must be aligned;
+    // an unaligned destination is served synchronously through the bounce
+    // path right here (the BufferPool's arena is always aligned, so this
+    // only triggers for ad-hoc callers).
+    if (direct_io_ && !Aligned(dsts[i])) {
+      Status st = ReadPage(ids[i], dsts[i]);
+      if (!st.ok() && sync_error.ok()) sync_error = st;
+      ++i;
+      continue;
+    }
     size_t j = i + 1;
     while (j < n && ids[j] == ids[j - 1] + 1 && (j - i) < kMaxIov &&
            (!direct_io_ || Aligned(dsts[j]))) {
       ++j;
     }
-    if (j - i == 1 || (direct_io_ && !Aligned(dsts[i]))) {
-      NBLB_RETURN_NOT_OK(ReadPage(ids[i], dsts[i]));
-      ++i;
-      continue;
-    }
     const size_t run = j - i;
-    std::vector<struct iovec> iov(run);
+    OpRecord* op = new OpRecord();
+    op->group = group;
+    op->first_id = ids[i];
+    op->pages = run;
+    op->iov.resize(run);
     for (size_t k = 0; k < run; ++k) {
-      iov[k].iov_base = dsts[i + k];
-      iov[k].iov_len = page_size_;
+      op->iov[k].iov_base = dsts[i + k];
+      op->iov[k].iov_len = page_size_;
     }
-    off_t off = static_cast<off_t>(ids[i]) * static_cast<off_t>(page_size_);
-    size_t remaining = run * page_size_;
-    size_t iov_pos = 0;
-    counters_.vectored_reads.fetch_add(1, std::memory_order_relaxed);
-    while (remaining > 0) {
-      const ssize_t got = ::preadv(fd_, iov.data() + iov_pos,
-                                   static_cast<int>(run - iov_pos), off);
-      if (got <= 0) {
-        return Status::IOError("short vectored read at page " +
-                               std::to_string(ids[i]));
-      }
-      remaining -= static_cast<size_t>(got);
-      off += got;
-      // Advance the iovec cursor past fully transferred buffers (partial
-      // transfers land on a page boundary only by luck; handle the general
-      // case).
-      size_t advanced = static_cast<size_t>(got);
-      while (advanced > 0 && iov_pos < run) {
-        if (advanced >= iov[iov_pos].iov_len) {
-          advanced -= iov[iov_pos].iov_len;
-          ++iov_pos;
-        } else {
-          iov[iov_pos].iov_base =
-              static_cast<char*>(iov[iov_pos].iov_base) + advanced;
-          iov[iov_pos].iov_len -= advanced;
-          advanced = 0;
-        }
-      }
-    }
-    counters_.reads.fetch_add(run, std::memory_order_relaxed);
-    for (size_t k = 0; k < run; ++k) Charge(ids[i + k], /*write=*/false);
+    ops.push_back(op);
+    counters_.async_reads.fetch_add(run, std::memory_order_relaxed);
     i = j;
   }
+
+  {
+    std::lock_guard<std::mutex> lk(group->mu);
+    group->error = sync_error;
+  }
+  if (ops.empty()) {
+    std::lock_guard<std::mutex> lk(group->mu);
+    group->done = true;
+    ticket->group_ = std::move(group);
+    return Status::OK();
+  }
+  group->remaining.store(static_cast<uint32_t>(ops.size()),
+                         std::memory_order_relaxed);
+
+#if NBLB_HAVE_IO_URING
+  if (backend_in_use_ == IoBackend::kUring) {
+    std::lock_guard<std::mutex> sq(sq_mu_);
+    for (OpRecord* op : ops) {
+      // Keep in-flight below the CQ capacity so completions cannot
+      // overflow; reap (possibly blocking) when the pipe is full. The
+      // re-check under cq_mu_ is load-bearing: while this thread was
+      // blocked on the mutex, concurrent waiters may have reaped
+      // everything — at which point the only pending sqes can be OUR OWN
+      // pushed-but-unflushed ones, and a blind WaitCqe would sleep
+      // forever on completions nobody has submitted. Decrements happen
+      // only under cq_mu_, so once the condition holds here it cannot
+      // silently clear before WaitCqe: over-capacity in-flight minus at
+      // most sq_capacity unflushed means real in-kernel work remains.
+      for (;;) {
+        if (uring_inflight_.load(std::memory_order_acquire) <
+            ring_->cq_capacity()) {
+          break;
+        }
+        std::lock_guard<std::mutex> cq(cq_mu_);
+        if (uring_inflight_.load(std::memory_order_acquire) <
+            ring_->cq_capacity()) {
+          break;
+        }
+        if (ReapUringLocked() == 0) ring_->WaitCqe();
+      }
+      while (!ring_->PushReadv(fd_, op->iov.data(),
+                               static_cast<unsigned>(op->iov.size()),
+                               static_cast<uint64_t>(op->first_id) *
+                                   page_size_,
+                               reinterpret_cast<uint64_t>(op))) {
+        // SQ full: flush to hand the ring to the kernel. Transient enter
+        // failures (EAGAIN/ENOMEM) are retried as backpressure — see the
+        // final-flush loop below for why erroring out here is not an
+        // option once sqes are in the shared ring.
+        const int r = ring_->Flush();
+        if (r != 0) {
+          NBLB_CHECK_MSG(r == -EAGAIN || r == -ENOMEM,
+                         "io_uring submission failed irrecoverably");
+          std::this_thread::yield();
+        }
+      }
+      // Publish AFTER the last submitter-side access of *op (the
+      // PushReadv argument reads): pairs with the reaper's acquire spin,
+      // so the reap-side delete is ordered after everything here.
+      op->published.store(true, std::memory_order_release);
+      uring_inflight_.fetch_add(1, std::memory_order_relaxed);
+    }
+    // The final flush must eventually succeed: the pushed sqes sit in the
+    // shared SQ ring, so erroring the group here would leak them into a
+    // later (possibly successful) flush and complete freed OpRecords.
+    // io_uring_enter's transient failures (EAGAIN/ENOMEM under kernel
+    // memory pressure) are retryable by contract — treat the stall as
+    // backpressure and keep trying; anything else is a broken ring and
+    // a programming error.
+    for (;;) {
+      const int r = ring_->Flush();
+      if (r == 0) break;
+      NBLB_CHECK_MSG(r == -EAGAIN || r == -ENOMEM,
+                     "io_uring submission failed irrecoverably");
+      std::this_thread::yield();
+    }
+    ticket->group_ = std::move(group);
+    return Status::OK();
+  }
+#endif
+
+  EnsureIoThreads();
+  {
+    std::lock_guard<std::mutex> lk(tp_mu_);
+    tp_inflight_.fetch_add(ops.size(), std::memory_order_relaxed);
+    for (OpRecord* op : ops) tp_queue_.push_back(op);
+  }
+  if (ops.size() == 1) {
+    tp_cv_.notify_one();
+  } else {
+    tp_cv_.notify_all();
+  }
+  ticket->group_ = std::move(group);
   return Status::OK();
 }
+
+void DiskManager::WaitGroup(const std::shared_ptr<IoGroup>& group) {
+#if NBLB_HAVE_IO_URING
+  if (backend_in_use_ == IoBackend::kUring) {
+    // The waiter drives completion: reap whatever is available (possibly
+    // finishing other tickets' ops — their waiters then return instantly),
+    // and block in GETEVENTS only when nothing is ready. cq_mu_ serializes
+    // reapers; a queued waiter finds its group already done.
+    while (group->remaining.load(std::memory_order_acquire) > 0) {
+      std::lock_guard<std::mutex> cq(cq_mu_);
+      if (group->remaining.load(std::memory_order_acquire) == 0) break;
+      if (ReapUringLocked() > 0) continue;
+      ring_->WaitCqe();
+    }
+    return;
+  }
+#endif
+  std::unique_lock<std::mutex> lk(group->mu);
+  group->cv.wait(lk, [&] { return group->done; });
+}
+
+Status DiskManager::WaitReads(IoTicket* ticket) {
+  if (!ticket->valid()) return Status::OK();
+  std::shared_ptr<IoGroup> group = std::move(ticket->group_);
+  WaitGroup(group);
+  std::lock_guard<std::mutex> lk(group->mu);
+  return group->error;
+}
+
+bool DiskManager::PollCompletions(IoTicket* ticket, Status* status) {
+  if (!ticket->valid()) {
+    *status = Status::OK();
+    return true;
+  }
+#if NBLB_HAVE_IO_URING
+  if (backend_in_use_ == IoBackend::kUring &&
+      ticket->group_->remaining.load(std::memory_order_acquire) > 0) {
+    std::lock_guard<std::mutex> cq(cq_mu_);
+    ReapUringLocked();
+  }
+#endif
+  std::shared_ptr<IoGroup>& group = ticket->group_;
+  if (group->remaining.load(std::memory_order_acquire) > 0) return false;
+  {
+    // remaining is 0 but `done` may lag by a moment (the final decrementer
+    // flips it under the mutex); taking the mutex synchronizes with it.
+    std::lock_guard<std::mutex> lk(group->mu);
+    *status = group->error;
+  }
+  ticket->group_.reset();
+  return true;
+}
+
+void DiskManager::DrainAsync() {
+#if NBLB_HAVE_IO_URING
+  if (ring_ != nullptr) {
+    while (uring_inflight_.load(std::memory_order_acquire) > 0) {
+      std::lock_guard<std::mutex> cq(cq_mu_);
+      if (uring_inflight_.load(std::memory_order_acquire) == 0) break;
+      if (ReapUringLocked() == 0) ring_->WaitCqe();
+    }
+  }
+#endif
+  // Thread backend: wait for the queue and in-flight ops to empty.
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lk(tp_mu_);
+      if (tp_queue_.empty() &&
+          tp_inflight_.load(std::memory_order_acquire) == 0) {
+        return;
+      }
+    }
+    std::this_thread::yield();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Writes / allocation
+// ---------------------------------------------------------------------------
 
 Status DiskManager::WritePage(PageId id, const char* data) {
   if (fd_ < 0) return Status::IOError("disk manager not open");
@@ -276,6 +707,8 @@ DiskStats DiskManager::stats() const {
   s.allocations = counters_.allocations.load(std::memory_order_relaxed);
   s.vectored_reads =
       counters_.vectored_reads.load(std::memory_order_relaxed);
+  s.async_reads = counters_.async_reads.load(std::memory_order_relaxed);
+  s.async_batches = counters_.async_batches.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -284,6 +717,8 @@ void DiskManager::ResetStats() {
   counters_.writes.store(0, std::memory_order_relaxed);
   counters_.allocations.store(0, std::memory_order_relaxed);
   counters_.vectored_reads.store(0, std::memory_order_relaxed);
+  counters_.async_reads.store(0, std::memory_order_relaxed);
+  counters_.async_batches.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace nblb

@@ -2,10 +2,16 @@
 
 #pragma once
 
+#include <sys/uio.h>
+
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/latch.h"
@@ -15,16 +21,52 @@
 
 namespace nblb {
 
+class IoRing;
+
+/// \brief Which engine serves asynchronous miss reads.
+enum class IoBackend {
+  /// io_uring when compiled in and the kernel permits it, else kThreads.
+  kAuto = 0,
+  /// Prefer io_uring; degrades to kThreads with a stderr note when the
+  /// runtime refuses (seccomp, `io_uring_disabled` sysctl, old kernel).
+  kUring,
+  /// Force the preadv worker-thread fallback (the runtime knob for "force
+  /// the fallback path" — also reachable via NBLB_IO_BACKEND=threads).
+  kThreads,
+};
+
+/// \brief Tuning for the async read engine.
+struct AsyncIoOptions {
+  IoBackend backend = IoBackend::kAuto;
+  /// Max in-flight async read ops (io_uring submission ring size; the
+  /// kernel rounds up to a power of two).
+  size_t queue_depth = 64;
+  /// Worker threads for the preadv fallback backend (started lazily on the
+  /// first async submission when that backend is in use).
+  size_t io_threads = 4;
+};
+
 /// \brief I/O counters maintained by the DiskManager (plain-value snapshot;
 /// the live counters are relaxed atomics).
 struct DiskStats {
-  uint64_t reads = 0;   ///< pages read (single and vectored)
+  uint64_t reads = 0;   ///< pages read (single, vectored, and async)
   uint64_t writes = 0;
   uint64_t allocations = 0;
-  /// preadv syscalls issued by ReadPages — with `reads` this gives pages per
-  /// vectored syscall, the batching win the striped pool exists to exploit.
+  /// Vectored read ops (multi-page runs) issued by ReadPages/SubmitReads —
+  /// with `reads` this gives pages per vectored op, the batching win the
+  /// striped pool exists to exploit.
   uint64_t vectored_reads = 0;
+  /// Pages submitted through the async engine (SubmitReads, including the
+  /// multi-run path of ReadPages).
+  uint64_t async_reads = 0;
+  /// SubmitReads groups — with `async_reads` this gives pages overlapped
+  /// per submission.
+  uint64_t async_batches = 0;
 };
+
+namespace internal {
+struct IoGroup;
+}  // namespace internal
 
 /// \brief Reads/writes/allocates fixed-size pages in a single file.
 ///
@@ -33,8 +75,28 @@ struct DiskStats {
 /// own offsets, allocation is serialized by a mutex, counters are atomics,
 /// and O_DIRECT staging buffers come from an internal pool. The striped
 /// BufferPool issues reads and write-backs from many threads at once.
+///
+/// Asynchronous reads: SubmitReads queues a batch of page reads and returns
+/// an IoTicket immediately; the reads proceed in parallel (io_uring, or the
+/// preadv worker pool) until WaitReads/PollCompletions harvests them. This
+/// is how one shard worker overlaps all of its non-contiguous miss runs
+/// instead of paying device latency once per run.
 class DiskManager {
  public:
+  /// \brief Completion token for one SubmitReads group. Move-only in
+  /// spirit (copying shares the same completion state). A ticket dropped
+  /// without WaitReads leaves its reads to finish in the background; they
+  /// are drained at Close/destruction.
+  class IoTicket {
+   public:
+    IoTicket() = default;
+    bool valid() const { return group_ != nullptr; }
+
+   private:
+    friend class DiskManager;
+    std::shared_ptr<internal::IoGroup> group_;
+  };
+
   /// \param path       backing file path (created if missing on Open)
   /// \param page_size  page size in bytes
   /// \param latency    optional latency model (not owned); may be nullptr
@@ -47,27 +109,53 @@ class DiskManager {
   ///                   through pooled bounce buffers. Falls back to buffered
   ///                   I/O when the filesystem rejects O_DIRECT (e.g.
   ///                   tmpfs); check direct_io() after Open.
+  /// \param aio        async read engine tuning; the NBLB_IO_BACKEND
+  ///                   environment variable (auto|uring|threads) overrides
+  ///                   aio.backend, so CI can force either path without a
+  ///                   rebuild.
   DiskManager(std::string path, size_t page_size,
-              LatencyModel* latency = nullptr, bool direct_io = false);
+              LatencyModel* latency = nullptr, bool direct_io = false,
+              AsyncIoOptions aio = {});
   ~DiskManager();
 
   DiskManager(const DiskManager&) = delete;
   DiskManager& operator=(const DiskManager&) = delete;
 
-  /// \brief Opens (or creates) the backing file.
+  /// \brief Opens (or creates) the backing file and the async engine.
   Status Open();
 
-  /// \brief Closes the file; further I/O fails.
+  /// \brief Closes the file; further I/O fails. Drains in-flight async
+  /// reads first.
   Status Close();
 
   /// \brief Reads page `id` into `out` (page_size bytes).
   Status ReadPage(PageId id, char* out);
 
-  /// \brief Reads `n` pages with vectored I/O: `ids` must be ascending and
-  /// unique; `dsts[i]` receives page `ids[i]`. Contiguous id runs become one
-  /// preadv each (scattering into the destination buffers), so a sorted miss
-  /// batch costs one syscall per run instead of one per page.
+  /// \brief Reads `n` pages: `ids` must be ascending and unique; `dsts[i]`
+  /// receives page `ids[i]`. Contiguous id runs become one vectored op each
+  /// (scattering into the destination buffers). A single run is one
+  /// synchronous preadv; multiple runs are submitted through the async
+  /// engine so they overlap at the device instead of queueing behind each
+  /// other — SubmitReads + WaitReads under the hood.
   Status ReadPages(const PageId* ids, char* const* dsts, size_t n);
+
+  /// \brief Begins asynchronous reads of `n` pages (`ids` ascending and
+  /// unique, same contract as ReadPages) and returns immediately with a
+  /// ticket. Destination buffers must stay alive until the ticket
+  /// completes. Validation errors (not open, id out of range) surface here;
+  /// device errors surface from WaitReads/PollCompletions.
+  Status SubmitReads(const PageId* ids, char* const* dsts, size_t n,
+                     IoTicket* ticket);
+
+  /// \brief Blocks until every read in `ticket` completes; returns the
+  /// first error (OK otherwise) and invalidates the ticket. Waiting on an
+  /// invalid ticket returns OK.
+  Status WaitReads(IoTicket* ticket);
+
+  /// \brief Non-blocking probe: harvests any available completions and
+  /// returns true iff the ticket's group is fully complete, in which case
+  /// `*status` holds the group's verdict and the ticket is invalidated.
+  bool PollCompletions(IoTicket* ticket, Status* status);
 
   /// \brief Writes page `id` from `data` (page_size bytes).
   Status WritePage(PageId id, const char* data);
@@ -84,12 +172,17 @@ class DiskManager {
   }
   /// \brief True when the file is actually open with O_DIRECT.
   bool direct_io() const { return direct_io_; }
+  /// \brief The async backend actually serving SubmitReads (resolved at
+  /// Open: kUring only when the ring came up, else kThreads).
+  IoBackend io_backend_in_use() const { return backend_in_use_; }
   /// \brief Aggregated snapshot of the atomic counters.
   DiskStats stats() const;
   void ResetStats();
   const std::string& path() const { return path_; }
 
  private:
+  struct OpRecord;
+
   /// Borrow/return a 4096-aligned page_size buffer for O_DIRECT staging.
   char* AcquireBounce();
   void ReleaseBounce(char* buf);
@@ -98,12 +191,41 @@ class DiskManager {
   }
   void Charge(PageId id, bool write);
 
+  /// The shared preadv resume loop: transfers `remaining` bytes at file
+  /// offset `off` into `iov[iov_pos..n)`, advancing across partial
+  /// transfers. `first_id` is for error messages only.
+  Status ResumeRunSync(struct iovec* iov, size_t n, size_t iov_pos,
+                       off_t off, size_t remaining, PageId first_id);
+  /// Synchronous scattered read of one whole contiguous run: reads `run`
+  /// pages starting at `first_id` into `iov`.
+  Status ReadRunSync(PageId first_id, struct iovec* iov, size_t run);
+
+  /// Finishes one async op: short-read continuation, counters, latency
+  /// charge, group accounting. Deletes `op`.
+  void CompleteOp(OpRecord* op, Status status);
+  /// Translates a raw cqe result into a Status (running the short-read
+  /// continuation if needed) and completes the op.
+  void CompleteOpRaw(OpRecord* op, int32_t res);
+
+  /// Reaps available uring completions; cq_mu_ must be held. Returns the
+  /// number harvested.
+  size_t ReapUringLocked();
+  /// Blocks until the group completes (backend-appropriate strategy).
+  void WaitGroup(const std::shared_ptr<internal::IoGroup>& group);
+
+  void EnsureIoThreads();
+  void IoThreadLoop();
+  /// Drains every in-flight async op (Close/destructor).
+  void DrainAsync();
+
   std::string path_;
   size_t page_size_;
   LatencyModel* latency_;
   /// LatencyModel keeps sequential-access state; serialize charges.
   SpinLatch latency_mu_;
   bool direct_io_ = false;
+  AsyncIoOptions aio_;
+  IoBackend backend_in_use_ = IoBackend::kThreads;
   int fd_ = -1;
   std::atomic<PageId> num_pages_{0};
   /// Serializes file extension (write-at-end + size bump).
@@ -114,11 +236,32 @@ class DiskManager {
     std::atomic<uint64_t> writes{0};
     std::atomic<uint64_t> allocations{0};
     std::atomic<uint64_t> vectored_reads{0};
+    std::atomic<uint64_t> async_reads{0};
+    std::atomic<uint64_t> async_batches{0};
   };
   Counters counters_;
 
   std::mutex bounce_mu_;
   std::vector<char*> bounce_free_;
+
+  // ---- io_uring backend ----------------------------------------------------
+  std::unique_ptr<IoRing> ring_;
+  /// Producer side: PushReadv/Flush. Taken before cq_mu_ when both are
+  /// needed (in-flight cap); waiters take cq_mu_ alone.
+  std::mutex sq_mu_;
+  /// Consumer side: reap/dispatch. A waiter may block in
+  /// io_uring_enter(GETEVENTS) while holding it; concurrent waiters queue
+  /// behind and find their completions already dispatched.
+  std::mutex cq_mu_;
+  std::atomic<size_t> uring_inflight_{0};
+
+  // ---- preadv worker-thread fallback --------------------------------------
+  std::mutex tp_mu_;
+  std::condition_variable tp_cv_;
+  std::deque<OpRecord*> tp_queue_;
+  std::vector<std::thread> tp_threads_;
+  std::atomic<size_t> tp_inflight_{0};
+  bool tp_stop_ = false;  // under tp_mu_
 };
 
 }  // namespace nblb

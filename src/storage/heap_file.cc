@@ -205,44 +205,92 @@ Status HeapFile::GetBatch(const std::vector<Rid>& rids,
   if (rids.empty()) return Status::OK();
 
   // One pinned guard per distinct page, fetched in batched calls so misses
-  // coalesce into vectored reads. Chunked to a fraction of the pool so a
-  // huge batch can never pin more frames than a stripe can spare (the
-  // per-op path held one pin at a time; wholesale ResourceExhausted on a
-  // big batch would be a regression).
+  // coalesce into overlapped vectored reads. Chunked to a fraction of the
+  // pool so a huge batch can never pin more frames than a stripe can spare
+  // (the per-op path held one pin at a time; wholesale ResourceExhausted on
+  // a big batch would be a regression). Chunks are pipelined: the next
+  // chunk's miss reads are submitted (StartFetchPages) before the current
+  // chunk's tuples are copied out, so the device stays busy while the CPU
+  // does the memcpys. The cap leaves room for two chunks pinned at once.
   std::vector<PageId> page_ids;
   page_ids.reserve(rids.size());
   for (const Rid& rid : rids) page_ids.push_back(rid.page);
   std::sort(page_ids.begin(), page_ids.end());
   page_ids.erase(std::unique(page_ids.begin(), page_ids.end()),
                  page_ids.end());
-  size_t chunk_cap = std::max<size_t>(8, bp_->num_frames() / 4);
+  size_t chunk_cap = std::max<size_t>(8, bp_->num_frames() / 8);
 
-  for (size_t base = 0; base < page_ids.size();) {
-    const size_t chunk_end = std::min(base + chunk_cap, page_ids.size());
-    const std::vector<PageId> chunk(page_ids.begin() + base,
-                                    page_ids.begin() + chunk_end);
-    auto fetched = bp_->FetchPages(chunk);
-    if (!fetched.ok()) {
-      // The cap bounds total pins, not per-stripe pins; an unlucky stripe
-      // (or concurrent pinners) can still exhaust. Degrade by halving the
-      // chunk — at size 1 this is exactly the old one-pin-at-a-time path,
-      // so anything it could serve, this serves.
-      if (fetched.status().IsResourceExhausted() && chunk_cap > 1) {
-        chunk_cap /= 2;
-        continue;
+  size_t base = 0;
+  BufferPool::BatchFetch pending;
+  size_t pending_begin = 0, pending_end = 0;
+  bool have_pending = false;
+  while (base < page_ids.size() || have_pending) {
+    if (!have_pending) {
+      const size_t end = std::min(base + chunk_cap, page_ids.size());
+      auto started = bp_->StartFetchPages(
+          std::vector<PageId>(page_ids.begin() + base, page_ids.begin() + end));
+      if (!started.ok()) {
+        // The cap bounds total pins, not per-stripe pins; an unlucky
+        // stripe (or concurrent pinners) can still exhaust. Degrade by
+        // halving the chunk — at size 1 this is exactly the old
+        // one-pin-at-a-time path, so anything it could serve, this serves.
+        if (started.status().IsResourceExhausted() && chunk_cap > 1) {
+          chunk_cap /= 2;
+          continue;
+        }
+        return started.status();
       }
+      pending = std::move(*started);
+      pending_begin = base;
+      pending_end = end;
+      base = end;
+      have_pending = true;
+    }
+    // Prefetch the next chunk before blocking on the current one — but
+    // only when finishing the current chunk depends on nothing but our
+    // own reads (see BatchFetch::self_contained; holding a prefetched
+    // chunk while blocked on another thread's load can deadlock two
+    // pipelining threads against each other). The dependent case is rare
+    // and just degrades to sequential chunks.
+    BufferPool::BatchFetch ahead;
+    size_t ahead_begin = 0, ahead_end = 0;
+    bool have_ahead = false;
+    if (base < page_ids.size() && pending.self_contained()) {
+      const size_t end = std::min(base + chunk_cap, page_ids.size());
+      auto started = bp_->StartFetchPages(
+          std::vector<PageId>(page_ids.begin() + base, page_ids.begin() + end));
+      if (started.ok()) {
+        ahead = std::move(*started);
+        ahead_begin = base;
+        ahead_end = end;
+        base = end;
+        have_ahead = true;
+      } else if (started.status().IsResourceExhausted()) {
+        // Not enough spare frames for two chunks in flight: fall back to
+        // sequential chunks (and shrink them) rather than failing.
+        if (chunk_cap > 1) chunk_cap /= 2;
+      } else {
+        (void)bp_->FinishFetchPages(std::move(pending));
+        return started.status();
+      }
+    }
+    auto fetched = bp_->FinishFetchPages(std::move(pending));
+    have_pending = false;
+    if (!fetched.ok()) {
+      if (have_ahead) (void)bp_->FinishFetchPages(std::move(ahead));
       return fetched.status();
     }
     std::vector<PageGuard> guards = std::move(*fetched);
-    base = chunk_end;
-    const PageId lo = chunk.front();
-    const PageId hi = chunk.back();
+    const PageId lo = page_ids[pending_begin];
+    const PageId hi = page_ids[pending_end - 1];
+    const auto chunk_begin = page_ids.begin() + pending_begin;
+    const auto chunk_end_it = page_ids.begin() + pending_end;
     for (size_t i = 0; i < rids.size(); ++i) {
       const Rid& rid = rids[i];
       if (rid.page < lo || rid.page > hi) continue;
       const size_t gi = static_cast<size_t>(
-          std::lower_bound(chunk.begin(), chunk.end(), rid.page) -
-          chunk.begin());
+          std::lower_bound(chunk_begin, chunk_end_it, rid.page) -
+          chunk_begin);
       const char* d = guards[gi].data();
       if (LoadU16(d) != kPageTypeHeap) {
         (*statuses)[i] = Status::Corruption("not a heap page");
@@ -259,6 +307,12 @@ Status HeapFile::GetBatch(const std::vector<Rid>& rids,
       (*tuples)[i].assign(
           d + kHeapHeaderSize + bitmap_bytes_ + rid.slot * tuple_size_,
           tuple_size_);
+    }
+    if (have_ahead) {
+      pending = std::move(ahead);
+      pending_begin = ahead_begin;
+      pending_end = ahead_end;
+      have_pending = true;
     }
   }
   return Status::OK();

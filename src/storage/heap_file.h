@@ -63,11 +63,14 @@ class HeapFile {
   Status Get(const Rid& rid, char* out);
   Status Get(const Rid& rid, std::string* out);
 
-  /// \brief Batched point reads: fetches the distinct pages of `rids` in one
-  /// BufferPool::FetchPages call (vectored miss I/O), then copies each tuple.
-  /// `tuples` and `statuses` are resized to rids.size() and filled 1:1; a
-  /// missing tuple yields NotFound in its status slot without failing the
-  /// call. The returned Status covers infrastructure failures only.
+  /// \brief Batched point reads: fetches the distinct pages of `rids`
+  /// through chunked, pipelined BufferPool batch fetches (each chunk's
+  /// misses are one overlapped async read group, and the next chunk's
+  /// reads are submitted before the current chunk's tuples are copied),
+  /// then copies each tuple. `tuples` and `statuses` are resized to
+  /// rids.size() and filled 1:1; a missing tuple yields NotFound in its
+  /// status slot without failing the call. The returned Status covers
+  /// infrastructure failures only.
   Status GetBatch(const std::vector<Rid>& rids,
                   std::vector<std::string>* tuples,
                   std::vector<Status>* statuses);

@@ -1,0 +1,126 @@
+// Background dirty-page flusher tests: write-back happens off the serving
+// path (no evictions needed), content lands correctly, counters advance,
+// and the flusher coexists with FlushAll/EvictAll/Checkpoint-style use.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "test_util.h"
+
+namespace nblb {
+namespace {
+
+using nblb::testing::MakeStack;
+using nblb::testing::Stack;
+
+std::vector<PageId> DirtyPages(Stack& s, int n, char tag) {
+  std::vector<PageId> ids;
+  for (int i = 0; i < n; ++i) {
+    auto g = s.bp->NewPage();
+    EXPECT_TRUE(g.ok());
+    std::memset(g->data(), tag, 64);
+    g->MarkDirty();
+    ids.push_back(g->id());
+  }
+  return ids;
+}
+
+bool WaitFor(const std::function<bool()>& cond, int timeout_ms = 5000) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (cond()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return cond();
+}
+
+TEST(BufferPoolFlusherTest, WritesDirtyPagesBackWithoutEvictions) {
+  Stack s = MakeStack("flush_bg", 4096, 64);
+  s.bp->StartFlusher(/*interval_us=*/1000, /*batch_pages=*/16);
+  std::vector<PageId> ids = DirtyPages(s, 20, 'Z');
+
+  // The flusher must land every dirty page on disk with zero evictions —
+  // write-back fully off the serving/evicting path.
+  ASSERT_TRUE(WaitFor([&] {
+    return s.disk->stats().writes >= ids.size() + /*NewPage allocations*/ 0 &&
+           s.bp->stats().flusher_pages >= ids.size();
+  })) << "flusher_pages=" << s.bp->stats().flusher_pages;
+  const BufferPoolStats st = s.bp->stats();
+  EXPECT_EQ(st.evictions, 0u);
+  EXPECT_GT(st.flusher_passes, 0u);
+  EXPECT_GE(st.flusher_pages, ids.size());
+
+  // Bytes really reached the device: read them back around the pool.
+  std::vector<char> buf(4096);
+  for (PageId id : ids) {
+    ASSERT_OK(s.disk->ReadPage(id, buf.data()));
+    EXPECT_EQ(buf[0], 'Z') << "page " << id;
+  }
+}
+
+TEST(BufferPoolFlusherTest, RedirtiedPagesAreFlushedAgain) {
+  Stack s = MakeStack("flush_redirty", 4096, 16);
+  s.bp->StartFlusher(/*interval_us=*/500, /*batch_pages=*/8);
+  std::vector<PageId> ids = DirtyPages(s, 4, 'A');
+  ASSERT_TRUE(WaitFor([&] { return s.bp->stats().flusher_pages >= 4; }));
+
+  // Modify a page after its first flush; the dirty bit set at unpin must
+  // get it flushed again.
+  {
+    ASSERT_OK_AND_ASSIGN(PageGuard g, s.bp->FetchPage(ids[0]));
+    std::memset(g.data(), 'B', 64);
+    g.MarkDirty();
+  }
+  ASSERT_TRUE(WaitFor([&] {
+    std::vector<char> buf(4096);
+    EXPECT_OK(s.disk->ReadPage(ids[0], buf.data()));
+    return buf[0] == 'B';
+  }));
+}
+
+TEST(BufferPoolFlusherTest, CoexistsWithFlushAllAndEvictAll) {
+  Stack s = MakeStack("flush_coexist", 4096, 32);
+  s.bp->StartFlusher(/*interval_us=*/200, /*batch_pages=*/4);
+  for (int round = 0; round < 20; ++round) {
+    std::vector<PageId> ids = DirtyPages(s, 3, static_cast<char>('a' + round));
+    // FlushAll/EvictAll serialize against flusher passes; with no pins held
+    // EvictAll must succeed (a flusher pass can never be caught mid-pin).
+    ASSERT_OK(s.bp->FlushAll());
+    ASSERT_OK(s.bp->EvictAll());
+    std::vector<char> buf(4096);
+    for (PageId id : ids) {
+      ASSERT_OK(s.disk->ReadPage(id, buf.data()));
+      EXPECT_EQ(buf[0], 'a' + round);
+    }
+  }
+  s.bp->StopFlusher();
+}
+
+TEST(BufferPoolFlusherTest, EvictionFindsCleanVictimsAfterFlushing) {
+  // Fill a tiny pool with dirty pages, let the flusher clean them, then
+  // force evictions with new allocations: the evicting thread should find
+  // clean victims (dirty_writebacks stays 0; the flusher did the work).
+  Stack s = MakeStack("flush_clean_victims", 4096, 8);
+  s.bp->StartFlusher(/*interval_us=*/500, /*batch_pages=*/8);
+  DirtyPages(s, 8, 'Q');
+  ASSERT_TRUE(WaitFor([&] { return s.bp->stats().flusher_pages >= 8; }));
+  // Stop the flusher first so a pass can never hold transient pins while
+  // the allocations below hunt for victims in the tiny pool.
+  s.bp->StopFlusher();
+  DirtyPages(s, 8, 'R');  // evicts the first 8 — all clean by now
+  const BufferPoolStats st = s.bp->stats();
+  EXPECT_GE(st.evictions, 8u);
+  EXPECT_EQ(st.dirty_writebacks, 0u)
+      << "evicting thread paid write-backs the flusher should have taken";
+}
+
+}  // namespace
+}  // namespace nblb

@@ -210,6 +210,42 @@ TEST(PartitionedTableTest, RoutesRowsByHotSet) {
   EXPECT_EQ(pt->stats().misses, 1u);
 }
 
+TEST(PartitionedTableTest, GetBatchByKeyMatchesPerKeyLookups) {
+  Stack s = MakeStack("part_batch", 4096, 4096);
+  ASSERT_OK_AND_ASSIGN(auto src, Table::Create(s.bp.get(), RevSchema(),
+                                               RevOptions()));
+  for (int64_t i = 1; i <= 300; ++i) ASSERT_OK(src->Insert(RevRow(i)));
+  std::unordered_set<std::string> hot_keys;
+  for (int64_t i = 1; i <= 300; i += 3) {
+    hot_keys.insert(*src->key_codec().EncodeValues({Value::Int64(i)}));
+  }
+  ASSERT_OK_AND_ASSIGN(auto pt, PartitionedTable::BuildFromTable(
+                                    s.bp.get(), src.get(), hot_keys));
+
+  // Hot keys, cold keys, absent keys, and duplicates in one batch.
+  std::vector<int64_t> request = {1, 2, 4, 4, 150, 299, 300, 9999, 777};
+  std::vector<std::vector<Value>> keys;
+  for (int64_t id : request) keys.push_back({Value::Int64(id)});
+  std::vector<Result<Row>> out;
+  ASSERT_OK(pt->GetBatchByKey(keys, &out));
+  ASSERT_EQ(out.size(), request.size());
+  for (size_t i = 0; i < request.size(); ++i) {
+    if (request[i] <= 300) {
+      ASSERT_TRUE(out[i].ok()) << "id " << request[i];
+      EXPECT_EQ((*out[i])[0].AsInt(), request[i]);
+      EXPECT_EQ((*out[i])[1].AsInt(), request[i] % 97);
+    } else {
+      EXPECT_TRUE(out[i].status().IsNotFound()) << "id " << request[i];
+    }
+  }
+  // Hot set = ids ≡ 1 (mod 3): so 1 and 4 (twice) are hot; 2, 150, 299,
+  // 300 are cold; 9999 and 777 were never inserted.
+  EXPECT_EQ(pt->stats().hot_hits.load(), 3u);
+  EXPECT_EQ(pt->stats().cold_hits.load(), 4u);
+  EXPECT_EQ(pt->stats().misses.load(), 2u);
+  EXPECT_EQ(pt->stats().lookups.load(), request.size());
+}
+
 TEST(PartitionedTableTest, HotIndexIsMuchSmallerThanSourceIndex) {
   // The mechanism behind Fig 3's 8.4x: the hot partition's index is a tiny
   // fraction of the full index.
