@@ -31,12 +31,31 @@
 //      "vectored_reads": <uint>},
 //     ...
 //   ],
+//   "churn": [   // update-churn regime: fetch+mutate+MarkDirty every op,
+//                // working set 2x the pool (uniform — see the phase
+//                // comment for why), background flusher ON, own O_DIRECT
+//                // file
+//                // (churn_direct_io_effective=0 means the fs refused and
+//                // the phase measured the page cache); "wb" is the
+//                // write-back mode under test — "sync" = the per-page
+//                // pwrite baseline, "batch" = the async batched pipeline
+//     {"wb": "sync"|"batch", "threads": <uint>, "ops_per_sec": <float>,
+//      "disk_writes": <uint>, "async_writes": <uint>, "write_runs": <uint>,
+//      "flusher_pages": <uint>, "flusher_coalesced_runs": <uint>,
+//      "dirty_writebacks": <uint>},
+//     ...
+//   ],
+//   "churn_speedup_batch_vs_sync": <float>,  // at 1 thread (the regime
+//                                            // where write latency cannot
+//                                            // hide behind other clients)
+//   "io_backend_effective": "uring"|"threads",
 //   "speedup_8t_hit_vs_seed": <float>  // striped single-fetch vs seed pool
 // }
 //
 // Flags: --frames=N --ops=N --batch=N --threads=N (max client threads)
-// --io=auto|uring|threads (async miss-read backend; "threads" forces the
-// preadv worker-pool fallback).
+// --io=auto|uring|threads (async I/O backend; "threads" forces the
+// preadv/pwritev worker-pool fallback) --flusher_us=N (churn-phase flusher
+// cadence).
 
 #include <algorithm>
 #include <chrono>
@@ -167,6 +186,19 @@ struct MissResult {
   uint64_t async_reads = 0;
 };
 
+struct ChurnResult {
+  std::string wb;
+  uint32_t threads = 0;
+  double ops_per_sec = 0;
+  uint64_t disk_writes = 0;
+  uint64_t async_writes = 0;
+  uint64_t async_write_batches = 0;
+  uint64_t write_runs = 0;
+  uint64_t flusher_pages = 0;
+  uint64_t flusher_coalesced_runs = 0;
+  uint64_t dirty_writebacks = 0;
+};
+
 /// Inline PRNG for the measurement loop: the pools are the thing under
 /// test, so id generation must not cost out-of-line calls per op.
 struct InlineRng {
@@ -217,6 +249,7 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--io=", 5) == 0) io_flag = argv[i] + 5;
   }
+  const uint64_t flusher_us = FlagOr(argc, argv, "flusher_us", 1000);
   const size_t page_size = kDefaultPageSize;
   const PageId hit_pages = static_cast<PageId>(frames / 2);
   const PageId miss_pages = static_cast<PageId>(frames * 8);
@@ -374,6 +407,118 @@ int main(int argc, char** argv) {
     }
   }
 
+  // ---- Dirty-churn regime --------------------------------------------------
+  // Update churn: each op batch-fetches `batch` pages (FetchPages — the
+  // path the serving stack drives), mutates and dirties every one — the
+  // write-back-bound isolation (the end-to-end mixed kGet/kUpdate Zipfian
+  // replay lives in bench/shard_throughput's mixed phases). Batched
+  // fetches matter: a batch whose claims displace dirty victims hands ALL
+  // of them to one write-back group, which is the serving-path half of
+  // the async write pipeline (single fetches only ever displace one
+  // victim and cannot coalesce). Page choice is uniform over a working
+  // set 2x the pool: skewing it enough to matter makes the hot set fully
+  // resident and write-back stops gating anything, and diluting with
+  // reads lets even the per-page sync flusher keep up — either way the
+  // A/B collapses to noise. Here
+  // write-back pressure comes from BOTH the background flusher and dirty
+  // eviction victims. The A/B is the point: "sync" forces the per-page
+  // pwrite write-back this PR replaced, "batch" drains the same dirt
+  // through sorted async write groups. Unlike the
+  // hit/miss phases this one runs on its OWN O_DIRECT file (when the
+  // filesystem allows it): write-back against the page cache costs
+  // microseconds and measures only submission overhead — the regime the
+  // async pipeline exists for is the device paying real latency per
+  // write.
+  std::vector<ChurnResult> churn_results;
+  const PageId churn_pages = static_cast<PageId>(frames * 2);
+  const uint64_t churn_ops = std::max<uint64_t>(total_ops / 16, 1);
+  const std::string churn_path = "/tmp/nblb_bench_bp_churn.db";
+  std::remove(churn_path.c_str());
+  DiskManager churn_disk(churn_path, page_size, nullptr, /*direct_io=*/true,
+                         aio);
+  if (!churn_disk.Open().ok()) {
+    std::fprintf(stderr, "cannot open %s\n", churn_path.c_str());
+    return 1;
+  }
+  for (PageId i = 0; i < churn_pages; ++i) {
+    if (!churn_disk.AllocatePage().ok()) {
+      std::fprintf(stderr, "churn allocation failed\n");
+      return 1;
+    }
+  }
+  std::printf(
+      "\n== dirty-churn regime (%u pages, flusher %llu us, direct=%d) ==\n",
+      churn_pages, static_cast<unsigned long long>(flusher_us),
+      churn_disk.direct_io() ? 1 : 0);
+  std::printf("%-8s %-8s %-12s %-10s %-10s %-10s %-10s\n", "wb", "threads",
+              "ops/sec", "writes", "asyncw", "runs", "flusherp");
+  for (const char* wb : {"sync", "batch"}) {
+    for (uint32_t threads : thread_sweep) {
+      BufferPool bp(&churn_disk, frames, 0);
+      bp.set_sync_writeback(std::strcmp(wb, "sync") == 0);
+      bp.StartFlusher(flusher_us, /*batch_pages=*/64);
+      churn_disk.ResetStats();
+      const double ops = RunThreads(threads, churn_ops, [&](InlineRng& rng) {
+        // FetchPages wants ascending unique ids (like every real caller).
+        // Draw, sort, dedup — duplicates are rare over this id space and
+        // the op count below uses the actual unique size, so no per-op
+        // quadratic membership scans pollute the measurement.
+        std::vector<PageId> ids;
+        ids.reserve(batch);
+        for (uint64_t k = 0; k < batch; ++k) ids.push_back(rng.Page(churn_pages));
+        std::sort(ids.begin(), ids.end());
+        ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+        auto guards = bp.FetchPages(ids);
+        if (!guards.ok()) {
+          // A flusher pass pins its whole batch; a fetch that lands while
+          // one stripe is saturated sees ResourceExhausted. That is
+          // backpressure, not failure — yield and retry.
+          if (guards.status().IsResourceExhausted()) {
+            std::this_thread::yield();
+            return 0u;
+          }
+          std::fprintf(stderr, "churn fetch: %s\n",
+                       guards.status().ToString().c_str());
+          std::abort();
+        }
+        for (PageGuard& g : *guards) {
+          {
+            // Latch-disciplined content write: the flush paths snapshot
+            // under the same per-frame latch.
+            LatchGuard latch(*g.cache_latch());
+            g.data()[rng.Next() % 64] = static_cast<char>(rng.Next());
+          }
+          g.MarkDirty();
+        }
+        return static_cast<uint32_t>(ids.size());
+      });
+      const DiskStats ds = churn_disk.stats();
+      const BufferPoolStats ps = bp.stats();
+      churn_results.push_back({wb, threads, ops, ds.writes, ds.async_writes,
+                               ds.async_write_batches, ds.write_runs,
+                               ps.flusher_pages, ps.flusher_coalesced_runs,
+                               ps.dirty_writebacks});
+      std::printf("%-8s %-8u %-12.0f %-10llu %-10llu %-10llu %-10llu\n", wb,
+                  threads, ops, static_cast<unsigned long long>(ds.writes),
+                  static_cast<unsigned long long>(ds.async_writes),
+                  static_cast<unsigned long long>(ds.write_runs),
+                  static_cast<unsigned long long>(ps.flusher_pages));
+      std::fflush(stdout);
+    }
+  }
+  // Headline at ONE client thread: that is the regime where write-back
+  // latency cannot hide behind other clients (more threads on a small box
+  // shift the bottleneck to the CPU and the modes converge).
+  double churn_sync = 0, churn_batch = 0;
+  for (const auto& r : churn_results) {
+    if (r.threads != 1) continue;
+    if (r.wb == "sync") churn_sync = r.ops_per_sec;
+    if (r.wb == "batch") churn_batch = r.ops_per_sec;
+  }
+  const double churn_speedup = churn_sync > 0 ? churn_batch / churn_sync : 0;
+  std::printf("\nchurn speedup batch vs sync write-back at 1 thread: %.2fx\n",
+              churn_speedup);
+
   // ---- JSON ----------------------------------------------------------------
   const char* json_path = std::getenv("NBLB_BENCH_JSON_PATH");
   FILE* f =
@@ -391,9 +536,7 @@ int main(int argc, char** argv) {
                "  \"hit\": [\n",
                page_size, static_cast<unsigned long long>(frames), hit_pages,
                miss_pages, static_cast<unsigned long long>(total_ops),
-               static_cast<unsigned long long>(batch),
-               disk.io_backend_in_use() == IoBackend::kUring ? "uring"
-                                                             : "threads");
+               static_cast<unsigned long long>(batch), io_flag.c_str());
   for (size_t i = 0; i < hit_results.size(); ++i) {
     const auto& r = hit_results[i];
     std::fprintf(f,
@@ -415,10 +558,39 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(r.async_reads),
                  i + 1 < miss_results.size() ? "," : "");
   }
-  std::fprintf(f, "  ],\n  \"speedup_8t_hit_vs_seed\": %.4f\n}\n", speedup);
+  std::fprintf(f, "  ],\n  \"churn\": [\n");
+  for (size_t i = 0; i < churn_results.size(); ++i) {
+    const auto& r = churn_results[i];
+    std::fprintf(
+        f,
+        "    {\"wb\": \"%s\", \"threads\": %u, \"ops_per_sec\": %.1f, "
+        "\"disk_writes\": %llu, \"async_writes\": %llu, "
+        "\"async_write_batches\": %llu, \"write_runs\": %llu, "
+        "\"flusher_pages\": %llu, "
+        "\"flusher_coalesced_runs\": %llu, \"dirty_writebacks\": %llu}%s\n",
+        r.wb.c_str(), r.threads, r.ops_per_sec,
+        static_cast<unsigned long long>(r.disk_writes),
+        static_cast<unsigned long long>(r.async_writes),
+        static_cast<unsigned long long>(r.async_write_batches),
+        static_cast<unsigned long long>(r.write_runs),
+        static_cast<unsigned long long>(r.flusher_pages),
+        static_cast<unsigned long long>(r.flusher_coalesced_runs),
+        static_cast<unsigned long long>(r.dirty_writebacks),
+        i + 1 < churn_results.size() ? "," : "");
+  }
+  std::fprintf(f,
+               "  ],\n  \"churn_speedup_batch_vs_sync\": %.4f,\n"
+               "  \"churn_direct_io_effective\": %d,\n"
+               "  \"io_backend_effective\": \"%s\",\n"
+               "  \"speedup_8t_hit_vs_seed\": %.4f\n}\n",
+               churn_speedup, churn_disk.direct_io() ? 1 : 0,
+               disk.io_backend_in_use() == IoBackend::kUring ? "uring"
+                                                             : "threads",
+               speedup);
   std::fclose(f);
   std::printf("wrote %s\n",
               json_path ? json_path : "BENCH_buffer_pool.json");
   std::remove(path.c_str());
+  std::remove(churn_path.c_str());
   return 0;
 }

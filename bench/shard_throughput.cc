@@ -76,13 +76,35 @@
 //                                       // each config's "open_loop" object)
 // }
 //
+// After the open-loop phase every configuration runs a WRITE-HEAVY phase:
+// a mixed kGet/kUpdate scrambled-Zipfian trace over the loaded rows
+// (--mixed_update percent updates), replayed closed-loop with the
+// background flusher ON — first with write-back forced to the synchronous
+// per-page pwrite baseline ("mixed_sync"), then through the async batched
+// write pipeline ("mixed"). Updates dirty heap pages faster than a
+// per-page flusher can retire them on O_DIRECT storage, so this phase
+// measures exactly the write-back path: flusher group writes, batched
+// eviction-victim write-back, and the group-fsync checkpoint between
+// phases. Each mixed phase starts from a per-shard Checkpoint so warmth
+// and dirty backlog are comparable.
+//
+// JSON: each config gains "mixed_sync" and "mixed" objects
+// ({ops_per_sec, p50/p99, errors, bp_hit_rate, disk_reads, disk_writes,
+// async_writes, async_write_batches, write_runs, flusher_pages,
+// flusher_coalesced_runs, dirty_writebacks}), and the top level gains
+// "mixed_ops", "mixed_update_fraction", "mixed_flusher_us" and
+// "mixed_speedup_4s4w" (batched vs sync write-back throughput at 4s/4w).
+//
 // Flags: --rows=N --lookups=N --batch=N --frames=N --direct=0|1
 // --inflight=N --openloop=0|1 --deadline_us=N --io=auto|uring|threads
-// --flusher_us=N (0 = background flusher off) --flush_batch=N
-// --max_queue=N (0 = unbounded Submit; >0 bounds each shard queue, blocking
-// policy) (defaults below). The JSON gains "io_backend" (requested),
-// "io_backend_effective" (what every shard actually runs after runtime
-// probing), "flusher_interval_us" and "max_queue_depth".
+// --flusher_us=N (0 = background flusher off for the read phases)
+// --flush_batch=N --max_queue=N (0 = unbounded Submit; >0 bounds each
+// shard queue, blocking policy) --mixed=0|1 --mixed_ops=N (0 = lookups/2)
+// --mixed_update=PCT --mixed_flusher_us=N (flusher cadence during the
+// mixed phases when --flusher_us=0) (defaults below). The JSON gains
+// "io_backend" (requested), "io_backend_effective" (what every shard
+// actually runs after runtime probing), "flusher_interval_us" and
+// "max_queue_depth".
 
 #include <algorithm>
 #include <chrono>
@@ -93,8 +115,11 @@
 #include <thread>
 #include <vector>
 
+#include <unordered_map>
+
 #include "shard/sharded_engine.h"
 #include "workload/replay.h"
+#include "workload/trace.h"
 #include "workload/wikipedia.h"
 
 namespace nblb::bench {
@@ -129,6 +154,18 @@ PhaseDist DistOf(const ShardStatsSnapshot& delta) {
   return d;
 }
 
+/// Write-path counters summed over shards (disk + buffer pool), for
+/// phase deltas of the mixed write-heavy phases.
+struct WriteCounters {
+  uint64_t writes = 0;
+  uint64_t async_writes = 0;
+  uint64_t async_write_batches = 0;
+  uint64_t write_runs = 0;
+  uint64_t flusher_pages = 0;
+  uint64_t flusher_coalesced_runs = 0;
+  uint64_t dirty_writebacks = 0;
+};
+
 /// One replay phase's throughput numbers.
 struct PhaseResult {
   double seconds = 0;
@@ -141,6 +178,7 @@ struct PhaseResult {
   double bp_hit_rate = 0;
   uint64_t disk_reads = 0;
   PhaseDist dist;
+  WriteCounters wio;  ///< filled for the mixed phases only
 };
 
 struct ConfigResult {
@@ -151,7 +189,10 @@ struct ConfigResult {
   double load_ops_per_sec = 0;
   PhaseResult closed;
   PhaseResult open;
+  PhaseResult mixed_sync;  ///< write-heavy, per-page pwrite baseline
+  PhaseResult mixed;       ///< write-heavy, async batched write-back
   bool open_ran = false;
+  bool mixed_ran = false;
   size_t inflight = 0;
   bool direct_io_effective = false;
   bool uring_effective = false;
@@ -188,6 +229,36 @@ IoCounters IoCountersOf(ShardedEngine* engine) {
   return c;
 }
 
+WriteCounters WriteCountersOf(ShardedEngine* engine) {
+  WriteCounters c;
+  for (uint32_t s = 0; s < engine->num_shards(); ++s) {
+    const DiskStats d = engine->shard(s)->database()->disk()->stats();
+    const BufferPoolStats p =
+        engine->shard(s)->database()->buffer_pool()->stats();
+    c.writes += d.writes;
+    c.async_writes += d.async_writes;
+    c.async_write_batches += d.async_write_batches;
+    c.write_runs += d.write_runs;
+    c.flusher_pages += p.flusher_pages;
+    c.flusher_coalesced_runs += p.flusher_coalesced_runs;
+    c.dirty_writebacks += p.dirty_writebacks;
+  }
+  return c;
+}
+
+WriteCounters Delta(const WriteCounters& a, const WriteCounters& b) {
+  WriteCounters d;
+  d.writes = b.writes - a.writes;
+  d.async_writes = b.async_writes - a.async_writes;
+  d.async_write_batches = b.async_write_batches - a.async_write_batches;
+  d.write_runs = b.write_runs - a.write_runs;
+  d.flusher_pages = b.flusher_pages - a.flusher_pages;
+  d.flusher_coalesced_runs =
+      b.flusher_coalesced_runs - a.flusher_coalesced_runs;
+  d.dirty_writebacks = b.dirty_writebacks - a.dirty_writebacks;
+  return d;
+}
+
 void FillPhaseIo(PhaseResult* phase, const IoCounters& before,
                  const IoCounters& after) {
   phase->disk_reads = after.reads - before.reads;
@@ -216,11 +287,47 @@ struct IoKnobs {
   uint64_t flusher_us = 0;
   size_t flush_batch = 64;
   size_t max_queue = 0;
+  /// Flusher cadence for the mixed write phases when flusher_us == 0 (the
+  /// read phases then run flusher-less exactly as before).
+  uint64_t mixed_flusher_us = 2000;
 };
+
+/// Runs one closed-loop replay of `batches` over `clients` threads and
+/// fills `phase` (throughput, latency percentiles, IO + write deltas).
+void RunClosedPhase(ShardedEngine* engine, uint32_t clients,
+                    const std::vector<RequestBatch>& batches,
+                    PhaseResult* phase) {
+  std::vector<std::vector<RequestBatch>> slices(clients);
+  for (size_t i = 0; i < batches.size(); ++i) {
+    slices[i % clients].push_back(batches[i]);
+  }
+  std::vector<ReplayReport> reports(clients);
+  const double start = Now();
+  std::vector<std::thread> threads;
+  for (uint32_t c = 0; c < clients; ++c) {
+    threads.emplace_back(
+        [&, c] { reports[c] = ReplayBatches(engine, slices[c]); });
+  }
+  for (auto& t : threads) t.join();
+  const double seconds = Now() - start;
+
+  std::vector<double> batch_seconds;
+  uint64_t ops = 0;
+  for (const auto& rep : reports) {
+    ops += rep.ops;
+    phase->found += rep.found;
+    phase->not_found += rep.not_found;
+    phase->errors += rep.errors;
+    batch_seconds.insert(batch_seconds.end(), rep.batch_seconds.begin(),
+                         rep.batch_seconds.end());
+  }
+  FillPhaseReport(phase, ops, batch_seconds, seconds);
+}
 
 ConfigResult RunConfig(uint32_t shards, uint32_t workers,
                        const std::vector<Row>& rows,
                        const std::vector<RequestBatch>& batches,
+                       const std::vector<RequestBatch>& mixed_batches,
                        size_t frames_per_shard, bool direct_io,
                        size_t inflight, bool run_openloop,
                        uint32_t deadline_us, const IoKnobs& io) {
@@ -284,32 +391,7 @@ ConfigResult RunConfig(uint32_t shards, uint32_t workers,
   ShardStatsSnapshot stats_before = engine->TotalShardStats();
 
   const uint32_t clients = r.clients;
-  std::vector<std::vector<RequestBatch>> slices(clients);
-  for (size_t i = 0; i < batches.size(); ++i) {
-    slices[i % clients].push_back(batches[i]);
-  }
-  std::vector<ReplayReport> reports(clients);
-  const double serve_start = Now();
-  std::vector<std::thread> threads;
-  for (uint32_t c = 0; c < clients; ++c) {
-    threads.emplace_back([&, c] {
-      reports[c] = ReplayBatches(engine.get(), slices[c]);
-    });
-  }
-  for (auto& t : threads) t.join();
-  const double closed_seconds = Now() - serve_start;
-
-  std::vector<double> batch_seconds;
-  uint64_t ops = 0;
-  for (const auto& rep : reports) {
-    ops += rep.ops;
-    r.closed.found += rep.found;
-    r.closed.not_found += rep.not_found;
-    r.closed.errors += rep.errors;
-    batch_seconds.insert(batch_seconds.end(), rep.batch_seconds.begin(),
-                         rep.batch_seconds.end());
-  }
-  FillPhaseReport(&r.closed, ops, batch_seconds, closed_seconds);
+  RunClosedPhase(engine.get(), clients, batches, &r.closed);
   IoCounters io_mid = IoCountersOf(engine.get());
   FillPhaseIo(&r.closed, io_before, io_mid);
   ShardStatsSnapshot stats_mid = engine->TotalShardStats();
@@ -339,6 +421,46 @@ ConfigResult RunConfig(uint32_t shards, uint32_t workers,
     r.open.dist = DistOf(delta);
   }
 
+  // ---- Mixed write-heavy phases: per-page-pwrite baseline, then the
+  // async batched write pipeline, over identical batches. The flusher is
+  // ON for both (started here if the read phases ran without one), each
+  // phase starts from a group-fsync Checkpoint so the dirty backlog and
+  // pool warmth are comparable, and updates against O_DIRECT storage keep
+  // the write-back path saturated.
+  if (!mixed_batches.empty()) {
+    r.mixed_ran = true;
+    if (io.flusher_us == 0 && io.mixed_flusher_us > 0) {
+      for (uint32_t s = 0; s < shards; ++s) {
+        engine->shard(s)->database()->buffer_pool()->StartFlusher(
+            io.mixed_flusher_us, io.flush_batch);
+      }
+    }
+    // Warmup: one discarded replay of the same batches, so BOTH legs run
+    // at steady-state residency. Without it the first leg pays the mixed
+    // trace's cold faults and hands the second a pre-warmed pool — an
+    // order bias in whichever direction runs second.
+    {
+      PhaseResult discard;
+      RunClosedPhase(engine.get(), clients, mixed_batches, &discard);
+    }
+    for (const bool sync_wb : {true, false}) {
+      PhaseResult* phase = sync_wb ? &r.mixed_sync : &r.mixed;
+      for (uint32_t s = 0; s < shards; ++s) {
+        Database* db = engine->shard(s)->database();
+        db->buffer_pool()->set_sync_writeback(sync_wb);
+        if (Status cs = db->Checkpoint(); !cs.ok()) {
+          std::fprintf(stderr, "checkpoint: %s\n", cs.ToString().c_str());
+          std::exit(1);
+        }
+      }
+      const IoCounters io_before_mixed = IoCountersOf(engine.get());
+      const WriteCounters w_before = WriteCountersOf(engine.get());
+      RunClosedPhase(engine.get(), clients, mixed_batches, phase);
+      FillPhaseIo(phase, io_before_mixed, IoCountersOf(engine.get()));
+      phase->wio = Delta(w_before, WriteCountersOf(engine.get()));
+    }
+  }
+
   for (uint32_t s = 0; s < shards; ++s) {
     std::remove(
         (opts.path_prefix + ".shard" + std::to_string(s) + ".db").c_str());
@@ -354,6 +476,33 @@ uint64_t FlagOr(int argc, char** argv, const char* name, uint64_t fallback) {
     }
   }
   return fallback;
+}
+
+/// One mixed write-phase object: throughput + the write-path counters.
+void PrintMixedPhaseJson(FILE* f, const char* name, const PhaseResult& p) {
+  std::fprintf(
+      f,
+      ",\n     \"%s\": {\n"
+      "       \"lookup_seconds\": %.4f, \"ops_per_sec\": %.1f,\n"
+      "       \"p50_batch_ms\": %.4f, \"p99_batch_ms\": %.4f,\n"
+      "       \"found\": %llu, \"not_found\": %llu, \"errors\": %llu,\n"
+      "       \"bp_hit_rate\": %.6f, \"disk_reads\": %llu,\n"
+      "       \"disk_writes\": %llu, \"async_writes\": %llu,\n"
+      "       \"async_write_batches\": %llu, \"write_runs\": %llu,\n"
+      "       \"flusher_pages\": %llu, \"flusher_coalesced_runs\": %llu,\n"
+      "       \"dirty_writebacks\": %llu\n     }",
+      name, p.seconds, p.ops_per_sec, p.p50_batch_ms, p.p99_batch_ms,
+      static_cast<unsigned long long>(p.found),
+      static_cast<unsigned long long>(p.not_found),
+      static_cast<unsigned long long>(p.errors), p.bp_hit_rate,
+      static_cast<unsigned long long>(p.disk_reads),
+      static_cast<unsigned long long>(p.wio.writes),
+      static_cast<unsigned long long>(p.wio.async_writes),
+      static_cast<unsigned long long>(p.wio.async_write_batches),
+      static_cast<unsigned long long>(p.wio.write_runs),
+      static_cast<unsigned long long>(p.wio.flusher_pages),
+      static_cast<unsigned long long>(p.wio.flusher_coalesced_runs),
+      static_cast<unsigned long long>(p.wio.dirty_writebacks));
 }
 
 void PrintPhaseDistJson(FILE* f, const char* indent, const PhaseResult& p) {
@@ -409,6 +558,13 @@ int main(int argc, char** argv) {
   io.flusher_us = FlagOr(argc, argv, "flusher_us", 0);
   io.flush_batch = FlagOr(argc, argv, "flush_batch", 64);
   io.max_queue = FlagOr(argc, argv, "max_queue", 0);
+  io.mixed_flusher_us = FlagOr(argc, argv, "mixed_flusher_us", 2000);
+  const bool run_mixed = FlagOr(argc, argv, "mixed", 1) != 0;
+  const uint64_t mixed_ops =
+      FlagOr(argc, argv, "mixed_ops", 0) != 0
+          ? FlagOr(argc, argv, "mixed_ops", 0)
+          : num_lookups / 2;
+  const uint64_t mixed_update_pct = FlagOr(argc, argv, "mixed_update", 50);
 
   // ~20 revisions/page (the synthesizer's hot fraction is 1/this).
   WikipediaScale scale;
@@ -421,6 +577,32 @@ int main(int argc, char** argv) {
   const std::vector<Row>& rows = wiki.revisions();
   const auto batches = BuildLookupBatches(
       wiki.RevisionLookupTrace(num_lookups), batch_size);
+
+  // Mixed kGet/kUpdate trace for the write-heavy phase: scrambled-Zipfian
+  // popularity over every loaded row, update rows replayed verbatim (the
+  // heap rewrite dirties the page either way — this phase measures
+  // write-back, not codec cost).
+  std::vector<RequestBatch> mixed_batches;
+  if (run_mixed) {
+    std::unordered_map<uint64_t, size_t> row_by_id;
+    row_by_id.reserve(rows.size());
+    for (size_t i = 0; i < rows.size(); ++i) {
+      row_by_id[static_cast<uint64_t>(rows[i][0].AsInt())] = i;
+    }
+    TraceOptions topt;
+    topt.num_items = rows.size();
+    topt.num_ops = mixed_ops;
+    topt.distribution = TraceDistribution::kScrambledZipfian;
+    topt.mix.lookup = 1.0 - static_cast<double>(mixed_update_pct) / 100.0;
+    topt.mix.update = static_cast<double>(mixed_update_pct) / 100.0;
+    topt.seed = 7;
+    std::vector<Op> ops = BuildTrace(topt);
+    for (Op& op : ops) {  // trace items are row indexes; ops carry routing ids
+      op.item = static_cast<uint64_t>(rows[op.item][0].AsInt());
+    }
+    mixed_batches = BuildOpBatches(
+        ops, [&](uint64_t id) { return rows[row_by_id[id]]; }, batch_size);
+  }
   std::printf(
       "rows=%zu lookups=%llu batch=%llu frames/shard=%llu direct=%d "
       "inflight=%llu\n",
@@ -433,46 +615,74 @@ int main(int argc, char** argv) {
       {1, 1}, {2, 2}, {4, 1}, {4, 4}, {8, 4}};
 
   std::vector<ConfigResult> results;
-  std::printf("%-8s %-8s %-12s %-12s %-12s %-12s %-10s %-10s %-10s\n",
+  std::printf("%-8s %-8s %-12s %-12s %-12s %-12s %-10s %-12s %-12s\n",
               "shards", "workers", "closed_ops/s", "open_ops/s", "p99_ms",
-              "open_p99", "bp_hit", "depth_p99", "avg_coal");
+              "open_p99", "bp_hit", "mixed_sync", "mixed_batch");
   for (auto [shards, workers] : sweep) {
-    ConfigResult r = RunConfig(shards, workers, rows, batches, frames,
-                               direct_io, inflight, run_openloop,
+    ConfigResult r = RunConfig(shards, workers, rows, batches,
+                               mixed_batches, frames, direct_io, inflight,
+                               run_openloop,
                                static_cast<uint32_t>(deadline_us), io);
     results.push_back(r);
+    char mixed_sync_s[32] = "-", mixed_s[32] = "-";
+    if (r.mixed_ran) {
+      std::snprintf(mixed_sync_s, sizeof(mixed_sync_s), "%.0f",
+                    r.mixed_sync.ops_per_sec);
+      std::snprintf(mixed_s, sizeof(mixed_s), "%.0f", r.mixed.ops_per_sec);
+    }
     if (r.open_ran) {
       std::printf(
-          "%-8u %-8u %-12.0f %-12.0f %-12.3f %-12.3f %-10.4f %-10llu "
-          "%-10.2f\n",
+          "%-8u %-8u %-12.0f %-12.0f %-12.3f %-12.3f %-10.4f %-12s %-12s\n",
           r.shards, r.workers, r.closed.ops_per_sec, r.open.ops_per_sec,
           r.closed.p99_batch_ms, r.open.p99_batch_ms, r.closed.bp_hit_rate,
-          static_cast<unsigned long long>(r.open.dist.queue_depth_p99),
-          r.open.dist.avg_coalesce);
+          mixed_sync_s, mixed_s);
     } else {
-      std::printf("%-8u %-8u %-12.0f %-12s %-12.3f %-12s %-10.4f %-10s %-10s\n",
-                  r.shards, r.workers, r.closed.ops_per_sec, "-",
-                  r.closed.p99_batch_ms, "-", r.closed.bp_hit_rate, "-", "-");
+      std::printf(
+          "%-8u %-8u %-12.0f %-12s %-12.3f %-12s %-10.4f %-12s %-12s\n",
+          r.shards, r.workers, r.closed.ops_per_sec, "-",
+          r.closed.p99_batch_ms, "-", r.closed.bp_hit_rate, mixed_sync_s,
+          mixed_s);
     }
     std::fflush(stdout);
   }
 
   double base = 0, scaled = 0, open_4s4w = 0;
+  double mixed_sync_4s4w = 0, mixed_4s4w = 0;
+  double mixed_sync_1s1w = 0, mixed_1s1w = 0;
   for (const auto& r : results) {
-    if (r.shards == 1 && r.workers == 1) base = r.closed.ops_per_sec;
+    if (r.shards == 1 && r.workers == 1) {
+      base = r.closed.ops_per_sec;
+      mixed_sync_1s1w = r.mixed_sync.ops_per_sec;
+      mixed_1s1w = r.mixed.ops_per_sec;
+    }
     if (r.shards == 4 && r.workers == 4) {
       scaled = r.closed.ops_per_sec;
       open_4s4w = r.open.ops_per_sec;
+      mixed_sync_4s4w = r.mixed_sync.ops_per_sec;
+      mixed_4s4w = r.mixed.ops_per_sec;
     }
   }
   const double speedup = base > 0 ? scaled / base : 0;
   const double open_speedup =
       run_openloop && scaled > 0 ? open_4s4w / scaled : 0;
+  const double mixed_speedup =
+      mixed_sync_4s4w > 0 ? mixed_4s4w / mixed_sync_4s4w : 0;
+  // The 1s1w point is the write-back-bound regime (PR 4's miss-regime
+  // headline config): one worker, hot set over the pool, so dirty
+  // evictions and flusher lag actually gate the serving thread.
+  const double mixed_speedup_1s1w =
+      mixed_sync_1s1w > 0 ? mixed_1s1w / mixed_sync_1s1w : 0;
   std::printf("\nspeedup 4 shards/4 workers vs 1/1 (closed): %.2fx\n",
               speedup);
   if (run_openloop) {
     std::printf("open-loop (inflight=%llu) vs closed at 4s/4w: %.2fx\n",
                 static_cast<unsigned long long>(inflight), open_speedup);
+  }
+  if (run_mixed) {
+    std::printf(
+        "mixed write phase: batched vs sync write-back at 1s/1w: %.2fx, "
+        "at 4s/4w: %.2fx\n",
+        mixed_speedup_1s1w, mixed_speedup);
   }
 
   const char* json_path = std::getenv("NBLB_BENCH_JSON_PATH");
@@ -492,6 +702,9 @@ int main(int argc, char** argv) {
                "  \"io_backend_effective\": \"%s\",\n"
                "  \"flusher_interval_us\": %llu,\n"
                "  \"max_queue_depth\": %llu,\n"
+               "  \"mixed_ops\": %llu,\n"
+               "  \"mixed_update_fraction\": %.2f,\n"
+               "  \"mixed_flusher_us\": %llu,\n"
                "  \"configs\": [\n",
                rows.size(), static_cast<unsigned long long>(num_lookups),
                static_cast<unsigned long long>(batch_size), kDefaultPageSize,
@@ -504,7 +717,10 @@ int main(int argc, char** argv) {
                    ? "uring"
                    : "threads",
                static_cast<unsigned long long>(io.flusher_us),
-               static_cast<unsigned long long>(io.max_queue));
+               static_cast<unsigned long long>(io.max_queue),
+               static_cast<unsigned long long>(run_mixed ? mixed_ops : 0),
+               static_cast<double>(mixed_update_pct) / 100.0,
+               static_cast<unsigned long long>(io.mixed_flusher_us));
   for (size_t i = 0; i < results.size(); ++i) {
     const auto& r = results[i];
     std::fprintf(
@@ -542,11 +758,19 @@ int main(int argc, char** argv) {
       PrintPhaseDistJson(f, "       ", r.open);
       std::fprintf(f, "\n     }");
     }
+    if (r.mixed_ran) {
+      PrintMixedPhaseJson(f, "mixed_sync", r.mixed_sync);
+      PrintMixedPhaseJson(f, "mixed", r.mixed);
+    }
     std::fprintf(f, "}%s\n", i + 1 < results.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n  \"speedup_4s4t_vs_1s1t\": %.4f", speedup);
   if (run_openloop) {
     std::fprintf(f, ",\n  \"openloop_speedup_4s4w\": %.4f", open_speedup);
+  }
+  if (run_mixed) {
+    std::fprintf(f, ",\n  \"mixed_speedup_1s1w\": %.4f", mixed_speedup_1s1w);
+    std::fprintf(f, ",\n  \"mixed_speedup_4s4w\": %.4f", mixed_speedup);
   }
   std::fprintf(f, "\n}\n");
   std::fclose(f);

@@ -69,6 +69,10 @@ def check_shard_throughput(baseline, current, min_ratio):
         open_loop = cur.get("open_loop")
         if open_loop and open_loop.get("errors", 0) != 0:
             fail(f"shard_throughput {key}: open-loop errors={open_loop['errors']}")
+        for phase in ("mixed_sync", "mixed"):
+            mixed = cur.get(phase)
+            if mixed and mixed.get("errors", 0) != 0:
+                fail(f"shard_throughput {key}: {phase} errors={mixed['errors']}")
         base = base_by_key.get(key)
         if base is None:
             print(f"  {key}: no baseline config, skipping throughput gate")

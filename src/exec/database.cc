@@ -10,12 +10,14 @@ Result<std::unique_ptr<Database>> Database::Open(DatabaseOptions options) {
   AsyncIoOptions aio;
   aio.backend = options.io_backend;
   aio.queue_depth = options.io_queue_depth;
+  aio.io_threads = options.io_threads;
   db->disk_.reset(new DiskManager(options.path, options.page_size,
                                   db->latency_.get(), options.direct_io,
                                   aio));
   NBLB_RETURN_NOT_OK(db->disk_->Open());
   db->bp_.reset(new BufferPool(db->disk_.get(), options.buffer_pool_frames,
                                options.buffer_pool_stripes));
+  db->bp_->set_sync_writeback(options.sync_writeback);
   if (options.flusher_interval_us > 0) {
     db->bp_->StartFlusher(options.flusher_interval_us,
                           options.flush_batch_pages);

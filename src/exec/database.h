@@ -41,14 +41,22 @@ struct DatabaseOptions {
   /// kernel permits it, kThreads forces the preadv worker-pool fallback
   /// (also forceable at runtime via NBLB_IO_BACKEND=threads).
   IoBackend io_backend = IoBackend::kAuto;
-  /// Max in-flight async read ops (io_uring ring size / thread-pool queue).
+  /// Max in-flight async ops (io_uring ring size; reads and writes share
+  /// the budget).
   size_t io_queue_depth = 64;
+  /// Worker threads for the preadv/pwritev fallback backend (they serve
+  /// both async reads and async write-back when io_uring is unavailable).
+  size_t io_threads = 4;
   /// Background dirty-page flusher cadence in microseconds; 0 (default)
   /// disables the flusher and write-back rides the evicting thread as
   /// before.
   uint64_t flusher_interval_us = 0;
   /// Max dirty pages written back per flusher pass.
   size_t flush_batch_pages = 64;
+  /// Measurement/debug baseline: force every write-back path (flusher,
+  /// eviction, FlushAll) to synchronous one-page pwrite instead of the
+  /// batched async pipeline (see BufferPool::set_sync_writeback).
+  bool sync_writeback = false;
 };
 
 /// \brief Owns the storage stack and the table registry.

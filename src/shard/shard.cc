@@ -46,8 +46,10 @@ Result<std::unique_ptr<Shard>> Shard::Open(uint32_t shard_id,
   dbo.direct_io = shard->options_.direct_io;
   dbo.io_backend = shard->options_.io_backend;
   dbo.io_queue_depth = shard->options_.io_queue_depth;
+  dbo.io_threads = shard->options_.io_threads;
   dbo.flusher_interval_us = shard->options_.flusher_interval_us;
   dbo.flush_batch_pages = shard->options_.flush_batch_pages;
+  dbo.sync_writeback = shard->options_.sync_writeback;
   if (shard->options_.truncate) {
     std::remove(dbo.path.c_str());
   } else {

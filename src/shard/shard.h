@@ -57,13 +57,19 @@ struct ShardOptions {
   /// Async miss-read engine (see storage/disk_manager.h): kAuto prefers
   /// io_uring, kThreads forces the preadv worker-pool fallback.
   IoBackend io_backend = IoBackend::kAuto;
-  /// Max in-flight async read ops for this shard's DiskManager.
+  /// Max in-flight async ops for this shard's DiskManager (reads and
+  /// writes share the budget).
   size_t io_queue_depth = 64;
+  /// Worker threads for the preadv/pwritev fallback backend.
+  size_t io_threads = 4;
   /// Background dirty-page flusher cadence (µs); 0 disables it and dirty
   /// write-back rides the evicting worker as before.
   uint64_t flusher_interval_us = 0;
   /// Max dirty pages per flusher pass.
   size_t flush_batch_pages = 64;
+  /// Baseline knob: synchronous per-page write-back instead of the batched
+  /// async pipeline (see DatabaseOptions::sync_writeback).
+  bool sync_writeback = false;
 
   // ---- Adaptive batching (read by the ShardedEngine worker that owns this
   // shard; the shard itself just executes whatever it is handed) ----------

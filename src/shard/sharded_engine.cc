@@ -37,8 +37,10 @@ Result<std::unique_ptr<ShardedEngine>> ShardedEngine::Open(
     so.drain_deadline_us = options.drain_deadline_us;
     so.io_backend = options.io_backend;
     so.io_queue_depth = options.io_queue_depth;
+    so.io_threads = options.io_threads;
     so.flusher_interval_us = options.flusher_interval_us;
     so.flush_batch_pages = options.flush_batch_pages;
+    so.sync_writeback = options.sync_writeback;
     so.schema = options.schema;
     so.table_options = options.table_options;
     // Record the path BEFORE attempting the open: a Shard::Open that

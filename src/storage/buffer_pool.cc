@@ -107,6 +107,7 @@ BufferPool::~BufferPool() {
   StopFlusher();
   // Best effort write-back of dirty pages.
   (void)FlushAll();
+  std::free(flush_staging_);
   std::free(arena_);
 }
 
@@ -287,27 +288,163 @@ Status BufferPool::WriteBack(Stripe& st, const Claim& c) {
   // here is a real device fault).
   Frame& f = frames_[c.frame];
   Status s = disk_->WritePage(c.old_id, f.data);
-  {
-    std::lock_guard<std::mutex> lk(st.mu);
-    auto it = std::find(st.flushing.begin(), st.flushing.end(), c.old_id);
-    NBLB_DCHECK(it != st.flushing.end());
-    *it = st.flushing.back();
-    st.flushing.pop_back();
-  }
+  RemoveFlushing(st, c.old_id);
   if (s.ok()) st.stats.dirty_writebacks.fetch_add(1, std::memory_order_relaxed);
   return s;
 }
 
-void BufferPool::AbortClaim(Stripe& st, const Claim& c) {
+void BufferPool::RemoveFlushing(Stripe& st, PageId id) {
+  std::lock_guard<std::mutex> lk(st.mu);
+  auto it = std::find(st.flushing.begin(), st.flushing.end(), id);
+  NBLB_DCHECK(it != st.flushing.end());
+  *it = st.flushing.back();
+  st.flushing.pop_back();
+}
+
+Status BufferPool::WriteBackBatch(std::vector<Claim>* claims) {
+  std::vector<Claim*> wb;
+  for (Claim& c : *claims) {
+    if (c.writeback) wb.push_back(&c);
+  }
+  if (wb.empty()) return Status::OK();
+  // A single victim has nothing to overlap; the sync path also serves as
+  // the per-page baseline under the sync_writeback knob.
+  if (wb.size() == 1 || sync_writeback_.load(std::memory_order_relaxed)) {
+    Status first_error;
+    for (Claim* c : wb) {
+      Status ws = WriteBack(StripeFor(c->old_id), *c);
+      c->writeback = false;
+      if (!ws.ok() && first_error.ok()) first_error = ws;
+    }
+    return first_error;
+  }
+  // The claimed frames are exclusively ours (io bit set, displaced pages
+  // already unmapped), so the group writes straight from frame memory —
+  // no snapshot needed. Sort by the DISPLACED page id so contiguous dirty
+  // victims coalesce into vectored runs.
+  std::sort(wb.begin(), wb.end(), [](const Claim* a, const Claim* b) {
+    return a->old_id < b->old_id;
+  });
+  std::vector<PageId> ids;
+  std::vector<const char*> srcs;
+  ids.reserve(wb.size());
+  srcs.reserve(wb.size());
+  for (Claim* c : wb) {
+    ids.push_back(c->old_id);
+    srcs.push_back(frames_[c->frame].data);
+  }
+  DiskManager::IoTicket ticket;
+  Status ws = disk_->SubmitWrites(ids.data(), srcs.data(), ids.size(),
+                                  &ticket);
+  if (ws.ok()) ws = disk_->WaitWrites(&ticket);
+  // Clear the flushing entries whether or not the group succeeded: the
+  // mappings are gone and a failed victim's last version is lost either
+  // way (see the NOTE on WriteBack) — a wedged flushing entry would hang
+  // every future fetch of that page on top of it.
+  for (Claim* c : wb) {
+    Stripe& st = StripeFor(c->old_id);
+    RemoveFlushing(st, c->old_id);
+    c->writeback = false;
+    if (ws.ok()) {
+      st.stats.dirty_writebacks.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  return ws;
+}
+
+Status BufferPool::FlushTargets(std::vector<FlushTarget>* targets,
+                                size_t* flushed, size_t* runs) {
+  *flushed = 0;
+  *runs = 0;
+  if (targets->empty()) return Status::OK();
+  // Sorting makes contiguous dirty pages adjacent, so the submit path
+  // coalesces them into vectored runs (and the sync baseline at least
+  // writes in file order).
+  std::sort(targets->begin(), targets->end(),
+            [](const FlushTarget& a, const FlushTarget& b) {
+              return a.id < b.id;
+            });
+  if (sync_writeback_.load(std::memory_order_relaxed)) {
+    Status first_error;
+    for (FlushTarget& t : *targets) {
+      Status ws;
+      {
+        // Hold the frame's cache latch so latch-disciplined content
+        // writers never overlap the flush read (see FlushPage).
+        LatchGuard latch(t.frame->cache_latch);
+        ws = disk_->WritePage(t.id, t.frame->data);
+      }
+      if (ws.ok()) {
+        ++*flushed;
+        ++*runs;  // per-page writes: every page is its own "run"
+      } else {
+        t.frame->state.fetch_or(kDirtyBit, std::memory_order_relaxed);
+        if (first_error.ok()) first_error = ws;
+      }
+    }
+    return first_error;
+  }
+  if (flush_staging_ == nullptr) {
+    void* mem = nullptr;
+    NBLB_CHECK(::posix_memalign(&mem, 4096,
+                                kFlushStagingPages * page_size_) == 0);
+    flush_staging_ = static_cast<char*>(mem);
+  }
+  Status first_error;
+  for (size_t base = 0; base < targets->size(); base += kFlushStagingPages) {
+    const size_t count =
+        std::min(kFlushStagingPages, targets->size() - base);
+    std::vector<PageId> ids(count);
+    std::vector<const char*> srcs(count);
+    size_t chunk_runs = 1;
+    for (size_t k = 0; k < count; ++k) {
+      FlushTarget& t = (*targets)[base + k];
+      char* slot = flush_staging_ + k * page_size_;
+      {
+        // Snapshot under the cache latch: the bytes that reach the device
+        // are latch-consistent even though the write itself flies with no
+        // latch held — the FlushPage discipline, one memcpy removed from
+        // the device. A content write that lands after the snapshot
+        // re-marks the frame dirty (unpin-dirty) and is flushed next pass.
+        LatchGuard latch(t.frame->cache_latch);
+        std::memcpy(slot, t.frame->data, page_size_);
+      }
+      ids[k] = t.id;
+      srcs[k] = slot;
+      if (k > 0 && ids[k] != ids[k - 1] + 1) ++chunk_runs;
+    }
+    DiskManager::IoTicket ticket;
+    Status ws = disk_->SubmitWrites(ids.data(), srcs.data(), count, &ticket);
+    if (ws.ok()) ws = disk_->WaitWrites(&ticket);
+    if (ws.ok()) {
+      *flushed += count;
+      *runs += chunk_runs;
+    } else {
+      // Which pages of the chunk landed is unknown; re-mark them ALL dirty
+      // so the next pass retries (a clean page flushed twice is harmless —
+      // the frames stayed resident, so nothing is lost).
+      for (size_t k = 0; k < count; ++k) {
+        (*targets)[base + k].frame->state.fetch_or(
+            kDirtyBit, std::memory_order_relaxed);
+      }
+      if (first_error.ok()) first_error = ws;
+    }
+  }
+  return first_error;
+}
+
+void BufferPool::AbortClaim(Stripe& st, const Claim& c, bool transient) {
   Frame& f = frames_[c.frame];
   std::lock_guard<std::mutex> lk(st.mu);
   TableErase(st, c.id);
   uint64_t s = f.state.load(std::memory_order_relaxed);
   for (;;) {
     // Keep the pins (the failed loader's guard and any waiters still hold
-    // them); clear valid+io and raise failed so waiters error out. The frame
+    // them); clear valid+io and raise failed so waiters bail out (with the
+    // transient marker when no device error was involved). The frame
     // becomes claimable again once the pins drain.
-    const uint64_t ns = (s & kPinMask) | kFailedBit;
+    const uint64_t ns =
+        (s & kPinMask) | kFailedBit | (transient ? kTransientBit : 0);
     if (f.state.compare_exchange_weak(s, ns, std::memory_order_release,
                                       std::memory_order_relaxed)) {
       break;
@@ -327,6 +464,14 @@ Status BufferPool::WaitForLoad(Frame& f) {
     s = f.state.load(std::memory_order_acquire);
   }
   if ((s & kFailedBit) != 0) {
+    // A transiently aborted claim is backpressure (the loading batch ran
+    // out of frames elsewhere), not a device fault: waiters retry, the
+    // batch-read consumers halve their chunks, nobody reports a phantom
+    // IO error.
+    if ((s & kTransientBit) != 0) {
+      return Status::ResourceExhausted(
+          "concurrent page load aborted under capacity pressure");
+    }
     return Status::IOError("concurrent page load failed");
   }
   return Status::OK();
@@ -450,7 +595,7 @@ Result<PageGuard> BufferPool::FetchPage(PageId id) {
   }
 }
 
-void BufferPool::AbortClaims(std::vector<Claim>* claims) {
+void BufferPool::AbortClaims(std::vector<Claim>* claims, bool transient) {
   for (Claim& c : *claims) {
     if (c.writeback) {
       // The batch failed before this claim's displaced dirty page was
@@ -461,7 +606,7 @@ void BufferPool::AbortClaims(std::vector<Claim>* claims) {
       (void)WriteBack(StripeFor(c.old_id), c);
       c.writeback = false;
     }
-    AbortClaim(StripeFor(c.id), c);
+    AbortClaim(StripeFor(c.id), c, transient);
   }
   claims->clear();
 }
@@ -563,19 +708,14 @@ Result<BufferPool::BatchFetch> BufferPool::StartFetchPages(
   }
 
   // Displaced dirty pages go back to disk before the miss reads are
-  // submitted (a claimed frame's buffer still holds the displaced page
-  // until its read overwrites it — here the buffers are distinct frames,
-  // but the flushing-list entry must clear before any re-fetch).
+  // submitted: a claimed frame's buffer still holds the displaced page
+  // until its read overwrites it, so every write-back must LAND before any
+  // read into the same frames goes out. The victims fly as one batched
+  // async group (all runs at the device at once) and the barrier is the
+  // single WaitWrites inside WriteBackBatch — eviction under memory
+  // pressure no longer pays one synchronous pwrite per dirty victim.
   if (error.ok()) {
-    for (Claim& c : bf.claims) {
-      if (!c.writeback) continue;
-      Status ws = WriteBack(StripeFor(c.old_id), c);
-      c.writeback = false;  // WriteBack always clears the flushing entry
-      if (!ws.ok()) {
-        error = ws;
-        break;
-      }
-    }
+    error = WriteBackBatch(&bf.claims);
   }
   if (error.ok() && !bf.claims.empty()) {
     std::sort(bf.claims.begin(), bf.claims.end(),
@@ -594,7 +734,9 @@ Result<BufferPool::BatchFetch> BufferPool::StartFetchPages(
                                &bf.ticket);
   }
   if (!error.ok()) {
-    AbortClaims(&bf.claims);
+    // ResourceExhausted is capacity backpressure, not a device fault:
+    // waiters piggybacked on these claims get a retryable status.
+    AbortClaims(&bf.claims, /*transient=*/error.IsResourceExhausted());
     return error;  // bf.guards destruct -> every pin taken so far is dropped
   }
   return bf;
@@ -693,9 +835,23 @@ Status BufferPool::FlushAll() {
   // FlushAll (and the Checkpoint fsync behind it) overtake those writes
   // would unsync what "checkpoint" promises.
   std::lock_guard<std::mutex> fl(flusher_pass_mu_);
+  // Drain stripe by stripe UNDER the stripe mutex, like the pre-async
+  // FlushAll: a concurrent fetch blocks briefly on the mutex and then
+  // succeeds, instead of failing ResourceExhausted against a wall of
+  // checkpoint pins (no pins are taken — frame identity is stable under
+  // the mutex, since victim claims require it and EvictAll requires
+  // flusher_pass_mu_, which we hold). Every dirty frame of the stripe
+  // (pinned by readers or not — a checkpoint flushes everything) has its
+  // dirty bit cleared up front (the FlushPage discipline: a concurrent
+  // re-dirty after the clear is preserved for the next flush) and the
+  // stripe's whole dirty set goes out through SubmitWrites in sorted
+  // batched runs. The caller's single fsync behind this
+  // (Database::Checkpoint) is the group-fsync: one barrier for the whole
+  // drain instead of per-page write+sync interleavings.
   for (size_t i = 0; i < num_stripes_; ++i) {
     Stripe& st = stripes_[i];
     std::lock_guard<std::mutex> lk(st.mu);
+    std::vector<FlushTarget> targets;
     for (uint32_t fi = st.begin; fi < st.end; ++fi) {
       Frame& f = frames_[fi];
       const uint64_t s = f.state.load(std::memory_order_acquire);
@@ -703,16 +859,10 @@ Status BufferPool::FlushAll() {
         continue;
       }
       f.state.fetch_and(~kDirtyBit, std::memory_order_relaxed);
-      Status ws;
-      {
-        LatchGuard latch(f.cache_latch);  // see FlushPage
-        ws = disk_->WritePage(f.id.load(std::memory_order_relaxed), f.data);
-      }
-      if (!ws.ok()) {
-        f.state.fetch_or(kDirtyBit, std::memory_order_relaxed);
-        return ws;
-      }
+      targets.push_back({&f, f.id.load(std::memory_order_relaxed)});
     }
+    size_t flushed = 0, runs = 0;
+    NBLB_RETURN_NOT_OK(FlushTargets(&targets, &flushed, &runs));
   }
   return Status::OK();
 }
@@ -840,54 +990,46 @@ void BufferPool::FlusherPass() {
   std::lock_guard<std::mutex> pass(flusher_pass_mu_);
   flusher_passes_.fetch_add(1, std::memory_order_relaxed);
   size_t budget = flush_batch_pages_;
+  // Select under the stripe locks; write outside them. Each target is
+  // PINNED for the duration of the pass — a pinned frame can never be
+  // claimed by an evictor, so the frame's identity and buffer are stable
+  // while the stripe locks are released.
+  std::vector<FlushTarget> targets;
+  targets.reserve(std::min(budget, num_frames_));
   for (size_t s = 0; s < num_stripes_ && budget > 0; ++s) {
     Stripe& st = stripes_[(flusher_cursor_ + s) & stripe_mask_];
-    // Select under the stripe lock; write outside it. Each target is
-    // PINNED for the duration of its write — a pinned frame can never be
-    // claimed by an evictor, so the frame's identity and buffer are stable
-    // while the stripe lock is released.
-    std::vector<std::pair<Frame*, PageId>> targets;
-    {
-      std::lock_guard<std::mutex> lk(st.mu);
-      for (uint32_t fi = st.begin; fi < st.end && budget > 0; ++fi) {
-        Frame& f = frames_[fi];
-        const uint64_t s0 = f.state.load(std::memory_order_acquire);
-        if ((s0 & (kValidBit | kDirtyBit)) != (kValidBit | kDirtyBit) ||
-            (s0 & (kIoBit | kFailedBit)) != 0) {
-          continue;
-        }
-        // Skip pages someone is actively holding: a pinned writer is
-        // likely to re-dirty immediately, so flushing it now is wasted
-        // write I/O — and it cannot be chosen as a victim anyway, which
-        // is what the flusher exists to pre-clean for.
-        if ((s0 & kPinMask) != 0) continue;
-        PinFrame(f, /*reference=*/false);
-        // Clear dirty BEFORE the write (the FlushPage discipline): a
-        // concurrent unpin-dirty after the clear re-marks the frame and it
-        // is simply flushed again next pass.
-        f.state.fetch_and(~kDirtyBit, std::memory_order_relaxed);
-        targets.emplace_back(&f, f.id.load(std::memory_order_relaxed));
-        --budget;
+    std::lock_guard<std::mutex> lk(st.mu);
+    for (uint32_t fi = st.begin; fi < st.end && budget > 0; ++fi) {
+      Frame& f = frames_[fi];
+      const uint64_t s0 = f.state.load(std::memory_order_acquire);
+      if ((s0 & (kValidBit | kDirtyBit)) != (kValidBit | kDirtyBit) ||
+          (s0 & (kIoBit | kFailedBit)) != 0) {
+        continue;
       }
-    }
-    for (auto& [f, id] : targets) {
-      Status ws;
-      {
-        // Hold the frame's cache latch so latch-disciplined content
-        // writers never overlap the flush read (see FlushPage).
-        LatchGuard latch(f->cache_latch);
-        ws = disk_->WritePage(id, f->data);
-      }
-      if (ws.ok()) {
-        flusher_pages_.fetch_add(1, std::memory_order_relaxed);
-      } else {
-        // Put the dirt back; the page stays resident, so nothing is lost —
-        // eviction or the next pass retries.
-        f->state.fetch_or(kDirtyBit, std::memory_order_relaxed);
-      }
-      UnpinFrame(*f, /*dirty=*/false);
+      // Skip pages someone is actively holding: a pinned writer is
+      // likely to re-dirty immediately, so flushing it now is wasted
+      // write I/O — and it cannot be chosen as a victim anyway, which
+      // is what the flusher exists to pre-clean for.
+      if ((s0 & kPinMask) != 0) continue;
+      PinFrame(f, /*reference=*/false);
+      // Clear dirty BEFORE the write (the FlushPage discipline): a
+      // concurrent unpin-dirty after the clear re-marks the frame and it
+      // is simply flushed again next pass.
+      f.state.fetch_and(~kDirtyBit, std::memory_order_relaxed);
+      targets.push_back({&f, f.id.load(std::memory_order_relaxed)});
+      --budget;
     }
   }
+  // The whole pass drains as ONE sorted async group (snapshot + submit +
+  // wait inside FlushTargets): every contiguous dirty run is a vectored
+  // write and every run is at the device at once, instead of one
+  // synchronous pwrite per page. Errors re-dirty their pages; the frames
+  // stayed resident, so the next pass (or eviction) retries.
+  size_t flushed = 0, runs = 0;
+  (void)FlushTargets(&targets, &flushed, &runs);
+  flusher_pages_.fetch_add(flushed, std::memory_order_relaxed);
+  flusher_coalesced_runs_.fetch_add(runs, std::memory_order_relaxed);
+  for (FlushTarget& t : targets) UnpinFrame(*t.frame, /*dirty=*/false);
   flusher_cursor_ = (flusher_cursor_ + 1) & stripe_mask_;
 }
 
@@ -907,6 +1049,8 @@ BufferPoolStats BufferPool::stats() const {
   }
   out.flusher_passes = flusher_passes_.load(std::memory_order_relaxed);
   out.flusher_pages = flusher_pages_.load(std::memory_order_relaxed);
+  out.flusher_coalesced_runs =
+      flusher_coalesced_runs_.load(std::memory_order_relaxed);
   return out;
 }
 
@@ -921,6 +1065,7 @@ void BufferPool::ResetStats() {
   }
   flusher_passes_.store(0, std::memory_order_relaxed);
   flusher_pages_.store(0, std::memory_order_relaxed);
+  flusher_coalesced_runs_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace nblb

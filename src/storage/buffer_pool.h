@@ -26,6 +26,13 @@
 //   - An optional background flusher thread (StartFlusher) writes dirty
 //     unpinned frames back on a timer, so eviction mostly finds clean
 //     victims and write-back stays off the serving path.
+//   - Write-back is batched and asynchronous everywhere (flusher passes,
+//     dirty eviction victims in StartFetchPages, FlushAll/Checkpoint):
+//     dirty sets drain sorted through DiskManager::SubmitWrites — one
+//     vectored op per contiguous run, all runs at the device at once —
+//     with a single fsync behind a checkpoint drain (group fsync).
+//     set_sync_writeback(true) restores per-page pwrite as an A/B
+//     baseline.
 
 #pragma once
 
@@ -58,6 +65,10 @@ struct BufferPoolStats {
   /// Dirty pages written back by the background flusher — write-back work
   /// taken off the serving/evicting threads entirely.
   uint64_t flusher_pages = 0;
+  /// Contiguous page runs the flusher's sorted batches coalesced into (one
+  /// vectored write op each) — with `flusher_pages` this gives pages per
+  /// device write, the batching win of the async write-back path.
+  uint64_t flusher_coalesced_runs = 0;
 
   double HitRate() const {
     const uint64_t total = hits + misses;
@@ -182,6 +193,17 @@ class BufferPool {
   /// destructor before the final FlushAll).
   void StopFlusher();
 
+  /// \brief Forces every write-back path (flusher, eviction, FlushAll)
+  /// back to synchronous one-page writes. A measurement/debug baseline
+  /// knob — benchmarks A/B the async batched pipeline against exactly the
+  /// per-page behaviour it replaced. Safe to toggle at any time.
+  void set_sync_writeback(bool v) {
+    sync_writeback_.store(v, std::memory_order_relaxed);
+  }
+  bool sync_writeback() const {
+    return sync_writeback_.load(std::memory_order_relaxed);
+  }
+
   size_t num_frames() const { return num_frames_; }
   size_t num_stripes() const { return num_stripes_; }
   size_t page_size() const { return page_size_; }
@@ -207,6 +229,11 @@ class BufferPool {
   static constexpr uint64_t kIoBit = 1ull << 17;
   static constexpr uint64_t kValidBit = 1ull << 18;
   static constexpr uint64_t kFailedBit = 1ull << 19;
+  /// Set WITH kFailedBit when a claim was aborted for a transient,
+  /// non-device reason (the owning batch hit ResourceExhausted in another
+  /// stripe): waiters piggybacked on the load get backpressure they can
+  /// retry, not a spurious IOError.
+  static constexpr uint64_t kTransientBit = 1ull << 23;
   static constexpr unsigned kUsageShift = 20;
   static constexpr uint64_t kUsageOne = 1ull << kUsageShift;
   static constexpr uint64_t kUsageMask = 7ull << kUsageShift;
@@ -283,18 +310,52 @@ class BufferPool {
   /// the table, and any displaced dirty page is queued on st.flushing.
   Result<Claim> ClaimFrame(Stripe& st, PageId id);
 
-  /// Completes a claim whose I/O failed: unmaps the page and marks the frame
-  /// failed so concurrent waiters bail out. Takes the stripe mutex.
-  void AbortClaim(Stripe& st, const Claim& claim);
+  /// Completes a claim whose load will not happen: unmaps the page and
+  /// marks the frame failed so concurrent waiters bail out. `transient`
+  /// distinguishes "the owning batch aborted under capacity pressure"
+  /// (waiters get retryable ResourceExhausted) from a real device error
+  /// (waiters get IOError). Takes the stripe mutex.
+  void AbortClaim(Stripe& st, const Claim& claim, bool transient = false);
 
   /// Aborts every claim in the list, writing back any still-pending
   /// displaced dirty page first (landing the data AND removing the
   /// stripe's flushing entry, which would otherwise wedge future fetches
   /// of that page in the flush-conflict retry loop).
-  void AbortClaims(std::vector<Claim>* claims);
+  void AbortClaims(std::vector<Claim>* claims, bool transient = false);
 
   /// Writes back a displaced dirty page and clears its flushing entry.
   Status WriteBack(Stripe& st, const Claim& claim);
+
+  /// Removes `id` from the stripe's flushing list (stripe mutex taken
+  /// inside).
+  void RemoveFlushing(Stripe& st, PageId id);
+
+  /// Batched write-back of every displaced dirty page in `claims` (the
+  /// eviction-under-pressure path): sorts the victims by page id, puts all
+  /// runs in flight through DiskManager::SubmitWrites, waits the group,
+  /// and clears the flushing entries. Each claim's `writeback` flag is
+  /// cleared whether or not the group succeeded (the flushing entries are
+  /// gone either way — see the data-loss NOTE on WriteBack). Falls back to
+  /// per-page WriteBack under sync_writeback_.
+  Status WriteBackBatch(std::vector<Claim>* claims);
+
+  /// One selected flush target: a frame pinned with its dirty bit already
+  /// cleared, plus the page id it held at selection time.
+  struct FlushTarget {
+    Frame* frame = nullptr;
+    PageId id = kInvalidPageId;
+  };
+
+  /// Writes `targets` back in sorted batched groups (snapshotting each
+  /// page into the staging arena under its cache latch, then
+  /// SubmitWrites/WaitWrites per staging-sized chunk), or per-page
+  /// synchronously under sync_writeback_. Failed pages are re-marked dirty
+  /// (batch mode re-marks the whole failing chunk — conservative, a clean
+  /// page flushed twice is harmless). Does NOT unpin. Returns the first
+  /// error and sets `*flushed`/`*runs` to the successful page and run
+  /// counts.
+  Status FlushTargets(std::vector<FlushTarget>* targets, size_t* flushed,
+                      size_t* runs);
 
   /// Spins until the frame's io bit clears; IOError if the load failed.
   Status WaitForLoad(Frame& f);
@@ -350,6 +411,19 @@ class BufferPool {
   size_t flusher_cursor_ = 0;  // stripe rotation across passes
   std::atomic<uint64_t> flusher_passes_{0};
   std::atomic<uint64_t> flusher_pages_{0};
+  std::atomic<uint64_t> flusher_coalesced_runs_{0};
+
+  /// Baseline knob: true forces per-page synchronous write-back everywhere
+  /// (see set_sync_writeback).
+  std::atomic<bool> sync_writeback_{false};
+  /// Staging arena for batched flushes: up to kFlushStagingPages pages are
+  /// snapshotted here (4096-aligned, so O_DIRECT group writes transfer
+  /// directly) while their cache latches are released — the device reads a
+  /// latch-consistent copy, never live frame memory. Allocated lazily and
+  /// used only under flusher_pass_mu_, which FlusherPass and FlushAll both
+  /// hold.
+  static constexpr size_t kFlushStagingPages = 256;
+  char* flush_staging_ = nullptr;
 
  public:
   class BatchFetch {

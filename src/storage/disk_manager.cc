@@ -64,6 +64,9 @@ struct DiskManager::OpRecord {
   std::vector<struct iovec> iov;
   PageId first_id = kInvalidPageId;
   size_t pages = 0;
+  /// Direction: false = readv into the iov buffers, true = writev from
+  /// them. Set before publish; read by completion/worker threads after.
+  bool is_write = false;
   /// Release-stored by the submitter after the fields above are final,
   /// acquire-loaded by whichever thread reaps the completion. The kernel's
   /// ring barriers already order these in practice; this makes the edge
@@ -100,7 +103,8 @@ DiskManager::~DiskManager() {
   if (fd_ >= 0) {
     ::close(fd_);
   }
-  for (char* buf : bounce_free_) std::free(buf);
+  for (char* buf : bounce_overflow_) std::free(buf);
+  std::free(bounce_arena_);
 }
 
 char* DiskManager::AcquireBounce() {
@@ -112,9 +116,16 @@ char* DiskManager::AcquireBounce() {
       return buf;
     }
   }
+  // Arena exhausted (or never allocated — buffered mode): one-off aligned
+  // allocation that joins the free list on release and is owned by
+  // bounce_overflow_ for the destructor.
   void* mem = nullptr;
   NBLB_CHECK_MSG(::posix_memalign(&mem, 4096, page_size_) == 0,
                  "posix_memalign failed for bounce buffer");
+  {
+    std::lock_guard<std::mutex> lk(bounce_mu_);
+    bounce_overflow_.push_back(static_cast<char*>(mem));
+  }
   return static_cast<char*>(mem);
 }
 
@@ -169,6 +180,22 @@ Status DiskManager::Open() {
   num_pages_.store(
       static_cast<PageId>(st.st_size / static_cast<off_t>(page_size_)),
       std::memory_order_relaxed);
+
+  // Direct mode stages unaligned transfers through bounce buffers; carve
+  // them all out of ONE aligned arena up front instead of a posix_memalign
+  // per first-use (the old scheme allocated on every pool-empty acquire).
+  if (direct_io_ && bounce_arena_ == nullptr) {
+    void* mem = nullptr;
+    NBLB_CHECK_MSG(
+        ::posix_memalign(&mem, 4096, kBounceSlots * page_size_) == 0,
+        "posix_memalign failed for bounce arena");
+    bounce_arena_ = static_cast<char*>(mem);
+    std::lock_guard<std::mutex> lk(bounce_mu_);
+    bounce_free_.reserve(kBounceSlots);
+    for (size_t i = kBounceSlots; i > 0; --i) {
+      bounce_free_.push_back(bounce_arena_ + (i - 1) * page_size_);
+    }
+  }
 
   // Resolve the async backend. NBLB_IO_BACKEND overrides the option so CI
   // (and operators) can force the fallback path without a rebuild.
@@ -251,13 +278,22 @@ Status DiskManager::ReadPage(PageId id, char* out) {
 
 Status DiskManager::ResumeRunSync(struct iovec* iov, size_t n,
                                   size_t iov_pos, off_t off,
-                                  size_t remaining, PageId first_id) {
+                                  size_t remaining, PageId first_id,
+                                  bool is_write) {
   while (remaining > 0) {
     const ssize_t got =
-        ::preadv(fd_, iov + iov_pos, static_cast<int>(n - iov_pos), off);
+        is_write
+            ? ::pwritev(fd_, iov + iov_pos, static_cast<int>(n - iov_pos),
+                        off)
+            : ::preadv(fd_, iov + iov_pos, static_cast<int>(n - iov_pos),
+                       off);
     if (got <= 0) {
-      return Status::IOError("short vectored read at page " +
-                             std::to_string(first_id));
+      return Status::IOError(std::string("short vectored ") +
+                             (is_write ? "write" : "read") + " at page " +
+                             std::to_string(first_id) +
+                             (got < 0 ? std::string(": ") +
+                                            std::strerror(errno)
+                                      : std::string()));
     }
     remaining -= static_cast<size_t>(got);
     off += got;
@@ -271,7 +307,15 @@ Status DiskManager::ReadRunSync(PageId first_id, struct iovec* iov,
   return ResumeRunSync(iov, run, /*iov_pos=*/0,
                        static_cast<off_t>(first_id) *
                            static_cast<off_t>(page_size_),
-                       run * page_size_, first_id);
+                       run * page_size_, first_id, /*is_write=*/false);
+}
+
+Status DiskManager::WriteRunSync(PageId first_id, struct iovec* iov,
+                                 size_t run) {
+  return ResumeRunSync(iov, run, /*iov_pos=*/0,
+                       static_cast<off_t>(first_id) *
+                           static_cast<off_t>(page_size_),
+                       run * page_size_, first_id, /*is_write=*/true);
 }
 
 Status DiskManager::ReadPages(const PageId* ids, char* const* dsts, size_t n) {
@@ -316,17 +360,21 @@ Status DiskManager::ReadPages(const PageId* ids, char* const* dsts, size_t n) {
 }
 
 // ---------------------------------------------------------------------------
-// Async read engine
+// Async engine (reads and writes share the submission/completion machinery)
 // ---------------------------------------------------------------------------
 
 void DiskManager::CompleteOp(OpRecord* op, Status status) {
   if (status.ok()) {
-    counters_.reads.fetch_add(op->pages, std::memory_order_relaxed);
-    if (op->pages > 1) {
-      counters_.vectored_reads.fetch_add(1, std::memory_order_relaxed);
+    if (op->is_write) {
+      counters_.writes.fetch_add(op->pages, std::memory_order_relaxed);
+    } else {
+      counters_.reads.fetch_add(op->pages, std::memory_order_relaxed);
+      if (op->pages > 1) {
+        counters_.vectored_reads.fetch_add(1, std::memory_order_relaxed);
+      }
     }
     for (size_t k = 0; k < op->pages; ++k) {
-      Charge(op->first_id + static_cast<PageId>(k), /*write=*/false);
+      Charge(op->first_id + static_cast<PageId>(k), op->is_write);
     }
   }
   std::shared_ptr<IoGroup> group = std::move(op->group);
@@ -348,9 +396,10 @@ void DiskManager::CompleteOp(OpRecord* op, Status status) {
 void DiskManager::CompleteOpRaw(OpRecord* op, int32_t res) {
   Status st;
   if (res < 0) {
-    st = Status::IOError("async read failed at page " +
-                         std::to_string(op->first_id) + ": " +
-                         std::strerror(-res));
+    st = Status::IOError(std::string("async ") +
+                         (op->is_write ? "write" : "read") +
+                         " failed at page " + std::to_string(op->first_id) +
+                         ": " + std::strerror(-res));
   } else {
     const size_t expected = op->pages * page_size_;
     const size_t got = static_cast<size_t>(res);
@@ -364,7 +413,7 @@ void DiskManager::CompleteOpRaw(OpRecord* op, int32_t res) {
                          static_cast<off_t>(op->first_id) *
                                  static_cast<off_t>(page_size_) +
                              static_cast<off_t>(got),
-                         expected - got, op->first_id);
+                         expected - got, op->first_id, op->is_write);
     }
   }
   CompleteOp(op, std::move(st));
@@ -417,7 +466,10 @@ void DiskManager::IoThreadLoop() {
       op = tp_queue_.front();
       tp_queue_.pop_front();
     }
-    Status st = ReadRunSync(op->first_id, op->iov.data(), op->iov.size());
+    Status st =
+        op->is_write
+            ? WriteRunSync(op->first_id, op->iov.data(), op->iov.size())
+            : ReadRunSync(op->first_id, op->iov.data(), op->iov.size());
     CompleteOp(op, std::move(st));
     tp_inflight_.fetch_sub(1, std::memory_order_release);
   }
@@ -425,18 +477,37 @@ void DiskManager::IoThreadLoop() {
 
 Status DiskManager::SubmitReads(const PageId* ids, char* const* dsts,
                                 size_t n, IoTicket* ticket) {
+  return SubmitBatch(ids, dsts, n, /*is_write=*/false, ticket);
+}
+
+Status DiskManager::SubmitWrites(const PageId* ids, const char* const* srcs,
+                                 size_t n, IoTicket* ticket) {
+  // The iovec ABI is direction-agnostic (iov_base is void* either way) and
+  // SubmitBatch never dereferences the buffers itself; writes only read
+  // from them, so shedding the const here is safe.
+  return SubmitBatch(ids, const_cast<char* const*>(srcs), n,
+                     /*is_write=*/true, ticket);
+}
+
+Status DiskManager::SubmitBatch(const PageId* ids, char* const* bufs,
+                                size_t n, bool is_write, IoTicket* ticket) {
   ticket->group_.reset();
   if (n == 0) return Status::OK();
   if (fd_ < 0) return Status::IOError("disk manager not open");
   const PageId np = num_pages();
   for (size_t i = 0; i < n; ++i) {
     if (ids[i] >= np) {
-      return Status::OutOfRange("read past end of file: page " +
+      return Status::OutOfRange(std::string(is_write ? "write" : "read") +
+                                " past end of file: page " +
                                 std::to_string(ids[i]));
     }
     NBLB_DCHECK(i == 0 || ids[i] > ids[i - 1]);
   }
-  counters_.async_batches.fetch_add(1, std::memory_order_relaxed);
+  if (is_write) {
+    counters_.async_write_batches.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    counters_.async_batches.fetch_add(1, std::memory_order_relaxed);
+  }
 
   auto group = std::make_shared<IoGroup>();
   std::vector<OpRecord*> ops;
@@ -444,18 +515,19 @@ Status DiskManager::SubmitReads(const PageId* ids, char* const* dsts,
   size_t i = 0;
   while (i < n) {
     // In direct mode every buffer of a vectored transfer must be aligned;
-    // an unaligned destination is served synchronously through the bounce
-    // path right here (the BufferPool's arena is always aligned, so this
-    // only triggers for ad-hoc callers).
-    if (direct_io_ && !Aligned(dsts[i])) {
-      Status st = ReadPage(ids[i], dsts[i]);
+    // an unaligned buffer is served synchronously through the bounce path
+    // right here (the BufferPool's arenas are always aligned, so this only
+    // triggers for ad-hoc callers).
+    if (direct_io_ && !Aligned(bufs[i])) {
+      Status st = is_write ? WritePage(ids[i], bufs[i])
+                           : ReadPage(ids[i], bufs[i]);
       if (!st.ok() && sync_error.ok()) sync_error = st;
       ++i;
       continue;
     }
     size_t j = i + 1;
     while (j < n && ids[j] == ids[j - 1] + 1 && (j - i) < kMaxIov &&
-           (!direct_io_ || Aligned(dsts[j]))) {
+           (!direct_io_ || Aligned(bufs[j]))) {
       ++j;
     }
     const size_t run = j - i;
@@ -463,13 +535,19 @@ Status DiskManager::SubmitReads(const PageId* ids, char* const* dsts,
     op->group = group;
     op->first_id = ids[i];
     op->pages = run;
+    op->is_write = is_write;
     op->iov.resize(run);
     for (size_t k = 0; k < run; ++k) {
-      op->iov[k].iov_base = dsts[i + k];
+      op->iov[k].iov_base = bufs[i + k];
       op->iov[k].iov_len = page_size_;
     }
     ops.push_back(op);
-    counters_.async_reads.fetch_add(run, std::memory_order_relaxed);
+    if (is_write) {
+      counters_.async_writes.fetch_add(run, std::memory_order_relaxed);
+      counters_.write_runs.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      counters_.async_reads.fetch_add(run, std::memory_order_relaxed);
+    }
     i = j;
   }
 
@@ -512,11 +590,15 @@ Status DiskManager::SubmitReads(const PageId* ids, char* const* dsts,
         }
         if (ReapUringLocked() == 0) ring_->WaitCqe();
       }
-      while (!ring_->PushReadv(fd_, op->iov.data(),
-                               static_cast<unsigned>(op->iov.size()),
-                               static_cast<uint64_t>(op->first_id) *
-                                   page_size_,
-                               reinterpret_cast<uint64_t>(op))) {
+      const auto push = [&] {
+        const unsigned nr = static_cast<unsigned>(op->iov.size());
+        const uint64_t off =
+            static_cast<uint64_t>(op->first_id) * page_size_;
+        const uint64_t ud = reinterpret_cast<uint64_t>(op);
+        return is_write ? ring_->PushWritev(fd_, op->iov.data(), nr, off, ud)
+                        : ring_->PushReadv(fd_, op->iov.data(), nr, off, ud);
+      };
+      while (!push()) {
         // SQ full: flush to hand the ring to the kernel. Transient enter
         // failures (EAGAIN/ENOMEM) are retried as backpressure — see the
         // final-flush loop below for why erroring out here is not an
@@ -594,6 +676,12 @@ Status DiskManager::WaitReads(IoTicket* ticket) {
   WaitGroup(group);
   std::lock_guard<std::mutex> lk(group->mu);
   return group->error;
+}
+
+Status DiskManager::WaitWrites(IoTicket* ticket) {
+  // Reads and writes share the group/completion machinery; the split name
+  // exists so call sites read correctly.
+  return WaitReads(ticket);
 }
 
 bool DiskManager::PollCompletions(IoTicket* ticket, Status* status) {
@@ -709,6 +797,10 @@ DiskStats DiskManager::stats() const {
       counters_.vectored_reads.load(std::memory_order_relaxed);
   s.async_reads = counters_.async_reads.load(std::memory_order_relaxed);
   s.async_batches = counters_.async_batches.load(std::memory_order_relaxed);
+  s.async_writes = counters_.async_writes.load(std::memory_order_relaxed);
+  s.async_write_batches =
+      counters_.async_write_batches.load(std::memory_order_relaxed);
+  s.write_runs = counters_.write_runs.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -719,6 +811,9 @@ void DiskManager::ResetStats() {
   counters_.vectored_reads.store(0, std::memory_order_relaxed);
   counters_.async_reads.store(0, std::memory_order_relaxed);
   counters_.async_batches.store(0, std::memory_order_relaxed);
+  counters_.async_writes.store(0, std::memory_order_relaxed);
+  counters_.async_write_batches.store(0, std::memory_order_relaxed);
+  counters_.write_runs.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace nblb

@@ -35,14 +35,14 @@ enum class IoBackend {
   kThreads,
 };
 
-/// \brief Tuning for the async read engine.
+/// \brief Tuning for the async engine (reads and writes share it).
 struct AsyncIoOptions {
   IoBackend backend = IoBackend::kAuto;
-  /// Max in-flight async read ops (io_uring submission ring size; the
-  /// kernel rounds up to a power of two).
+  /// Max in-flight async ops (io_uring submission ring size; the kernel
+  /// rounds up to a power of two). Reads and writes draw from one budget.
   size_t queue_depth = 64;
-  /// Worker threads for the preadv fallback backend (started lazily on the
-  /// first async submission when that backend is in use).
+  /// Worker threads for the preadv/pwritev fallback backend (started lazily
+  /// on the first async submission when that backend is in use).
   size_t io_threads = 4;
 };
 
@@ -62,6 +62,15 @@ struct DiskStats {
   /// SubmitReads groups — with `async_reads` this gives pages overlapped
   /// per submission.
   uint64_t async_batches = 0;
+  /// Pages submitted through the async WRITE engine (SubmitWrites).
+  uint64_t async_writes = 0;
+  /// SubmitWrites groups — with `async_writes` this gives pages overlapped
+  /// per write submission.
+  uint64_t async_write_batches = 0;
+  /// Contiguous runs put in flight by SubmitWrites (one IORING_OP_WRITEV /
+  /// pwritev task each) — with `async_writes` this gives pages per vectored
+  /// write, i.e. how well the flusher's sort coalesced the dirty set.
+  uint64_t write_runs = 0;
 };
 
 namespace internal {
@@ -81,6 +90,13 @@ struct IoGroup;
 /// preadv worker pool) until WaitReads/PollCompletions harvests them. This
 /// is how one shard worker overlaps all of its non-contiguous miss runs
 /// instead of paying device latency once per run.
+///
+/// Asynchronous writes are the mirror image: SubmitWrites puts every
+/// contiguous run of a (sorted) dirty batch in flight at once
+/// (IORING_OP_WRITEV, or the pwritev worker pool) and WaitWrites harvests
+/// the group — the buffer pool's flusher, eviction write-backs, and
+/// FlushAll/Checkpoint all drain through it instead of paying one
+/// synchronous pwrite per page.
 class DiskManager {
  public:
   /// \brief Completion token for one SubmitReads group. Move-only in
@@ -160,6 +176,23 @@ class DiskManager {
   /// \brief Writes page `id` from `data` (page_size bytes).
   Status WritePage(PageId id, const char* data);
 
+  /// \brief Begins asynchronous writes of `n` pages: `ids` must be
+  /// ascending and unique, `srcs[i]` supplies page `ids[i]`'s bytes, and
+  /// every page must already exist (writes never extend the file).
+  /// Contiguous id runs become one vectored op each and ALL runs are in
+  /// flight at once. Source buffers must stay alive (and unmodified, if the
+  /// on-disk bytes are to be well defined) until the ticket completes.
+  /// Validation errors surface here; device errors surface from
+  /// WaitWrites/PollCompletions.
+  Status SubmitWrites(const PageId* ids, const char* const* srcs, size_t n,
+                      IoTicket* ticket);
+
+  /// \brief Blocks until every write in `ticket` completes; returns the
+  /// first error (OK otherwise) and invalidates the ticket. Waiting on an
+  /// invalid ticket returns OK. (Writes and reads share the completion
+  /// machinery: PollCompletions works on write tickets too.)
+  Status WaitWrites(IoTicket* ticket);
+
   /// \brief Extends the file by one zeroed page and returns its id.
   Result<PageId> AllocatePage();
 
@@ -191,16 +224,26 @@ class DiskManager {
   }
   void Charge(PageId id, bool write);
 
-  /// The shared preadv resume loop: transfers `remaining` bytes at file
-  /// offset `off` into `iov[iov_pos..n)`, advancing across partial
-  /// transfers. `first_id` is for error messages only.
+  /// The shared preadv/pwritev resume loop: transfers `remaining` bytes at
+  /// file offset `off` from/into `iov[iov_pos..n)`, advancing across
+  /// partial transfers. `first_id` is for error messages only.
   Status ResumeRunSync(struct iovec* iov, size_t n, size_t iov_pos,
-                       off_t off, size_t remaining, PageId first_id);
+                       off_t off, size_t remaining, PageId first_id,
+                       bool is_write);
   /// Synchronous scattered read of one whole contiguous run: reads `run`
   /// pages starting at `first_id` into `iov`.
   Status ReadRunSync(PageId first_id, struct iovec* iov, size_t run);
+  /// Synchronous gathered write of one whole contiguous run.
+  Status WriteRunSync(PageId first_id, struct iovec* iov, size_t run);
 
-  /// Finishes one async op: short-read continuation, counters, latency
+  /// Shared submission path behind SubmitReads/SubmitWrites: validates,
+  /// splits the batch into contiguous runs, and puts every run in flight
+  /// through the active backend. `bufs` are destinations for reads and
+  /// sources for writes.
+  Status SubmitBatch(const PageId* ids, char* const* bufs, size_t n,
+                     bool is_write, IoTicket* ticket);
+
+  /// Finishes one async op: short-transfer continuation, counters, latency
   /// charge, group accounting. Deletes `op`.
   void CompleteOp(OpRecord* op, Status status);
   /// Translates a raw cqe result into a Status (running the short-read
@@ -238,11 +281,22 @@ class DiskManager {
     std::atomic<uint64_t> vectored_reads{0};
     std::atomic<uint64_t> async_reads{0};
     std::atomic<uint64_t> async_batches{0};
+    std::atomic<uint64_t> async_writes{0};
+    std::atomic<uint64_t> async_write_batches{0};
+    std::atomic<uint64_t> write_runs{0};
   };
   Counters counters_;
 
+  /// O_DIRECT staging: one aligned arena of kBounceSlots page buffers,
+  /// allocated once at Open (direct mode only). The free list hands out
+  /// arena slots; if demand ever exceeds the arena, one-off aligned
+  /// allocations (tracked in bounce_overflow_) cover the burst and then
+  /// recycle through the same free list.
+  static constexpr size_t kBounceSlots = 32;
   std::mutex bounce_mu_;
   std::vector<char*> bounce_free_;
+  char* bounce_arena_ = nullptr;
+  std::vector<char*> bounce_overflow_;
 
   // ---- io_uring backend ----------------------------------------------------
   std::unique_ptr<IoRing> ring_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <thread>
 
 #include "common/bytes.h"
 #include "common/logging.h"
@@ -278,6 +279,17 @@ Status HeapFile::GetBatch(const std::vector<Rid>& rids,
     have_pending = false;
     if (!fetched.ok()) {
       if (have_ahead) (void)bp_->FinishFetchPages(std::move(ahead));
+      // Finish can fail ResourceExhausted too: a load we piggybacked on
+      // was cancelled because ITS batch ran out of frames (the claim is
+      // marked transiently failed, see BufferPool::WaitForLoad). That is
+      // backpressure, not an error — redo from this chunk (the prefetched
+      // one included; both dropped every pin above) at half size.
+      if (fetched.status().IsResourceExhausted()) {
+        base = pending_begin;
+        if (chunk_cap > 1) chunk_cap /= 2;
+        std::this_thread::yield();
+        continue;
+      }
       return fetched.status();
     }
     std::vector<PageGuard> guards = std::move(*fetched);

@@ -94,8 +94,8 @@ IoRing::~IoRing() {
   if (fd_ >= 0) ::close(fd_);
 }
 
-bool IoRing::PushReadv(int fd, const struct iovec* iov, unsigned nr_iov,
-                       uint64_t offset, uint64_t user_data) {
+bool IoRing::PushOp(uint8_t opcode, int fd, const struct iovec* iov,
+                    unsigned nr_iov, uint64_t offset, uint64_t user_data) {
   // Sole producer (caller-serialized): tail is ours to read relaxed, head is
   // advanced by the kernel as it consumes sqes.
   const unsigned head = __atomic_load_n(sq_head_, __ATOMIC_ACQUIRE);
@@ -103,7 +103,7 @@ bool IoRing::PushReadv(int fd, const struct iovec* iov, unsigned nr_iov,
   if (tail - head >= sq_entries_) return false;
   struct io_uring_sqe* sqe = &sqes_[tail & *sq_mask_];
   std::memset(sqe, 0, sizeof(*sqe));
-  sqe->opcode = IORING_OP_READV;
+  sqe->opcode = opcode;
   sqe->fd = fd;
   sqe->addr = reinterpret_cast<uint64_t>(iov);
   sqe->len = nr_iov;
@@ -113,6 +113,16 @@ bool IoRing::PushReadv(int fd, const struct iovec* iov, unsigned nr_iov,
   __atomic_store_n(sq_tail_, tail + 1, __ATOMIC_RELEASE);
   ++to_submit_;
   return true;
+}
+
+bool IoRing::PushReadv(int fd, const struct iovec* iov, unsigned nr_iov,
+                       uint64_t offset, uint64_t user_data) {
+  return PushOp(IORING_OP_READV, fd, iov, nr_iov, offset, user_data);
+}
+
+bool IoRing::PushWritev(int fd, const struct iovec* iov, unsigned nr_iov,
+                        uint64_t offset, uint64_t user_data) {
+  return PushOp(IORING_OP_WRITEV, fd, iov, nr_iov, offset, user_data);
 }
 
 int IoRing::Flush() {

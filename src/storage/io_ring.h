@@ -44,6 +44,9 @@ class IoRing {
   bool PushReadv(int, const struct iovec*, unsigned, uint64_t, uint64_t) {
     return false;
   }
+  bool PushWritev(int, const struct iovec*, unsigned, uint64_t, uint64_t) {
+    return false;
+  }
   int Flush() { return -1; }
   size_t Reap(Cqe*, size_t) { return 0; }
   int WaitCqe() { return -1; }
@@ -84,6 +87,12 @@ class IoRing {
   bool PushReadv(int fd, const struct iovec* iov, unsigned nr_iov,
                  uint64_t offset, uint64_t user_data);
 
+  /// \brief Queues one IORING_OP_WRITEV (same contract as PushReadv: the
+  /// iov — and the source buffers it points at — must stay alive until the
+  /// completion is reaped; false means SQ full, Flush and retry).
+  bool PushWritev(int fd, const struct iovec* iov, unsigned nr_iov,
+                  uint64_t offset, uint64_t user_data);
+
   /// \brief Submits every queued sqe to the kernel. 0 on success, -errno.
   int Flush();
 
@@ -96,6 +105,10 @@ class IoRing {
 
  private:
   IoRing() = default;
+
+  /// Shared producer path for PushReadv/PushWritev.
+  bool PushOp(uint8_t opcode, int fd, const struct iovec* iov,
+              unsigned nr_iov, uint64_t offset, uint64_t user_data);
 
   int fd_ = -1;
   unsigned sq_entries_ = 0;
