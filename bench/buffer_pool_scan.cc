@@ -48,6 +48,11 @@
 //   "churn_speedup_batch_vs_sync": <float>,  // at 1 thread (the regime
 //                                            // where write latency cannot
 //                                            // hide behind other clients)
+//   "metrics": { ... },  // unified-registry document (src/obs/): the scan
+//                        // and churn DiskManagers plus the final churn
+//                        // BufferPool, under scan_disk./churn_disk./
+//                        // churn_buffer_pool. prefixes (disk counters are
+//                        // reset per config, so they cover the last one)
 //   "io_backend_effective": "uring"|"threads",
 //   "speedup_8t_hit_vs_seed": <float>  // striped single-fetch vs seed pool
 // }
@@ -71,6 +76,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "obs/metrics.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk_manager.h"
 
@@ -452,9 +458,13 @@ int main(int argc, char** argv) {
       churn_disk.direct_io() ? 1 : 0);
   std::printf("%-8s %-8s %-12s %-10s %-10s %-10s %-10s\n", "wb", "threads",
               "ops/sec", "writes", "asyncw", "runs", "flusherp");
+  // The last churn pool outlives the sweep so its counters can be
+  // published in the metrics document below.
+  std::unique_ptr<BufferPool> churn_bp;
   for (const char* wb : {"sync", "batch"}) {
     for (uint32_t threads : thread_sweep) {
-      BufferPool bp(&churn_disk, frames, 0);
+      churn_bp.reset(new BufferPool(&churn_disk, frames, 0));
+      BufferPool& bp = *churn_bp;
       bp.set_sync_writeback(std::strcmp(wb, "sync") == 0);
       bp.StartFlusher(flusher_us, /*batch_pages=*/64);
       churn_disk.ResetStats();
@@ -578,12 +588,28 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(r.dirty_writebacks),
         i + 1 < churn_results.size() ? "," : "");
   }
+  // Unified-registry document for the bench's storage layers: same
+  // MetricsRegistry/Snapshot/ToJson machinery the serving stack exports
+  // through DumpMetrics(). The registry is scoped to this block so it
+  // cannot outlive the components it points into.
+  std::string metrics_json;
+  {
+    MetricsRegistry registry;
+    disk.RegisterMetrics(&registry, "scan_disk.");
+    churn_disk.RegisterMetrics(&registry, "churn_disk.");
+    if (churn_bp) {
+      churn_bp->RegisterMetrics(&registry, "churn_buffer_pool.");
+    }
+    metrics_json = registry.Snapshot().ToJson();
+  }
   std::fprintf(f,
                "  ],\n  \"churn_speedup_batch_vs_sync\": %.4f,\n"
+               "  \"metrics\": %s,\n"
                "  \"churn_direct_io_effective\": %d,\n"
                "  \"io_backend_effective\": \"%s\",\n"
                "  \"speedup_8t_hit_vs_seed\": %.4f\n}\n",
-               churn_speedup, churn_disk.direct_io() ? 1 : 0,
+               churn_speedup, metrics_json.c_str(),
+               churn_disk.direct_io() ? 1 : 0,
                disk.io_backend_in_use() == IoBackend::kUring ? "uring"
                                                              : "threads",
                speedup);

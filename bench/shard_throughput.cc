@@ -54,6 +54,12 @@
 //       "coalesce_p50": <uint>, "coalesce_max": <uint>,
 //       "avg_coalesce": <float>,        // sub-batches per service group
 //       "service_us_p50": <uint>, "service_us_p99": <uint>,
+//       "trace": {                      // sampled-tracing breakdown of the
+//         "sampled": <uint>,            // closed phase (trace.* histogram
+//         "<phase>_us": {"count","p50","p99","max"}, ...  // deltas); phases:
+//       },                              // queue_wait service get_batch
+//                                       // fetch_start io_submit device_wait
+//                                       // copy completion end_to_end
 //       "direct_io_effective": <0|1>,   // every shard file really O_DIRECT
 //                                       // (0 = fs refused; page-cache run)
 //       "open_loop": {                  // async Submit phase, same batches
@@ -66,8 +72,13 @@
 //         "queue_depth_max": <uint>,
 //         "coalesce_p50": <uint>, "coalesce_max": <uint>,
 //         "avg_coalesce": <float>,
-//         "service_us_p50": <uint>, "service_us_p99": <uint>
-//       }
+//         "service_us_p50": <uint>, "service_us_p99": <uint>,
+//         "trace": { ... }              // same shape, open-phase delta
+//       },
+//       "metrics": { ... }              // engine->DumpMetrics(): the full
+//                                       // unified registry document
+//                                       // (counters/gauges/histograms over
+//                                       // engine./trace./shard<i>.* names)
 //     }, ...
 //   ],
 //   "speedup_4s4t_vs_1s1t": <float>,    // closed-loop ratio, the headline
@@ -101,10 +112,11 @@
 // --flush_batch=N --max_queue=N (0 = unbounded Submit; >0 bounds each
 // shard queue, blocking policy) --mixed=0|1 --mixed_ops=N (0 = lookups/2)
 // --mixed_update=PCT --mixed_flusher_us=N (flusher cadence during the
-// mixed phases when --flusher_us=0) (defaults below). The JSON gains
-// "io_backend" (requested), "io_backend_effective" (what every shard
-// actually runs after runtime probing), "flusher_interval_us" and
-// "max_queue_depth".
+// mixed phases when --flusher_us=0) --trace_every=N (sample 1-in-N
+// sub-batches for tracing; 0 disables, NBLB_OBS_OFF=1 overrides to off)
+// (defaults below). The JSON gains "io_backend" (requested),
+// "io_backend_effective" (what every shard actually runs after runtime
+// probing), "flusher_interval_us", "max_queue_depth" and "trace_every".
 
 #include <algorithm>
 #include <chrono>
@@ -117,6 +129,7 @@
 
 #include <unordered_map>
 
+#include "obs/metrics.h"
 #include "shard/sharded_engine.h"
 #include "workload/replay.h"
 #include "workload/trace.h"
@@ -179,6 +192,9 @@ struct PhaseResult {
   uint64_t disk_reads = 0;
   PhaseDist dist;
   WriteCounters wio;  ///< filled for the mixed phases only
+  /// Sampled-tracing breakdown of this phase (JSON fragment from the
+  /// "trace.*" histogram delta); empty when tracing was off.
+  std::string trace_json;
 };
 
 struct ConfigResult {
@@ -196,7 +212,47 @@ struct ConfigResult {
   size_t inflight = 0;
   bool direct_io_effective = false;
   bool uring_effective = false;
+  /// The engine's full unified-metrics document (DumpMetrics), captured at
+  /// config teardown: every layer's counters/gauges/histograms in one JSON
+  /// object, embedded verbatim under "metrics".
+  std::string metrics_json;
 };
+
+/// Serializes the per-phase sampled-tracing latency breakdown out of a
+/// metrics-snapshot delta: {"sampled": N, "<phase>_us": {count,p50,p99,max}}
+/// for every trace phase that recorded anything during the phase.
+std::string TraceBreakdownJson(const MetricsSnapshot& delta) {
+  std::string out = "{";
+  char buf[160];
+  uint64_t sampled = 0;
+  if (auto it = delta.counters.find("trace.sampled");
+      it != delta.counters.end()) {
+    sampled = it->second;
+  }
+  std::snprintf(buf, sizeof(buf), "\"sampled\": %llu",
+                static_cast<unsigned long long>(sampled));
+  out.append(buf);
+  static const char* kPhases[] = {"queue_wait",  "service",     "get_batch",
+                                  "fetch_start", "io_submit",   "device_wait",
+                                  "copy",        "completion",  "end_to_end"};
+  for (const char* phase : kPhases) {
+    const auto it = delta.histograms.find(std::string("trace.") + phase +
+                                          "_us");
+    if (it == delta.histograms.end() || it->second.count() == 0) continue;
+    const LogHistogramSnapshot& h = it->second;
+    std::snprintf(
+        buf, sizeof(buf),
+        ", \"%s_us\": {\"count\": %llu, \"p50\": %llu, \"p99\": %llu, "
+        "\"max\": %llu}",
+        phase, static_cast<unsigned long long>(h.count()),
+        static_cast<unsigned long long>(h.ValueAtQuantile(0.50)),
+        static_cast<unsigned long long>(h.ValueAtQuantile(0.99)),
+        static_cast<unsigned long long>(h.ApproxMax()));
+    out.append(buf);
+  }
+  out.push_back('}');
+  return out;
+}
 
 double Percentile(std::vector<double> xs, double p) {
   if (xs.empty()) return 0;
@@ -290,6 +346,9 @@ struct IoKnobs {
   /// Flusher cadence for the mixed write phases when flusher_us == 0 (the
   /// read phases then run flusher-less exactly as before).
   uint64_t mixed_flusher_us = 2000;
+  /// Request-tracing sample rate: 1-in-N sub-batches carry a TraceContext
+  /// (0 disables sampling; NBLB_OBS_OFF=1 disables it regardless).
+  uint64_t trace_every = 32;
 };
 
 /// Runs one closed-loop replay of `batches` over `clients` threads and
@@ -351,6 +410,7 @@ ConfigResult RunConfig(uint32_t shards, uint32_t workers,
   opts.flusher_interval_us = io.flusher_us;
   opts.flush_batch_pages = io.flush_batch;
   opts.max_queue_depth = io.max_queue;
+  opts.trace_sample_every = io.trace_every;
   opts.schema = WikipediaSynthesizer::RevisionSchema();
   opts.table_options.key_columns = {0};
   auto engine_result = ShardedEngine::Open(opts);
@@ -389,6 +449,7 @@ ConfigResult RunConfig(uint32_t shards, uint32_t workers,
   // ---- Closed-loop phase: blocking Execute, one batch per client thread.
   IoCounters io_before = IoCountersOf(engine.get());
   ShardStatsSnapshot stats_before = engine->TotalShardStats();
+  MetricsSnapshot m_before = engine->MetricsSnapshotNow();
 
   const uint32_t clients = r.clients;
   RunClosedPhase(engine.get(), clients, batches, &r.closed);
@@ -399,6 +460,12 @@ ConfigResult RunConfig(uint32_t shards, uint32_t workers,
     ShardStatsSnapshot delta = stats_mid;
     delta -= stats_before;
     r.closed.dist = DistOf(delta);
+  }
+  MetricsSnapshot m_mid = engine->MetricsSnapshotNow();
+  {
+    MetricsSnapshot delta = m_mid;
+    delta -= m_before;
+    r.closed.trace_json = TraceBreakdownJson(delta);
   }
 
   // ---- Open-loop phase: async Submit at sustained in-flight depth, same
@@ -419,6 +486,10 @@ ConfigResult RunConfig(uint32_t shards, uint32_t workers,
     ShardStatsSnapshot delta = stats_after;
     delta -= stats_mid;
     r.open.dist = DistOf(delta);
+    MetricsSnapshot m_after = engine->MetricsSnapshotNow();
+    MetricsSnapshot mdelta = m_after;
+    mdelta -= m_mid;
+    r.open.trace_json = TraceBreakdownJson(mdelta);
   }
 
   // ---- Mixed write-heavy phases: per-page-pwrite baseline, then the
@@ -460,6 +531,10 @@ ConfigResult RunConfig(uint32_t shards, uint32_t workers,
       phase->wio = Delta(w_before, WriteCountersOf(engine.get()));
     }
   }
+
+  // Capture the unified metrics document before the engine (and with it
+  // every layer's registered metric) is torn down.
+  r.metrics_json = engine->DumpMetrics();
 
   for (uint32_t s = 0; s < shards; ++s) {
     std::remove(
@@ -559,6 +634,7 @@ int main(int argc, char** argv) {
   io.flush_batch = FlagOr(argc, argv, "flush_batch", 64);
   io.max_queue = FlagOr(argc, argv, "max_queue", 0);
   io.mixed_flusher_us = FlagOr(argc, argv, "mixed_flusher_us", 2000);
+  io.trace_every = FlagOr(argc, argv, "trace_every", 32);
   const bool run_mixed = FlagOr(argc, argv, "mixed", 1) != 0;
   const uint64_t mixed_ops =
       FlagOr(argc, argv, "mixed_ops", 0) != 0
@@ -702,6 +778,7 @@ int main(int argc, char** argv) {
                "  \"io_backend_effective\": \"%s\",\n"
                "  \"flusher_interval_us\": %llu,\n"
                "  \"max_queue_depth\": %llu,\n"
+               "  \"trace_every\": %llu,\n"
                "  \"mixed_ops\": %llu,\n"
                "  \"mixed_update_fraction\": %.2f,\n"
                "  \"mixed_flusher_us\": %llu,\n"
@@ -718,6 +795,7 @@ int main(int argc, char** argv) {
                    : "threads",
                static_cast<unsigned long long>(io.flusher_us),
                static_cast<unsigned long long>(io.max_queue),
+               static_cast<unsigned long long>(io.trace_every),
                static_cast<unsigned long long>(run_mixed ? mixed_ops : 0),
                static_cast<double>(mixed_update_pct) / 100.0,
                static_cast<unsigned long long>(io.mixed_flusher_us));
@@ -738,6 +816,9 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(r.closed.errors), r.closed.bp_hit_rate,
         static_cast<unsigned long long>(r.closed.disk_reads));
     PrintPhaseDistJson(f, "     ", r.closed);
+    if (!r.closed.trace_json.empty()) {
+      std::fprintf(f, ",\n     \"trace\": %s", r.closed.trace_json.c_str());
+    }
     std::fprintf(f, ",\n     \"direct_io_effective\": %d",
                  r.direct_io_effective ? 1 : 0);
     if (r.open_ran) {
@@ -756,11 +837,17 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(r.open.errors), r.open.bp_hit_rate,
           static_cast<unsigned long long>(r.open.disk_reads));
       PrintPhaseDistJson(f, "       ", r.open);
+      if (!r.open.trace_json.empty()) {
+        std::fprintf(f, ",\n       \"trace\": %s", r.open.trace_json.c_str());
+      }
       std::fprintf(f, "\n     }");
     }
     if (r.mixed_ran) {
       PrintMixedPhaseJson(f, "mixed_sync", r.mixed_sync);
       PrintMixedPhaseJson(f, "mixed", r.mixed);
+    }
+    if (!r.metrics_json.empty()) {
+      std::fprintf(f, ",\n     \"metrics\": %s", r.metrics_json.c_str());
     }
     std::fprintf(f, "}%s\n", i + 1 < results.size() ? "," : "");
   }

@@ -5,7 +5,8 @@ the allowed ratio.
 
 Usage:
     check_bench_regression.py --baseline BENCH_shard_throughput.json \
-        --current smoke_shard_throughput.json [--min-ratio 0.75]
+        --current smoke_shard_throughput.json [--min-ratio 0.75] \
+        [--obs-off-current smoke_obs_off.json [--obs-min-ratio 0.97]]
 
 Handles both bench schemas in this repo ("shard_throughput" and
 "buffer_pool_scan"), matching comparable configurations between the two
@@ -21,6 +22,20 @@ min-ratio * CATASTROPHIC_FACTOR fails outright.
 
 Error counts are gated unconditionally: any serving error in any regime
 fails the job.
+
+The CURRENT file's embedded unified-metrics documents (see src/obs/) are
+schema-validated unconditionally: every section present, histogram shape
+intact (count == sum(buckets)), and the layer coverage the serving stack
+promises (engine./trace./shard<i>.disk|buffer_pool|shard.* for
+shard_throughput; scan_disk./churn_disk./churn_buffer_pool.* for
+buffer_pool_scan). A bench JSON without its metrics document fails.
+
+--obs-off-current enables the OBSERVABILITY OVERHEAD gate: a second
+current-tree shard_throughput JSON produced with NBLB_OBS_OFF=1 (tracing,
+flight recorder and registry hooks compiled in but disabled). The
+geometric-mean hit-regime ratio instrumented/obs-off must stay >=
+--obs-min-ratio (default 0.97): instrumentation costing more than ~3% of
+hit-path throughput is a regression in its own right.
 """
 
 import argparse
@@ -31,6 +46,9 @@ import sys
 DEFAULT_MIN_RATIO = 0.75  # fail on a >25% hit-regime throughput drop
 CATASTROPHIC_FACTOR = 0.6  # per-config hard floor = min_ratio * this
 HIT_REGIME_MIN_RATE = 0.90
+DEFAULT_OBS_MIN_RATIO = 0.97  # instrumentation may cost at most ~3%
+
+HISTOGRAM_FIELDS = ("count", "p50", "p90", "p99", "max", "buckets")
 
 
 def fail(msg):
@@ -57,6 +75,127 @@ def gate_ratios(bench, ratios, min_ratio):
     if geomean < min_ratio:
         fail(f"{bench}: hit-regime throughput geomean dropped to "
              f"{geomean:.2f}x of baseline (allowed >= {min_ratio:.2f}x)")
+
+
+def validate_metrics_document(context, doc):
+    """Schema check of one unified-registry document (MetricsSnapshot::ToJson):
+    three sections, integral counters, numeric gauges, histograms with the
+    full field set and internally consistent bucket sums."""
+    for section in ("counters", "gauges", "histograms"):
+        if not isinstance(doc.get(section), dict):
+            fail(f"{context}: metrics document missing '{section}' object")
+    for name, value in doc["counters"].items():
+        if not isinstance(value, int) or value < 0:
+            fail(f"{context}: counter {name} is not a non-negative integer: "
+                 f"{value!r}")
+    for name, value in doc["gauges"].items():
+        if not isinstance(value, (int, float)):
+            fail(f"{context}: gauge {name} is not numeric: {value!r}")
+    for name, hist in doc["histograms"].items():
+        for field in HISTOGRAM_FIELDS:
+            if field not in hist:
+                fail(f"{context}: histogram {name} missing '{field}'")
+        if not isinstance(hist["buckets"], list) or not hist["buckets"]:
+            fail(f"{context}: histogram {name} has no buckets array")
+        if sum(hist["buckets"]) != hist["count"]:
+            fail(f"{context}: histogram {name} bucket sum "
+                 f"{sum(hist['buckets'])} != count {hist['count']}")
+
+
+def validate_trace_object(context, trace):
+    """A per-phase sampled-tracing breakdown: a sample count plus
+    {count,p50,p99,max} per phase that recorded anything."""
+    if "sampled" not in trace:
+        fail(f"{context}: trace object missing 'sampled'")
+    for phase, stats in trace.items():
+        if phase == "sampled":
+            continue
+        for field in ("count", "p50", "p99", "max"):
+            if field not in stats:
+                fail(f"{context}: trace phase {phase} missing '{field}'")
+
+
+def validate_shard_metrics(current):
+    """Every config of a shard_throughput JSON must embed the unified
+    document covering engine, trace, and every shard's storage + serving
+    layers, plus per-phase trace breakdowns."""
+    print("  validating embedded metrics documents...")
+    for c in current["configs"]:
+        key = (c["shards"], c["workers"])
+        context = f"shard_throughput {key}"
+        doc = c.get("metrics")
+        if doc is None:
+            fail(f"{context}: no embedded metrics document")
+        validate_metrics_document(context, doc)
+        counters = doc["counters"]
+        for name in ("engine.batches", "engine.requests", "trace.sampled"):
+            if name not in counters:
+                fail(f"{context}: metrics document missing counter {name}")
+        for s in range(c["shards"]):
+            for suffix in ("disk.reads", "buffer_pool.hits", "shard.gets"):
+                if f"shard{s}.{suffix}" not in counters:
+                    fail(f"{context}: metrics document missing counter "
+                         f"shard{s}.{suffix}")
+            if f"shard{s}.buffer_pool.hit_rate" not in doc["gauges"]:
+                fail(f"{context}: missing gauge shard{s}.buffer_pool.hit_rate")
+            if f"shard{s}.shard.queue_depth" not in doc["histograms"]:
+                fail(f"{context}: missing histogram "
+                     f"shard{s}.shard.queue_depth")
+        for phase in ("queue_wait", "service", "end_to_end"):
+            if f"trace.{phase}_us" not in doc["histograms"]:
+                fail(f"{context}: missing histogram trace.{phase}_us")
+        if "trace" not in c:
+            fail(f"{context}: closed phase has no 'trace' breakdown")
+        validate_trace_object(f"{context} closed", c["trace"])
+        open_loop = c.get("open_loop")
+        if open_loop is not None:
+            if "trace" not in open_loop:
+                fail(f"{context}: open_loop phase has no 'trace' breakdown")
+            validate_trace_object(f"{context} open_loop", open_loop["trace"])
+    print(f"  metrics documents OK across {len(current['configs'])} configs")
+
+
+def validate_buffer_pool_metrics(current):
+    """A buffer_pool_scan JSON carries one document spanning the scan and
+    churn DiskManagers plus the final churn BufferPool."""
+    print("  validating embedded metrics document...")
+    doc = current.get("metrics")
+    if doc is None:
+        fail("buffer_pool_scan: no embedded metrics document")
+    validate_metrics_document("buffer_pool_scan", doc)
+    for name in ("scan_disk.reads", "churn_disk.writes",
+                 "churn_buffer_pool.dirty_writebacks",
+                 "churn_buffer_pool.flusher_pages"):
+        if name not in doc["counters"]:
+            fail(f"buffer_pool_scan: metrics document missing counter {name}")
+    if "churn_buffer_pool.hit_rate" not in doc["gauges"]:
+        fail("buffer_pool_scan: missing gauge churn_buffer_pool.hit_rate")
+    print("  metrics document OK")
+
+
+def check_obs_overhead(current, obs_off, min_ratio):
+    """Instrumented vs NBLB_OBS_OFF=1 runs of the SAME tree: hit-regime
+    throughput with observability on must stay >= min_ratio of the
+    obs-off run (geomean, same fleet logic as the main gate)."""
+    off_by_key = {(c["shards"], c["workers"]): c for c in obs_off["configs"]}
+    ratios = {}
+    for c in current["configs"]:
+        key = (c["shards"], c["workers"])
+        off = off_by_key.get(key)
+        if off is None:
+            print(f"  {key}: no obs-off config, skipping")
+            continue
+        if off.get("bp_hit_rate", 0.0) < HIT_REGIME_MIN_RATE:
+            print(f"  {key}: obs-off miss-regime "
+                  f"(bp_hit_rate={off.get('bp_hit_rate', 0.0):.3f}), "
+                  f"not gated")
+            continue
+        ratio = (c["ops_per_sec"] / off["ops_per_sec"]
+                 if off["ops_per_sec"] else 0)
+        ratios[key] = ratio
+        print(f"  {key}: instrumented {c['ops_per_sec']:.0f} vs obs-off "
+              f"{off['ops_per_sec']:.0f} ops/s (x{ratio:.2f})")
+    gate_ratios("obs-overhead", ratios, min_ratio)
 
 
 def check_shard_throughput(baseline, current, min_ratio):
@@ -119,6 +258,12 @@ def main():
     parser.add_argument("--baseline", required=True)
     parser.add_argument("--current", required=True)
     parser.add_argument("--min-ratio", type=float, default=DEFAULT_MIN_RATIO)
+    parser.add_argument("--obs-off-current", default=None,
+                        help="shard_throughput JSON from an NBLB_OBS_OFF=1 "
+                             "run of the current tree; enables the "
+                             "observability-overhead gate")
+    parser.add_argument("--obs-min-ratio", type=float,
+                        default=DEFAULT_OBS_MIN_RATIO)
     args = parser.parse_args()
 
     with open(args.baseline) as f:
@@ -135,10 +280,25 @@ def main():
           f"baseline={args.baseline} (min ratio {args.min_ratio:.2f})")
     if bench == "shard_throughput":
         check_shard_throughput(baseline, current, args.min_ratio)
+        validate_shard_metrics(current)
     elif bench == "buffer_pool_scan":
         check_buffer_pool(baseline, current, args.min_ratio)
+        validate_buffer_pool_metrics(current)
     else:
         fail(f"unknown bench kind: {bench}")
+
+    if args.obs_off_current:
+        if bench != "shard_throughput":
+            fail("--obs-off-current only applies to shard_throughput")
+        with open(args.obs_off_current) as f:
+            obs_off = json.load(f)
+        if obs_off.get("bench") != bench:
+            fail(f"obs-off bench kind mismatch: {obs_off.get('bench')}")
+        print(f"obs-overhead gate: instrumented={args.current} vs "
+              f"obs-off={args.obs_off_current} "
+              f"(min ratio {args.obs_min_ratio:.2f})")
+        check_obs_overhead(current, obs_off, args.obs_min_ratio)
+
     print("regression gate passed")
 
 

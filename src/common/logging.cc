@@ -1,0 +1,21 @@
+#include "common/logging.h"
+
+#include <atomic>
+
+namespace nblb {
+
+namespace {
+std::atomic<void (*)()> g_fatal_hook{nullptr};
+}  // namespace
+
+void SetFatalHook(void (*hook)()) {
+  g_fatal_hook.store(hook, std::memory_order_release);
+}
+
+void InvokeFatalHook() {
+  // Exchange-to-null so a hook that itself CHECK-fails cannot recurse.
+  void (*hook)() = g_fatal_hook.exchange(nullptr, std::memory_order_acq_rel);
+  if (hook != nullptr) hook();
+}
+
+}  // namespace nblb

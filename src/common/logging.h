@@ -5,6 +5,23 @@
 #include <cstdio>
 #include <cstdlib>
 
+namespace nblb {
+
+/// \brief Installs a hook invoked (once) just before a failed NBLB_CHECK
+/// aborts the process. The observability layer uses this to dump the
+/// flight-recorder event rings to stderr so a fatal error ships its own
+/// diagnosis. The hook must be async-signal-unsafe-tolerant in the sense
+/// that it runs on the failing thread with arbitrary locks possibly held —
+/// keep it lock-free or best-effort. Pass nullptr to clear.
+void SetFatalHook(void (*hook)());
+
+/// \brief Runs the installed fatal hook, at most once per process (re-entry
+/// from a hook that itself CHECK-fails is suppressed). Called by NBLB_CHECK;
+/// safe to call when no hook is installed.
+void InvokeFatalHook();
+
+}  // namespace nblb
+
 /// Aborts with a message when `cond` is false. Used for programmer errors
 /// (invariant violations), never for data-dependent failures — those return
 /// Status.
@@ -13,6 +30,7 @@
     if (!(cond)) {                                                           \
       std::fprintf(stderr, "NBLB_CHECK failed at %s:%d: %s\n", __FILE__,     \
                    __LINE__, #cond);                                         \
+      ::nblb::InvokeFatalHook();                                             \
       std::abort();                                                          \
     }                                                                        \
   } while (0)
@@ -22,6 +40,7 @@
     if (!(cond)) {                                                           \
       std::fprintf(stderr, "NBLB_CHECK failed at %s:%d: %s (%s)\n",          \
                    __FILE__, __LINE__, #cond, msg);                          \
+      ::nblb::InvokeFatalHook();                                             \
       std::abort();                                                          \
     }                                                                        \
   } while (0)

@@ -22,11 +22,15 @@ Result<std::unique_ptr<Database>> Database::Open(DatabaseOptions options) {
     db->bp_->StartFlusher(options.flusher_interval_us,
                           options.flush_batch_pages);
   }
+  db->metrics_.reset(new MetricsRegistry());
+  db->disk_->RegisterMetrics(db->metrics_.get(), "disk.");
+  db->bp_->RegisterMetrics(db->metrics_.get(), "buffer_pool.");
   return db;
 }
 
 Database::~Database() {
   tables_.clear();
+  metrics_.reset();  // entries point into bp_/disk_; drop them first
   bp_.reset();
   if (disk_) (void)disk_->Close();
 }

@@ -11,6 +11,7 @@
 #include "common/result.h"
 #include "common/vclock.h"
 #include "exec/table.h"
+#include "obs/metrics.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk_manager.h"
 #include "storage/latency_model.h"
@@ -82,6 +83,16 @@ class Database {
   Catalog* catalog() { return &catalog_; }
   const DatabaseOptions& options() const { return options_; }
 
+  /// \brief Unified metrics registry covering this database's storage stack
+  /// ("disk.*" and "buffer_pool.*" at Open; owners of this Database — e.g.
+  /// Shard — register their own layers into it too).
+  MetricsRegistry* metrics() { return metrics_.get(); }
+
+  /// \brief One JSON document with every registered metric (counters,
+  /// gauges, histograms) across the disk and buffer-pool layers plus
+  /// anything registered on top.
+  std::string DumpMetrics() const { return metrics_->Snapshot().ToJson(); }
+
   /// \brief Flushes all dirty pages and syncs the file.
   Status Checkpoint();
 
@@ -93,6 +104,9 @@ class Database {
   std::unique_ptr<LatencyModel> latency_;
   std::unique_ptr<DiskManager> disk_;
   std::unique_ptr<BufferPool> bp_;
+  /// Declared after disk_/bp_ so it is destroyed first: registry entries
+  /// point into the components, so the registry must die before they do.
+  std::unique_ptr<MetricsRegistry> metrics_;
   Catalog catalog_;
   std::map<std::string, std::unique_ptr<Table>> tables_;
 };

@@ -1,10 +1,14 @@
 #include "index/btree.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
+
+#include <thread>
 
 #include "common/bytes.h"
 #include "common/logging.h"
+#include "obs/event_ring.h"
 
 namespace nblb {
 
@@ -128,10 +132,35 @@ size_t BTree::LeafCapacity() const {
 // Lookup
 // ---------------------------------------------------------------------------
 
+Result<PageGuard> BTree::FetchPageRetry(PageId id) {
+  // Mirrors HeapFile::GetBatch's chunk-size-1 policy (see
+  // kMaxTransientRetries there): transient capacity pressure clears when
+  // the competing batch unwinds, so yield-retry instead of surfacing a
+  // retryable ResourceExhausted from a single-page walk.
+  constexpr size_t kMaxRetries = 4096;
+  constexpr size_t kYieldOnly = 64;
+  for (size_t attempt = 0;; ++attempt) {
+    auto fetched = bp_->FetchPage(id);
+    if (fetched.ok() || !fetched.status().IsResourceExhausted() ||
+        attempt >= kMaxRetries) {
+      return fetched;
+    }
+    RecordFlightEvent(FlightEvent::kBtreeRetry, id, attempt + 1);
+    // Yield first (mid-flight aborts clear in a scheduler quantum); back
+    // off to short sleeps if the pressure persists, so the bound covers
+    // hundreds of milliseconds of real wait instead of a few.
+    if (attempt < kYieldOnly) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+}
+
 Result<PageId> BTree::DescendToLeaf(const Slice& key) {
   PageId id = root_;
   for (;;) {
-    NBLB_ASSIGN_OR_RETURN(PageGuard guard, bp_->FetchPage(id));
+    NBLB_ASSIGN_OR_RETURN(PageGuard guard, FetchPageRetry(id));
     BTreePageView view(guard.data(), bp_->page_size());
     NBLB_RETURN_NOT_OK(view.Validate());
     if (view.IsLeaf()) return id;
@@ -147,7 +176,7 @@ Result<PageGuard> BTree::FindLeaf(const Slice& key) {
     return Status::InvalidArgument("key size mismatch");
   }
   NBLB_ASSIGN_OR_RETURN(PageId leaf_id, DescendToLeaf(key));
-  return bp_->FetchPage(leaf_id);
+  return FetchPageRetry(leaf_id);
 }
 
 Result<uint64_t> BTree::Get(const Slice& key) {
@@ -349,7 +378,7 @@ Status BTree::GetBatchChained(const std::vector<Slice>& sorted_keys,
         have_leaf = false;  // sparse so far; don't speculate, just descend
         break;
       }
-      NBLB_ASSIGN_OR_RETURN(PageGuard g, bp_->FetchPage(next));
+      NBLB_ASSIGN_OR_RETURN(PageGuard g, FetchPageRetry(next));
       BTreePageView next_view(g.data(), bp_->page_size());
       const size_t nn = next_view.num_entries();
       if (nn == 0) {

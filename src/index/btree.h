@@ -182,6 +182,14 @@ class BTree {
                        PageId right_child, SplitResult* split);
   Result<PageId> DescendToLeaf(const Slice& key);
 
+  /// Single-page FetchPage with a bounded yield-retry on transient
+  /// ResourceExhausted (a piggybacked load aborted under capacity pressure
+  /// elsewhere): the pressure clears when the competing batch unwinds, so
+  /// retrying here keeps retryable backpressure from leaking to callers of
+  /// Get/GetBatch. Genuine capacity exhaustion still surfaces after the
+  /// retry budget.
+  Result<PageGuard> FetchPageRetry(PageId id);
+
   BufferPool* bp_;
   BTreeOptions options_;
   PageId meta_page_id_ = kInvalidPageId;

@@ -47,6 +47,12 @@
 #include "semid/routing.h"
 #include "semid/semantic_id.h"
 
+// Observability: metrics registry, sampled tracing, flight recorder.
+#include "obs/event_ring.h"
+#include "obs/histogram.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 // Sharded serving layer.
 #include "shard/request.h"
 #include "shard/shard.h"

@@ -1,0 +1,162 @@
+// Flight recorder: fixed-size per-thread lock-free rings of compact binary
+// events, dumpable on demand or on fatal error (via the common/logging.h
+// fatal hook).
+//
+// The recorder captures the *rare* paths — transient aborts, retries,
+// capacity waits, busy rejections, flusher passes, io errors — so that the
+// next "bench hangs" or phantom-status bug is diagnosed from the recording
+// instead of rediscovered by bisection. Hot paths (buffer-pool hits, queue
+// pops) are never recorded.
+//
+// Concurrency model:
+//   - Writer side: each thread owns one EventRing; Record() is a handful of
+//     relaxed/release atomic stores into the thread's own ring. No locks, no
+//     allocation after the first event on a thread, no cross-thread
+//     contention.
+//   - Reader side (Dump/Snapshot): any thread may read any ring while its
+//     owner keeps writing. Every slot carries a sequence word written
+//     release *after* the payload; a reader validates the sequence before
+//     and after reading the payload (seqlock) and drops slots that were
+//     overwritten mid-read. All cross-thread words are std::atomic, so the
+//     scheme is TSan-clean by construction.
+//   - Rings are registered in a global list as shared_ptr and survive their
+//     owning thread's exit, so a dump always sees the full recent history.
+
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace nblb {
+
+/// \brief Event codes recorded by the serving stack. Keep values stable —
+/// they appear in dumps.
+enum class FlightEvent : uint16_t {
+  kNone = 0,
+  /// Buffer pool aborted a claimed frame because a chunk's fetch could not
+  /// be assembled (transient; waiters see retryable ResourceExhausted).
+  /// arg0 = page id.
+  kTransientAbort = 1,
+  /// WaitForLoad observed a transiently aborted frame and returned the
+  /// retryable status to its caller. arg0 = page id.
+  kTransientWait = 2,
+  /// HeapFile::GetBatch halved its pipeline chunk size after a capacity
+  /// miss. arg0 = new chunk capacity.
+  kChunkHalve = 3,
+  /// HeapFile::GetBatch exhausted chunk halving and yielded before
+  /// retrying at chunk size 1. arg0 = retry attempt.
+  kChunkRetry = 4,
+  /// B+Tree yielded and retried a single-page FetchPage that returned
+  /// retryable ResourceExhausted. arg0 = page id, arg1 = retry attempt.
+  kBtreeRetry = 5,
+  /// Engine Submit blocked waiting for shard-queue capacity.
+  /// arg0 = shard, arg1 = queue size at wait.
+  kCapacityWait = 6,
+  /// Engine Submit failed a batch fail-fast because a shard queue was
+  /// full (busy_fail_fast mode). arg0 = shard, arg1 = queue size.
+  kBusyReject = 7,
+  /// Background flusher completed a pass. arg0 = pages flushed,
+  /// arg1 = coalesced runs.
+  kFlusherPass = 8,
+  /// An async disk operation completed with an error. arg0 = page id.
+  kIoError = 9,
+  /// Write-back failed and the pages were re-marked dirty for retry.
+  /// arg0 = pages re-dirtied.
+  kRedirty = 10,
+};
+
+const char* FlightEventName(FlightEvent e);
+
+/// \brief Decoded event, as returned by snapshots/dumps.
+struct FlightEventRecord {
+  uint64_t seq = 0;       // global per-ring sequence (monotonic)
+  uint64_t ts_us = 0;     // microseconds since process start
+  FlightEvent code = FlightEvent::kNone;
+  uint64_t arg0 = 0;
+  uint64_t arg1 = 0;
+};
+
+/// \brief Fixed-size single-writer ring of events. All cross-thread state is
+/// atomic; see file comment for the seqlock protocol.
+class EventRing {
+ public:
+  static constexpr size_t kSlots = 256;  // power of two
+  static constexpr uint64_t kSlotMask = kSlots - 1;
+
+  /// \brief Writer-only: records one event. Must be called only by the
+  /// owning thread.
+  void Record(FlightEvent code, uint64_t arg0, uint64_t arg1, uint64_t ts_us);
+
+  /// \brief Reader: copies out the surviving recent events, oldest first.
+  /// Slots overwritten while being read are skipped.
+  std::vector<FlightEventRecord> Snapshot() const;
+
+ private:
+  struct Slot {
+    // seq == global_index + 1 once the payload below is fully written;
+    // 0 while a write is in flight. Payload stores are relaxed, bracketed
+    // by release stores of seq (invalidate, then publish).
+    std::atomic<uint64_t> seq{0};
+    std::atomic<uint64_t> ts_us{0};
+    std::atomic<uint64_t> code{0};
+    std::atomic<uint64_t> arg0{0};
+    std::atomic<uint64_t> arg1{0};
+  };
+
+  Slot slots_[kSlots];
+  uint64_t next_ = 0;              // writer-private
+  std::atomic<uint64_t> head_{0};  // published count, for readers
+};
+
+/// \brief Process-wide recorder: hands each thread its own EventRing and
+/// dumps them all on demand. Disabled entirely (every Record is one relaxed
+/// load + branch) when NBLB_OBS_OFF is set.
+class FlightRecorder {
+ public:
+  static FlightRecorder& Instance();
+
+  /// \brief Records an event into the calling thread's ring (creating and
+  /// registering the ring on first use). No-op when disabled.
+  void Record(FlightEvent code, uint64_t arg0 = 0, uint64_t arg1 = 0);
+
+  /// \brief All surviving events across all rings, per ring oldest-first.
+  std::vector<std::vector<FlightEventRecord>> SnapshotAll() const;
+
+  /// \brief Human-readable dump of every ring ("[ring 0] +12034us
+  /// transient_abort page=77 arg1=0" style), for on-demand diagnosis and
+  /// the fatal-error hook.
+  std::string Dump() const;
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// \brief Number of per-thread rings registered so far.
+  size_t ring_count() const;
+
+ private:
+  FlightRecorder();
+
+  EventRing* RingForThisThread();
+  uint64_t NowMicros() const;
+
+  std::atomic<bool> enabled_{true};
+  std::chrono::steady_clock::time_point origin_;
+
+  mutable std::mutex mu_;
+  std::vector<std::shared_ptr<EventRing>> rings_;
+};
+
+/// \brief Convenience wrapper: FlightRecorder::Instance().Record(...).
+inline void RecordFlightEvent(FlightEvent code, uint64_t arg0 = 0,
+                              uint64_t arg1 = 0) {
+  FlightRecorder::Instance().Record(code, arg0, arg1);
+}
+
+}  // namespace nblb

@@ -1,4 +1,4 @@
-#include "common/histogram.h"
+#include "obs/histogram.h"
 
 #include <algorithm>
 #include <cstdio>

@@ -1,0 +1,165 @@
+// Unified histogram primitives for the observability layer.
+//
+// Two implementations, one quantile API (`ValueAtQuantile(q)`, q in [0, 1]):
+//
+//   - LogHistogram: 26 power-of-two buckets, one relaxed atomic add per
+//     recorded sample. This is the always-on serving-path histogram (queue
+//     depths, coalesce counts, microsecond latencies) — recording never
+//     takes a lock and never allocates, and `LogHistogramSnapshot` supports
+//     the registry's snapshot/delta model (+= / -=). Quantiles are bucket
+//     upper bounds (within 2x of the true value).
+//   - Histogram: stores raw samples and reports exact nearest-rank
+//     percentiles. Benchmark/test-grade — recording allocates, so it never
+//     belongs on a serving path. (Formerly common/histogram.h.)
+//
+// Counters use memory_order_relaxed throughout: each bucket is an
+// independent monotonic event count, never used to publish other memory, so
+// there is no acquire/release pairing to preserve. A Snapshot() taken while
+// writers run is a consistent per-bucket view but may straddle an in-flight
+// operation; totals are exact once the writers are quiesced.
+
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nblb {
+
+/// Number of power-of-two buckets in a LogHistogram. Bucket 0 holds the
+/// value 0; bucket i (i >= 1) holds values in [2^(i-1), 2^i - 1]. 26 buckets
+/// cover values up to ~33M — queue depths, coalesce counts, and microsecond
+/// latencies up to ~33 s.
+constexpr size_t kStatsLogBuckets = 26;
+
+/// \brief Bucket index for `v` (see kStatsLogBuckets).
+inline size_t StatsLogBucketOf(uint64_t v) {
+  size_t b = 0;
+  while (v > 0 && b + 1 < kStatsLogBuckets) {
+    v >>= 1;
+    ++b;
+  }
+  return b;
+}
+
+/// \brief Plain-value copy of a LogHistogram; aggregatable and diffable
+/// (counters are monotonic, so subtracting an earlier snapshot isolates a
+/// measurement phase).
+struct LogHistogramSnapshot {
+  std::array<uint64_t, kStatsLogBuckets> buckets{};
+
+  uint64_t count() const {
+    uint64_t n = 0;
+    for (uint64_t b : buckets) n += b;
+    return n;
+  }
+
+  /// \brief Samples whose bucket lower bound is >= `threshold` — i.e. a
+  /// conservative count of samples known to be at least `threshold`.
+  uint64_t CountAtLeast(uint64_t threshold) const {
+    if (threshold == 0) return count();  // every sample is >= 0
+    uint64_t n = 0;
+    for (size_t i = 1; i < kStatsLogBuckets; ++i) {
+      if ((uint64_t{1} << (i - 1)) >= threshold) n += buckets[i];
+    }
+    return n;
+  }
+
+  /// \brief Upper bound of the bucket holding quantile `q` in [0, 1]. The
+  /// unified percentile-estimation entry point (see ApproxPercentile).
+  uint64_t ValueAtQuantile(double q) const { return ApproxPercentile(q); }
+
+  /// \brief Upper bound of the bucket holding percentile `p` in [0, 1].
+  uint64_t ApproxPercentile(double p) const {
+    const uint64_t total = count();
+    if (total == 0) return 0;
+    uint64_t target = static_cast<uint64_t>(p * static_cast<double>(total));
+    if (target >= total) target = total - 1;
+    uint64_t seen = 0;
+    for (size_t i = 0; i < kStatsLogBuckets; ++i) {
+      seen += buckets[i];
+      if (seen > target) return UpperBound(i);
+    }
+    return UpperBound(kStatsLogBuckets - 1);
+  }
+
+  /// \brief Upper bound of the highest non-empty bucket (0 if empty).
+  uint64_t ApproxMax() const {
+    for (size_t i = kStatsLogBuckets; i-- > 0;) {
+      if (buckets[i] > 0) return UpperBound(i);
+    }
+    return 0;
+  }
+
+  LogHistogramSnapshot& operator+=(const LogHistogramSnapshot& o) {
+    for (size_t i = 0; i < kStatsLogBuckets; ++i) buckets[i] += o.buckets[i];
+    return *this;
+  }
+
+  LogHistogramSnapshot& operator-=(const LogHistogramSnapshot& o) {
+    for (size_t i = 0; i < kStatsLogBuckets; ++i) buckets[i] -= o.buckets[i];
+    return *this;
+  }
+
+  static uint64_t UpperBound(size_t bucket) {
+    return bucket == 0 ? 0 : (uint64_t{1} << bucket) - 1;
+  }
+};
+
+/// \brief Live power-of-two-bucket histogram; one relaxed atomic add per
+/// recorded sample.
+struct LogHistogram {
+  std::array<std::atomic<uint64_t>, kStatsLogBuckets> buckets{};
+
+  void Record(uint64_t v) {
+    buckets[StatsLogBucketOf(v)].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  LogHistogramSnapshot Snapshot() const {
+    LogHistogramSnapshot s;
+    for (size_t i = 0; i < kStatsLogBuckets; ++i) {
+      s.buckets[i] = buckets[i].load(std::memory_order_relaxed);
+    }
+    return s;
+  }
+};
+
+/// \brief Records a stream of values (typically nanoseconds) and reports
+/// count/mean/percentiles. Stores raw samples; intended for benchmark-scale
+/// sample counts (<= tens of millions). NOT thread safe and not for serving
+/// paths — use LogHistogram there.
+class Histogram {
+ public:
+  Histogram() = default;
+
+  void Record(uint64_t value) { samples_.push_back(value); }
+
+  size_t count() const { return samples_.size(); }
+  uint64_t sum() const;
+  double Mean() const;
+  uint64_t Min() const;
+  uint64_t Max() const;
+
+  /// \brief Exact sample value at quantile `q` in [0, 1]; the unified
+  /// percentile-estimation entry point shared with LogHistogramSnapshot.
+  uint64_t ValueAtQuantile(double q) const { return Percentile(q * 100.0); }
+
+  /// \brief Percentile in [0, 100]; nearest-rank on the sorted samples.
+  uint64_t Percentile(double p) const;
+
+  /// \brief "count=N mean=X p50=... p99=... max=..." summary line.
+  std::string Summary() const;
+
+  void Clear() { samples_.clear(); }
+
+ private:
+  void EnsureSorted() const;
+
+  std::vector<uint64_t> samples_;
+  mutable std::vector<uint64_t> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+}  // namespace nblb

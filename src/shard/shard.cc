@@ -7,6 +7,7 @@
 
 #include "catalog/type.h"
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace nblb {
 
@@ -73,6 +74,11 @@ Result<std::unique_ptr<Shard>> Shard::Open(uint32_t shard_id,
     }
   }
   NBLB_ASSIGN_OR_RETURN(shard->db_, Database::Open(dbo));
+  // The shard's op counters join the database's registry, so one
+  // Database::DumpMetrics() covers disk + buffer pool + shard in a single
+  // document. stats_ outlives db_ (member order), so the pointers stay
+  // valid for the registry's whole life.
+  shard->stats_.RegisterMetrics(shard->db_->metrics(), "shard.");
   NBLB_ASSIGN_OR_RETURN(
       shard->table_,
       shard->db_->CreateTable("data", shard->options_.schema,
@@ -115,6 +121,7 @@ Result<Row> Shard::Get(uint64_t id) {
 
 Status Shard::GetBatch(const std::vector<uint64_t>& ids,
                        std::vector<Result<Row>>* out) {
+  TraceTimer span(TracePhase::kGetBatch);
   stats_.Add(stats_.gets, ids.size());
   stats_.Add(stats_.batch_gets, ids.size());
   std::vector<std::vector<Value>> keys;

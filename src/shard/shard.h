@@ -153,11 +153,13 @@ class Shard {
 
   uint32_t id_;
   ShardOptions options_;
+  /// Declared before db_ so it outlives it: the stats are registered in
+  /// db_'s MetricsRegistry (Shard::Open), whose entries point in here.
+  ShardStats stats_;
   std::unique_ptr<Database> db_;
   Table* table_ = nullptr;  // owned by db_
   std::unique_ptr<PartitionedTable> partitioned_;
   std::vector<size_t> all_columns_;  // identity projection for hot/cold gets
-  ShardStats stats_;
   uint64_t rows_ = 0;
 };
 

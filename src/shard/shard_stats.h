@@ -9,110 +9,21 @@
 // their prior writes).
 //
 // The log-bucket histograms (queue depth, coalesced group size, sub-batch
-// latency) follow the same discipline: each bucket is an independent relaxed
-// counter, so recording a sample is one atomic add and snapshots are cheap.
+// latency) live in obs/histogram.h and follow the same discipline: each
+// bucket is an independent relaxed counter, so recording a sample is one
+// atomic add and snapshots are cheap. RegisterMetrics() publishes every
+// counter and histogram into the unified MetricsRegistry (see src/obs/).
 
 #pragma once
 
-#include <array>
 #include <atomic>
 #include <cstdint>
+#include <string>
+
+#include "obs/histogram.h"
+#include "obs/metrics.h"
 
 namespace nblb {
-
-/// Number of power-of-two buckets in a LogHistogram. Bucket 0 holds the
-/// value 0; bucket i (i >= 1) holds values in [2^(i-1), 2^i - 1]. 26 buckets
-/// cover values up to ~33M — queue depths, coalesce counts, and microsecond
-/// latencies up to ~33 s.
-constexpr size_t kStatsLogBuckets = 26;
-
-/// \brief Bucket index for `v` (see kStatsLogBuckets).
-inline size_t StatsLogBucketOf(uint64_t v) {
-  size_t b = 0;
-  while (v > 0 && b + 1 < kStatsLogBuckets) {
-    v >>= 1;
-    ++b;
-  }
-  return b;
-}
-
-/// \brief Plain-value copy of a LogHistogram; aggregatable and diffable
-/// (counters are monotonic, so subtracting an earlier snapshot isolates a
-/// measurement phase).
-struct LogHistogramSnapshot {
-  std::array<uint64_t, kStatsLogBuckets> buckets{};
-
-  uint64_t count() const {
-    uint64_t n = 0;
-    for (uint64_t b : buckets) n += b;
-    return n;
-  }
-
-  /// \brief Samples whose bucket lower bound is >= `threshold` — i.e. a
-  /// conservative count of samples known to be at least `threshold`.
-  uint64_t CountAtLeast(uint64_t threshold) const {
-    if (threshold == 0) return count();  // every sample is >= 0
-    uint64_t n = 0;
-    for (size_t i = 1; i < kStatsLogBuckets; ++i) {
-      if ((uint64_t{1} << (i - 1)) >= threshold) n += buckets[i];
-    }
-    return n;
-  }
-
-  /// \brief Upper bound of the bucket holding percentile `p` in [0, 1].
-  uint64_t ApproxPercentile(double p) const {
-    const uint64_t total = count();
-    if (total == 0) return 0;
-    uint64_t target = static_cast<uint64_t>(p * static_cast<double>(total));
-    if (target >= total) target = total - 1;
-    uint64_t seen = 0;
-    for (size_t i = 0; i < kStatsLogBuckets; ++i) {
-      seen += buckets[i];
-      if (seen > target) return UpperBound(i);
-    }
-    return UpperBound(kStatsLogBuckets - 1);
-  }
-
-  /// \brief Upper bound of the highest non-empty bucket (0 if empty).
-  uint64_t ApproxMax() const {
-    for (size_t i = kStatsLogBuckets; i-- > 0;) {
-      if (buckets[i] > 0) return UpperBound(i);
-    }
-    return 0;
-  }
-
-  LogHistogramSnapshot& operator+=(const LogHistogramSnapshot& o) {
-    for (size_t i = 0; i < kStatsLogBuckets; ++i) buckets[i] += o.buckets[i];
-    return *this;
-  }
-
-  LogHistogramSnapshot& operator-=(const LogHistogramSnapshot& o) {
-    for (size_t i = 0; i < kStatsLogBuckets; ++i) buckets[i] -= o.buckets[i];
-    return *this;
-  }
-
-  static uint64_t UpperBound(size_t bucket) {
-    return bucket == 0 ? 0 : (uint64_t{1} << bucket) - 1;
-  }
-};
-
-/// \brief Live power-of-two-bucket histogram; one relaxed atomic add per
-/// recorded sample.
-struct LogHistogram {
-  std::array<std::atomic<uint64_t>, kStatsLogBuckets> buckets{};
-
-  void Record(uint64_t v) {
-    buckets[StatsLogBucketOf(v)].fetch_add(1, std::memory_order_relaxed);
-  }
-
-  LogHistogramSnapshot Snapshot() const {
-    LogHistogramSnapshot s;
-    for (size_t i = 0; i < kStatsLogBuckets; ++i) {
-      s.buckets[i] = buckets[i].load(std::memory_order_relaxed);
-    }
-    return s;
-  }
-};
 
 /// \brief Plain-value copy of ShardStats, safe to aggregate and compare.
 struct ShardStatsSnapshot {
@@ -195,6 +106,26 @@ struct ShardStats {
 
   void Add(std::atomic<uint64_t>& c, uint64_t n = 1) {
     c.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// \brief Publishes every counter/histogram under `prefix` (e.g.
+  /// "shard."). The registry must not outlive this object.
+  void RegisterMetrics(MetricsRegistry* registry,
+                       const std::string& prefix) const {
+    registry->RegisterCounter(prefix + "gets", &gets);
+    registry->RegisterCounter(prefix + "projected_gets", &projected_gets);
+    registry->RegisterCounter(prefix + "inserts", &inserts);
+    registry->RegisterCounter(prefix + "updates", &updates);
+    registry->RegisterCounter(prefix + "deletes", &deletes);
+    registry->RegisterCounter(prefix + "not_found", &not_found);
+    registry->RegisterCounter(prefix + "errors", &errors);
+    registry->RegisterCounter(prefix + "sub_batches", &sub_batches);
+    registry->RegisterCounter(prefix + "batch_gets", &batch_gets);
+    registry->RegisterCounter(prefix + "coalesced_groups", &coalesced_groups);
+    registry->RegisterHistogram(prefix + "queue_depth", &queue_depth);
+    registry->RegisterHistogram(prefix + "coalesced", &coalesced);
+    registry->RegisterHistogram(prefix + "sub_batch_latency_us",
+                                &sub_batch_latency_us);
   }
 
   ShardStatsSnapshot Snapshot() const {

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "obs/event_ring.h"
 
 namespace nblb {
 
@@ -23,6 +24,23 @@ Result<std::unique_ptr<ShardedEngine>> ShardedEngine::Open(
   engine->options_ = options;
   engine->router_ = router ? std::move(router)
                            : std::make_unique<HashRouter>(options.num_shards);
+
+  // Observability: the engine-level registry covers the engine counters and
+  // the trace aggregator; per-shard Database registries are folded in at
+  // snapshot time (MetricsSnapshotNow). Tracing is resolved once here —
+  // NBLB_OBS_OFF wins over the option.
+  engine->tracing_ = options.trace_sample_every > 0 && ObsEnabled();
+  engine->tracer_.reset(new TraceAggregator());
+  engine->metrics_.reset(new MetricsRegistry());
+  engine->metrics_->RegisterCounter("engine.batches", &engine->batches_);
+  engine->metrics_->RegisterCounter("engine.requests", &engine->requests_);
+  engine->metrics_->RegisterCounter("engine.routing_failures",
+                                    &engine->routing_failures_);
+  engine->metrics_->RegisterCounter("engine.async_submits",
+                                    &engine->async_submits_);
+  engine->metrics_->RegisterCounter("engine.busy_rejections",
+                                    &engine->busy_rejections_);
+  engine->tracer_->RegisterMetrics(engine->metrics_.get(), "trace.");
 
   std::vector<std::string> created_paths;
   for (uint32_t i = 0; i < options.num_shards; ++i) {
@@ -248,16 +266,33 @@ void ShardedEngine::SubmitTicket(const TicketPtr& ticket) {
   const size_t max_depth = options_.max_queue_depth;
   for (uint32_t s = 0; s < per_shard.size(); ++s) {
     if (per_shard[s].empty()) continue;
+    // 1-in-N sampler, decided per sub-batch off the queue lock. The context
+    // is stamped with the shared enqueue timestamp here and handed to the
+    // serving worker through the queue mutex (single-writer handoff — see
+    // obs/trace.h).
+    std::unique_ptr<TraceContext> trace;
+    if (tracing_) {
+      const uint64_t n =
+          trace_counter_.fetch_add(1, std::memory_order_relaxed);
+      if (n % options_.trace_sample_every == 0) {
+        trace.reset(new TraceContext());
+        trace->trace_id = n;
+        trace->enqueued = now;
+        ticket->traced_ = true;
+      }
+    }
     ShardQueue* queue = queues_[s].get();
     Worker* owner = workers_[s % workers_.size()].get();
     {
       std::unique_lock<std::mutex> lk(queue->mu);
       if (max_depth > 0 && queue->work.size() >= max_depth) {
+        const uint64_t full_depth = queue->work.size();
         if (options_.busy_fail_fast) {
           // Fail fast: every request bound for this shard completes kBusy
           // without ever touching the queue. The sub-batch's pending_ slot
           // is retired here, so the ticket still completes normally.
           lk.unlock();
+          RecordFlightEvent(FlightEvent::kBusyReject, s, full_depth);
           busy_rejections_.fetch_add(per_shard[s].size(),
                                      std::memory_order_relaxed);
           for (uint32_t i : per_shard[s]) {
@@ -275,6 +310,7 @@ void ShardedEngine::SubmitTicket(const TicketPtr& ticket) {
         // the bound. The wait releases queue->mu, so the worker's pops make
         // progress; ~ShardedEngine never runs concurrently with Submit, so
         // no shutdown wakeup is needed here.
+        RecordFlightEvent(FlightEvent::kCapacityWait, s, full_depth);
         queue->space_cv.wait(
             lk, [&] { return queue->work.size() < max_depth; });
       }
@@ -282,6 +318,7 @@ void ShardedEngine::SubmitTicket(const TicketPtr& ticket) {
       sub.ticket = ticket;
       sub.indexes = std::move(per_shard[s]);
       sub.enqueued = now;
+      sub.trace = std::move(trace);
       queue->work.push_back(std::move(sub));
       // Both counters inside the critical section so neither can lag
       // behind a concurrent pop: the pop of this element takes the same
@@ -302,6 +339,13 @@ void ShardedEngine::SubmitTicket(const TicketPtr& ticket) {
 void ShardedEngine::FinishTicket(const TicketPtr& ticket) {
   batches_.fetch_add(1, std::memory_order_relaxed);
   requests_.fetch_add(ticket->batch_->size(), std::memory_order_relaxed);
+  // Completion-dispatch span start: the sub-batch contexts are already
+  // retired by now, so the dispatch leg is measured separately (see
+  // TraceAggregator::RecordCompletion). finished_at_ crosses to the
+  // completion thread through completion_mu_.
+  if (ticket->traced_) {
+    ticket->finished_at_ = std::chrono::steady_clock::now();
+  }
   if (ticket->on_complete_ && !completion_threads_.empty()) {
     {
       std::lock_guard<std::mutex> lk(completion_mu_);
@@ -311,8 +355,17 @@ void ShardedEngine::FinishTicket(const TicketPtr& ticket) {
     return;
   }
   // No callback (or no pool): complete inline on the finishing thread.
+  if (ticket->traced_) RecordCompletionSpan(ticket);
   if (ticket->on_complete_) ticket->on_complete_(ticket->result_);
   ticket->MarkDone();
+}
+
+void ShardedEngine::RecordCompletionSpan(const TicketPtr& ticket) {
+  const auto now = std::chrono::steady_clock::now();
+  tracer_->RecordCompletion(static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          now - ticket->finished_at_)
+          .count()));
 }
 
 void ShardedEngine::CompletionLoop() {
@@ -327,6 +380,7 @@ void ShardedEngine::CompletionLoop() {
       ticket = std::move(completions_.front());
       completions_.pop_front();
     }
+    if (ticket->traced_) RecordCompletionSpan(ticket);
     ticket->on_complete_(ticket->result_);
     ticket->MarkDone();
   }
@@ -446,6 +500,23 @@ void ShardedEngine::RunGroup(Shard* shard, std::vector<SubBatch>* group) {
   // longer preadv runs. Segmenting at every non-get preserves batch order
   // within the shard, so a lookup that follows a write to the same id still
   // sees the write, including across tickets queued to this shard.
+  // Dequeue stamp: close the queue-wait span of every traced sub-batch and
+  // elect the FIRST traced context as this thread's active trace for the
+  // shared service phases (GetBatch / fetch-start / io-submit / device-wait
+  // / copy, attributed via TraceTimer). The group is served as one unit, so
+  // one context observing the shared work is the honest attribution — the
+  // others still get their own queue-wait and service spans.
+  TraceContext* active_trace = nullptr;
+  std::chrono::steady_clock::time_point dequeued{};
+  for (SubBatch& sub : *group) {
+    if (!sub.trace) continue;
+    if (active_trace == nullptr) {
+      dequeued = std::chrono::steady_clock::now();
+      active_trace = sub.trace.get();
+    }
+    sub.trace->AddSpan(TracePhase::kQueueWait, sub.enqueued, dequeued);
+  }
+
   std::vector<uint64_t> run_ids;
   std::vector<RequestResult*> run_slots;
   auto flush_gets = [&] {
@@ -466,44 +537,49 @@ void ShardedEngine::RunGroup(Shard* shard, std::vector<SubBatch>* group) {
     run_slots.clear();
   };
 
-  for (SubBatch& sub : *group) {
-    const RequestBatch& batch = *sub.ticket->batch_;
-    BatchResult& out = sub.ticket->result_;
-    for (uint32_t i : sub.indexes) {
-      const Request& request = batch[i];
-      RequestResult& result = out.results[i];
-      if (request.kind == RequestKind::kGet) {
-        run_ids.push_back(request.id);
-        run_slots.push_back(&result);
-        continue;
-      }
-      flush_gets();
-      switch (request.kind) {
-        case RequestKind::kGetProjected: {
-          auto row = shard->GetProjected(request.id, request.projection);
-          if (row.ok()) {
-            result.row = std::move(*row);
-          } else {
-            result.status = row.status();
-          }
-          break;
+  {
+    // Scoped so the thread-local pointer is cleared before the contexts are
+    // retired and destroyed below.
+    ActiveTraceScope trace_scope(active_trace);
+    for (SubBatch& sub : *group) {
+      const RequestBatch& batch = *sub.ticket->batch_;
+      BatchResult& out = sub.ticket->result_;
+      for (uint32_t i : sub.indexes) {
+        const Request& request = batch[i];
+        RequestResult& result = out.results[i];
+        if (request.kind == RequestKind::kGet) {
+          run_ids.push_back(request.id);
+          run_slots.push_back(&result);
+          continue;
         }
-        case RequestKind::kInsert:
-          result.status = shard->Insert(request.row);
-          break;
-        case RequestKind::kUpdate:
-          result.status = shard->Update(request.id, request.row);
-          break;
-        case RequestKind::kDelete:
-          result.status = shard->Delete(request.id);
-          break;
-        case RequestKind::kGet:
-          break;  // handled above
+        flush_gets();
+        switch (request.kind) {
+          case RequestKind::kGetProjected: {
+            auto row = shard->GetProjected(request.id, request.projection);
+            if (row.ok()) {
+              result.row = std::move(*row);
+            } else {
+              result.status = row.status();
+            }
+            break;
+          }
+          case RequestKind::kInsert:
+            result.status = shard->Insert(request.row);
+            break;
+          case RequestKind::kUpdate:
+            result.status = shard->Update(request.id, request.row);
+            break;
+          case RequestKind::kDelete:
+            result.status = shard->Delete(request.id);
+            break;
+          case RequestKind::kGet:
+            break;  // handled above
+        }
       }
+      shard->NoteSubBatch();
     }
-    shard->NoteSubBatch();
+    flush_gets();
   }
-  flush_gets();
 
   const auto now = std::chrono::steady_clock::now();
   ShardStats& stats = shard->stats();
@@ -512,6 +588,14 @@ void ShardedEngine::RunGroup(Shard* shard, std::vector<SubBatch>* group) {
         std::chrono::duration_cast<std::chrono::microseconds>(now -
                                                               sub.enqueued)
             .count()));
+    if (sub.trace) {
+      // Close the service span and retire the context before the ticket can
+      // complete — the aggregator's histograms are the only thing that
+      // outlives the sub-batch.
+      sub.trace->AddSpan(TracePhase::kService, dequeued, now);
+      tracer_->Retire(*sub.trace, now);
+      sub.trace.reset();
+    }
     TicketPtr ticket = std::move(sub.ticket);
     // acq_rel: see Ticket::pending_. The last decrementer observes every
     // other worker's result writes and completes the ticket.
@@ -571,6 +655,18 @@ ShardStatsSnapshot ShardedEngine::TotalShardStats() const {
   ShardStatsSnapshot total;
   for (const auto& shard : shards_) total += shard->stats().Snapshot();
   return total;
+}
+
+MetricsSnapshot ShardedEngine::MetricsSnapshotNow() const {
+  // "engine.*" and "trace.*" from the engine's own registry, then each
+  // shard's Database registry folded in under "shard<i>." — one document
+  // covering every layer of the stack.
+  MetricsSnapshot snap = metrics_->Snapshot();
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    snap.Merge(shards_[i]->database()->metrics()->Snapshot(),
+               "shard" + std::to_string(i) + ".");
+  }
+  return snap;
 }
 
 EngineStatsSnapshot ShardedEngine::engine_stats() const {

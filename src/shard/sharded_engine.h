@@ -58,6 +58,8 @@
 
 #include "common/latch.h"
 #include "common/result.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "semid/routing.h"
 #include "shard/request.h"
 #include "shard/shard.h"
@@ -113,6 +115,12 @@ struct ShardedEngineOptions {
   /// With max_queue_depth: true = fail over-limit sub-batches immediately
   /// with Status::Busy per request; false = block the submitter.
   bool busy_fail_fast = false;
+  /// Sampled request tracing (see obs/trace.h): every Nth sub-batch across
+  /// the engine carries a TraceContext recording per-phase spans (queue
+  /// wait, service, device wait, copy, ...) into the "trace.*" histograms
+  /// of DumpMetrics(). 0 disables tracing; NBLB_OBS_OFF in the environment
+  /// forces it off regardless.
+  uint64_t trace_sample_every = 0;
   Schema schema;
   TableOptions table_options;
 };
@@ -174,6 +182,12 @@ class ShardedEngine {
     /// last — which then completes the ticket, extending the
     /// happens-before chain from all result slots to the callback/waiter.
     std::atomic<uint32_t> pending_{0};
+    /// True when any of this ticket's sub-batches was trace-sampled; the
+    /// completion-dispatch span (finished_at_ -> callback) is then recorded.
+    /// Written at Submit (before fan-out) and by the finishing worker, read
+    /// by the completion thread — both handoffs are through mutexes.
+    bool traced_ = false;
+    std::chrono::steady_clock::time_point finished_at_{};
     std::mutex mu_;
     std::condition_variable cv_;
     bool done_ = false;
@@ -250,12 +264,27 @@ class ShardedEngine {
   ShardStatsSnapshot TotalShardStats() const;
   EngineStatsSnapshot engine_stats() const;
 
+  /// \brief One merged snapshot over every layer: "engine.*" and "trace.*"
+  /// from the engine's own registry plus each shard's Database registry
+  /// ("shard<i>.disk.*", "shard<i>.buffer_pool.*", "shard<i>.shard.*").
+  MetricsSnapshot MetricsSnapshotNow() const;
+
+  /// \brief MetricsSnapshotNow() serialized as one JSON document.
+  std::string DumpMetrics() const { return MetricsSnapshotNow().ToJson(); }
+
+  /// \brief The trace sink (per-phase histograms + recent-trace ring).
+  const TraceAggregator& tracer() const { return *tracer_; }
+
  private:
   /// The fragment of a batch bound for one shard.
   struct SubBatch {
     TicketPtr ticket;
     std::vector<uint32_t> indexes;  // into ticket->batch_, ascending
     std::chrono::steady_clock::time_point enqueued;
+    /// Non-null iff this sub-batch was trace-sampled. Stamped by the
+    /// submitter before queue publication; written only by the serving
+    /// worker afterwards (single-writer — see obs/trace.h).
+    std::unique_ptr<TraceContext> trace;
   };
 
   /// One per shard; MPSC — many submitters push, one worker pops.
@@ -292,6 +321,8 @@ class ShardedEngine {
   /// Counts the batch, then dispatches the callback to the completion pool
   /// (or completes inline when there is none / no pool).
   void FinishTicket(const TicketPtr& ticket);
+  /// Records the finish -> callback dispatch span of a traced ticket.
+  void RecordCompletionSpan(const TicketPtr& ticket);
   void WorkerLoop(Worker* worker);
   void CompletionLoop();
   /// Pops up to `window` sub-batches off shard `sid`'s queue (honoring the
@@ -322,6 +353,15 @@ class ShardedEngine {
   std::atomic<uint64_t> routing_failures_{0};
   std::atomic<uint64_t> async_submits_{0};
   std::atomic<uint64_t> busy_rejections_{0};
+
+  /// True iff trace_sample_every > 0 and NBLB_OBS_OFF is not set (resolved
+  /// once at Open). With tracing off, Submit skips the sampler entirely.
+  bool tracing_ = false;
+  std::atomic<uint64_t> trace_counter_{0};  // sampler: 1-in-N sub-batches
+  std::unique_ptr<TraceAggregator> tracer_;
+  /// Engine-level registry ("engine.*", "trace.*"). Declared after the
+  /// atomics/tracer it points into so it is destroyed first.
+  std::unique_ptr<MetricsRegistry> metrics_;
 };
 
 }  // namespace nblb

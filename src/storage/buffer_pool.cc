@@ -9,6 +9,9 @@
 
 #include "common/logging.h"
 #include "common/rng.h"
+#include "obs/event_ring.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace nblb {
 
@@ -379,6 +382,7 @@ Status BufferPool::FlushTargets(std::vector<FlushTarget>* targets,
         ++*runs;  // per-page writes: every page is its own "run"
       } else {
         t.frame->state.fetch_or(kDirtyBit, std::memory_order_relaxed);
+        RecordFlightEvent(FlightEvent::kRedirty, 1);
         if (first_error.ok()) first_error = ws;
       }
     }
@@ -427,6 +431,7 @@ Status BufferPool::FlushTargets(std::vector<FlushTarget>* targets,
         (*targets)[base + k].frame->state.fetch_or(
             kDirtyBit, std::memory_order_relaxed);
       }
+      RecordFlightEvent(FlightEvent::kRedirty, count);
       if (first_error.ok()) first_error = ws;
     }
   }
@@ -434,6 +439,7 @@ Status BufferPool::FlushTargets(std::vector<FlushTarget>* targets,
 }
 
 void BufferPool::AbortClaim(Stripe& st, const Claim& c, bool transient) {
+  if (transient) RecordFlightEvent(FlightEvent::kTransientAbort, c.id);
   Frame& f = frames_[c.frame];
   std::lock_guard<std::mutex> lk(st.mu);
   TableErase(st, c.id);
@@ -469,6 +475,8 @@ Status BufferPool::WaitForLoad(Frame& f) {
     // batch-read consumers halve their chunks, nobody reports a phantom
     // IO error.
     if ((s & kTransientBit) != 0) {
+      RecordFlightEvent(FlightEvent::kTransientWait,
+                        f.id.load(std::memory_order_relaxed));
       return Status::ResourceExhausted(
           "concurrent page load aborted under capacity pressure");
     }
@@ -613,6 +621,7 @@ void BufferPool::AbortClaims(std::vector<Claim>* claims, bool transient) {
 
 Result<BufferPool::BatchFetch> BufferPool::StartFetchPages(
     const std::vector<PageId>& ids) {
+  TraceTimer span(TracePhase::kFetchStart);
   BatchFetch bf;
   bf.guards.resize(ids.size());
   if (ids.empty()) return bf;
@@ -1029,6 +1038,7 @@ void BufferPool::FlusherPass() {
   (void)FlushTargets(&targets, &flushed, &runs);
   flusher_pages_.fetch_add(flushed, std::memory_order_relaxed);
   flusher_coalesced_runs_.fetch_add(runs, std::memory_order_relaxed);
+  if (flushed > 0) RecordFlightEvent(FlightEvent::kFlusherPass, flushed, runs);
   for (FlushTarget& t : targets) UnpinFrame(*t.frame, /*dirty=*/false);
   flusher_cursor_ = (flusher_cursor_ + 1) & stripe_mask_;
 }
@@ -1052,6 +1062,32 @@ BufferPoolStats BufferPool::stats() const {
   out.flusher_coalesced_runs =
       flusher_coalesced_runs_.load(std::memory_order_relaxed);
   return out;
+}
+
+void BufferPool::RegisterMetrics(MetricsRegistry* registry,
+                                 const std::string& prefix) const {
+  // Per-stripe counters are aggregated at snapshot time through reader
+  // callbacks; nothing on the serving path changes.
+  auto reg = [this, registry, &prefix](const char* name, auto member) {
+    registry->RegisterCounterFn(prefix + name, [this, member] {
+      uint64_t total = 0;
+      for (size_t i = 0; i < num_stripes_; ++i) {
+        total += (stripes_[i].stats.*member).load(std::memory_order_relaxed);
+      }
+      return total;
+    });
+  };
+  reg("hits", &StripeStats::hits);
+  reg("misses", &StripeStats::misses);
+  reg("evictions", &StripeStats::evictions);
+  reg("dirty_writebacks", &StripeStats::dirty_writebacks);
+  reg("batch_fetches", &StripeStats::batch_fetches);
+  registry->RegisterCounter(prefix + "flusher_passes", &flusher_passes_);
+  registry->RegisterCounter(prefix + "flusher_pages", &flusher_pages_);
+  registry->RegisterCounter(prefix + "flusher_coalesced_runs",
+                            &flusher_coalesced_runs_);
+  registry->RegisterGauge(prefix + "hit_rate",
+                          [this] { return stats().HitRate(); });
 }
 
 void BufferPool::ResetStats() {

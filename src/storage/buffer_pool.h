@@ -213,6 +213,14 @@ class BufferPool {
   BufferPoolStats stats() const;
   void ResetStats();
 
+  /// \brief Publishes the pool's counters under `prefix` (e.g.
+  /// "buffer_pool.") in the unified registry (see src/obs/). Per-stripe
+  /// counters are registered as cross-stripe aggregate reader callbacks;
+  /// the flusher counters are direct atomics; "hit_rate" is a gauge. The
+  /// registry must not outlive this BufferPool.
+  void RegisterMetrics(MetricsRegistry* registry,
+                       const std::string& prefix) const;
+
  private:
   friend class PageGuard;
 

@@ -11,6 +11,9 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "obs/event_ring.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/io_ring.h"
 
 namespace nblb {
@@ -364,6 +367,9 @@ Status DiskManager::ReadPages(const PageId* ids, char* const* dsts, size_t n) {
 // ---------------------------------------------------------------------------
 
 void DiskManager::CompleteOp(OpRecord* op, Status status) {
+  if (!status.ok()) {
+    RecordFlightEvent(FlightEvent::kIoError, op->first_id, op->pages);
+  }
   if (status.ok()) {
     if (op->is_write) {
       counters_.writes.fetch_add(op->pages, std::memory_order_relaxed);
@@ -491,6 +497,7 @@ Status DiskManager::SubmitWrites(const PageId* ids, const char* const* srcs,
 
 Status DiskManager::SubmitBatch(const PageId* ids, char* const* bufs,
                                 size_t n, bool is_write, IoTicket* ticket) {
+  TraceTimer span(TracePhase::kIoSubmit);
   ticket->group_.reset();
   if (n == 0) return Status::OK();
   if (fd_ < 0) return Status::IOError("disk manager not open");
@@ -651,6 +658,7 @@ Status DiskManager::SubmitBatch(const PageId* ids, char* const* bufs,
 }
 
 void DiskManager::WaitGroup(const std::shared_ptr<IoGroup>& group) {
+  TraceTimer span(TracePhase::kDeviceWait);
 #if NBLB_HAVE_IO_URING
   if (backend_in_use_ == IoBackend::kUring) {
     // The waiter drives completion: reap whatever is available (possibly
@@ -802,6 +810,22 @@ DiskStats DiskManager::stats() const {
       counters_.async_write_batches.load(std::memory_order_relaxed);
   s.write_runs = counters_.write_runs.load(std::memory_order_relaxed);
   return s;
+}
+
+void DiskManager::RegisterMetrics(MetricsRegistry* registry,
+                                  const std::string& prefix) const {
+  registry->RegisterCounter(prefix + "reads", &counters_.reads);
+  registry->RegisterCounter(prefix + "writes", &counters_.writes);
+  registry->RegisterCounter(prefix + "allocations", &counters_.allocations);
+  registry->RegisterCounter(prefix + "vectored_reads",
+                            &counters_.vectored_reads);
+  registry->RegisterCounter(prefix + "async_reads", &counters_.async_reads);
+  registry->RegisterCounter(prefix + "async_batches",
+                            &counters_.async_batches);
+  registry->RegisterCounter(prefix + "async_writes", &counters_.async_writes);
+  registry->RegisterCounter(prefix + "async_write_batches",
+                            &counters_.async_write_batches);
+  registry->RegisterCounter(prefix + "write_runs", &counters_.write_runs);
 }
 
 void DiskManager::ResetStats() {

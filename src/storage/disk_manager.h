@@ -22,6 +22,7 @@
 namespace nblb {
 
 class IoRing;
+class MetricsRegistry;
 
 /// \brief Which engine serves asynchronous miss reads.
 enum class IoBackend {
@@ -211,6 +212,11 @@ class DiskManager {
   /// \brief Aggregated snapshot of the atomic counters.
   DiskStats stats() const;
   void ResetStats();
+  /// \brief Publishes every counter under `prefix` (e.g. "disk.") in the
+  /// unified registry (see src/obs/). The registry must not outlive this
+  /// DiskManager.
+  void RegisterMetrics(MetricsRegistry* registry,
+                       const std::string& prefix) const;
   const std::string& path() const { return path_; }
 
  private:

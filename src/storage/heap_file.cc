@@ -1,15 +1,25 @@
 #include "storage/heap_file.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <thread>
 
 #include "common/bytes.h"
 #include "common/logging.h"
+#include "obs/event_ring.h"
+#include "obs/trace.h"
 
 namespace nblb {
 
 namespace {
+
+/// Bound on consecutive yield-retries when a chunk-size-1 StartFetchPages
+/// keeps hitting transient capacity pressure (another batch's claims being
+/// aborted mid-flight). The pressure resolves as soon as the competing batch
+/// finishes or unwinds, so a few thousand yields is far beyond any real
+/// wait; the bound only guards against a genuinely wedged pool.
+constexpr size_t kMaxTransientRetries = 4096;
 
 // Heap page layout:
 //   [0]  u16 page_type (kPageTypeHeap)
@@ -220,6 +230,7 @@ Status HeapFile::GetBatch(const std::vector<Rid>& rids,
   page_ids.erase(std::unique(page_ids.begin(), page_ids.end()),
                  page_ids.end());
   size_t chunk_cap = std::max<size_t>(8, bp_->num_frames() / 8);
+  size_t transient_retries = 0;
 
   size_t base = 0;
   BufferPool::BatchFetch pending;
@@ -235,12 +246,34 @@ Status HeapFile::GetBatch(const std::vector<Rid>& rids,
         // stripe (or concurrent pinners) can still exhaust. Degrade by
         // halving the chunk — at size 1 this is exactly the old
         // one-pin-at-a-time path, so anything it could serve, this serves.
-        if (started.status().IsResourceExhausted() && chunk_cap > 1) {
-          chunk_cap /= 2;
-          continue;
+        if (started.status().IsResourceExhausted()) {
+          if (chunk_cap > 1) {
+            chunk_cap /= 2;
+            RecordFlightEvent(FlightEvent::kChunkHalve, chunk_cap);
+            continue;
+          }
+          // Even a single-page fetch can see transient pressure: a frame
+          // we piggybacked on was claimed by a batch that aborted under
+          // capacity pressure elsewhere. That resolves as soon as the
+          // competing batch unwinds, so yield and retry (bounded) instead
+          // of leaking retryable ResourceExhausted to the caller.
+          if (transient_retries < kMaxTransientRetries) {
+            ++transient_retries;
+            RecordFlightEvent(FlightEvent::kChunkRetry, transient_retries);
+            // Yield first; back off to short sleeps if the pressure
+            // persists, so the bound covers hundreds of milliseconds of
+            // real wait (see kMaxTransientRetries).
+            if (transient_retries < 64) {
+              std::this_thread::yield();
+            } else {
+              std::this_thread::sleep_for(std::chrono::microseconds(50));
+            }
+            continue;
+          }
         }
         return started.status();
       }
+      transient_retries = 0;
       pending = std::move(*started);
       pending_begin = base;
       pending_end = end;
@@ -269,7 +302,10 @@ Status HeapFile::GetBatch(const std::vector<Rid>& rids,
       } else if (started.status().IsResourceExhausted()) {
         // Not enough spare frames for two chunks in flight: fall back to
         // sequential chunks (and shrink them) rather than failing.
-        if (chunk_cap > 1) chunk_cap /= 2;
+        if (chunk_cap > 1) {
+          chunk_cap /= 2;
+          RecordFlightEvent(FlightEvent::kChunkHalve, chunk_cap);
+        }
       } else {
         (void)bp_->FinishFetchPages(std::move(pending));
         return started.status();
@@ -287,6 +323,7 @@ Status HeapFile::GetBatch(const std::vector<Rid>& rids,
       if (fetched.status().IsResourceExhausted()) {
         base = pending_begin;
         if (chunk_cap > 1) chunk_cap /= 2;
+        RecordFlightEvent(FlightEvent::kChunkRetry, chunk_cap);
         std::this_thread::yield();
         continue;
       }
@@ -297,6 +334,7 @@ Status HeapFile::GetBatch(const std::vector<Rid>& rids,
     const PageId hi = page_ids[pending_end - 1];
     const auto chunk_begin = page_ids.begin() + pending_begin;
     const auto chunk_end_it = page_ids.begin() + pending_end;
+    TraceTimer copy_span(TracePhase::kCopy);
     for (size_t i = 0; i < rids.size(); ++i) {
       const Rid& rid = rids[i];
       if (rid.page < lo || rid.page > hi) continue;

@@ -5,7 +5,6 @@
 
 #include "common/bytes.h"
 #include "common/crc32.h"
-#include "common/histogram.h"
 #include "common/latch.h"
 #include "common/rng.h"
 #include "common/slice.h"
@@ -180,29 +179,6 @@ TEST(Crc32Test, SensitiveToEveryByte) {
     mutated[i] = 'y';
     EXPECT_NE(Crc32(mutated.data(), mutated.size()), base) << "byte " << i;
   }
-}
-
-// ---------------------------------------------------------------------------
-// Histogram
-// ---------------------------------------------------------------------------
-
-TEST(HistogramTest, BasicStats) {
-  Histogram h;
-  for (uint64_t v = 1; v <= 100; ++v) h.Record(v);
-  EXPECT_EQ(h.count(), 100u);
-  EXPECT_DOUBLE_EQ(h.Mean(), 50.5);
-  EXPECT_EQ(h.Min(), 1u);
-  EXPECT_EQ(h.Max(), 100u);
-  EXPECT_NEAR(h.Percentile(50), 50, 1);
-  EXPECT_NEAR(h.Percentile(99), 99, 1);
-  EXPECT_EQ(h.Percentile(100), 100u);
-}
-
-TEST(HistogramTest, EmptyIsZero) {
-  Histogram h;
-  EXPECT_EQ(h.count(), 0u);
-  EXPECT_EQ(h.Percentile(50), 0u);
-  EXPECT_EQ(h.Mean(), 0.0);
 }
 
 // ---------------------------------------------------------------------------
