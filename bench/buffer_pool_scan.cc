@@ -56,6 +56,8 @@
 //   "io_backend_effective": "uring"|"threads",
 //   "speedup_8t_hit_vs_seed": <float>  // striped single-fetch vs seed pool
 // }
+// The top level also carries "git_sha": the commit the binary was
+// configured from (stamped by CMake at configure time).
 //
 // Flags: --frames=N --ops=N --batch=N --threads=N (max client threads)
 // --io=auto|uring|threads (async I/O backend; "threads" forces the
@@ -539,11 +541,17 @@ int main(int argc, char** argv) {
   }
   std::fprintf(f,
                "{\n  \"bench\": \"buffer_pool_scan\",\n"
+               "  \"git_sha\": \"%s\",\n"
                "  \"page_size\": %zu,\n  \"frames\": %llu,\n"
                "  \"hit_pages\": %u,\n  \"miss_pages\": %u,\n"
                "  \"ops_per_config\": %llu,\n  \"batch_size\": %llu,\n"
                "  \"io_backend\": \"%s\",\n"
                "  \"hit\": [\n",
+#ifdef NBLB_GIT_SHA
+               NBLB_GIT_SHA,
+#else
+               "unknown",
+#endif
                page_size, static_cast<unsigned long long>(frames), hit_pages,
                miss_pages, static_cast<unsigned long long>(total_ops),
                static_cast<unsigned long long>(batch), io_flag.c_str());

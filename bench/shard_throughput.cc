@@ -33,6 +33,7 @@
 // JSON schema (all times seconds unless suffixed _ms/_us; one object):
 // {
 //   "bench": "shard_throughput",
+//   "git_sha": "<commit the binary was configured from>",
 //   "rows": <uint>,              // rows loaded per configuration
 //   "lookups": <uint>,           // traced lookups per configuration
 //   "batch_size": <uint>,        // requests per Execute/Submit call
@@ -553,6 +554,14 @@ uint64_t FlagOr(int argc, char** argv, const char* name, uint64_t fallback) {
   return fallback;
 }
 
+const char* GitSha() {
+#ifdef NBLB_GIT_SHA
+  return NBLB_GIT_SHA;
+#else
+  return "unknown";
+#endif
+}
+
 /// One mixed write-phase object: throughput + the write-path counters.
 void PrintMixedPhaseJson(FILE* f, const char* name, const PhaseResult& p) {
   std::fprintf(
@@ -770,6 +779,7 @@ int main(int argc, char** argv) {
   }
   std::fprintf(f,
                "{\n  \"bench\": \"shard_throughput\",\n"
+               "  \"git_sha\": \"%s\",\n"
                "  \"rows\": %zu,\n  \"lookups\": %llu,\n"
                "  \"batch_size\": %llu,\n  \"page_size\": %zu,\n"
                "  \"frames_per_shard\": %llu,\n  \"direct_io\": %d,\n"
@@ -783,7 +793,8 @@ int main(int argc, char** argv) {
                "  \"mixed_update_fraction\": %.2f,\n"
                "  \"mixed_flusher_us\": %llu,\n"
                "  \"configs\": [\n",
-               rows.size(), static_cast<unsigned long long>(num_lookups),
+               GitSha(), rows.size(),
+               static_cast<unsigned long long>(num_lookups),
                static_cast<unsigned long long>(batch_size), kDefaultPageSize,
                static_cast<unsigned long long>(frames), direct_io ? 1 : 0,
                static_cast<unsigned long long>(inflight),

@@ -8,11 +8,13 @@ Usage:
         --current smoke_shard_throughput.json [--min-ratio 0.75] \
         [--obs-off-current smoke_obs_off.json [--obs-min-ratio 0.97]]
 
-Handles both bench schemas in this repo ("shard_throughput" and
-"buffer_pool_scan"), matching comparable configurations between the two
-files. Only hit-regime points are gated: miss-regime throughput is
-device-bound and too noisy across runner hardware, and smoke-size runs have
-different miss profiles than full-size baselines.
+Each bench schema in this repo registers declaratively in the BENCHES
+table at the bottom of this file: one gate function (throughput ratios +
+error checks against the baseline) and one metrics validator (schema check
+of the embedded unified-registry document). Adding a fourth bench is two
+functions and one table row. Only hit-regime points are gated: miss-regime
+throughput is device-bound and too noisy across runner hardware, and
+smoke-size runs have different miss profiles than full-size baselines.
 
 The gate is on the GEOMETRIC MEAN of the per-config throughput ratios
 across hit-regime configs — single configs (especially single-client
@@ -253,6 +255,75 @@ def check_buffer_pool(baseline, current, min_ratio):
     gate_ratios("buffer_pool_scan", ratios, min_ratio)
 
 
+def check_net_serving(baseline, current, min_ratio):
+    """Loopback-serving gate: zero transport/serving errors anywhere, the
+    overload phase actually shed (busy replies flowed), and net-phase
+    throughput held against the baseline."""
+    for phase in ("inprocess", "net"):
+        if phase not in current:
+            fail(f"net_serving: missing '{phase}' phase")
+        if current[phase].get("errors", 0) != 0:
+            fail(f"net_serving {phase}: errors={current[phase]['errors']}")
+    overload = current.get("overload")
+    if overload is not None:
+        if overload.get("errors", 0) != 0:
+            fail(f"net_serving overload: errors={overload['errors']}")
+        if overload.get("busy", 0) == 0:
+            fail("net_serving overload: over-driven phase recorded zero busy "
+                 "replies — admission control did not engage")
+    cur_net = current["net"]
+    base_net = baseline.get("net")
+    if base_net is None:
+        fail("net_serving: baseline has no 'net' phase")
+    ratio = (cur_net["ops_per_sec"] / base_net["ops_per_sec"]
+             if base_net["ops_per_sec"] else 0)
+    print(f"  net: {cur_net['ops_per_sec']:.0f} vs baseline "
+          f"{base_net['ops_per_sec']:.0f} ops/s (x{ratio:.2f}), "
+          f"p99 {cur_net.get('p99_batch_ms', 0):.3f} ms")
+    print(f"  net vs in-process: x{cur_net.get('ratio_vs_inprocess', 0):.2f} "
+          f"(loopback cost, informational)")
+    gate_ratios("net_serving", {"net": ratio}, min_ratio)
+
+
+def validate_net_metrics(current):
+    """A net_serving JSON embeds the server's merged document: the net.*
+    layer plus the serving engine's full document underneath it."""
+    print("  validating embedded metrics document...")
+    doc = current.get("metrics")
+    if doc is None:
+        fail("net_serving: no embedded metrics document")
+    validate_metrics_document("net_serving", doc)
+    counters = doc["counters"]
+    for name in ("net.accepts", "net.frames_in", "net.frames_out",
+                 "net.responses", "net.busy_shed", "net.decode_errors",
+                 "engine.batches", "engine.requests"):
+        if name not in counters:
+            fail(f"net_serving: metrics document missing counter {name}")
+    for name in ("net.open_connections", "net.inflight"):
+        if name not in doc["gauges"]:
+            fail(f"net_serving: missing gauge {name}")
+    for name in ("net.reply_latency_us", "net.batch_requests"):
+        if name not in doc["histograms"]:
+            fail(f"net_serving: missing histogram {name}")
+    for s in range(current.get("shards", 0)):
+        if f"shard{s}.disk.reads" not in counters:
+            fail(f"net_serving: metrics document missing counter "
+                 f"shard{s}.disk.reads")
+    print("  metrics document OK")
+
+
+# ---- Bench registry ---------------------------------------------------------
+# One row per bench JSON schema: gate(baseline, current, min_ratio) holds
+# throughput/error behavior against the committed baseline; validate(current)
+# schema-checks the embedded unified-metrics document. New benches register
+# here — main() needs no changes.
+BENCHES = {
+    "shard_throughput": (check_shard_throughput, validate_shard_metrics),
+    "buffer_pool_scan": (check_buffer_pool, validate_buffer_pool_metrics),
+    "net_serving": (check_net_serving, validate_net_metrics),
+}
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", required=True)
@@ -278,14 +349,13 @@ def main():
     bench = current.get("bench")
     print(f"gating {bench}: current={args.current} vs "
           f"baseline={args.baseline} (min ratio {args.min_ratio:.2f})")
-    if bench == "shard_throughput":
-        check_shard_throughput(baseline, current, args.min_ratio)
-        validate_shard_metrics(current)
-    elif bench == "buffer_pool_scan":
-        check_buffer_pool(baseline, current, args.min_ratio)
-        validate_buffer_pool_metrics(current)
-    else:
-        fail(f"unknown bench kind: {bench}")
+    spec = BENCHES.get(bench)
+    if spec is None:
+        fail(f"unknown bench kind: {bench} (registered: "
+             f"{', '.join(sorted(BENCHES))})")
+    gate, validate = spec
+    gate(baseline, current, args.min_ratio)
+    validate(current)
 
     if args.obs_off_current:
         if bench != "shard_throughput":

@@ -1,0 +1,137 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace nblb::net {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+constexpr size_t kRecvChunk = 64 * 1024;
+
+}  // namespace
+
+Result<std::unique_ptr<NetClient>> NetClient::Connect(const Options& options) {
+  std::unique_ptr<NetClient> c(new NetClient());
+  c->decoder_ = FrameDecoder(options.max_frame_payload);
+  c->rbuf_.resize(kRecvChunk);
+
+  c->fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (c->fd_ < 0) return Errno("socket");
+
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options.port);
+  if (::inet_pton(AF_INET, options.host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad host address: " + options.host);
+  }
+  if (::connect(c->fd_, reinterpret_cast<struct sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    return Errno("connect " + options.host + ":" +
+                 std::to_string(options.port));
+  }
+  int one = 1;
+  ::setsockopt(c->fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return c;
+}
+
+NetClient::~NetClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status NetClient::SendRaw(const void* data, size_t len) {
+  const char* p = static_cast<const char*>(data);
+  while (len > 0) {
+    const ssize_t n = ::send(fd_, p, len, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    p += n;
+    len -= static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> NetClient::Send(const RequestBatch& batch) {
+  const uint64_t id = next_id_++;
+  std::string frame;
+  AppendRequestFrame(id, batch, &frame);
+  Status st = SendRaw(frame.data(), frame.size());
+  if (!st.ok()) return st;
+  pending_sizes_[id] = batch.size();
+  return id;
+}
+
+Result<BatchResult> NetClient::Wait(uint64_t request_id) {
+  for (;;) {
+    auto ready = ready_.find(request_id);
+    if (ready != ready_.end()) {
+      BatchResult result = std::move(ready->second);
+      ready_.erase(ready);
+      pending_sizes_.erase(request_id);
+      return result;
+    }
+
+    // Drain whatever frames are already reassembled before reading more.
+    Frame frame;
+    const FrameDecoder::Next next = decoder_.Pop(&frame);
+    if (next == FrameDecoder::Next::kError) {
+      return Status::Corruption("response stream: " + decoder_.error());
+    }
+    if (next == FrameDecoder::Next::kFrame) {
+      if (frame.type == FrameType::kBusy) {
+        // The server shed the whole frame: synthesize per-request kBusy so
+        // callers see the same shape as engine-side fail-fast rejection.
+        BatchResult busy;
+        const auto pending = pending_sizes_.find(frame.request_id);
+        const size_t count =
+            pending != pending_sizes_.end() ? pending->second : 0;
+        busy.results.resize(count);
+        for (RequestResult& r : busy.results) {
+          r.status = Status::Busy("server shed request (admission control)");
+        }
+        ready_[frame.request_id] = std::move(busy);
+      } else if (frame.type == FrameType::kResponse) {
+        Result<BatchResult> decoded =
+            DecodeResponsePayload(frame.payload.data(), frame.payload.size());
+        if (!decoded.ok()) return decoded.status();
+        ready_[frame.request_id] = std::move(decoded).ValueOrDie();
+      } else {
+        return Status::Corruption("unexpected request frame from server");
+      }
+      continue;
+    }
+
+    const ssize_t n = ::recv(fd_, rbuf_.data(), rbuf_.size(), 0);
+    if (n > 0) {
+      decoder_.Append(rbuf_.data(), static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      return Status::IOError("server closed connection");
+    }
+    if (errno == EINTR) continue;
+    return Errno("recv");
+  }
+}
+
+Result<BatchResult> NetClient::Call(const RequestBatch& batch) {
+  Result<uint64_t> id = Send(batch);
+  if (!id.ok()) return id.status();
+  return Wait(*id);
+}
+
+}  // namespace nblb::net

@@ -1,0 +1,265 @@
+// NetServer: the network serving front end — a nonblocking event-loop TCP
+// server that owns client connections, reassembles the length-prefixed
+// binary framing (net/wire.h), feeds decoded RequestBatches into
+// ShardedEngine::Submit, and writes responses from completion callbacks
+// without ever blocking the loop.
+//
+// Threading model (see src/net/README.md for the long version):
+//
+//   loop thread (one)                     completion threads (engine's)
+//   ─────────────────                     ────────────────────────────
+//   accept / recv / send                  engine ran the batch:
+//   decode frames                           encode response frame
+//   admission control                       append to conn output queue
+//   engine->Submit(batch, cb) ──────────▶   wake loop (eventfd)
+//   drain woken conns' output  ◀──────────
+//   to their sockets
+//
+// The loop thread is the only thread that touches sockets; completion
+// threads only encode (CPU work off the loop) and append to a per-connection
+// output queue under a small mutex. That single-writer discipline is what
+// keeps the loop non-blocking and the whole structure TSan-clean.
+//
+// Two loop backends behind one connection state machine, selected with the
+// same probe-then-degrade discipline as storage/io_ring.*:
+//   - epoll (baseline): level-triggered, nonblocking fds, EPOLLOUT armed
+//     only while a connection has queued output.
+//   - io_uring (where available): one-shot ACCEPT/RECV/SEND ops re-armed on
+//     completion, the wake eventfd read through the ring. Used when the
+//     ring can be created AND a loopback RECV probe succeeds (socket ops
+//     need kernel >= 5.6; seccomp and the io_uring_disabled sysctl are also
+//     common). NBLB_IO_BACKEND=threads forces epoll without a rebuild —
+//     CI's fallback legs exercise exactly that path.
+//
+// Admission control: two in-flight caps — per-connection and global — bound
+// how many decoded frames may sit in the engine at once. A frame over
+// either cap is shed immediately with a busy reply (FrameType::kBusy): the
+// client sees an explicit kBusy instead of unbounded queueing, and the
+// engine's own max_queue_depth/busy_fail_fast backstop turns shard-queue
+// overflow into per-request kBusy statuses. Pair the server with a
+// fail-fast engine: with the blocking backpressure policy a full shard
+// queue would block the loop thread inside Submit.
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "net/wire.h"
+#include "obs/histogram.h"
+#include "obs/metrics.h"
+#include "shard/sharded_engine.h"
+#include "storage/disk_manager.h"
+#include "storage/io_ring.h"
+
+namespace nblb::net {
+
+/// \brief Server configuration.
+struct NetServerOptions {
+  /// TCP port; 0 binds an ephemeral port (read it back via port()).
+  uint16_t port = 0;
+  /// Bind address. The default serves loopback only — benches and tests;
+  /// bind 0.0.0.0 explicitly to serve real traffic.
+  std::string bind_address = "127.0.0.1";
+  int listen_backlog = 128;
+  /// Loop backend: kAuto probes io_uring (ring creation + a loopback RECV)
+  /// and falls back to epoll; kThreads forces epoll; kUring insists on
+  /// io_uring but still degrades with a warning when the probe fails.
+  /// NBLB_IO_BACKEND=threads|uring|auto in the environment overrides this,
+  /// exactly like DiskManager.
+  IoBackend io_backend = IoBackend::kAuto;
+  /// io_uring submission-queue entries (uring backend only). Bounds the
+  /// accepted-connection count to roughly (entries - 8) / 2, since every
+  /// live connection keeps one RECV and at most one SEND in flight.
+  unsigned io_queue_depth = 256;
+  /// Frames decoded but not yet answered, per connection. 0 = unlimited.
+  size_t max_inflight_per_conn = 64;
+  /// Frames decoded but not yet answered, across all connections. 0 derives
+  /// a cap from the engine: num_shards * max_queue_depth when the engine
+  /// bounds its queues (the shed point then sits exactly where the engine
+  /// would start failing batches), else 1024.
+  size_t max_inflight_global = 0;
+  /// Per-frame payload cap handed to each connection's FrameDecoder.
+  size_t max_frame_payload = kDefaultMaxFramePayload;
+  /// recv() chunk size per readiness event.
+  size_t recv_chunk_bytes = 64 * 1024;
+};
+
+/// \brief Relaxed-atomic serving counters (same memory-ordering rationale as
+/// shard_stats.h), published to the registry under "net.*".
+struct NetStatsSnapshot {
+  uint64_t accepts = 0;
+  uint64_t closes = 0;        ///< connections fully closed
+  uint64_t frames_in = 0;     ///< request frames decoded
+  uint64_t frames_out = 0;    ///< response + busy frames queued
+  uint64_t bytes_in = 0;
+  uint64_t bytes_out = 0;
+  uint64_t decode_errors = 0; ///< protocol violations (connection closed)
+  uint64_t busy_shed = 0;     ///< frames shed by admission control
+  uint64_t responses = 0;     ///< engine completions answered
+};
+
+/// \brief Owns the listening socket, the loop thread, and every connection.
+class NetServer {
+ public:
+  /// \brief Binds, listens, resolves the loop backend, and starts the loop
+  /// thread. The engine must outlive the server.
+  static Result<std::unique_ptr<NetServer>> Start(NetServerOptions options,
+                                                  ShardedEngine* engine);
+
+  /// \brief Stops accepting, waits for every in-flight engine batch to
+  /// complete, then joins the loop thread and closes all sockets.
+  ~NetServer();
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  /// \brief The bound TCP port (useful with options.port == 0).
+  uint16_t port() const { return port_; }
+
+  /// \brief Loop backend actually in use after probing.
+  IoBackend backend_in_use() const { return backend_in_use_; }
+
+  NetStatsSnapshot stats() const;
+  size_t open_connections() const {
+    return open_conns_.load(std::memory_order_relaxed);
+  }
+  size_t inflight() const {
+    return inflight_global_.load(std::memory_order_relaxed);
+  }
+
+  /// \brief One merged snapshot: this server's "net.*" metrics plus the
+  /// engine's full document (engine./trace./shard<i>.*) — the whole serving
+  /// stack, sockets to device, in one place.
+  MetricsSnapshot MetricsSnapshotNow() const;
+  std::string DumpMetrics() const { return MetricsSnapshotNow().ToJson(); }
+
+ private:
+  /// Per-connection state. Sockets are touched only by the loop thread;
+  /// completion threads reach `out_mu`-guarded output state and the atomics.
+  struct Conn {
+    uint64_t id = 0;
+    int fd = -1;
+    FrameDecoder decoder;
+    /// Frames submitted to the engine and not yet answered.
+    std::atomic<uint32_t> inflight{0};
+    /// Set by the loop when the connection dies; completion callbacks then
+    /// drop their responses instead of queueing output.
+    std::atomic<bool> closed{false};
+
+    std::mutex out_mu;
+    std::deque<std::string> outq;  // encoded frames awaiting send
+    size_t out_off = 0;            // sent prefix of outq.front()
+
+    // Loop-private per-backend state.
+    bool want_write = false;   // epoll: EPOLLOUT armed
+    bool recv_pending = false; // uring: RECV op in flight
+    bool send_pending = false; // uring: SEND op in flight
+    bool closing = false;      // uring: shutdown issued, draining ops
+    std::vector<char> rchunk;  // recv buffer (uring: op target, keep stable)
+    std::string sending;       // uring: buffer owned by the in-flight SEND
+
+    explicit Conn(size_t max_payload) : decoder(max_payload) {}
+  };
+  using ConnPtr = std::shared_ptr<Conn>;
+
+  NetServer() = default;
+
+  Status Listen();
+  void ResolveBackend();
+  void LoopMain();
+
+  // Shared connection state machine (both backends).
+  void HandleAccepted(int fd);
+  /// Decodes and dispatches every complete frame buffered on `conn`;
+  /// returns false when the connection must be closed (protocol error).
+  bool ProcessFrames(const ConnPtr& conn);
+  /// Admission + decode + Submit for one request frame; false on a
+  /// malformed payload (close the connection).
+  bool HandleRequestFrame(const ConnPtr& conn, Frame&& frame);
+  /// Loop-thread side: appends an encoded frame and starts sending now.
+  void EnqueueLoopSide(const ConnPtr& conn, std::string frame_bytes);
+  /// Completion-thread side: appends an encoded frame and wakes the loop.
+  void QueueOutput(const ConnPtr& conn, std::string frame_bytes);
+  void WakeLoop();
+
+  // epoll backend.
+  void EpollLoop();
+  void EpollAcceptReady();
+  void EpollReadReady(const ConnPtr& conn);
+  /// Sends queued output until empty or EAGAIN; arms/disarms EPOLLOUT.
+  void EpollFlushConn(const ConnPtr& conn);
+  void EpollCloseConn(const ConnPtr& conn);
+  void EpollUpdateInterest(const ConnPtr& conn);
+
+  // io_uring backend.
+  void UringLoop();
+  void UringArmRecv(const ConnPtr& conn);
+  void UringStartSend(const ConnPtr& conn);
+  void UringCloseConn(const ConnPtr& conn);
+  /// Close finishes once no ops reference the conn's buffers.
+  void UringReapConnIfDone(const ConnPtr& conn);
+  bool UringPush(const std::function<bool()>& push);
+
+  /// Drains the wake eventfd and flushes every connection the completion
+  /// threads marked as having fresh output.
+  void DrainPendingWrites();
+
+  NetServerOptions options_;
+  ShardedEngine* engine_ = nullptr;
+  IoBackend backend_in_use_ = IoBackend::kThreads;  // kThreads == epoll here
+  size_t global_cap_ = 0;
+
+  int listen_fd_ = -1;
+  int wake_fd_ = -1;  // eventfd
+  int epoll_fd_ = -1;
+  uint16_t port_ = 0;
+  std::unique_ptr<IoRing> ring_;
+  uint64_t wake_buf_ = 0;          // uring: eventfd read target
+  struct iovec wake_iov_ {};       // uring: stable iovec for the eventfd read
+  bool accept_pending_ = false;    // uring: ACCEPT op in flight
+  bool wake_pending_ = false;      // uring: eventfd read in flight
+
+  std::thread loop_thread_;
+  std::atomic<bool> stopping_{false};
+
+  uint64_t next_conn_id_ = 1;                    // loop-private
+  std::unordered_map<uint64_t, ConnPtr> conns_;  // loop-private
+
+  /// Connections with fresh completion output, awaiting a loop flush.
+  std::mutex pending_mu_;
+  std::vector<ConnPtr> pending_writes_;
+
+  std::atomic<size_t> open_conns_{0};
+  std::atomic<size_t> inflight_global_{0};
+  std::mutex drain_mu_;              // ~NetServer waits for inflight == 0
+  std::condition_variable drain_cv_;
+
+  // net.* counters (relaxed atomics; registry holds pointers only).
+  std::atomic<uint64_t> accepts_{0};
+  std::atomic<uint64_t> closes_{0};
+  std::atomic<uint64_t> frames_in_{0};
+  std::atomic<uint64_t> frames_out_{0};
+  std::atomic<uint64_t> bytes_in_{0};
+  std::atomic<uint64_t> bytes_out_{0};
+  std::atomic<uint64_t> decode_errors_{0};
+  std::atomic<uint64_t> busy_shed_{0};
+  std::atomic<uint64_t> responses_{0};
+  /// Decode-to-response-queued latency of every answered frame.
+  LogHistogram reply_latency_us_;
+  /// Requests per decoded frame.
+  LogHistogram request_batch_size_;
+  /// Declared after the counters it points into (destroyed first).
+  std::unique_ptr<MetricsRegistry> metrics_;
+};
+
+}  // namespace nblb::net

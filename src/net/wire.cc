@@ -1,0 +1,365 @@
+#include "net/wire.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+
+#include "common/bytes.h"
+
+namespace nblb::net {
+namespace {
+
+// ---- Primitive appenders ----------------------------------------------------
+
+void AppendU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void AppendU16(std::string* out, uint16_t v) {
+  char buf[2];
+  EncodeFixed16(buf, v);
+  out->append(buf, 2);
+}
+
+void AppendU32(std::string* out, uint32_t v) {
+  char buf[4];
+  EncodeFixed32(buf, v);
+  out->append(buf, 4);
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  char buf[8];
+  EncodeFixed64(buf, v);
+  out->append(buf, 8);
+}
+
+// ---- Bounded reader over a payload ------------------------------------------
+
+/// Cursor with explicit bounds checking: every read either succeeds or marks
+/// the cursor failed, so decoders validate once at the end instead of
+/// sprinkling length checks.
+class Reader {
+ public:
+  Reader(const char* data, size_t len) : p_(data), end_(data + len) {}
+
+  uint8_t U8() {
+    if (!Need(1)) return 0;
+    return static_cast<uint8_t>(*p_++);
+  }
+  uint16_t U16() {
+    if (!Need(2)) return 0;
+    uint16_t v = DecodeFixed16(p_);
+    p_ += 2;
+    return v;
+  }
+  uint32_t U32() {
+    if (!Need(4)) return 0;
+    uint32_t v = DecodeFixed32(p_);
+    p_ += 4;
+    return v;
+  }
+  uint64_t U64() {
+    if (!Need(8)) return 0;
+    uint64_t v = DecodeFixed64(p_);
+    p_ += 8;
+    return v;
+  }
+  std::string Bytes(size_t n) {
+    if (!Need(n)) return std::string();
+    std::string s(p_, n);
+    p_ += n;
+    return s;
+  }
+
+  bool failed() const { return failed_; }
+  bool exhausted() const { return p_ == end_; }
+
+ private:
+  bool Need(size_t n) {
+    if (failed_ || static_cast<size_t>(end_ - p_) < n) {
+      failed_ = true;
+      return false;
+    }
+    return true;
+  }
+
+  const char* p_;
+  const char* end_;
+  bool failed_ = false;
+};
+
+// ---- Row codec (self-describing) --------------------------------------------
+
+void AppendValue(std::string* out, const Value& v) {
+  AppendU8(out, static_cast<uint8_t>(v.type()));
+  switch (v.type()) {
+    case TypeId::kBool:
+    case TypeId::kInt8:
+    case TypeId::kInt16:
+    case TypeId::kInt32:
+    case TypeId::kInt64:
+    case TypeId::kTimestamp:
+      AppendU64(out, static_cast<uint64_t>(v.AsInt()));
+      break;
+    case TypeId::kFloat64: {
+      double d = v.AsDouble();
+      uint64_t bits;
+      std::memcpy(&bits, &d, 8);
+      AppendU64(out, bits);
+      break;
+    }
+    case TypeId::kChar:
+    case TypeId::kVarchar: {
+      const std::string& s = v.AsString();
+      AppendU32(out, static_cast<uint32_t>(s.size()));
+      out->append(s);
+      break;
+    }
+  }
+}
+
+void AppendRow(std::string* out, const Row& row) {
+  AppendU16(out, static_cast<uint16_t>(row.size()));
+  for (const Value& v : row) AppendValue(out, v);
+}
+
+bool ReadValue(Reader* r, Value* out) {
+  const uint8_t type = r->U8();
+  if (type > static_cast<uint8_t>(TypeId::kVarchar)) return false;
+  const TypeId t = static_cast<TypeId>(type);
+  switch (t) {
+    case TypeId::kBool:
+      *out = Value::Bool(r->U64() != 0);
+      break;
+    case TypeId::kInt8:
+      *out = Value::Int8(static_cast<int8_t>(r->U64()));
+      break;
+    case TypeId::kInt16:
+      *out = Value::Int16(static_cast<int16_t>(r->U64()));
+      break;
+    case TypeId::kInt32:
+      *out = Value::Int32(static_cast<int32_t>(r->U64()));
+      break;
+    case TypeId::kInt64:
+      *out = Value::Int64(static_cast<int64_t>(r->U64()));
+      break;
+    case TypeId::kTimestamp:
+      *out = Value::Timestamp(static_cast<uint32_t>(r->U64()));
+      break;
+    case TypeId::kFloat64: {
+      uint64_t bits = r->U64();
+      double d;
+      std::memcpy(&d, &bits, 8);
+      *out = Value::Float64(d);
+      break;
+    }
+    case TypeId::kChar: {
+      uint32_t n = r->U32();
+      *out = Value::Char(r->Bytes(n));
+      break;
+    }
+    case TypeId::kVarchar: {
+      uint32_t n = r->U32();
+      *out = Value::Varchar(r->Bytes(n));
+      break;
+    }
+  }
+  return !r->failed();
+}
+
+bool ReadRow(Reader* r, Row* out) {
+  const uint16_t ncols = r->U16();
+  out->clear();
+  out->reserve(ncols);
+  for (uint16_t i = 0; i < ncols; ++i) {
+    Value v;
+    if (!ReadValue(r, &v)) return false;
+    out->push_back(std::move(v));
+  }
+  return !r->failed();
+}
+
+void AppendFrameHeader(std::string* out, FrameType type, uint64_t request_id,
+                       size_t payload_len) {
+  AppendU32(out, static_cast<uint32_t>(payload_len));
+  AppendU8(out, static_cast<uint8_t>(type));
+  AppendU8(out, 0);
+  AppendU16(out, 0);
+  AppendU64(out, request_id);
+}
+
+}  // namespace
+
+// ---- Frame encoders ---------------------------------------------------------
+
+void AppendRequestFrame(uint64_t request_id, const RequestBatch& batch,
+                        std::string* out) {
+  std::string payload;
+  AppendU32(&payload, static_cast<uint32_t>(batch.size()));
+  for (const Request& req : batch) {
+    AppendU8(&payload, static_cast<uint8_t>(req.kind));
+    AppendU64(&payload, req.id);
+    switch (req.kind) {
+      case RequestKind::kInsert:
+      case RequestKind::kUpdate:
+        AppendRow(&payload, req.row);
+        break;
+      case RequestKind::kGetProjected:
+        AppendU16(&payload, static_cast<uint16_t>(req.projection.size()));
+        for (size_t col : req.projection) {
+          AppendU16(&payload, static_cast<uint16_t>(col));
+        }
+        break;
+      case RequestKind::kGet:
+      case RequestKind::kDelete:
+        break;
+    }
+  }
+  AppendFrameHeader(out, FrameType::kRequest, request_id, payload.size());
+  out->append(payload);
+}
+
+void AppendResponseFrame(uint64_t request_id, const BatchResult& result,
+                         std::string* out) {
+  std::string payload;
+  AppendU32(&payload, static_cast<uint32_t>(result.results.size()));
+  for (const RequestResult& r : result.results) {
+    AppendU8(&payload, static_cast<uint8_t>(r.status.code()));
+    const std::string& msg = r.status.message();
+    AppendU16(&payload, static_cast<uint16_t>(
+                            std::min<size_t>(msg.size(), UINT16_MAX)));
+    payload.append(msg.data(), std::min<size_t>(msg.size(), UINT16_MAX));
+    AppendU32(&payload, r.shard);
+    const bool has_row = !r.row.empty();
+    AppendU8(&payload, has_row ? 1 : 0);
+    if (has_row) AppendRow(&payload, r.row);
+  }
+  AppendFrameHeader(out, FrameType::kResponse, request_id, payload.size());
+  out->append(payload);
+}
+
+void AppendBusyFrame(uint64_t request_id, std::string* out) {
+  AppendFrameHeader(out, FrameType::kBusy, request_id, 0);
+}
+
+// ---- Payload decoders -------------------------------------------------------
+
+Result<RequestBatch> DecodeRequestPayload(const char* data, size_t len) {
+  Reader r(data, len);
+  const uint32_t count = r.U32();
+  RequestBatch batch;
+  batch.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    Request req;
+    const uint8_t kind = r.U8();
+    if (kind > static_cast<uint8_t>(RequestKind::kDelete)) {
+      return Status::InvalidArgument("request frame: unknown request kind " +
+                                     std::to_string(kind));
+    }
+    req.kind = static_cast<RequestKind>(kind);
+    req.id = r.U64();
+    switch (req.kind) {
+      case RequestKind::kInsert:
+      case RequestKind::kUpdate:
+        if (!ReadRow(&r, &req.row)) {
+          return Status::InvalidArgument("request frame: malformed row");
+        }
+        break;
+      case RequestKind::kGetProjected: {
+        const uint16_t n = r.U16();
+        req.projection.reserve(n);
+        for (uint16_t c = 0; c < n; ++c) req.projection.push_back(r.U16());
+        break;
+      }
+      case RequestKind::kGet:
+      case RequestKind::kDelete:
+        break;
+    }
+    if (r.failed()) {
+      return Status::InvalidArgument("request frame: truncated payload");
+    }
+    batch.push_back(std::move(req));
+  }
+  if (r.failed()) {
+    return Status::InvalidArgument("request frame: truncated payload");
+  }
+  if (!r.exhausted()) {
+    return Status::InvalidArgument("request frame: trailing bytes");
+  }
+  return batch;
+}
+
+Result<BatchResult> DecodeResponsePayload(const char* data, size_t len) {
+  Reader r(data, len);
+  const uint32_t count = r.U32();
+  BatchResult result;
+  result.results.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    RequestResult rr;
+    const uint8_t code = r.U8();
+    if (code > static_cast<uint8_t>(StatusCode::kResourceExhausted)) {
+      return Status::InvalidArgument("response frame: unknown status code " +
+                                     std::to_string(code));
+    }
+    const uint16_t msg_len = r.U16();
+    std::string msg = r.Bytes(msg_len);
+    rr.status = Status(static_cast<StatusCode>(code), std::move(msg));
+    rr.shard = r.U32();
+    if (r.U8() != 0 && !ReadRow(&r, &rr.row)) {
+      return Status::InvalidArgument("response frame: malformed row");
+    }
+    if (r.failed()) {
+      return Status::InvalidArgument("response frame: truncated payload");
+    }
+    result.results.push_back(std::move(rr));
+  }
+  if (r.failed()) {
+    return Status::InvalidArgument("response frame: truncated payload");
+  }
+  if (!r.exhausted()) {
+    return Status::InvalidArgument("response frame: trailing bytes");
+  }
+  return result;
+}
+
+// ---- Streaming decoder ------------------------------------------------------
+
+void FrameDecoder::Append(const char* data, size_t len) {
+  if (failed_) return;  // poisoned; connection is being torn down anyway
+  // Compact once the consumed prefix dominates, so a long-lived connection
+  // does not grow its buffer without bound.
+  if (pos_ > 0 && (pos_ >= buf_.size() || pos_ > (64u << 10))) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  buf_.append(data, len);
+}
+
+FrameDecoder::Next FrameDecoder::Pop(Frame* out) {
+  if (failed_) return Next::kError;
+  const size_t avail = buf_.size() - pos_;
+  if (avail < kFrameHeaderBytes) return Next::kNeedMore;
+  const char* h = buf_.data() + pos_;
+  const uint32_t payload_len = DecodeFixed32(h);
+  const uint8_t type = static_cast<uint8_t>(h[4]);
+  if (type < static_cast<uint8_t>(FrameType::kRequest) ||
+      type > static_cast<uint8_t>(FrameType::kBusy)) {
+    failed_ = true;
+    error_ = "unknown frame type " + std::to_string(type);
+    return Next::kError;
+  }
+  if (payload_len > max_payload_) {
+    failed_ = true;
+    error_ = "frame payload length " + std::to_string(payload_len) +
+             " exceeds cap " + std::to_string(max_payload_);
+    return Next::kError;
+  }
+  if (avail < kFrameHeaderBytes + payload_len) return Next::kNeedMore;
+  out->type = static_cast<FrameType>(type);
+  out->request_id = DecodeFixed64(h + 8);
+  out->payload.assign(h + kFrameHeaderBytes, payload_len);
+  pos_ += kFrameHeaderBytes + payload_len;
+  return Next::kFrame;
+}
+
+}  // namespace nblb::net

@@ -31,6 +31,10 @@ const char* FlightEventName(FlightEvent e) {
       return "io_error";
     case FlightEvent::kRedirty:
       return "redirty";
+    case FlightEvent::kNetShed:
+      return "net_shed";
+    case FlightEvent::kNetDecodeError:
+      return "net_decode_error";
   }
   return "unknown";
 }

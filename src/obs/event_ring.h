@@ -68,6 +68,14 @@ enum class FlightEvent : uint16_t {
   /// Write-back failed and the pages were re-marked dirty for retry.
   /// arg0 = pages re-dirtied.
   kRedirty = 10,
+  /// Network admission control shed a request frame with a busy reply
+  /// (per-connection or global in-flight cap). arg0 = connection id,
+  /// arg1 = in-flight frames at shed time.
+  kNetShed = 11,
+  /// A connection's byte stream violated the framing protocol (garbage,
+  /// oversized length prefix, malformed payload); the connection was
+  /// closed. arg0 = connection id.
+  kNetDecodeError = 12,
 };
 
 const char* FlightEventName(FlightEvent e);

@@ -248,6 +248,10 @@ class ShardedEngine {
   Status EnableHotCold(uint32_t shard,
                        const std::unordered_set<std::string>& hot_keys);
 
+  /// \brief The options the engine was opened with (the network front end
+  /// derives its global admission cap from max_queue_depth).
+  const ShardedEngineOptions& options() const { return options_; }
+
   uint32_t num_shards() const { return static_cast<uint32_t>(shards_.size()); }
   uint32_t num_workers() const {
     return static_cast<uint32_t>(workers_.size());

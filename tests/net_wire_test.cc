@@ -1,0 +1,278 @@
+// Wire-protocol robustness: frame round trips, streaming reassembly from
+// torn byte arrivals, and the permanent-error contract on garbage bytes,
+// oversized length prefixes, and malformed payloads.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "net/wire.h"
+#include "test_util.h"
+
+namespace nblb::net {
+namespace {
+
+RequestBatch SampleBatch() {
+  RequestBatch batch;
+  batch.push_back(Request::Get(42));
+  batch.push_back(Request::GetProjected(43, {0, 2}));
+  batch.push_back(Request::Insert(
+      44, {Value::Int64(44), Value::Char("hello"), Value::Float64(2.5),
+           Value::Bool(true), Value::Timestamp(123456)}));
+  batch.push_back(Request::Update(45, {Value::Int64(45), Value::Varchar("")}));
+  batch.push_back(Request::Delete(46));
+  return batch;
+}
+
+void ExpectBatchEq(const RequestBatch& a, const RequestBatch& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].kind, b[i].kind) << "request " << i;
+    EXPECT_EQ(a[i].id, b[i].id) << "request " << i;
+    EXPECT_EQ(a[i].projection, b[i].projection) << "request " << i;
+    ASSERT_EQ(a[i].row.size(), b[i].row.size()) << "request " << i;
+    for (size_t c = 0; c < a[i].row.size(); ++c) {
+      EXPECT_EQ(a[i].row[c].type(), b[i].row[c].type());
+      EXPECT_EQ(a[i].row[c].ToString(), b[i].row[c].ToString());
+    }
+  }
+}
+
+TEST(NetWireTest, RequestFrameRoundTrip) {
+  const RequestBatch batch = SampleBatch();
+  std::string wire;
+  AppendRequestFrame(77, batch, &wire);
+
+  FrameDecoder decoder;
+  decoder.Append(wire.data(), wire.size());
+  Frame frame;
+  ASSERT_EQ(decoder.Pop(&frame), FrameDecoder::Next::kFrame);
+  EXPECT_EQ(frame.type, FrameType::kRequest);
+  EXPECT_EQ(frame.request_id, 77u);
+  EXPECT_EQ(decoder.Pop(&frame), FrameDecoder::Next::kNeedMore);
+
+  auto decoded = DecodeRequestPayload(frame.payload.data(),
+                                      frame.payload.size());
+  ASSERT_OK(decoded.status());
+  ExpectBatchEq(batch, *decoded);
+}
+
+TEST(NetWireTest, ResponseFrameRoundTrip) {
+  BatchResult result;
+  RequestResult ok;
+  ok.status = Status::OK();
+  ok.row = {Value::Int64(7), Value::Char("payload")};
+  ok.shard = 3;
+  result.results.push_back(ok);
+  RequestResult missing;
+  missing.status = Status::NotFound("id 9 not found");
+  missing.shard = 1;
+  result.results.push_back(missing);
+  RequestResult busy;
+  busy.status = Status::Busy();
+  result.results.push_back(busy);
+
+  std::string wire;
+  AppendResponseFrame(501, result, &wire);
+  FrameDecoder decoder;
+  decoder.Append(wire.data(), wire.size());
+  Frame frame;
+  ASSERT_EQ(decoder.Pop(&frame), FrameDecoder::Next::kFrame);
+  EXPECT_EQ(frame.type, FrameType::kResponse);
+  EXPECT_EQ(frame.request_id, 501u);
+
+  auto decoded = DecodeResponsePayload(frame.payload.data(),
+                                       frame.payload.size());
+  ASSERT_OK(decoded.status());
+  ASSERT_EQ(decoded->results.size(), 3u);
+  ASSERT_OK(decoded->results[0].status);
+  ASSERT_EQ(decoded->results[0].row.size(), 2u);
+  EXPECT_EQ(decoded->results[0].row[1].AsString(), "payload");
+  EXPECT_EQ(decoded->results[0].shard, 3u);
+  EXPECT_TRUE(decoded->results[1].status.IsNotFound());
+  EXPECT_EQ(decoded->results[1].status.message(), "id 9 not found");
+  EXPECT_TRUE(decoded->results[2].status.IsBusy());
+}
+
+TEST(NetWireTest, BusyFrameRoundTrip) {
+  std::string wire;
+  AppendBusyFrame(99, &wire);
+  EXPECT_EQ(wire.size(), kFrameHeaderBytes);
+  FrameDecoder decoder;
+  decoder.Append(wire.data(), wire.size());
+  Frame frame;
+  ASSERT_EQ(decoder.Pop(&frame), FrameDecoder::Next::kFrame);
+  EXPECT_EQ(frame.type, FrameType::kBusy);
+  EXPECT_EQ(frame.request_id, 99u);
+  EXPECT_TRUE(frame.payload.empty());
+}
+
+TEST(NetWireTest, TornFramesReassembleByteByByte) {
+  // Three frames, delivered one byte at a time: TCP's worst case.
+  std::string wire;
+  AppendRequestFrame(1, SampleBatch(), &wire);
+  AppendBusyFrame(2, &wire);
+  AppendRequestFrame(3, {Request::Get(5)}, &wire);
+
+  FrameDecoder decoder;
+  std::vector<Frame> frames;
+  Frame frame;
+  for (char byte : wire) {
+    decoder.Append(&byte, 1);
+    FrameDecoder::Next next;
+    while ((next = decoder.Pop(&frame)) == FrameDecoder::Next::kFrame) {
+      frames.push_back(frame);
+    }
+    ASSERT_EQ(next, FrameDecoder::Next::kNeedMore);
+  }
+  ASSERT_EQ(frames.size(), 3u);
+  EXPECT_EQ(frames[0].request_id, 1u);
+  EXPECT_EQ(frames[1].type, FrameType::kBusy);
+  EXPECT_EQ(frames[2].request_id, 3u);
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);
+}
+
+TEST(NetWireTest, ManyFramesInOneAppend) {
+  std::string wire;
+  constexpr int kFrames = 64;
+  for (int i = 0; i < kFrames; ++i) {
+    AppendRequestFrame(static_cast<uint64_t>(i),
+                       {Request::Get(static_cast<uint64_t>(i))}, &wire);
+  }
+  FrameDecoder decoder;
+  decoder.Append(wire.data(), wire.size());
+  Frame frame;
+  for (int i = 0; i < kFrames; ++i) {
+    ASSERT_EQ(decoder.Pop(&frame), FrameDecoder::Next::kFrame) << i;
+    EXPECT_EQ(frame.request_id, static_cast<uint64_t>(i));
+  }
+  EXPECT_EQ(decoder.Pop(&frame), FrameDecoder::Next::kNeedMore);
+}
+
+TEST(NetWireTest, GarbageBytesPoisonTheDecoder) {
+  FrameDecoder decoder;
+  // 16 bytes of 0xff: length prefix 0xffffffff (over any cap) and frame
+  // type 0xff — either check alone is fatal.
+  std::string garbage(32, '\xff');
+  decoder.Append(garbage.data(), garbage.size());
+  Frame frame;
+  ASSERT_EQ(decoder.Pop(&frame), FrameDecoder::Next::kError);
+  EXPECT_FALSE(decoder.error().empty());
+  // Poisoned: even a valid frame appended afterwards stays an error —
+  // framing cannot be resynchronized.
+  std::string valid;
+  AppendBusyFrame(1, &valid);
+  decoder.Append(valid.data(), valid.size());
+  EXPECT_EQ(decoder.Pop(&frame), FrameDecoder::Next::kError);
+}
+
+TEST(NetWireTest, UnknownFrameTypeIsError) {
+  std::string wire;
+  AppendBusyFrame(7, &wire);
+  wire[4] = 0x09;  // type byte: not a FrameType
+  FrameDecoder decoder;
+  decoder.Append(wire.data(), wire.size());
+  Frame frame;
+  EXPECT_EQ(decoder.Pop(&frame), FrameDecoder::Next::kError);
+}
+
+TEST(NetWireTest, OversizedLengthPrefixIsErrorBeforePayloadArrives) {
+  // A length prefix above the cap must fail from the header alone — the
+  // decoder must not wait for (or buffer) 100 MiB of payload.
+  FrameDecoder decoder(/*max_payload=*/1024);
+  std::string header;
+  AppendRequestFrame(1, {Request::Get(1)}, &header);
+  header.resize(kFrameHeaderBytes);
+  header[0] = '\x00';
+  header[1] = '\x00';
+  header[2] = '\x40';  // 4 MiB little-endian: 0x00400000
+  header[3] = '\x00';
+  decoder.Append(header.data(), header.size());
+  Frame frame;
+  ASSERT_EQ(decoder.Pop(&frame), FrameDecoder::Next::kError);
+  EXPECT_NE(decoder.error().find("exceeds cap"), std::string::npos);
+}
+
+TEST(NetWireTest, PayloadAtTheCapStillDecodes) {
+  FrameDecoder decoder(/*max_payload=*/1 << 16);
+  RequestBatch batch;
+  batch.push_back(Request::Insert(
+      1, {Value::Int64(1), Value::Char(std::string(1000, 'x'))}));
+  std::string wire;
+  AppendRequestFrame(5, batch, &wire);
+  decoder.Append(wire.data(), wire.size());
+  Frame frame;
+  ASSERT_EQ(decoder.Pop(&frame), FrameDecoder::Next::kFrame);
+  auto decoded =
+      DecodeRequestPayload(frame.payload.data(), frame.payload.size());
+  ASSERT_OK(decoded.status());
+}
+
+TEST(NetWireTest, UnknownRequestKindFailsDecode) {
+  std::string wire;
+  AppendRequestFrame(1, {Request::Get(1)}, &wire);
+  wire[kFrameHeaderBytes + 4] = 0x7f;  // kind byte of request 0
+  FrameDecoder decoder;
+  decoder.Append(wire.data(), wire.size());
+  Frame frame;
+  ASSERT_EQ(decoder.Pop(&frame), FrameDecoder::Next::kFrame);
+  auto decoded =
+      DecodeRequestPayload(frame.payload.data(), frame.payload.size());
+  EXPECT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().message().find("unknown request kind"),
+            std::string::npos);
+}
+
+TEST(NetWireTest, TruncatedPayloadFailsDecode) {
+  std::string wire;
+  AppendRequestFrame(1, SampleBatch(), &wire);
+  // Strip the frame header, then truncate the payload mid-row.
+  std::string payload = wire.substr(kFrameHeaderBytes);
+  auto decoded = DecodeRequestPayload(payload.data(), payload.size() - 7);
+  EXPECT_FALSE(decoded.ok());
+}
+
+TEST(NetWireTest, TrailingBytesFailDecode) {
+  std::string wire;
+  AppendRequestFrame(1, {Request::Get(1)}, &wire);
+  std::string payload = wire.substr(kFrameHeaderBytes);
+  payload.append("xx");
+  auto decoded = DecodeRequestPayload(payload.data(), payload.size());
+  EXPECT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().message().find("trailing"), std::string::npos);
+}
+
+TEST(NetWireTest, MalformedRowTypeFailsDecode) {
+  RequestBatch batch;
+  batch.push_back(Request::Insert(1, {Value::Int64(1)}));
+  std::string wire;
+  AppendRequestFrame(1, batch, &wire);
+  // Row layout after kind+id: u16 ncols, then u8 TypeId — corrupt the type.
+  wire[kFrameHeaderBytes + 4 + 1 + 8 + 2] = 0x66;
+  std::string payload = wire.substr(kFrameHeaderBytes);
+  auto decoded = DecodeRequestPayload(payload.data(), payload.size());
+  EXPECT_FALSE(decoded.ok());
+}
+
+TEST(NetWireTest, LongLivedDecoderCompactsItsBuffer) {
+  // Stream many frames through one decoder; the consumed prefix must be
+  // reclaimed instead of growing without bound.
+  FrameDecoder decoder;
+  std::string wire;
+  RequestBatch batch;
+  batch.push_back(Request::Insert(
+      1, {Value::Int64(1), Value::Char(std::string(4096, 'p'))}));
+  AppendRequestFrame(1, batch, &wire);
+  Frame frame;
+  for (int i = 0; i < 1000; ++i) {
+    decoder.Append(wire.data(), wire.size());
+    ASSERT_EQ(decoder.Pop(&frame), FrameDecoder::Next::kFrame);
+    ASSERT_EQ(decoder.Pop(&frame), FrameDecoder::Next::kNeedMore);
+    ASSERT_EQ(decoder.buffered_bytes(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace nblb::net
