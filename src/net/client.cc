@@ -68,7 +68,8 @@ Status NetClient::SendRaw(const void* data, size_t len) {
 Result<uint64_t> NetClient::Send(const RequestBatch& batch) {
   const uint64_t id = next_id_++;
   std::string frame;
-  AppendRequestFrame(id, batch, &frame);
+  Status enc = AppendRequestFrame(id, batch, &frame);
+  if (!enc.ok()) return enc;
   Status st = SendRaw(frame.data(), frame.size());
   if (!st.ok()) return st;
   pending_sizes_[id] = batch.size();

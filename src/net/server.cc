@@ -314,21 +314,28 @@ bool NetServer::HandleRequestFrame(const ConnPtr& conn, Frame&& frame) {
         // below is what matters for drain correctness.
         if (!c->closed.load(std::memory_order_acquire)) {
           std::string out;
-          AppendResponseFrame(request_id, result, &out);
-          // Count before enqueueing: once the client can observe the reply
-          // on the wire, stats().responses must already include it.
-          responses_.fetch_add(1, std::memory_order_relaxed);
-          QueueOutput(c, std::move(out));
+          // Encoding can only fail on counts the decoded request already
+          // bounded, but if it somehow does, dropping the reply beats
+          // writing a desynced frame.
+          if (AppendResponseFrame(request_id, result, &out).ok()) {
+            // Count before enqueueing: once the client can observe the
+            // reply on the wire, stats().responses must already include it.
+            responses_.fetch_add(1, std::memory_order_relaxed);
+            QueueOutput(c, std::move(out));
+          }
         }
         reply_latency_us_.Record(MicrosSince(start));
         c->inflight.fetch_sub(1, std::memory_order_relaxed);
-        if (inflight_global_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-          // Last one out: wake a destructor waiting for drain. Notify while
-          // holding the lock — the instant the waiter can observe zero it
-          // may destroy the condvar, so the broadcast must finish before
-          // the mutex is released.
+        {
+          // The final decrement must happen while holding drain_mu_: the
+          // destructor's wait predicate reads inflight_global_ only under
+          // the mutex, so it cannot observe zero — and destroy the mutex
+          // and condvar — until this callback has released it, by which
+          // point the callback no longer touches `this`.
           std::lock_guard<std::mutex> lock(drain_mu_);
-          drain_cv_.notify_all();
+          if (inflight_global_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+            drain_cv_.notify_all();
+          }
         }
       });
   return true;
@@ -559,15 +566,24 @@ bool NetServer::UringPush(const std::function<bool()>& push) {
 void NetServer::UringLoop() {
   wake_iov_.iov_base = &wake_buf_;
   wake_iov_.iov_len = sizeof(wake_buf_);
-  accept_pending_ = UringPush([&] {
-    return ring_->PushAccept(listen_fd_, kUdAccept);
-  });
-  wake_pending_ = UringPush([&] {
-    return ring_->PushReadv(wake_fd_, &wake_iov_, 1, 0, kUdWake);
-  });
 
   std::vector<IoRing::Cqe> cqes(128);
   while (!stopping_.load(std::memory_order_acquire)) {
+    // Arm (and re-arm) the singleton ops at the top of every iteration
+    // rather than only from their completion handlers: if a push fails
+    // against a full SQ, the next pass retries. A permanently un-armed
+    // wake read would let an idle loop block in WaitCqe with no way for
+    // WakeLoop (or the destructor) to ever wake it.
+    if (!accept_pending_) {
+      accept_pending_ = UringPush([&] {
+        return ring_->PushAccept(listen_fd_, kUdAccept);
+      });
+    }
+    if (!wake_pending_) {
+      wake_pending_ = UringPush([&] {
+        return ring_->PushReadv(wake_fd_, &wake_iov_, 1, 0, kUdWake);
+      });
+    }
     if (ring_->Flush() != 0) break;
     if (ring_->WaitCqe() != 0) break;
     size_t n;
@@ -576,20 +592,19 @@ void NetServer::UringLoop() {
         const uint64_t ud = cqes[i].user_data;
         const int32_t res = cqes[i].res;
         if (ud == kUdAccept) {
+          // Re-armed at the top of the next loop iteration.
           accept_pending_ = false;
-          if (stopping_.load(std::memory_order_acquire)) continue;
-          if (res >= 0) HandleAccepted(res);
-          accept_pending_ = UringPush([&] {
-            return ring_->PushAccept(listen_fd_, kUdAccept);
-          });
+          if (res >= 0) {
+            if (stopping_.load(std::memory_order_acquire)) {
+              ::close(res);  // raced accept during shutdown
+            } else {
+              HandleAccepted(res);
+            }
+          }
           continue;
         }
         if (ud == kUdWake) {
-          wake_pending_ = false;
-          if (stopping_.load(std::memory_order_acquire)) continue;
-          wake_pending_ = UringPush([&] {
-            return ring_->PushReadv(wake_fd_, &wake_iov_, 1, 0, kUdWake);
-          });
+          wake_pending_ = false;  // re-armed at the top of the next iteration
           continue;
         }
         if (ud == kUdCancel) continue;  // cancel op's own completion
@@ -630,13 +645,16 @@ void NetServer::UringLoop() {
                                std::memory_order_relaxed);
           conn->out_off += static_cast<size_t>(res);
           if (conn->out_off < conn->sending.size()) {
-            // Partial send: put the remainder back in flight.
+            // Partial send: put the remainder back in flight. If even the
+            // post-Flush retry cannot get an SQE, close the connection —
+            // leaving it open would strand a truncated frame on the wire.
             conn->send_pending = UringPush([&] {
               return ring_->PushSend(
                   conn->fd, conn->sending.data() + conn->out_off,
                   static_cast<unsigned>(conn->sending.size() - conn->out_off),
                   UdSend(conn->id));
             });
+            if (!conn->send_pending) UringCloseConn(conn);
           } else {
             conn->sending.clear();
             conn->out_off = 0;

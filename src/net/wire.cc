@@ -90,7 +90,7 @@ class Reader {
 
 // ---- Row codec (self-describing) --------------------------------------------
 
-void AppendValue(std::string* out, const Value& v) {
+bool AppendValue(std::string* out, const Value& v) {
   AppendU8(out, static_cast<uint8_t>(v.type()));
   switch (v.type()) {
     case TypeId::kBool:
@@ -111,16 +111,22 @@ void AppendValue(std::string* out, const Value& v) {
     case TypeId::kChar:
     case TypeId::kVarchar: {
       const std::string& s = v.AsString();
+      if (s.size() > UINT32_MAX) return false;
       AppendU32(out, static_cast<uint32_t>(s.size()));
       out->append(s);
       break;
     }
   }
+  return true;
 }
 
-void AppendRow(std::string* out, const Row& row) {
+bool AppendRow(std::string* out, const Row& row) {
+  if (row.size() > UINT16_MAX) return false;
   AppendU16(out, static_cast<uint16_t>(row.size()));
-  for (const Value& v : row) AppendValue(out, v);
+  for (const Value& v : row) {
+    if (!AppendValue(out, v)) return false;
+  }
+  return true;
 }
 
 bool ReadValue(Reader* r, Value* out) {
@@ -192,8 +198,16 @@ void AppendFrameHeader(std::string* out, FrameType type, uint64_t request_id,
 
 // ---- Frame encoders ---------------------------------------------------------
 
-void AppendRequestFrame(uint64_t request_id, const RequestBatch& batch,
-                        std::string* out) {
+Status AppendRequestFrame(uint64_t request_id, const RequestBatch& batch,
+                          std::string* out) {
+  // Fail loudly on anything whose count would not round-trip through the
+  // wire integers — a silently truncated count desyncs request/response
+  // pairing on the far side.
+  if (batch.size() > UINT32_MAX) {
+    return Status::InvalidArgument("request batch of " +
+                                   std::to_string(batch.size()) +
+                                   " overflows the wire format");
+  }
   std::string payload;
   AppendU32(&payload, static_cast<uint32_t>(batch.size()));
   for (const Request& req : batch) {
@@ -202,9 +216,18 @@ void AppendRequestFrame(uint64_t request_id, const RequestBatch& batch,
     switch (req.kind) {
       case RequestKind::kInsert:
       case RequestKind::kUpdate:
-        AppendRow(&payload, req.row);
+        if (!AppendRow(&payload, req.row)) {
+          return Status::InvalidArgument(
+              "request row overflows the wire format (column count or "
+              "string length)");
+        }
         break;
       case RequestKind::kGetProjected:
+        if (req.projection.size() > UINT16_MAX) {
+          return Status::InvalidArgument(
+              "projection of " + std::to_string(req.projection.size()) +
+              " columns overflows the wire format");
+        }
         AppendU16(&payload, static_cast<uint16_t>(req.projection.size()));
         for (size_t col : req.projection) {
           AppendU16(&payload, static_cast<uint16_t>(col));
@@ -217,10 +240,16 @@ void AppendRequestFrame(uint64_t request_id, const RequestBatch& batch,
   }
   AppendFrameHeader(out, FrameType::kRequest, request_id, payload.size());
   out->append(payload);
+  return Status::OK();
 }
 
-void AppendResponseFrame(uint64_t request_id, const BatchResult& result,
-                         std::string* out) {
+Status AppendResponseFrame(uint64_t request_id, const BatchResult& result,
+                           std::string* out) {
+  if (result.results.size() > UINT32_MAX) {
+    return Status::InvalidArgument("result batch of " +
+                                   std::to_string(result.results.size()) +
+                                   " overflows the wire format");
+  }
   std::string payload;
   AppendU32(&payload, static_cast<uint32_t>(result.results.size()));
   for (const RequestResult& r : result.results) {
@@ -232,10 +261,15 @@ void AppendResponseFrame(uint64_t request_id, const BatchResult& result,
     AppendU32(&payload, r.shard);
     const bool has_row = !r.row.empty();
     AppendU8(&payload, has_row ? 1 : 0);
-    if (has_row) AppendRow(&payload, r.row);
+    if (has_row && !AppendRow(&payload, r.row)) {
+      return Status::InvalidArgument(
+          "result row overflows the wire format (column count or "
+          "string length)");
+    }
   }
   AppendFrameHeader(out, FrameType::kResponse, request_id, payload.size());
   out->append(payload);
+  return Status::OK();
 }
 
 void AppendBusyFrame(uint64_t request_id, std::string* out) {
@@ -247,6 +281,19 @@ void AppendBusyFrame(uint64_t request_id, std::string* out) {
 Result<RequestBatch> DecodeRequestPayload(const char* data, size_t len) {
   Reader r(data, len);
   const uint32_t count = r.U32();
+  if (r.failed()) {
+    return Status::InvalidArgument("request frame: truncated payload");
+  }
+  // The count comes straight off the wire — validate it against the bytes
+  // actually present before reserving, or a 20-byte frame claiming 2^32-1
+  // requests drives a multi-GB allocation. Each request encodes to at least
+  // 9 bytes (u8 kind + u64 id).
+  constexpr size_t kMinRequestBytes = 9;
+  if (count > (len - 4) / kMinRequestBytes) {
+    return Status::InvalidArgument(
+        "request frame: count " + std::to_string(count) +
+        " cannot fit in a " + std::to_string(len) + "-byte payload");
+  }
   RequestBatch batch;
   batch.reserve(count);
   for (uint32_t i = 0; i < count; ++i) {
@@ -292,6 +339,18 @@ Result<RequestBatch> DecodeRequestPayload(const char* data, size_t len) {
 Result<BatchResult> DecodeResponsePayload(const char* data, size_t len) {
   Reader r(data, len);
   const uint32_t count = r.U32();
+  if (r.failed()) {
+    return Status::InvalidArgument("response frame: truncated payload");
+  }
+  // Same wire-controlled-count guard as DecodeRequestPayload. Each result
+  // encodes to at least 8 bytes (u8 code + u16 msg_len + u32 shard +
+  // u8 has_row).
+  constexpr size_t kMinResultBytes = 8;
+  if (count > (len - 4) / kMinResultBytes) {
+    return Status::InvalidArgument(
+        "response frame: count " + std::to_string(count) +
+        " cannot fit in a " + std::to_string(len) + "-byte payload");
+  }
   BatchResult result;
   result.results.reserve(count);
   for (uint32_t i = 0; i < count; ++i) {

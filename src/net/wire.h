@@ -32,9 +32,11 @@
 // the catalog types, not exchange schemas in-band.
 //
 // Robustness contract (exercised by tests/net_wire_test.cc): a decoder fed
-// garbage, an oversized length prefix, or a truncated payload reports a
-// permanent error — the server closes the connection, because a byte stream
-// that has lost framing cannot be resynchronized.
+// garbage, an oversized length prefix, a truncated payload, or a count field
+// whose minimum encoding cannot fit in the payload reports a permanent
+// error — the server closes the connection, because a byte stream that has
+// lost framing cannot be resynchronized. Counts are validated against the
+// payload length before any allocation is sized from them.
 
 #pragma once
 
@@ -71,13 +73,17 @@ struct Frame {
 
 // ---- Encoders (append to a wire buffer) -------------------------------------
 
-/// \brief Appends a complete request frame for `batch`.
-void AppendRequestFrame(uint64_t request_id, const RequestBatch& batch,
-                        std::string* out);
+/// \brief Appends a complete request frame for `batch`. Fails (leaving *out
+/// untouched) if any count would overflow its wire integer — a batch above
+/// 2^32-1 requests, a projection or row above 2^16-1 columns, or a string
+/// above 2^32-1 bytes — rather than silently truncating the count.
+Status AppendRequestFrame(uint64_t request_id, const RequestBatch& batch,
+                          std::string* out);
 
-/// \brief Appends a complete response frame for `result`.
-void AppendResponseFrame(uint64_t request_id, const BatchResult& result,
-                         std::string* out);
+/// \brief Appends a complete response frame for `result` (same overflow
+/// contract as AppendRequestFrame).
+Status AppendResponseFrame(uint64_t request_id, const BatchResult& result,
+                           std::string* out);
 
 /// \brief Appends an empty busy frame (admission-control shed).
 void AppendBusyFrame(uint64_t request_id, std::string* out);

@@ -244,6 +244,51 @@ TEST(NetWireTest, TrailingBytesFailDecode) {
   EXPECT_NE(decoded.status().message().find("trailing"), std::string::npos);
 }
 
+TEST(NetWireTest, ForgedHugeRequestCountFailsWithoutAllocating) {
+  // A tiny payload claiming 2^32-1 requests must be rejected from the count
+  // alone — sizing an allocation from it would be a remote OOM/DoS.
+  std::string payload;
+  char count[4];
+  std::memset(count, 0xff, 4);  // count = 0xffffffff
+  payload.append(count, 4);
+  payload.append(16, '\0');  // a few bytes of "requests"
+  auto decoded = DecodeRequestPayload(payload.data(), payload.size());
+  EXPECT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().message().find("cannot fit"), std::string::npos);
+}
+
+TEST(NetWireTest, ForgedHugeResponseCountFailsWithoutAllocating) {
+  std::string payload;
+  char count[4];
+  std::memset(count, 0xff, 4);
+  payload.append(count, 4);
+  payload.append(16, '\0');
+  auto decoded = DecodeResponsePayload(payload.data(), payload.size());
+  EXPECT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().message().find("cannot fit"), std::string::npos);
+}
+
+TEST(NetWireTest, EncodeRejectsOversizedProjection) {
+  // 65536 projection columns cannot be represented by the u16 count on the
+  // wire; encoding must fail loudly instead of truncating the count.
+  RequestBatch batch;
+  batch.push_back(Request::GetProjected(1, std::vector<size_t>(65536, 0)));
+  std::string wire;
+  Status st = AppendRequestFrame(1, batch, &wire);
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(wire.empty());  // failed encode leaves the buffer untouched
+  EXPECT_NE(st.message().find("overflows"), std::string::npos);
+}
+
+TEST(NetWireTest, EncodeRejectsOversizedRow) {
+  RequestBatch batch;
+  batch.push_back(Request::Insert(1, Row(65536, Value::Bool(true))));
+  std::string wire;
+  Status st = AppendRequestFrame(1, batch, &wire);
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(wire.empty());
+}
+
 TEST(NetWireTest, MalformedRowTypeFailsDecode) {
   RequestBatch batch;
   batch.push_back(Request::Insert(1, {Value::Int64(1)}));
