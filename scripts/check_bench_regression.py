@@ -317,10 +317,80 @@ def validate_net_metrics(current):
 # throughput/error behavior against the committed baseline; validate(current)
 # schema-checks the embedded unified-metrics document. New benches register
 # here — main() needs no changes.
+def check_recovery(baseline, current, min_ratio):
+    """Durability gate: zero serving errors in both configs, the WAL-on /
+    WAL-off overhead ratio held, WAL-on throughput held against the
+    baseline, and every replay point actually recovered its full tail at a
+    sane rate."""
+    serve = current.get("serve")
+    if serve is None:
+        fail("recovery: missing 'serve' phase")
+    for config in ("wal_off", "wal_on"):
+        if config not in serve:
+            fail(f"recovery: serve phase missing '{config}'")
+        if serve[config].get("errors", 0) != 0:
+            fail(f"recovery {config}: errors={serve[config]['errors']}")
+    overhead = serve.get("wal_overhead_ratio", 0)
+    print(f"  wal overhead: x{overhead:.3f} of wal-off throughput")
+    # The overhead ratio is current-tree vs current-tree (same machine, same
+    # run), so it is far less noisy than cross-run throughput — gate it at
+    # the catastrophic floor: group commit silently degrading to
+    # fsync-per-batch shows up as a collapse here, not a 10% drift.
+    if overhead < min_ratio * CATASTROPHIC_FACTOR:
+        fail(f"recovery: wal_overhead_ratio x{overhead:.3f} below floor "
+             f"x{min_ratio * CATASTROPHIC_FACTOR:.3f} — durability is no "
+             f"longer riding group commit")
+    base_serve = baseline.get("serve", {}).get("wal_on")
+    if base_serve is None:
+        fail("recovery: baseline has no serve.wal_on")
+    ratio = (serve["wal_on"]["ops_per_sec"] / base_serve["ops_per_sec"]
+             if base_serve["ops_per_sec"] else 0)
+    print(f"  wal-on serve: {serve['wal_on']['ops_per_sec']:.0f} vs baseline "
+          f"{base_serve['ops_per_sec']:.0f} ops/s (x{ratio:.2f})")
+
+    points = current.get("replay")
+    if not isinstance(points, list) or len(points) < 3:
+        fail("recovery: expected >=3 replay tail-length points")
+    for p in points:
+        tail = p.get("tail_records", 0)
+        if p.get("replayed_records", -1) != tail:
+            fail(f"recovery replay tail={tail}: replayed "
+                 f"{p.get('replayed_records')} records, expected {tail}")
+        if p.get("replay_mb_per_sec", 0) <= 0:
+            fail(f"recovery replay tail={tail}: non-positive replay rate")
+        print(f"  replay tail={tail}: {p['replay_mb_per_sec']:.1f} MB/s, "
+              f"first get {p.get('time_to_first_get_ms', 0):.1f} ms")
+    gate_ratios("recovery", {"wal_on": ratio}, min_ratio)
+
+
+def validate_recovery_metrics(current):
+    """A recovery JSON embeds the WAL-on serve engine's merged document:
+    the per-shard wal.* layer on top of the usual engine/shard layers."""
+    print("  validating embedded metrics document...")
+    doc = current.get("metrics")
+    if doc is None:
+        fail("recovery: no embedded metrics document")
+    validate_metrics_document("recovery", doc)
+    counters = doc["counters"]
+    if "engine.batches" not in counters:
+        fail("recovery: metrics document missing counter engine.batches")
+    for s in range(current.get("shards", 0)):
+        for layer in ("wal.appends", "wal.commits", "wal.bytes_appended",
+                      "wal.commit_micros", "shard.coalesced_groups"):
+            name = f"shard{s}.{layer}"
+            if name not in counters:
+                fail(f"recovery: metrics document missing counter {name}")
+        if counters[f"shard{s}.wal.commits"] == 0:
+            fail(f"recovery: shard{s} recorded zero WAL commits in the "
+                 f"wal-on serve run")
+    print("  metrics document OK")
+
+
 BENCHES = {
     "shard_throughput": (check_shard_throughput, validate_shard_metrics),
     "buffer_pool_scan": (check_buffer_pool, validate_buffer_pool_metrics),
     "net_serving": (check_net_serving, validate_net_metrics),
+    "recovery": (check_recovery, validate_recovery_metrics),
 }
 
 

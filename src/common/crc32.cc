@@ -1,31 +1,59 @@
 #include "common/crc32.h"
 
+#include <cstring>
+
 namespace nblb {
 
 namespace {
 
-struct Crc32Table {
-  uint32_t t[256];
-  Crc32Table() {
+// Slicing-by-8 tables for the IEEE polynomial. t[0] is the classic bytewise
+// table; t[1..7] extend it so the hot loop folds 8 input bytes per
+// iteration instead of 1 (~8x on long buffers — WAL frames and page
+// checksums — while producing bit-identical CRCs to the bytewise loop).
+struct Crc32Tables {
+  uint32_t t[8][256];
+  Crc32Tables() {
     for (uint32_t i = 0; i < 256; ++i) {
       uint32_t c = i;
       for (int k = 0; k < 8; ++k) {
         c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
       }
-      t[i] = c;
+      t[0][i] = c;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = t[0][i];
+      for (int j = 1; j < 8; ++j) {
+        c = t[0][c & 0xff] ^ (c >> 8);
+        t[j][i] = c;
+      }
     }
   }
 };
 
-const Crc32Table kTable;
+const Crc32Tables kTables;
 
 }  // namespace
 
 uint32_t Crc32(const void* data, size_t n, uint32_t seed) {
   const unsigned char* p = static_cast<const unsigned char*>(data);
   uint32_t c = seed ^ 0xffffffffu;
+  // Fold 8 bytes per iteration. Unaligned 4-byte loads are fine on every
+  // target we build for; memcpy keeps it strict-aliasing clean and
+  // compiles to plain loads.
+  while (n >= 8) {
+    uint32_t lo, hi;
+    std::memcpy(&lo, p, 4);
+    std::memcpy(&hi, p + 4, 4);
+    c ^= lo;
+    c = kTables.t[7][c & 0xff] ^ kTables.t[6][(c >> 8) & 0xff] ^
+        kTables.t[5][(c >> 16) & 0xff] ^ kTables.t[4][c >> 24] ^
+        kTables.t[3][hi & 0xff] ^ kTables.t[2][(hi >> 8) & 0xff] ^
+        kTables.t[1][(hi >> 16) & 0xff] ^ kTables.t[0][hi >> 24];
+    p += 8;
+    n -= 8;
+  }
   for (size_t i = 0; i < n; ++i) {
-    c = kTable.t[(c ^ p[i]) & 0xff] ^ (c >> 8);
+    c = kTables.t[0][(c ^ p[i]) & 0xff] ^ (c >> 8);
   }
   return c ^ 0xffffffffu;
 }

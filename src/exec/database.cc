@@ -49,6 +49,40 @@ Result<Table*> Database::CreateTable(const std::string& name, Schema schema,
   return ptr;
 }
 
+Result<Table*> Database::AttachTable(const std::string& name, Schema schema,
+                                     TableOptions options,
+                                     PageId heap_first_page,
+                                     PageId btree_meta_page) {
+  if (tables_.count(name)) {
+    return Status::AlreadyExists("table exists: " + name);
+  }
+  NBLB_ASSIGN_OR_RETURN(TableId tid, catalog_.CreateTable(name, schema));
+  NBLB_ASSIGN_OR_RETURN(auto table,
+                        Table::Attach(bp_.get(), std::move(schema), options,
+                                      heap_first_page, btree_meta_page));
+  (void)tid;
+  Table* ptr = table.get();
+  tables_.emplace(name, std::move(table));
+  return ptr;
+}
+
+Result<Table*> Database::AttachTableRebuild(const std::string& name,
+                                            Schema schema,
+                                            TableOptions options,
+                                            PageId heap_first_page) {
+  if (tables_.count(name)) {
+    return Status::AlreadyExists("table exists: " + name);
+  }
+  NBLB_ASSIGN_OR_RETURN(TableId tid, catalog_.CreateTable(name, schema));
+  NBLB_ASSIGN_OR_RETURN(auto table,
+                        Table::AttachRebuild(bp_.get(), std::move(schema),
+                                             options, heap_first_page));
+  (void)tid;
+  Table* ptr = table.get();
+  tables_.emplace(name, std::move(table));
+  return ptr;
+}
+
 Result<Table*> Database::GetTable(const std::string& name) {
   auto it = tables_.find(name);
   if (it == tables_.end()) return Status::NotFound("no such table: " + name);
@@ -56,8 +90,11 @@ Result<Table*> Database::GetTable(const std::string& name) {
 }
 
 Status Database::Checkpoint() {
+  if (checkpoint_pre_) NBLB_RETURN_NOT_OK(checkpoint_pre_());
   NBLB_RETURN_NOT_OK(bp_->FlushAll());
-  return disk_->Sync();
+  NBLB_RETURN_NOT_OK(disk_->Sync());
+  if (checkpoint_post_) return checkpoint_post_();
+  return Status::OK();
 }
 
 }  // namespace nblb

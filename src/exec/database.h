@@ -3,6 +3,7 @@
 
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -74,6 +75,18 @@ class Database {
   Result<Table*> CreateTable(const std::string& name, Schema schema,
                              TableOptions options);
 
+  /// \brief Reattaches a table to existing heap/index structures (clean
+  /// shutdown; roots come from the superblock). See Table::Attach.
+  Result<Table*> AttachTable(const std::string& name, Schema schema,
+                             TableOptions options, PageId heap_first_page,
+                             PageId btree_meta_page);
+
+  /// \brief Crash-recovery reattach: tolerant heap walk + index rebuild
+  /// from the heap. See Table::AttachRebuild.
+  Result<Table*> AttachTableRebuild(const std::string& name, Schema schema,
+                                    TableOptions options,
+                                    PageId heap_first_page);
+
   /// \brief Looks up a table by name.
   Result<Table*> GetTable(const std::string& name);
 
@@ -93,8 +106,21 @@ class Database {
   /// anything registered on top.
   std::string DumpMetrics() const { return metrics_->Snapshot().ToJson(); }
 
-  /// \brief Flushes all dirty pages and syncs the file.
+  /// \brief Flushes all dirty pages and syncs the file. With a checkpoint
+  /// extension installed (see below), this is the durable-checkpoint entry
+  /// point: pre-hook -> FlushAll -> fsync -> post-hook.
   Status Checkpoint();
+
+  /// \brief Installs durability hooks around Checkpoint. The owning Shard
+  /// uses `pre` to commit pending WAL records and persist index metadata
+  /// before the flush, and `post` to publish the superblock (advancing the
+  /// recovery LSN) and reclaim WAL space after the data file is synced.
+  /// Either hook may be null. Hook errors abort the checkpoint.
+  void SetCheckpointExtension(std::function<Status()> pre,
+                              std::function<Status()> post) {
+    checkpoint_pre_ = std::move(pre);
+    checkpoint_post_ = std::move(post);
+  }
 
  private:
   explicit Database(DatabaseOptions options) : options_(std::move(options)) {}
@@ -109,6 +135,8 @@ class Database {
   std::unique_ptr<MetricsRegistry> metrics_;
   Catalog catalog_;
   std::map<std::string, std::unique_ptr<Table>> tables_;
+  std::function<Status()> checkpoint_pre_;
+  std::function<Status()> checkpoint_post_;
 };
 
 }  // namespace nblb

@@ -57,6 +57,105 @@ Result<std::unique_ptr<Table>> Table::Create(BufferPool* bp, Schema schema,
   return t;
 }
 
+Result<std::unique_ptr<Table>> Table::Attach(BufferPool* bp, Schema schema,
+                                             TableOptions options,
+                                             PageId heap_first_page,
+                                             PageId btree_meta_page) {
+  NBLB_ASSIGN_OR_RETURN(auto t, MakeShell(bp, std::move(schema), options));
+  NBLB_ASSIGN_OR_RETURN(
+      auto heap,
+      HeapFile::Attach(bp, t->schema_.row_size(), heap_first_page,
+                       HeapFileOptions{options.reuse_free_slots}));
+  t->heap_ = std::move(heap);
+  NBLB_ASSIGN_OR_RETURN(auto index, BTree::Open(bp, btree_meta_page));
+  if (index->options().key_size != t->key_codec_->key_size()) {
+    return Status::Corruption("index key size does not match schema");
+  }
+  t->index_ = std::move(index);
+  if (options.enable_index_cache && !options.cached_columns.empty()) {
+    t->cache_.reset(new IndexCache(t->index_.get(), options.cache_options));
+  }
+  return t;
+}
+
+Result<std::unique_ptr<Table>> Table::AttachRebuild(BufferPool* bp,
+                                                    Schema schema,
+                                                    TableOptions options,
+                                                    PageId heap_first_page) {
+  NBLB_ASSIGN_OR_RETURN(auto t, MakeShell(bp, std::move(schema), options));
+  NBLB_ASSIGN_OR_RETURN(
+      auto heap,
+      HeapFile::AttachTolerant(bp, t->schema_.row_size(), heap_first_page,
+                               HeapFileOptions{options.reuse_free_slots}));
+  t->heap_ = std::move(heap);
+
+  BTreeOptions bt;
+  bt.key_size = static_cast<uint16_t>(t->key_codec_->key_size());
+  bt.leaf_payload_size = 8;
+  const bool want_cache =
+      options.enable_index_cache && !options.cached_columns.empty();
+  if (want_cache) {
+    const size_t item = 8 + t->cache_schema_.row_size();
+    if (item > kMaxCacheItemSize) {
+      return Status::InvalidArgument("cached columns too wide for cache item");
+    }
+    bt.cache_item_size = static_cast<uint16_t>(item);
+  }
+  NBLB_ASSIGN_OR_RETURN(auto index, BTree::Create(bp, bt));
+  t->index_ = std::move(index);
+
+  // Rebuild the index from the surviving heap tuples. Chain order is
+  // insertion order under the default append-only placement, so on a
+  // duplicate key the tuple seen later is the younger one: repoint the
+  // index at it and drop the stale twin from the heap.
+  std::vector<std::pair<Rid, Rid>> stale;  // (old winner rid, unused)
+  Status walk = t->heap_->ForEach([&](const Rid& rid, const char* bytes) {
+    Row row = t->row_codec_->Decode(bytes);
+    NBLB_ASSIGN_OR_RETURN(std::string key, t->key_codec_->EncodeFromRow(row));
+    Status st = t->index_->Insert(Slice(key), rid.ToU64());
+    if (st.IsAlreadyExists()) {
+      NBLB_ASSIGN_OR_RETURN(uint64_t old_tid, t->index_->Get(Slice(key)));
+      stale.emplace_back(Rid::FromU64(old_tid), rid);
+      NBLB_RETURN_NOT_OK(t->index_->SetValue(Slice(key), rid.ToU64()));
+      return Status::OK();
+    }
+    return st;
+  });
+  NBLB_RETURN_NOT_OK(walk);
+  for (const auto& [old_rid, keep] : stale) {
+    (void)keep;
+    NBLB_RETURN_NOT_OK(t->heap_->Delete(old_rid));
+  }
+
+  if (want_cache) {
+    t->cache_.reset(new IndexCache(t->index_.get(), options.cache_options));
+  }
+  return t;
+}
+
+Result<std::unique_ptr<Table>> Table::MakeShell(BufferPool* bp, Schema schema,
+                                                TableOptions options) {
+  if (options.key_columns.empty()) {
+    return Status::InvalidArgument("table requires key columns");
+  }
+  for (size_t c : options.key_columns) {
+    if (c >= schema.num_columns()) {
+      return Status::InvalidArgument("key column out of range");
+    }
+  }
+  for (size_t c : options.cached_columns) {
+    if (c >= schema.num_columns()) {
+      return Status::InvalidArgument("cached column out of range");
+    }
+  }
+  std::unique_ptr<Table> t(new Table(bp, std::move(schema), options));
+  t->row_codec_.reset(new RowCodec(&t->schema_));
+  t->key_codec_.reset(new KeyCodec(&t->schema_, options.key_columns));
+  t->cache_schema_ = t->schema_.Project(options.cached_columns);
+  t->cache_codec_.reset(new RowCodec(&t->cache_schema_));
+  return t;
+}
+
 bool Table::ProjectionCoveredByIndex(
     const std::vector<size_t>& project_columns) const {
   for (size_t c : project_columns) {
@@ -116,6 +215,22 @@ Status Table::Insert(const Row& row) {
   }
   ++stats_.inserts;
   return Status::OK();
+}
+
+Status Table::UpsertByKey(const Row& row) {
+  NBLB_ASSIGN_OR_RETURN(std::string key, key_codec_->EncodeFromRow(row));
+  auto tid = index_->Get(Slice(key));
+  if (tid.ok()) {
+    if (cache_ != nullptr) {
+      NBLB_RETURN_NOT_OK(cache_->OnTupleModified(Slice(key), *tid));
+    }
+    NBLB_ASSIGN_OR_RETURN(std::string bytes, row_codec_->Encode(row));
+    NBLB_RETURN_NOT_OK(heap_->Update(Rid::FromU64(*tid), Slice(bytes)));
+    ++stats_.updates;
+    return Status::OK();
+  }
+  if (!tid.status().IsNotFound()) return tid.status();
+  return Insert(row);
 }
 
 Result<Row> Table::GetByKey(const std::vector<Value>& key_values) {

@@ -62,10 +62,36 @@ class Table {
   static Result<std::unique_ptr<Table>> Create(BufferPool* bp, Schema schema,
                                                TableOptions options);
 
+  /// \brief Reattaches to existing structures after a clean shutdown: walks
+  /// the heap chain from `heap_first_page` and opens the B+Tree at
+  /// `btree_meta_page`. Both roots come from the superblock.
+  static Result<std::unique_ptr<Table>> Attach(BufferPool* bp, Schema schema,
+                                               TableOptions options,
+                                               PageId heap_first_page,
+                                               PageId btree_meta_page);
+
+  /// \brief Crash-recovery attach: tolerant heap walk (a torn tail link
+  /// ends the chain) plus a FRESH index rebuilt by scanning the heap. The
+  /// on-disk index is untrusted after a crash — the flusher persists
+  /// arbitrary page subsets, so a half-persisted split can dangle — and a
+  /// heap scan is ground truth. If post-checkpoint churn left two live
+  /// tuples for one key (delete unflushed + reinsert flushed), the later
+  /// tuple in chain order wins and the older one is heap-deleted; the WAL
+  /// replay that follows re-applies the authoritative values either way.
+  /// Old index pages are leaked as dead space (vacuum is future work).
+  static Result<std::unique_ptr<Table>> AttachRebuild(BufferPool* bp,
+                                                      Schema schema,
+                                                      TableOptions options,
+                                                      PageId heap_first_page);
+
   // ---- Write path --------------------------------------------------------
 
   /// \brief Inserts a full row; fails AlreadyExists on a duplicate key.
   Status Insert(const Row& row);
+
+  /// \brief Idempotent put: Insert, falling back to UpdateByKey when the
+  /// key already exists. WAL replay applies records through this.
+  Status UpsertByKey(const Row& row);
 
   /// \brief Replaces the non-key columns of the row with key `key_values`.
   /// Logs an invalidation predicate so no cache serves the old version.
@@ -122,6 +148,12 @@ class Table {
 
  private:
   Table(BufferPool* bp, Schema schema, TableOptions options);
+
+  /// Validation + codec wiring shared by Attach/AttachRebuild (heap and
+  /// index are filled in by the caller).
+  static Result<std::unique_ptr<Table>> MakeShell(BufferPool* bp,
+                                                  Schema schema,
+                                                  TableOptions options);
 
   /// Builds the cache payload (cached columns, fixed width) from a full row.
   Result<std::string> BuildCachePayload(const Row& row) const;

@@ -7,8 +7,10 @@
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
 #include <sys/socket.h>
+#include <sys/timerfd.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
@@ -28,6 +30,7 @@ constexpr uint64_t kUdWake = 1;    // tag 1, id 0
 constexpr uint64_t kUdCancel = 2;  // tag 2, id 0 (cancel ops themselves)
 constexpr uint64_t kTagRecv = 3;
 constexpr uint64_t kTagSend = 4;
+constexpr uint64_t kUdTimer = 5;   // tag 5, id 0 (idle-sweep timerfd read)
 constexpr unsigned kUdTagBits = 3;
 constexpr uint64_t kUdTagMask = (1u << kUdTagBits) - 1;
 
@@ -76,6 +79,15 @@ Result<std::unique_ptr<NetServer>> NetServer::Start(NetServerOptions options,
 
   s->ResolveBackend();
 
+  if (s->options_.idle_timeout_ms > 0) {
+    // Sweep a few times per timeout so a connection is reaped within
+    // ~1.25x the configured idle window, without a hot polling loop.
+    s->sweep_interval_ms_ =
+        std::max<uint64_t>(1, s->options_.idle_timeout_ms / 4);
+    s->next_sweep_ = std::chrono::steady_clock::now() +
+                     std::chrono::milliseconds(s->sweep_interval_ms_);
+  }
+
   if (s->options_.max_inflight_global > 0) {
     s->global_cap_ = s->options_.max_inflight_global;
   } else {
@@ -98,6 +110,7 @@ Result<std::unique_ptr<NetServer>> NetServer::Start(NetServerOptions options,
   reg->RegisterCounter("net.decode_errors", &s->decode_errors_);
   reg->RegisterCounter("net.busy_shed", &s->busy_shed_);
   reg->RegisterCounter("net.responses", &s->responses_);
+  reg->RegisterCounter("net.idle_closed", &s->idle_closed_);
   NetServer* self = s.get();
   reg->RegisterGauge("net.open_connections", [self] {
     return static_cast<double>(self->open_connections());
@@ -240,6 +253,7 @@ void NetServer::HandleAccepted(int fd) {
   conn->id = next_conn_id_++;
   conn->fd = fd;
   conn->rchunk.resize(options_.recv_chunk_bytes);
+  conn->last_activity = std::chrono::steady_clock::now();
   conns_[conn->id] = conn;
   open_conns_.fetch_add(1, std::memory_order_relaxed);
   accepts_.fetch_add(1, std::memory_order_relaxed);
@@ -392,6 +406,42 @@ void NetServer::DrainPendingWrites() {
   }
 }
 
+void NetServer::SweepIdleConns() {
+  const auto now = std::chrono::steady_clock::now();
+  const auto limit = std::chrono::milliseconds(options_.idle_timeout_ms);
+  // Collect first: closing mutates conns_.
+  std::vector<ConnPtr> victims;
+  for (auto& [id, conn] : conns_) {
+    if (conn->closed.load(std::memory_order_relaxed) || conn->closing) {
+      continue;
+    }
+    // "Idle" means truly quiescent: a connection with batches still in the
+    // engine, or with output queued/being sent, is working — the activity
+    // stamp only tracks socket bytes, so these guards keep a slow-reading
+    // but live client from being reaped mid-response.
+    if (conn->inflight.load(std::memory_order_relaxed) > 0) continue;
+    if (conn->send_pending || conn->want_write) continue;
+    {
+      std::lock_guard<std::mutex> lock(conn->out_mu);
+      if (!conn->outq.empty()) continue;
+    }
+    if (now - conn->last_activity >= limit) victims.push_back(conn);
+  }
+  for (const ConnPtr& conn : victims) {
+    const uint64_t idle_ms = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            now - conn->last_activity)
+            .count());
+    RecordFlightEvent(FlightEvent::kNetIdleClose, conn->id, idle_ms);
+    idle_closed_.fetch_add(1, std::memory_order_relaxed);
+    if (backend_in_use_ == IoBackend::kUring) {
+      UringCloseConn(conn);
+    } else {
+      EpollCloseConn(conn);
+    }
+  }
+}
+
 // ---- epoll backend ----------------------------------------------------------
 
 namespace {
@@ -412,12 +462,23 @@ void NetServer::EpollLoop() {
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
 
   std::vector<struct epoll_event> events(128);
+  // With the idle sweep enabled the wait gets a finite timeout so the loop
+  // periodically regains control even with no socket activity at all.
+  const int wait_ms = sweep_interval_ms_ > 0
+                          ? static_cast<int>(sweep_interval_ms_)
+                          : -1;
   while (!stopping_.load(std::memory_order_acquire)) {
     const int n = ::epoll_wait(epoll_fd_, events.data(),
-                               static_cast<int>(events.size()), -1);
+                               static_cast<int>(events.size()), wait_ms);
     if (n < 0) {
       if (errno == EINTR) continue;
       break;
+    }
+    if (sweep_interval_ms_ > 0 &&
+        std::chrono::steady_clock::now() >= next_sweep_) {
+      SweepIdleConns();
+      next_sweep_ = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(sweep_interval_ms_);
     }
     for (int i = 0; i < n; ++i) {
       const uint64_t id = events[i].data.u64;
@@ -475,6 +536,7 @@ void NetServer::EpollReadReady(const ConnPtr& conn) {
         ::recv(conn->fd, conn->rchunk.data(), conn->rchunk.size(), 0);
     if (n > 0) {
       bytes_in_.fetch_add(static_cast<uint64_t>(n), std::memory_order_relaxed);
+      conn->last_activity = std::chrono::steady_clock::now();
       conn->decoder.Append(conn->rchunk.data(), static_cast<size_t>(n));
       if (!ProcessFrames(conn)) {
         EpollCloseConn(conn);
@@ -515,6 +577,7 @@ void NetServer::EpollFlushConn(const ConnPtr& conn) {
                front->size() - conn->out_off, MSG_NOSIGNAL);
     if (n > 0) {
       bytes_out_.fetch_add(static_cast<uint64_t>(n), std::memory_order_relaxed);
+      conn->last_activity = std::chrono::steady_clock::now();
       conn->out_off += static_cast<size_t>(n);
       if (conn->out_off == front->size()) {
         std::lock_guard<std::mutex> lock(conn->out_mu);
@@ -567,6 +630,28 @@ void NetServer::UringLoop() {
   wake_iov_.iov_base = &wake_buf_;
   wake_iov_.iov_len = sizeof(wake_buf_);
 
+  // Idle sweep: WaitCqe has no timeout variant, so the periodic tick is a
+  // timerfd read through the ring itself — same re-arm discipline as the
+  // wake eventfd. If timerfd creation fails the sweep is silently off.
+  if (sweep_interval_ms_ > 0) {
+    timer_fd_ = ::timerfd_create(CLOCK_MONOTONIC, TFD_CLOEXEC | TFD_NONBLOCK);
+    if (timer_fd_ >= 0) {
+      struct itimerspec its;
+      std::memset(&its, 0, sizeof(its));
+      its.it_interval.tv_sec =
+          static_cast<time_t>(sweep_interval_ms_ / 1000);
+      its.it_interval.tv_nsec =
+          static_cast<long>((sweep_interval_ms_ % 1000) * 1000000);
+      its.it_value = its.it_interval;
+      if (::timerfd_settime(timer_fd_, 0, &its, nullptr) != 0) {
+        ::close(timer_fd_);
+        timer_fd_ = -1;
+      }
+    }
+    timer_iov_.iov_base = &timer_buf_;
+    timer_iov_.iov_len = sizeof(timer_buf_);
+  }
+
   std::vector<IoRing::Cqe> cqes(128);
   while (!stopping_.load(std::memory_order_acquire)) {
     // Arm (and re-arm) the singleton ops at the top of every iteration
@@ -582,6 +667,11 @@ void NetServer::UringLoop() {
     if (!wake_pending_) {
       wake_pending_ = UringPush([&] {
         return ring_->PushReadv(wake_fd_, &wake_iov_, 1, 0, kUdWake);
+      });
+    }
+    if (timer_fd_ >= 0 && !timer_pending_) {
+      timer_pending_ = UringPush([&] {
+        return ring_->PushReadv(timer_fd_, &timer_iov_, 1, 0, kUdTimer);
       });
     }
     if (ring_->Flush() != 0) break;
@@ -607,6 +697,11 @@ void NetServer::UringLoop() {
           wake_pending_ = false;  // re-armed at the top of the next iteration
           continue;
         }
+        if (ud == kUdTimer) {
+          timer_pending_ = false;  // re-armed at the top of the next iteration
+          SweepIdleConns();
+          continue;
+        }
         if (ud == kUdCancel) continue;  // cancel op's own completion
 
         auto it = conns_.find(ud >> kUdTagBits);
@@ -625,6 +720,7 @@ void NetServer::UringLoop() {
           }
           bytes_in_.fetch_add(static_cast<uint64_t>(res),
                               std::memory_order_relaxed);
+          conn->last_activity = std::chrono::steady_clock::now();
           conn->decoder.Append(conn->rchunk.data(), static_cast<size_t>(res));
           if (!ProcessFrames(conn)) {
             UringCloseConn(conn);
@@ -643,6 +739,7 @@ void NetServer::UringLoop() {
           }
           bytes_out_.fetch_add(static_cast<uint64_t>(res),
                                std::memory_order_relaxed);
+          conn->last_activity = std::chrono::steady_clock::now();
           conn->out_off += static_cast<size_t>(res);
           if (conn->out_off < conn->sending.size()) {
             // Partial send: put the remainder back in flight. If even the
@@ -685,8 +782,11 @@ void NetServer::UringLoop() {
   if (wake_pending_) {
     UringPush([&] { return ring_->PushCancel(kUdWake, kUdCancel); });
   }
+  if (timer_pending_) {
+    UringPush([&] { return ring_->PushCancel(kUdTimer, kUdCancel); });
+  }
   auto ops_pending = [&] {
-    if (accept_pending_ || wake_pending_) return true;
+    if (accept_pending_ || wake_pending_ || timer_pending_) return true;
     for (auto& [id, conn] : conns_) {
       if (conn->recv_pending || conn->send_pending) return true;
     }
@@ -704,6 +804,8 @@ void NetServer::UringLoop() {
           if (cqes[i].res >= 0) ::close(cqes[i].res);  // raced accept
         } else if (ud == kUdWake) {
           wake_pending_ = false;
+        } else if (ud == kUdTimer) {
+          timer_pending_ = false;
         } else if (ud != kUdCancel) {
           auto it = conns_.find(ud >> kUdTagBits);
           if (it == conns_.end()) continue;
@@ -722,6 +824,10 @@ void NetServer::UringLoop() {
     open_conns_.fetch_sub(1, std::memory_order_relaxed);
   }
   conns_.clear();
+  if (timer_fd_ >= 0) {
+    ::close(timer_fd_);
+    timer_fd_ = -1;
+  }
 }
 
 void NetServer::UringArmRecv(const ConnPtr& conn) {
@@ -789,6 +895,7 @@ NetStatsSnapshot NetServer::stats() const {
   s.decode_errors = decode_errors_.load(std::memory_order_relaxed);
   s.busy_shed = busy_shed_.load(std::memory_order_relaxed);
   s.responses = responses_.load(std::memory_order_relaxed);
+  s.idle_closed = idle_closed_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -43,6 +43,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -93,6 +94,12 @@ struct NetServerOptions {
   size_t max_frame_payload = kDefaultMaxFramePayload;
   /// recv() chunk size per readiness event.
   size_t recv_chunk_bytes = 64 * 1024;
+  /// Idle-connection reaping: a connection with no socket activity (no
+  /// bytes in or out), no in-flight engine batches, and no queued output
+  /// for longer than this is closed by a periodic sweep — an abandoned
+  /// client cannot pin a connection slot (and, on the uring backend, its
+  /// two ring entries) forever. 0 (default) disables the sweep.
+  uint64_t idle_timeout_ms = 0;
 };
 
 /// \brief Relaxed-atomic serving counters (same memory-ordering rationale as
@@ -107,6 +114,7 @@ struct NetStatsSnapshot {
   uint64_t decode_errors = 0; ///< protocol violations (connection closed)
   uint64_t busy_shed = 0;     ///< frames shed by admission control
   uint64_t responses = 0;     ///< engine completions answered
+  uint64_t idle_closed = 0;   ///< connections reaped by the idle sweep
 };
 
 /// \brief Owns the listening socket, the loop thread, and every connection.
@@ -167,6 +175,9 @@ class NetServer {
     bool closing = false;      // uring: shutdown issued, draining ops
     std::vector<char> rchunk;  // recv buffer (uring: op target, keep stable)
     std::string sending;       // uring: buffer owned by the in-flight SEND
+    /// Last socket activity (accept, bytes received, bytes sent). Loop
+    /// thread only — the idle sweep runs on the same thread.
+    std::chrono::steady_clock::time_point last_activity;
 
     explicit Conn(size_t max_payload) : decoder(max_payload) {}
   };
@@ -214,6 +225,11 @@ class NetServer {
   /// threads marked as having fresh output.
   void DrainPendingWrites();
 
+  /// Closes every connection idle longer than idle_timeout_ms (no socket
+  /// activity, nothing in flight, nothing queued). Runs on the loop thread
+  /// — via the epoll_wait timeout or the uring timerfd tick.
+  void SweepIdleConns();
+
   NetServerOptions options_;
   ShardedEngine* engine_ = nullptr;
   IoBackend backend_in_use_ = IoBackend::kThreads;  // kThreads == epoll here
@@ -228,6 +244,14 @@ class NetServer {
   struct iovec wake_iov_ {};       // uring: stable iovec for the eventfd read
   bool accept_pending_ = false;    // uring: ACCEPT op in flight
   bool wake_pending_ = false;      // uring: eventfd read in flight
+  /// Idle sweep (idle_timeout_ms > 0): cadence, next-due stamp (epoll), and
+  /// the periodic timerfd read through the ring (uring). Loop thread only.
+  uint64_t sweep_interval_ms_ = 0;
+  std::chrono::steady_clock::time_point next_sweep_{};
+  int timer_fd_ = -1;
+  uint64_t timer_buf_ = 0;
+  struct iovec timer_iov_ {};
+  bool timer_pending_ = false;
 
   std::thread loop_thread_;
   std::atomic<bool> stopping_{false};
@@ -254,6 +278,7 @@ class NetServer {
   std::atomic<uint64_t> decode_errors_{0};
   std::atomic<uint64_t> busy_shed_{0};
   std::atomic<uint64_t> responses_{0};
+  std::atomic<uint64_t> idle_closed_{0};
   /// Decode-to-response-queued latency of every answered frame.
   LogHistogram reply_latency_us_;
   /// Requests per decoded frame.

@@ -35,6 +35,16 @@ const char* FlightEventName(FlightEvent e) {
       return "net_shed";
     case FlightEvent::kNetDecodeError:
       return "net_decode_error";
+    case FlightEvent::kNetIdleClose:
+      return "net_idle_close";
+    case FlightEvent::kWalAppendError:
+      return "wal_append_error";
+    case FlightEvent::kRecoveryStart:
+      return "recovery_start";
+    case FlightEvent::kRecoveryReplayed:
+      return "recovery_replayed";
+    case FlightEvent::kCheckpoint:
+      return "checkpoint";
   }
   return "unknown";
 }

@@ -76,6 +76,22 @@ enum class FlightEvent : uint16_t {
   /// oversized length prefix, malformed payload); the connection was
   /// closed. arg0 = connection id.
   kNetDecodeError = 12,
+  /// The idle sweep closed a connection that had been quiet past
+  /// idle_timeout_ms. arg0 = connection id, arg1 = idle milliseconds.
+  kNetIdleClose = 13,
+  /// A WAL commit failed to make a group durable; the log is poisoned
+  /// until reopen. arg0 = first log page of the commit, arg1 = pending
+  /// bytes in the failed group.
+  kWalAppendError = 14,
+  /// Shard::Open entered crash recovery (superblock says the shutdown was
+  /// not clean). arg0 = shard id, arg1 = checkpoint LSN.
+  kRecoveryStart = 15,
+  /// Crash recovery finished. arg0 = WAL records replayed, arg1 = rows
+  /// live after recovery.
+  kRecoveryReplayed = 16,
+  /// A durable checkpoint published a new superblock version.
+  /// arg0 = superblock version, arg1 = checkpoint LSN.
+  kCheckpoint = 17,
 };
 
 const char* FlightEventName(FlightEvent e);

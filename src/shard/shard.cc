@@ -7,14 +7,83 @@
 
 #include "catalog/type.h"
 #include "common/logging.h"
+#include "obs/event_ring.h"
 #include "obs/trace.h"
 
 namespace nblb {
 
+namespace {
+
+/// Checks a superblock against the options of the shard being opened. The
+/// superblock never overrides caller options — the caller's schema already
+/// passed key validation and drives codec construction, so a mismatch is an
+/// operator error (wrong path or changed config), not something to adopt.
+Status ValidateSuperblock(const SuperblockData& sb, const ShardOptions& opt) {
+  if (sb.page_size != opt.page_size) {
+    return Status::InvalidArgument("superblock page_size mismatch");
+  }
+  if (sb.semid_partition_bits != opt.semid_partition_bits) {
+    return Status::InvalidArgument("superblock semid_partition_bits mismatch");
+  }
+  if (sb.reuse_free_slots != opt.table_options.reuse_free_slots ||
+      sb.enable_index_cache != opt.table_options.enable_index_cache) {
+    return Status::InvalidArgument("superblock table-option flags mismatch");
+  }
+  const auto match_cols = [](const std::vector<uint32_t>& a,
+                             const std::vector<size_t>& b) {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (a[i] != b[i]) return false;
+    }
+    return true;
+  };
+  if (!match_cols(sb.key_columns, opt.table_options.key_columns) ||
+      !match_cols(sb.cached_columns, opt.table_options.cached_columns)) {
+    return Status::InvalidArgument("superblock key/cached columns mismatch");
+  }
+  const auto& cols = opt.schema.columns();
+  if (sb.columns.size() != cols.size()) {
+    return Status::InvalidArgument("superblock schema arity mismatch");
+  }
+  for (size_t i = 0; i < cols.size(); ++i) {
+    if (sb.columns[i].name != cols[i].name ||
+        sb.columns[i].type != cols[i].type ||
+        sb.columns[i].length != cols[i].length) {
+      return Status::InvalidArgument("superblock schema column mismatch: " +
+                                     cols[i].name);
+    }
+  }
+  if (sb.heap_first_page == kInvalidPageId ||
+      sb.btree_meta_page == kInvalidPageId) {
+    return Status::Corruption("superblock has no table roots");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
 Shard::Shard(uint32_t shard_id, ShardOptions options)
     : id_(shard_id), options_(std::move(options)) {}
 
-Shard::~Shard() = default;
+Shard::~Shard() {
+  if (durable_ && !skip_clean_close_ && db_ && table_ && !partitioned_) {
+    // Orderly close: publish a clean-shutdown superblock so the next Open
+    // takes the fast attach path (strict heap walk + BTree::Open) instead
+    // of crash recovery. Best effort — a failure here just means the next
+    // open recovers as if we had crashed, which is always safe.
+    clean_next_publish_ = true;
+    Status s = db_->Checkpoint();
+    clean_next_publish_ = false;
+    if (!s.ok()) {
+      std::fprintf(stderr,
+                   "nblb: shard %u clean-close checkpoint failed (%s); next "
+                   "open will run crash recovery\n",
+                   id_, s.ToString().c_str());
+    }
+  }
+  // The hooks capture `this`; detach before members die.
+  if (db_) db_->SetCheckpointExtension(nullptr, nullptr);
+}
 
 Result<std::unique_ptr<Shard>> Shard::Open(uint32_t shard_id,
                                            ShardOptions options) {
@@ -51,8 +120,15 @@ Result<std::unique_ptr<Shard>> Shard::Open(uint32_t shard_id,
   dbo.flusher_interval_us = shard->options_.flusher_interval_us;
   dbo.flush_batch_pages = shard->options_.flush_batch_pages;
   dbo.sync_writeback = shard->options_.sync_writeback;
+  shard->durable_ = shard->options_.wal_enabled;
+
+  // Decide between fresh create and reattach BEFORE opening anything.
+  bool attach = false;
+  SuperblockData sb;
   if (shard->options_.truncate) {
     std::remove(dbo.path.c_str());
+    std::remove(Superblock::PathFor(dbo.path).c_str());
+    std::remove(Wal::PathFor(dbo.path).c_str());
   } else {
     std::error_code ec;
     const bool exists = std::filesystem::exists(dbo.path, ec);
@@ -63,32 +139,203 @@ Result<std::unique_ptr<Shard>> Shard::Open(uint32_t shard_id,
       return Status::IOError("cannot probe shard path (" + ec.message() +
                              "); refusing guarded open: " + dbo.path);
     }
-    if (exists) {
-      // Durable reopen is not implemented (ROADMAP): the catalog is not
-      // persisted, so "opening" an existing file would really mean
-      // silently clobbering it. Refuse instead of destroying data.
+    if (shard->durable_) {
+      auto read = Superblock::Read(Superblock::PathFor(dbo.path));
+      if (read.ok()) {
+        if (!exists) {
+          return Status::Corruption(
+              "superblock exists but the data file is missing: " + dbo.path);
+        }
+        sb = std::move(read).ValueOrDie();
+        NBLB_RETURN_NOT_OK(ValidateSuperblock(sb, shard->options_));
+        attach = true;
+      } else if (read.status().IsNotFound()) {
+        if (exists) {
+          // A data file with no superblock was written by a non-durable
+          // shard (or isn't ours at all) — there is no catalog to reopen
+          // from, so the clobber guard applies.
+          return Status::AlreadyExists(
+              "shard backing file exists without a superblock; pass "
+              "truncate=true to rebuild: " +
+              dbo.path);
+        }
+        // Nothing on disk: fresh create.
+      } else {
+        return read.status();  // corrupt superblock: refuse, don't clobber
+      }
+    } else if (exists) {
+      // Without the WAL there is no durable catalog, so "opening" an
+      // existing file would really mean silently clobbering it. Refuse
+      // instead of destroying data.
       return Status::AlreadyExists(
-          "shard backing file exists and truncate=false; durable reopen is "
-          "not supported — pass truncate=true to rebuild: " +
+          "shard backing file exists and truncate=false; reopen requires "
+          "wal_enabled — pass truncate=true to rebuild: " +
           dbo.path);
     }
   }
+
   NBLB_ASSIGN_OR_RETURN(shard->db_, Database::Open(dbo));
   // The shard's op counters join the database's registry, so one
   // Database::DumpMetrics() covers disk + buffer pool + shard in a single
   // document. stats_ outlives db_ (member order), so the pointers stay
   // valid for the registry's whole life.
   shard->stats_.RegisterMetrics(shard->db_->metrics(), "shard.");
-  NBLB_ASSIGN_OR_RETURN(
-      shard->table_,
-      shard->db_->CreateTable("data", shard->options_.schema,
-                              shard->options_.table_options));
+
+  if (shard->durable_) {
+    WalOptions wo;
+    wo.page_size = shard->options_.page_size;
+    wo.io_backend = shard->options_.io_backend;
+    NBLB_ASSIGN_OR_RETURN(shard->wal_,
+                          Wal::Open(Wal::PathFor(dbo.path), wo));
+    shard->wal_->RegisterMetrics(shard->db_->metrics(), "wal.");
+  }
+
+  if (!attach) {
+    NBLB_ASSIGN_OR_RETURN(
+        shard->table_,
+        shard->db_->CreateTable("data", shard->options_.schema,
+                                shard->options_.table_options));
+  } else {
+    shard->sb_version_ = sb.version;
+    shard->checkpoint_lsn_ = sb.checkpoint_lsn;
+    if (sb.clean_shutdown) {
+      NBLB_ASSIGN_OR_RETURN(
+          shard->table_,
+          shard->db_->AttachTable("data", shard->options_.schema,
+                                  shard->options_.table_options,
+                                  sb.heap_first_page, sb.btree_meta_page));
+    } else {
+      // Crash recovery: the on-disk index is untrusted (the flusher
+      // persists arbitrary page subsets), so rebuild it from the heap,
+      // then redo the WAL tail.
+      RecordFlightEvent(FlightEvent::kRecoveryStart, shard_id,
+                        sb.checkpoint_lsn);
+      shard->recovered_ = true;
+      NBLB_ASSIGN_OR_RETURN(
+          shard->table_,
+          shard->db_->AttachTableRebuild("data", shard->options_.schema,
+                                         shard->options_.table_options,
+                                         sb.heap_first_page));
+    }
+    NBLB_RETURN_NOT_OK(shard->ReplayWal());
+    shard->rows_ = shard->table_->heap()->tuple_count();
+    RecordFlightEvent(FlightEvent::kRecoveryReplayed,
+                      shard->replayed_records_, shard->rows_);
+  }
 
   shard->all_columns_.resize(shard->options_.schema.num_columns());
   for (size_t i = 0; i < shard->all_columns_.size(); ++i) {
     shard->all_columns_[i] = i;
   }
+
+  if (shard->durable_) {
+    shard->InstallCheckpointHooks();
+    // Baseline publish: makes the just-created (or just-recovered) state
+    // durable, marks the shard dirty (clean_shutdown=false) so a crash
+    // from here on is detected, and resets the WAL after recovery replay.
+    NBLB_RETURN_NOT_OK(shard->db_->Checkpoint());
+  }
   return shard;
+}
+
+Status Shard::CommitWal() {
+  if (!wal_) return Status::OK();
+  Status s = wal_->Commit();
+  if (!s.ok()) stats_.Add(stats_.errors);
+  return s;
+}
+
+Status Shard::Checkpoint() { return db_->Checkpoint(); }
+
+void Shard::InstallCheckpointHooks() {
+  db_->SetCheckpointExtension(
+      // Pre-flush: everything the superblock will reference must be durable
+      // or about to be flushed. Commit pending WAL records (so no acked
+      // write can be lost by the Reset below), stage the LSN the publish
+      // covers, and persist the index's root/meta linkage.
+      [this]() -> Status {
+        if (partitioned_) {
+          return Status::NotSupported(
+              "checkpoint on a hot/cold-partitioned shard");
+        }
+        NBLB_RETURN_NOT_OK(wal_->Commit());
+        pending_checkpoint_lsn_ = wal_->next_lsn() - 1;
+        return table_->index()->WriteMeta();
+      },
+      // Post-fsync: the data file now reflects every record up to the
+      // staged LSN, so publish a new superblock version pointing at it and
+      // reclaim the log. Crash before the Write keeps the old superblock
+      // (old LSN, longer replay); crash between Write and Reset replays a
+      // redundant-but-idempotent tail. Both are correct.
+      [this]() -> Status {
+        SuperblockData sb = BuildSuperblock();
+        sb.version = sb_version_ + 1;
+        sb.checkpoint_lsn = pending_checkpoint_lsn_;
+        sb.clean_shutdown = clean_next_publish_;
+        NBLB_RETURN_NOT_OK(
+            Superblock::Write(Superblock::PathFor(options_.path), sb));
+        sb_version_ = sb.version;
+        checkpoint_lsn_ = sb.checkpoint_lsn;
+        NBLB_RETURN_NOT_OK(wal_->Reset());
+        RecordFlightEvent(FlightEvent::kCheckpoint, sb.version,
+                          sb.checkpoint_lsn);
+        return Status::OK();
+      });
+}
+
+SuperblockData Shard::BuildSuperblock() const {
+  SuperblockData sb;
+  sb.page_size = static_cast<uint32_t>(options_.page_size);
+  sb.num_pages = static_cast<uint32_t>(db_->disk()->num_pages());
+  sb.heap_first_page = table_->heap()->first_page_id();
+  sb.btree_meta_page = table_->index()->meta_page_id();
+  sb.semid_partition_bits = options_.semid_partition_bits;
+  sb.reuse_free_slots = options_.table_options.reuse_free_slots;
+  sb.enable_index_cache = options_.table_options.enable_index_cache;
+  for (size_t c : options_.table_options.key_columns) {
+    sb.key_columns.push_back(static_cast<uint32_t>(c));
+  }
+  for (size_t c : options_.table_options.cached_columns) {
+    sb.cached_columns.push_back(static_cast<uint32_t>(c));
+  }
+  sb.columns = options_.schema.columns();
+  return sb;
+}
+
+Status Shard::ReplayWal() {
+  const size_t row_size = options_.schema.row_size();
+  return wal_->Replay(checkpoint_lsn_, [&](const Wal::Record& rec) -> Status {
+    switch (rec.op) {
+      case Wal::Op::kPut: {
+        if (rec.payload.size() != row_size) {
+          return Status::Corruption("WAL put payload width mismatch");
+        }
+        Row row = table_->row_codec().Decode(rec.payload.data());
+        NBLB_RETURN_NOT_OK(table_->UpsertByKey(row));
+        break;
+      }
+      case Wal::Op::kDelete: {
+        Status s = table_->DeleteByKey(KeyOf(rec.key));
+        if (!s.ok() && !s.IsNotFound()) return s;
+        break;
+      }
+    }
+    ++replayed_records_;
+    return Status::OK();
+  });
+}
+
+Status Shard::LogPut(uint64_t id, const Row& row) {
+  if (!wal_) return Status::OK();
+  NBLB_ASSIGN_OR_RETURN(std::string bytes, table_->row_codec().Encode(row));
+  auto lsn = wal_->Append(Wal::Op::kPut, id, Slice(bytes));
+  return lsn.ok() ? Status::OK() : lsn.status();
+}
+
+Status Shard::LogDelete(uint64_t id) {
+  if (!wal_) return Status::OK();
+  auto lsn = wal_->Append(Wal::Op::kDelete, id, Slice());
+  return lsn.ok() ? Status::OK() : lsn.status();
 }
 
 std::vector<Value> Shard::KeyOf(uint64_t id) const {
@@ -101,8 +348,19 @@ Status Shard::Insert(const Row& row) {
                           : table_->Insert(row);
   if (!s.ok()) {
     stats_.Add(stats_.errors);
-  } else {
-    ++rows_;
+    return s;
+  }
+  ++rows_;
+  if (wal_) {
+    const size_t key_col = options_.table_options.key_columns[0];
+    Status ls = LogPut(static_cast<uint64_t>(row[key_col].AsInt()), row);
+    if (!ls.ok()) {
+      // The in-memory insert stands, but the op is NOT acked: the record
+      // never reached the log, so recovery would not reproduce it. The
+      // sticky WAL error also fails the group commit.
+      stats_.Add(stats_.errors);
+      return ls;
+    }
   }
   return s;
 }
@@ -160,6 +418,14 @@ Status Shard::Update(uint64_t id, const Row& row) {
   Status s = table_->UpdateByKey(KeyOf(id), row);
   if (!s.ok()) {
     stats_.Add(s.IsNotFound() ? stats_.not_found : stats_.errors);
+    return s;
+  }
+  if (wal_) {
+    Status ls = LogPut(id, row);
+    if (!ls.ok()) {
+      stats_.Add(stats_.errors);
+      return ls;
+    }
   }
   return s;
 }
@@ -174,8 +440,15 @@ Status Shard::Delete(uint64_t id) {
   Status s = table_->DeleteByKey(KeyOf(id));
   if (!s.ok()) {
     stats_.Add(s.IsNotFound() ? stats_.not_found : stats_.errors);
-  } else {
-    --rows_;
+    return s;
+  }
+  --rows_;
+  if (wal_) {
+    Status ls = LogDelete(id);
+    if (!ls.ok()) {
+      stats_.Add(stats_.errors);
+      return ls;
+    }
   }
   return s;
 }
@@ -198,6 +471,12 @@ Status Shard::EnableHotCold(
     const std::unordered_set<std::string>& hot_encoded_keys) {
   if (partitioned_) {
     return Status::InvalidArgument("shard is already hot/cold partitioned");
+  }
+  if (durable_) {
+    // The WAL logs against the single "data" table and recovery reattaches
+    // it; the hot/cold split has no durable catalog entry yet.
+    return Status::NotSupported(
+        "hot/cold partitioning is not supported on a WAL-enabled shard");
   }
   NBLB_ASSIGN_OR_RETURN(
       partitioned_, PartitionedTable::BuildFromTable(

@@ -25,23 +25,37 @@
 #include "exec/table.h"
 #include "partition/partitioned_table.h"
 #include "shard/shard_stats.h"
+#include "storage/superblock.h"
+#include "storage/wal.h"
 
 namespace nblb {
 
 /// \brief Per-shard configuration.
 struct ShardOptions {
   /// Backing file for this shard's Database. With `truncate` (the default)
-  /// Shard::Open removes and recreates this file — shards are (for now)
-  /// rebuilt from a load phase, not reopened; give every engine a distinct
-  /// path/prefix or prior data is destroyed. Durable reopen is a ROADMAP
-  /// item.
+  /// Shard::Open removes and recreates this file (plus the `.sb`/`.wal`
+  /// sidecars) — the load-phase model; give every engine a distinct
+  /// path/prefix or prior data is destroyed.
   std::string path;
   /// When true, an existing file at `path` is removed and the shard is
-  /// rebuilt from scratch (the load-phase model). When false, Open refuses
-  /// to touch a path where a file already exists — durable reopen is not
-  /// implemented yet, and the guard keeps an accidental reopen from
-  /// silently destroying data.
+  /// rebuilt from scratch (the load-phase model). When false AND
+  /// wal_enabled, Open reattaches to the existing files: a valid
+  /// superblock selects clean reattach or crash recovery (heap walk +
+  /// index rebuild + WAL replay). Without wal_enabled, Open still refuses
+  /// to touch an existing file — there is no catalog to reopen from, and
+  /// the guard keeps an accidental reopen from silently destroying data.
   bool truncate = true;
+  /// Durability layer: superblock sidecar + per-shard write-ahead log.
+  /// Every write op appends a logical record; records become durable in
+  /// groups via CommitWal() (the ShardedEngine commits once per service
+  /// group, before acking the group's tickets). Checkpoints advance the
+  /// recovery LSN and reclaim log space. Not supported together with
+  /// EnableHotCold.
+  bool wal_enabled = false;
+  /// Semantic-ID codec configuration persisted in the superblock (0 =
+  /// unused): a reopened shard can rebuild its EmbeddedRouter without
+  /// out-of-band config.
+  uint32_t semid_partition_bits = 0;
   size_t page_size = kDefaultPageSize;
   /// Buffer pool capacity, per shard (the scale-out model: each shard is a
   /// "node" with its own fixed RAM budget).
@@ -126,6 +140,26 @@ class Shard {
   /// \brief Deletes row `id` (index entry, heap tuple, cache predicate).
   Status Delete(uint64_t id);
 
+  /// \brief Group commit: makes every WAL record appended since the last
+  /// commit durable (one vectored write + one fsync). The ShardedEngine
+  /// calls this once per service group, after serving the group's ops and
+  /// before completing their tickets — that is the ack barrier. No-op
+  /// without wal_enabled. A failure is sticky (see Wal) and must fail the
+  /// group's write ops.
+  Status CommitWal();
+
+  /// \brief Durable checkpoint: commits pending WAL records, persists
+  /// index metadata, flushes all dirty pages, fsyncs, publishes a new
+  /// superblock version (advancing the recovery LSN), and resets the WAL
+  /// to reclaim log space. Without wal_enabled this is just
+  /// Database::Checkpoint. Owner thread only.
+  Status Checkpoint();
+
+  /// \brief Test hook: skip the clean close (checkpoint + clean-shutdown
+  /// superblock) in the destructor, so the next Open exercises the crash
+  /// recovery path even though the process exits normally.
+  void SimulateCrashForTest() { skip_clean_close_ = true; }
+
   /// \brief Rebuilds this shard as hot/cold partitions (§3.1): rows whose
   /// encoded key is in `hot_encoded_keys` land in the hot partition, the
   /// rest in cold; subsequent lookups probe hot first. Must be called while
@@ -145,11 +179,29 @@ class Shard {
   /// nullptr unless EnableHotCold() ran.
   PartitionedTable* partitioned() { return partitioned_.get(); }
   uint64_t rows() const { return rows_; }
+  /// nullptr unless wal_enabled.
+  Wal* wal() { return wal_.get(); }
+  /// \brief True when this Open took the crash-recovery path (no clean
+  /// shutdown recorded: heap walk + index rebuild + WAL replay).
+  bool recovered() const { return recovered_; }
+  /// \brief WAL records re-applied during recovery (0 on clean reattach).
+  uint64_t replayed_records() const { return replayed_records_; }
 
  private:
   Shard(uint32_t shard_id, ShardOptions options);
 
   std::vector<Value> KeyOf(uint64_t id) const;
+
+  /// Wires the WAL-commit/superblock-publish hooks into db_->Checkpoint().
+  void InstallCheckpointHooks();
+  /// Re-applies WAL records with lsn > checkpoint_lsn_ through UpsertByKey /
+  /// DeleteByKey (idempotent logical redo).
+  Status ReplayWal();
+  /// Snapshot of everything the next Open needs, from live structures.
+  SuperblockData BuildSuperblock() const;
+  /// Appends one logical record for an acked-on-commit write op.
+  Status LogPut(uint64_t id, const Row& row);
+  Status LogDelete(uint64_t id);
 
   uint32_t id_;
   ShardOptions options_;
@@ -161,6 +213,20 @@ class Shard {
   std::unique_ptr<PartitionedTable> partitioned_;
   std::vector<size_t> all_columns_;  // identity projection for hot/cold gets
   uint64_t rows_ = 0;
+
+  // ---- Durability (all owner-thread only) ---------------------------------
+  /// Owns its own DiskManager over the `.wal` sidecar, independent of db_.
+  /// The checkpoint hooks installed on db_ capture `this` and use wal_, so
+  /// ~Shard runs the clean close and detaches the hooks before db_ dies.
+  std::unique_ptr<Wal> wal_;
+  uint64_t sb_version_ = 0;           ///< last published superblock version
+  uint64_t checkpoint_lsn_ = 0;       ///< recovery LSN of that superblock
+  uint64_t pending_checkpoint_lsn_ = 0;  ///< staged by pre-hook for post-hook
+  bool durable_ = false;              ///< options_.wal_enabled, cached
+  bool skip_clean_close_ = false;     ///< SimulateCrashForTest()
+  bool clean_next_publish_ = false;   ///< next superblock says clean_shutdown
+  bool recovered_ = false;
+  uint64_t replayed_records_ = 0;
 };
 
 }  // namespace nblb

@@ -59,6 +59,8 @@ Result<std::unique_ptr<ShardedEngine>> ShardedEngine::Open(
     so.flusher_interval_us = options.flusher_interval_us;
     so.flush_batch_pages = options.flush_batch_pages;
     so.sync_writeback = options.sync_writeback;
+    so.wal_enabled = options.wal_enabled;
+    so.semid_partition_bits = options.semid_partition_bits;
     so.schema = options.schema;
     so.table_options = options.table_options;
     // Record the path BEFORE attempting the open: a Shard::Open that
@@ -76,6 +78,11 @@ Result<std::unique_ptr<ShardedEngine>> ShardedEngine::Open(
     if (ec) preexisting = true;
     if (!preexisting || options.truncate_on_open) {
       created_paths.push_back(path);
+      if (options.wal_enabled) {
+        // Durability sidecars are this attempt's debris too.
+        created_paths.push_back(Superblock::PathFor(path));
+        created_paths.push_back(Wal::PathFor(path));
+      }
     }
     auto shard_result = Shard::Open(i, std::move(so));
     if (!shard_result.ok()) {
@@ -490,6 +497,20 @@ bool ShardedEngine::ServeShard(Worker* worker, uint32_t sid,
   stats.coalesced.Record(group->size());
   stats.Add(stats.coalesced_groups);
   RunGroup(shard, group);
+
+  // Periodic durable checkpoint, on the owning worker (single-writer: the
+  // checkpoint flushes and republishes structures only this thread
+  // mutates). Bounds WAL length and crash-replay time. Best effort — a
+  // failed checkpoint leaves the previous superblock in force, which only
+  // means a longer replay.
+  if (options_.wal_enabled && options_.checkpoint_every_groups > 0) {
+    if (++queue->groups_since_checkpoint >=
+        options_.checkpoint_every_groups) {
+      queue->groups_since_checkpoint = 0;
+      Status cs = shard->Checkpoint();
+      if (!cs.ok()) shard->stats().Add(shard->stats().errors);
+    }
+  }
   return true;
 }
 
@@ -579,6 +600,28 @@ void ShardedEngine::RunGroup(Shard* shard, std::vector<SubBatch>* group) {
       shard->NoteSubBatch();
     }
     flush_gets();
+  }
+
+  // Group commit (wal_enabled): every write op in this group appended log
+  // records; make them durable in one vectored write + fsync BEFORE any of
+  // the group's tickets can complete — the ack barrier. On failure, poison
+  // every apparently-successful write result in the group: those mutations
+  // are in memory but not in the log, so acking them would promise a
+  // durability we cannot deliver.
+  Status commit = shard->CommitWal();
+  if (!commit.ok()) {
+    for (SubBatch& sub : *group) {
+      const RequestBatch& batch = *sub.ticket->batch_;
+      BatchResult& out = sub.ticket->result_;
+      for (uint32_t i : sub.indexes) {
+        const RequestKind kind = batch[i].kind;
+        if ((kind == RequestKind::kInsert || kind == RequestKind::kUpdate ||
+             kind == RequestKind::kDelete) &&
+            out.results[i].status.ok()) {
+          out.results[i].status = commit;
+        }
+      }
+    }
   }
 
   const auto now = std::chrono::steady_clock::now();

@@ -121,6 +121,19 @@ struct ShardedEngineOptions {
   /// of DumpMetrics(). 0 disables tracing; NBLB_OBS_OFF in the environment
   /// forces it off regardless.
   uint64_t trace_sample_every = 0;
+  /// Durability (forwarded to ShardOptions::wal_enabled): every shard gets
+  /// a superblock sidecar + write-ahead log, each service group is group-
+  /// committed before its tickets complete, and Open with
+  /// truncate_on_open=false recovers existing shards (clean reattach or
+  /// crash recovery + WAL replay). See storage/wal.h and shard.h.
+  bool wal_enabled = false;
+  /// With wal_enabled: the owning worker runs a durable checkpoint on each
+  /// shard every N service groups, bounding WAL length and replay time.
+  /// 0 disables periodic checkpoints (only open/close publish).
+  uint64_t checkpoint_every_groups = 0;
+  /// Forwarded to ShardOptions::semid_partition_bits (persisted in the
+  /// superblock; 0 = unused).
+  uint32_t semid_partition_bits = 0;
   Schema schema;
   TableOptions table_options;
 };
@@ -302,6 +315,9 @@ class ShardedEngine {
     /// [min_coalesce_window, max_coalesce_window]. Touched only by the
     /// owning worker.
     size_t window = 1;
+    /// Service groups since the last periodic checkpoint (wal_enabled +
+    /// checkpoint_every_groups). Touched only by the owning worker.
+    uint64_t groups_since_checkpoint = 0;
     /// Signaled by the owning worker after each pop when max_queue_depth
     /// bounds this queue; blocked submitters wait here for space.
     std::condition_variable space_cv;

@@ -377,6 +377,10 @@ Status BufferPool::FlushTargets(std::vector<FlushTarget>* targets,
         LatchGuard latch(t.frame->cache_latch);
         ws = disk_->WritePage(t.id, t.frame->data);
       }
+      if (t.claimed) {
+        // Drop the flusher's io-claim now that the bytes left the frame.
+        t.frame->state.fetch_and(~kIoBit, std::memory_order_release);
+      }
       if (ws.ok()) {
         ++*flushed;
         ++*runs;  // per-page writes: every page is its own "run"
@@ -412,6 +416,12 @@ Status BufferPool::FlushTargets(std::vector<FlushTarget>* targets,
         // re-marks the frame dirty (unpin-dirty) and is flushed next pass.
         LatchGuard latch(t.frame->cache_latch);
         std::memcpy(slot, t.frame->data, page_size_);
+      }
+      if (t.claimed) {
+        // Release the flusher's io-claim the moment the bytes are staged:
+        // writers blocked in WaitForLoad stall only for the memcpy, never
+        // for the device write.
+        t.frame->state.fetch_and(~kIoBit, std::memory_order_release);
       }
       ids[k] = t.id;
       srcs[k] = slot;
@@ -1010,7 +1020,7 @@ void BufferPool::FlusherPass() {
     std::lock_guard<std::mutex> lk(st.mu);
     for (uint32_t fi = st.begin; fi < st.end && budget > 0; ++fi) {
       Frame& f = frames_[fi];
-      const uint64_t s0 = f.state.load(std::memory_order_acquire);
+      uint64_t s0 = f.state.load(std::memory_order_acquire);
       if ((s0 & (kValidBit | kDirtyBit)) != (kValidBit | kDirtyBit) ||
           (s0 & (kIoBit | kFailedBit)) != 0) {
         continue;
@@ -1020,12 +1030,23 @@ void BufferPool::FlusherPass() {
       // write I/O — and it cannot be chosen as a victim anyway, which
       // is what the flusher exists to pre-clean for.
       if ((s0 & kPinMask) != 0) continue;
-      PinFrame(f, /*reference=*/false);
-      // Clear dirty BEFORE the write (the FlushPage discipline): a
-      // concurrent unpin-dirty after the clear re-marks the frame and it
-      // is simply flushed again next pass.
-      f.state.fetch_and(~kDirtyBit, std::memory_order_relaxed);
-      targets.push_back({&f, f.id.load(std::memory_order_relaxed)});
+      // Claim the frame in ONE CAS: pin it (stable identity for the
+      // pass), set the io bit (content writers pin through the locked
+      // path and WaitForLoad until the snapshot memcpy is done — heap
+      // and B+Tree writers mutate page bytes under their pin without
+      // taking the cache latch, so a pin-only flusher would snapshot a
+      // torn page), and clear dirty BEFORE the write (the FlushPage
+      // discipline: an unpin-dirty after the snapshot re-marks the frame
+      // and it is simply flushed again next pass). A CAS failure means
+      // someone pinned since the check — their write is coming; skip.
+      uint64_t claimed = ((s0 + 1) | kIoBit) & ~kDirtyBit;
+      if (!f.state.compare_exchange_strong(s0, claimed,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_relaxed)) {
+        continue;
+      }
+      targets.push_back({&f, f.id.load(std::memory_order_relaxed),
+                         /*claimed=*/true});
       --budget;
     }
   }

@@ -352,6 +352,10 @@ class BufferPool {
   struct FlushTarget {
     Frame* frame = nullptr;
     PageId id = kInvalidPageId;
+    /// True when the selector io-claimed the frame (flusher pass): the
+    /// snapshot owns the bytes outright — concurrent pins wait on the io
+    /// bit — and FlushTargets must clear kIoBit right after its memcpy.
+    bool claimed = false;
   };
 
   /// Writes `targets` back in sorted batched groups (snapshotting each

@@ -197,6 +197,11 @@ class DiskManager {
   /// \brief Extends the file by one zeroed page and returns its id.
   Result<PageId> AllocatePage();
 
+  /// \brief Extends the file by `n` zeroed pages with one write and returns
+  /// the id of the first new page. The WAL uses this to grow its tail in
+  /// bulk instead of paying one pwrite per page.
+  Result<PageId> AllocatePages(size_t n);
+
   /// \brief fsync the backing file.
   Status Sync();
 

@@ -109,6 +109,48 @@ Result<std::unique_ptr<HeapFile>> HeapFile::Attach(BufferPool* bp,
   return hf;
 }
 
+Result<std::unique_ptr<HeapFile>> HeapFile::AttachTolerant(
+    BufferPool* bp, size_t tuple_size, PageId first_page,
+    HeapFileOptions options) {
+  std::unique_ptr<HeapFile> hf(new HeapFile(bp, tuple_size, options));
+  const PageId limit = bp->disk()->num_pages();
+  PageId id = first_page;
+  while (id != kInvalidPageId && id < limit) {
+    NBLB_ASSIGN_OR_RETURN(PageGuard page, bp->FetchPage(id));
+    char* d = page.data();
+    if (LoadU16(d) != kPageTypeHeap || LoadU16(d + 6) != tuple_size) {
+      // A linked-to page that was never flushed as a heap page: the chain
+      // ends at the previous page.
+      break;
+    }
+    const uint16_t used = LoadU16(d + 4);
+    hf->tuple_count_ += used;
+    if (used < hf->slots_per_page_) {
+      hf->pages_with_holes_.push_back(id);
+    }
+    hf->pages_.push_back(id);
+    PageId next = LoadU32(d + 8);
+    // Cycle guard: the chain extends only at the tail, so any repeat (or a
+    // chain longer than the file) means a stale link survived the crash.
+    if (hf->pages_.size() > limit ||
+        std::find(hf->pages_.begin(), hf->pages_.end(), next) !=
+            hf->pages_.end()) {
+      next = kInvalidPageId;
+    }
+    id = next;
+  }
+  if (hf->pages_.empty()) {
+    return Status::Corruption("heap first page is not a heap page");
+  }
+  // Repair the tail link so later Attach/ForEach walks see a clean chain.
+  NBLB_ASSIGN_OR_RETURN(PageGuard tail, bp->FetchPage(hf->pages_.back()));
+  if (LoadU32(tail.data() + 8) != kInvalidPageId) {
+    StoreU32(tail.data() + 8, kInvalidPageId);
+    tail.MarkDirty();
+  }
+  return hf;
+}
+
 Status HeapFile::AppendPage() {
   NBLB_ASSIGN_OR_RETURN(PageGuard page, bp_->NewPage());
   char* d = page.data();

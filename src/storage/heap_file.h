@@ -56,6 +56,17 @@ class HeapFile {
                                                   PageId first_page,
                                                   HeapFileOptions options = {});
 
+  /// \brief Crash-recovery attach: walks the chain like Attach but treats a
+  /// bad link (wrong page type, tuple-size mismatch, next pointer past the
+  /// end of the file, or a cycle) as the end of the heap instead of an
+  /// error — the tail page's link may never have been flushed before the
+  /// crash. The last good page's next pointer is repaired to
+  /// kInvalidPageId (and marked dirty) so the chain is consistent again.
+  /// Only valid after the WAL replay path re-applies lost tail inserts.
+  static Result<std::unique_ptr<HeapFile>> AttachTolerant(
+      BufferPool* bp, size_t tuple_size, PageId first_page,
+      HeapFileOptions options = {});
+
   /// \brief Inserts a tuple (must be exactly tuple_size bytes).
   Result<Rid> Insert(const Slice& tuple);
 

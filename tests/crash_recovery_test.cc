@@ -1,0 +1,430 @@
+// Crash recovery tests.
+//
+// Unit level: a WAL-enabled Shard survives a clean close (reattach, no
+// replay) and a simulated crash (heap walk + index rebuild + WAL tail
+// replay), including the checkpoint-then-more-writes shape where only the
+// tail past the recovery LSN replays.
+//
+// System level: a fork/SIGKILL harness. A child process opens a WAL-enabled
+// ShardedEngine with aggressive flusher + checkpoint cadence and drives a
+// deterministic mixed put/delete stream, recording one intent byte before
+// and one ack byte after every logical op (O_APPEND one-byte writes, so the
+// side logs are torn-proof). The parent kills it at a randomized point,
+// reopens the data in-process, and checks the recovered state against the
+// op-stream model: every ACKED op's effect must be present; unacked ops may
+// or may not be (they are only admissible as *later* states of the same
+// key, never as lost acked state).
+
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fcntl.h>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "shard/shard.h"
+#include "shard/sharded_engine.h"
+#include "storage/superblock.h"
+#include "storage/wal.h"
+#include "test_util.h"
+
+namespace nblb {
+namespace {
+
+Schema SmallSchema() {
+  return Schema({{"id", TypeId::kInt64, 0},
+                 {"payload", TypeId::kVarchar, 32},
+                 {"score", TypeId::kInt64, 0}});
+}
+
+// The score column carries the op sequence number, so a recovered row
+// identifies exactly which op produced it.
+Row MakeRow(uint64_t key, uint64_t seq) {
+  return {Value::Int64(static_cast<int64_t>(key)),
+          Value::Varchar("s" + std::to_string(seq) + "-k" +
+                         std::to_string(key)),
+          Value::Int64(static_cast<int64_t>(seq))};
+}
+
+void RemoveShardFiles(const std::string& prefix, uint32_t num_shards) {
+  for (uint32_t i = 0; i < num_shards; ++i) {
+    const std::string path = prefix + ".shard" + std::to_string(i) + ".db";
+    std::remove(path.c_str());
+    std::remove(Superblock::PathFor(path).c_str());
+    std::remove(Wal::PathFor(path).c_str());
+  }
+}
+
+// ---- Shard-level recovery ---------------------------------------------------
+
+ShardOptions DurableShardOptions(const std::string& tag) {
+  ShardOptions opts;
+  opts.path = ::testing::TempDir() + "nblb_crash_" + tag + "_" +
+              std::to_string(::getpid()) + ".db";
+  opts.page_size = 4096;
+  opts.buffer_pool_frames = 256;
+  opts.wal_enabled = true;
+  opts.schema = SmallSchema();
+  opts.table_options.key_columns = {0};
+  opts.table_options.cached_columns = {2};
+  return opts;
+}
+
+void RemoveShardFilesFor(const ShardOptions& opts) {
+  std::remove(opts.path.c_str());
+  std::remove(Superblock::PathFor(opts.path).c_str());
+  std::remove(Wal::PathFor(opts.path).c_str());
+}
+
+TEST(ShardRecoveryTest, CleanCloseReattachesWithoutReplay) {
+  ShardOptions opts = DurableShardOptions("clean");
+  {
+    ASSERT_OK_AND_ASSIGN(auto shard, Shard::Open(7, opts));
+    for (uint64_t k = 0; k < 50; ++k) {
+      ASSERT_OK(shard->Insert(MakeRow(k, k)));
+    }
+    ASSERT_OK(shard->CommitWal());
+    // Destructor runs the clean-close checkpoint.
+  }
+  opts.truncate = false;
+  ASSERT_OK_AND_ASSIGN(auto shard, Shard::Open(7, opts));
+  EXPECT_FALSE(shard->recovered());
+  EXPECT_EQ(shard->replayed_records(), 0u);
+  EXPECT_EQ(shard->rows(), 50u);
+  for (uint64_t k = 0; k < 50; ++k) {
+    ASSERT_OK_AND_ASSIGN(Row row, shard->Get(k));
+    EXPECT_EQ(static_cast<uint64_t>(row[2].AsInt()), k);
+  }
+  // The reattached shard keeps working.
+  ASSERT_OK(shard->Insert(MakeRow(100, 100)));
+  ASSERT_OK(shard->CommitWal());
+  shard.reset();
+  RemoveShardFilesFor(opts);
+}
+
+TEST(ShardRecoveryTest, CrashReplaysWalTail) {
+  ShardOptions opts = DurableShardOptions("crash");
+  {
+    ASSERT_OK_AND_ASSIGN(auto shard, Shard::Open(3, opts));
+    // Checkpointed prefix: these rows live in the data file only.
+    for (uint64_t k = 0; k < 20; ++k) {
+      ASSERT_OK(shard->Insert(MakeRow(k, k)));
+    }
+    ASSERT_OK(shard->Checkpoint());
+    // Tail: committed to the WAL but never checkpointed — inserts, an
+    // update, and a delete, so replay exercises every record kind.
+    for (uint64_t k = 20; k < 30; ++k) {
+      ASSERT_OK(shard->Insert(MakeRow(k, k)));
+    }
+    ASSERT_OK(shard->Update(5, MakeRow(5, 500)));
+    ASSERT_OK(shard->Delete(7));
+    ASSERT_OK(shard->CommitWal());
+    shard->SimulateCrashForTest();
+  }
+  opts.truncate = false;
+  ASSERT_OK_AND_ASSIGN(auto shard, Shard::Open(3, opts));
+  EXPECT_TRUE(shard->recovered());
+  // 10 inserts + 1 update + 1 delete past the checkpoint LSN.
+  EXPECT_EQ(shard->replayed_records(), 12u);
+  EXPECT_EQ(shard->rows(), 29u);
+  for (uint64_t k = 0; k < 30; ++k) {
+    auto got = shard->Get(k);
+    if (k == 7) {
+      EXPECT_TRUE(got.status().IsNotFound());
+      continue;
+    }
+    ASSERT_TRUE(got.ok()) << "key " << k << ": " << got.status().ToString();
+    const uint64_t want_seq = (k == 5) ? 500 : k;
+    EXPECT_EQ(static_cast<uint64_t>(got.ValueOrDie()[2].AsInt()), want_seq);
+  }
+  // Structural sanity: the rebuilt index agrees with the live row count.
+  EXPECT_EQ(shard->table()->index()->num_entries(), 29u);
+  shard.reset();
+  RemoveShardFilesFor(opts);
+}
+
+TEST(ShardRecoveryTest, CrashWithUncommittedTailLosesOnlyUnacked) {
+  ShardOptions opts = DurableShardOptions("unacked");
+  {
+    ASSERT_OK_AND_ASSIGN(auto shard, Shard::Open(1, opts));
+    for (uint64_t k = 0; k < 10; ++k) {
+      ASSERT_OK(shard->Insert(MakeRow(k, k)));
+    }
+    ASSERT_OK(shard->CommitWal());  // acked
+    for (uint64_t k = 10; k < 15; ++k) {
+      ASSERT_OK(shard->Insert(MakeRow(k, k)));  // appended, never committed
+    }
+    shard->SimulateCrashForTest();
+  }
+  opts.truncate = false;
+  ASSERT_OK_AND_ASSIGN(auto shard, Shard::Open(1, opts));
+  EXPECT_TRUE(shard->recovered());
+  // The contract: every COMMITTED (acked) write survives. The uncommitted
+  // tail was never acked, so it MAY survive (here it does, via the heap
+  // walk — an in-process "crash" still flushes buffer-pool pages on close)
+  // or may not; either way the recovered shard must be self-consistent.
+  for (uint64_t k = 0; k < 10; ++k) {
+    ASSERT_TRUE(shard->Get(k).ok()) << "acked key " << k << " lost";
+  }
+  uint64_t live = 0;
+  for (uint64_t k = 0; k < 15; ++k) {
+    auto got = shard->Get(k);
+    if (got.ok()) {
+      ++live;
+      EXPECT_EQ(static_cast<uint64_t>(got.ValueOrDie()[2].AsInt()), k);
+    } else {
+      EXPECT_TRUE(got.status().IsNotFound());
+    }
+  }
+  EXPECT_EQ(shard->rows(), live);
+  EXPECT_EQ(shard->table()->index()->num_entries(), live);
+  shard.reset();
+  RemoveShardFilesFor(opts);
+}
+
+TEST(ShardRecoveryTest, ReopenWithoutTruncateRequiresWal) {
+  // Without a WAL there is no catalog to reattach from: reopening an
+  // existing non-durable shard file must refuse rather than destroy it.
+  ShardOptions opts = DurableShardOptions("guard");
+  opts.wal_enabled = false;
+  {
+    ASSERT_OK_AND_ASSIGN(auto shard, Shard::Open(0, opts));
+    ASSERT_OK(shard->Insert(MakeRow(1, 1)));
+  }
+  opts.truncate = false;
+  auto reopen = Shard::Open(0, opts);
+  EXPECT_FALSE(reopen.ok());
+  RemoveShardFilesFor(opts);
+}
+
+// ---- Kill-9 harness ---------------------------------------------------------
+
+constexpr uint64_t kKeys = 512;
+constexpr uint64_t kMaxOps = 2'000'000;
+
+struct OpModel {
+  uint64_t key = 0;
+  bool is_delete = false;
+};
+
+// Deterministic LCG shared by child (execution) and parent (verification);
+// seed the state once, then call per op.
+OpModel NextOp(uint64_t* state) {
+  uint64_t x = *state;
+  x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+  *state = x;
+  OpModel op;
+  op.key = (x >> 33) % kKeys;
+  op.is_delete = ((x >> 13) % 10) < 2;
+  return op;
+}
+
+ShardedEngineOptions HarnessOptions(const std::string& prefix,
+                                    bool truncate) {
+  ShardedEngineOptions opts;
+  opts.num_shards = 2;
+  opts.num_workers = 2;
+  opts.path_prefix = prefix;
+  opts.truncate_on_open = truncate;
+  opts.page_size = 4096;
+  opts.buffer_pool_frames_per_shard = 256;
+  opts.wal_enabled = true;
+  // Aggressive cadences so randomized kills land mid-flusher-pass and
+  // mid-checkpoint, not just between groups.
+  opts.flusher_interval_us = 500;
+  opts.checkpoint_every_groups = 4;
+  opts.schema = SmallSchema();
+  opts.table_options.key_columns = {0};
+  opts.table_options.cached_columns = {2};
+  return opts;
+}
+
+/// Child body (post-fork): never returns, only _exit()s. Exit codes:
+/// 0 = ran out of ops (harness should use a bigger kMaxOps), 2 = engine
+/// open failed, 3 = an op failed with an unexpected status.
+void RunChildWorkload(const std::string& prefix, uint64_t seed,
+                      const std::string& intents_path,
+                      const std::string& acks_path) {
+  const int intents_fd =
+      ::open(intents_path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  const int acks_fd =
+      ::open(acks_path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (intents_fd < 0 || acks_fd < 0) _exit(2);
+  auto engine_or = ShardedEngine::Open(HarnessOptions(prefix, true));
+  if (!engine_or.ok()) _exit(2);
+  auto engine = std::move(engine_or).ValueOrDie();
+  uint64_t state = seed;
+  for (uint64_t i = 0; i < kMaxOps; ++i) {
+    const OpModel op = NextOp(&state);
+    if (::write(intents_fd, "i", 1) != 1) _exit(2);
+    if (op.is_delete) {
+      Status s = engine->Delete(op.key);
+      if (!s.ok() && !s.IsNotFound()) _exit(3);
+    } else {
+      Status s = engine->Insert(op.key, MakeRow(op.key, i));
+      if (s.IsAlreadyExists()) s = engine->Update(op.key, MakeRow(op.key, i));
+      if (!s.ok()) _exit(3);
+    }
+    if (::write(acks_fd, "a", 1) != 1) _exit(2);
+  }
+  _exit(0);
+}
+
+uint64_t FileSizeOrZero(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) return 0;
+  return static_cast<uint64_t>(st.st_size);
+}
+
+TEST(CrashRecoveryTest, Kill9AtRandomizedPointsLosesNoAckedWrite) {
+  const std::string base = ::testing::TempDir() + "nblb_kill9_" +
+                           std::to_string(::getpid());
+  // Deterministic (seed, kill-delay-ms) schedule covering early kills
+  // (load phase, first checkpoints), steady state, and late kills.
+  const struct {
+    uint64_t seed;
+    int kill_delay_ms;
+  } kIterations[] = {{11, 25},  {23, 60},  {37, 110},
+                     {51, 170}, {73, 240}, {97, 330}};
+
+  int iteration = 0;
+  for (const auto& it : kIterations) {
+    SCOPED_TRACE("iteration " + std::to_string(iteration) + " seed " +
+                 std::to_string(it.seed));
+    const std::string prefix = base + "_it" + std::to_string(iteration);
+    const std::string intents_path = prefix + ".intents";
+    const std::string acks_path = prefix + ".acks";
+    ++iteration;
+
+    const pid_t child = ::fork();
+    ASSERT_GE(child, 0);
+    if (child == 0) {
+      RunChildWorkload(prefix, it.seed, intents_path, acks_path);
+    }
+    // Start the kill clock only once the child is actually serving (first
+    // ack recorded) — sanitizer builds can take a while to open the engine,
+    // and a kill before any ack verifies nothing.
+    for (int spin = 0; spin < 20000 && FileSizeOrZero(acks_path) == 0;
+         ++spin) {
+      ::usleep(1000);
+    }
+    ::usleep(static_cast<useconds_t>(it.kill_delay_ms) * 1000);
+    ::kill(child, SIGKILL);
+    int wstatus = 0;
+    ASSERT_EQ(::waitpid(child, &wstatus, 0), child);
+    if (WIFEXITED(wstatus)) {
+      // The child outlived the workload (or failed): only a clean "ran dry"
+      // is acceptable, and then the run is still verifiable below.
+      ASSERT_EQ(WEXITSTATUS(wstatus), 0) << "child reported failure";
+    } else {
+      ASSERT_TRUE(WIFSIGNALED(wstatus));
+      ASSERT_EQ(WTERMSIG(wstatus), SIGKILL);
+    }
+
+    const uint64_t n_ack = FileSizeOrZero(acks_path);
+    const uint64_t n_intent = FileSizeOrZero(intents_path);
+    ASSERT_GE(n_intent, n_ack);
+    ASSERT_GT(n_ack, 0u) << "kill landed before any op acked; raise delay";
+
+    // Rebuild the op-stream model: for every key, the last ACKED op index
+    // and the set of admissible later (intended but unacked) states.
+    std::map<uint64_t, int64_t> last_acked;       // key -> op index
+    std::map<uint64_t, bool> acked_present;       // state after last acked
+    std::vector<OpModel> ops(n_intent);
+    uint64_t state = it.seed;
+    for (uint64_t i = 0; i < n_intent; ++i) {
+      ops[i] = NextOp(&state);
+      if (i < n_ack) {
+        last_acked[ops[i].key] = static_cast<int64_t>(i);
+        acked_present[ops[i].key] = !ops[i].is_delete;
+      }
+    }
+
+    // Reopen in-process and verify.
+    ASSERT_OK_AND_ASSIGN(auto engine,
+                         ShardedEngine::Open(HarnessOptions(prefix, false)));
+    uint64_t recovered_shards = 0;
+    for (uint32_t s = 0; s < engine->num_shards(); ++s) {
+      if (engine->shard(s)->recovered()) ++recovered_shards;
+      // Structural invariant: rebuilt index and row counter agree.
+      EXPECT_EQ(engine->shard(s)->table()->index()->num_entries(),
+                engine->shard(s)->rows());
+    }
+    EXPECT_GT(recovered_shards, 0u) << "kill-9 should not look clean";
+
+    uint64_t live_rows = 0;
+    for (uint64_t key = 0; key < kKeys; ++key) {
+      auto got = engine->Get(key);
+      const int64_t acked_idx =
+          last_acked.count(key) ? last_acked[key] : -1;
+      if (got.ok()) {
+        ++live_rows;
+        const Row row = std::move(got).ValueOrDie();
+        const uint64_t seq = static_cast<uint64_t>(row[2].AsInt());
+        // The row must be the effect of a real put on this key...
+        ASSERT_LT(seq, n_intent) << "key " << key;
+        ASSERT_EQ(ops[seq].key, key) << "seq " << seq;
+        ASSERT_FALSE(ops[seq].is_delete) << "seq " << seq;
+        EXPECT_EQ(row[1].AsString(), "s" + std::to_string(seq) + "-k" +
+                                         std::to_string(key));
+        // ...and at least as new as the last acked op on the key: an older
+        // surviving state would mean an acked write was lost.
+        ASSERT_GE(static_cast<int64_t>(seq), acked_idx)
+            << "key " << key << ": recovered seq " << seq
+            << " predates last acked op " << acked_idx;
+      } else {
+        ASSERT_TRUE(got.status().IsNotFound()) << got.status().ToString();
+        if (acked_idx >= 0 && acked_present[key]) {
+          // Acked state says present; absence is only admissible if some
+          // unacked (intended) delete could have raced past the kill.
+          bool unacked_delete = false;
+          for (uint64_t i = static_cast<uint64_t>(acked_idx) + 1;
+               i < n_intent; ++i) {
+            if (ops[i].key == key && ops[i].is_delete) {
+              unacked_delete = true;
+              break;
+            }
+          }
+          ASSERT_TRUE(unacked_delete)
+              << "key " << key << ": acked put at op " << acked_idx
+              << " vanished with no intended delete after it";
+        }
+      }
+    }
+    uint64_t engine_rows = 0;
+    for (uint32_t s = 0; s < engine->num_shards(); ++s) {
+      engine_rows += engine->shard(s)->rows();
+    }
+    EXPECT_EQ(engine_rows, live_rows);
+
+    // The recovered engine serves writes: touch a fresh key, read it back.
+    ASSERT_OK(engine->Insert(kKeys + 1, MakeRow(kKeys + 1, 999999)));
+    ASSERT_OK_AND_ASSIGN(Row fresh, engine->Get(kKeys + 1));
+    EXPECT_EQ(fresh[2].AsInt(), 999999);
+
+    // Clean close, then one more reopen: must take the clean path.
+    engine.reset();
+    ASSERT_OK_AND_ASSIGN(engine,
+                         ShardedEngine::Open(HarnessOptions(prefix, false)));
+    for (uint32_t s = 0; s < engine->num_shards(); ++s) {
+      EXPECT_FALSE(engine->shard(s)->recovered())
+          << "clean close still looked like a crash";
+    }
+    ASSERT_OK(engine->Get(kKeys + 1).status());
+    engine.reset();
+
+    RemoveShardFiles(prefix, 2);
+    std::remove(intents_path.c_str());
+    std::remove(acks_path.c_str());
+  }
+}
+
+}  // namespace
+}  // namespace nblb

@@ -486,5 +486,59 @@ TEST(NetServerTest, ForcedFallbackBackendHonorsEnvAndOption) {
   Cleanup(eopts);
 }
 
+TEST(NetServerTest, IdleConnectionsAreReapedActiveOnesSurvive) {
+  ShardedEngineOptions eopts = EngineOptions("idle");
+  ASSERT_OK_AND_ASSIGN(auto engine, ShardedEngine::Open(eopts));
+  for (int64_t id = 0; id < 16; ++id) {
+    ASSERT_OK(engine->Insert(id, KvRow(id)));
+  }
+  NetServerOptions sopts;
+  sopts.idle_timeout_ms = 100;
+  ASSERT_OK_AND_ASSIGN(auto server, NetServer::Start(sopts, engine.get()));
+
+  auto idle_client = MustConnect(*server);
+  auto active_client = MustConnect(*server);
+  ASSERT_TRUE(WaitUntil([&] { return server->open_connections() == 2; }));
+
+  // Keep one connection busy while the other goes quiet: the sweep must
+  // reap exactly the quiet one. Activity (any recv/send) resets the clock,
+  // so the active connection stays alive across many sweep periods.
+  const bool reaped = WaitUntil([&] {
+    auto r = active_client->Call({Request::Get(1)});
+    EXPECT_OK(r.status());
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    return server->stats().idle_closed >= 1;
+  });
+  EXPECT_TRUE(reaped);
+  EXPECT_TRUE(WaitUntil([&] { return server->open_connections() == 1; }));
+
+  // The reaped socket drains to EOF on the client side.
+  char buf[64];
+  ssize_t n;
+  do {
+    n = ::recv(idle_client->fd(), buf, sizeof(buf), 0);
+  } while (n > 0);
+  EXPECT_EQ(n, 0);
+
+  // The survivor still round-trips, and the reap left a flight event and
+  // the net.idle_closed counter in the merged metrics.
+  ASSERT_OK_AND_ASSIGN(BatchResult after, active_client->Call({Request::Get(2)}));
+  ASSERT_OK(after.results[0].status);
+  bool found_idle_event = false;
+  for (const auto& ring : FlightRecorder::Instance().SnapshotAll()) {
+    for (const auto& rec : ring) {
+      if (rec.code == FlightEvent::kNetIdleClose) found_idle_event = true;
+    }
+  }
+  EXPECT_TRUE(found_idle_event);
+  EXPECT_GE(server->MetricsSnapshotNow().counters.at("net.idle_closed"), 1u);
+
+  idle_client.reset();
+  active_client.reset();
+  server.reset();
+  engine.reset();
+  Cleanup(eopts);
+}
+
 }  // namespace
 }  // namespace nblb::net
